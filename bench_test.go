@@ -1,0 +1,264 @@
+// Package sturgeon's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation, plus the §VII-E overhead
+// micro-benchmarks and the DESIGN.md ablations. Each figure benchmark
+// regenerates its rows in quick mode (smaller sweeps, shorter runs, a
+// pair subset where noted) and reports domain metrics through b.ReportMetric.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale reproduction (all 18 pairs, 800 s runs) lives in cmd/repro.
+package sturgeon
+
+import (
+	"sync"
+	"testing"
+
+	"sturgeon/internal/core"
+	"sturgeon/internal/experiments"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/workload"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns a shared quick-mode experiment environment so the expensive
+// profiling sweeps are paid once across all benchmarks.
+func env() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.Config{Quick: true, PairLimit: 4})
+	})
+	return benchEnv
+}
+
+// BenchmarkFig2PowerOverload regenerates Fig. 2 (co-location power
+// overload across the 18 pairs) and reports the overload corridor.
+func BenchmarkFig2PowerOverload(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig2PowerOverload(e)
+		lo, hi := 10.0, 0.0
+		for _, r := range rows {
+			if r.Ratio < lo {
+				lo = r.Ratio
+			}
+			if r.Ratio > hi {
+				hi = r.Ratio
+			}
+		}
+		b.ReportMetric((lo-1)*100, "min_overload_%")
+		b.ReportMetric((hi-1)*100, "max_overload_%")
+	}
+}
+
+// BenchmarkFig3FeasibleConfigs regenerates Fig. 3's paper-pair comparison
+// and reports how many of the 12 rows the expected winner takes.
+func BenchmarkFig3FeasibleConfigs(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig3PaperPairs(e)
+		coresAt20, freqAt35 := 0, 0
+		for _, r := range rows {
+			if r.LoadFrac == 0.20 && r.Winner == "cores" {
+				coresAt20++
+			}
+			if r.LoadFrac == 0.35 && r.Winner == "freq" {
+				freqAt35++
+			}
+		}
+		b.ReportMetric(float64(coresAt20), "cores_win_at_20%")
+		b.ReportMetric(float64(freqAt35), "freq_win_at_35%")
+	}
+}
+
+// BenchmarkFig6PerfModels regenerates Fig. 6 and reports the mean score
+// of the best technique per model.
+func BenchmarkFig6PerfModels(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig6PerformanceModels(e)
+		sum := 0.0
+		for _, r := range rows {
+			sum += models.Best(r.Scores).Value
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean_best_score")
+	}
+}
+
+// BenchmarkFig7PowerModels regenerates Fig. 7 similarly.
+func BenchmarkFig7PowerModels(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig7PowerModels(e)
+		sum := 0.0
+		for _, r := range rows {
+			sum += models.Best(r.Scores).Value
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean_best_R2")
+	}
+}
+
+// BenchmarkFig9QoS regenerates Fig. 9 on the benchmark pair subset and
+// reports the mean QoS guarantee rate per controller.
+func BenchmarkFig9QoS(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		rows, _, _, _ := experiments.Fig9And10(e, false)
+		agg := map[string][2]float64{}
+		for _, r := range rows {
+			a := agg[r.Controller]
+			agg[r.Controller] = [2]float64{a[0] + r.QoSRate, a[1] + 1}
+		}
+		b.ReportMetric(agg["sturgeon"][0]/agg["sturgeon"][1], "sturgeon_qos")
+		b.ReportMetric(agg["parties"][0]/agg["parties"][1], "parties_qos")
+		b.ReportMetric(agg["sturgeon-nob"][0]/agg["sturgeon-nob"][1], "nob_qos")
+	}
+}
+
+// BenchmarkFig10Throughput regenerates Fig. 10 on the benchmark pair
+// subset and reports normalized BE throughput per controller.
+func BenchmarkFig10Throughput(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		rows, _, _, _ := experiments.Fig9And10(e, false)
+		agg := map[string][2]float64{}
+		for _, r := range rows {
+			a := agg[r.Controller]
+			agg[r.Controller] = [2]float64{a[0] + r.NormBE, a[1] + 1}
+		}
+		st := agg["sturgeon"][0] / agg["sturgeon"][1]
+		pa := agg["parties"][0] / agg["parties"][1]
+		b.ReportMetric(st, "sturgeon_thpt")
+		b.ReportMetric(pa, "parties_thpt")
+		b.ReportMetric((st/pa-1)*100, "sturgeon_vs_parties_%")
+	}
+}
+
+// BenchmarkFig11Trace regenerates the Fig. 11 ramp trace.
+func BenchmarkFig11Trace(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11Trace(e)
+		_ = res.Sturgeon
+	}
+}
+
+// BenchmarkTable1 renders the qualitative comparison table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table1().String()
+	}
+}
+
+// BenchmarkPredict measures single-model inference latency — the paper's
+// ≈0.04 ms budget (§VII-E).
+func BenchmarkPredict(b *testing.B) {
+	e := env()
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := e.Predictor(ls, be)
+	alloc := hw.Alloc{Cores: 8, Freq: 1.8, LLCWays: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.QoSOK(alloc, 20000)
+	}
+}
+
+// BenchmarkSearchGuided measures the §V-B binary-search configuration
+// finder (paper: ≤120 ms per invocation).
+func BenchmarkSearchGuided(b *testing.B) {
+	e := env()
+	ls, be := workload.Memcached(), workload.Raytrace()
+	s := &core.Searcher{Spec: e.Spec, Pred: e.Predictor(ls, be), Budget: e.Budget(ls)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BestConfig(0.3 * ls.PeakQPS)
+	}
+}
+
+// BenchmarkSearchExhaustive measures the O(N⁴) scan the paper rejects
+// (≈6.4 s on their models; the gap to the guided search is the point).
+func BenchmarkSearchExhaustive(b *testing.B) {
+	e := env()
+	ls, be := workload.Memcached(), workload.Raytrace()
+	s := &core.Searcher{Spec: e.Spec, Pred: e.Predictor(ls, be), Budget: e.Budget(ls)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ExhaustiveBest(0.3 * ls.PeakQPS)
+	}
+}
+
+// BenchmarkBalancerDecision measures one Algorithm 2 harvest decision
+// (paper: ≈0.48 ms).
+func BenchmarkBalancerDecision(b *testing.B) {
+	e := env()
+	ls, be := workload.Memcached(), workload.Raytrace()
+	bal := &core.Balancer{Spec: e.Spec, Pred: e.Predictor(ls, be), Budget: e.Budget(ls)}
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.6, LLCWays: 12},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.Reset()
+		bal.Harvest(cfg, 0.3*ls.PeakQPS, false, false)
+	}
+}
+
+// BenchmarkAblationQueueEngines cross-validates the analytic queue model
+// against the discrete-event simulator (DESIGN.md §5.1).
+func BenchmarkAblationQueueEngines(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationQueueEngines(e)
+	}
+}
+
+// BenchmarkAblationHarvestPolicy compares preference-aware and
+// fixed-order harvesting (DESIGN.md §5.4).
+func BenchmarkAblationHarvestPolicy(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationHarvestPolicy(e)
+	}
+}
+
+// BenchmarkAblationPeakVsMeanPower compares power-label conservatism
+// (DESIGN.md §5.2).
+func BenchmarkAblationPeakVsMeanPower(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationPeakVsMeanPower(e)
+	}
+}
+
+// BenchmarkAblationSlackBounds sweeps Algorithm 1's α/β (DESIGN.md §5.5).
+func BenchmarkAblationSlackBounds(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationSlackBounds(e)
+	}
+}
+
+// BenchmarkAblationSearchHeadroom toggles the search grid headroom
+// (DESIGN.md §5.3).
+func BenchmarkAblationSearchHeadroom(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationSearchHeadroom(e)
+	}
+}
+
+// BenchmarkOverheadSuite runs the §VII-E overhead measurement end to end.
+func BenchmarkOverheadSuite(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Overhead(e)
+		b.ReportMetric(res.GuidedSearchMS, "guided_ms")
+		b.ReportMetric(res.SpeedupX, "speedup_x")
+	}
+}

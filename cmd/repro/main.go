@@ -1,0 +1,149 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	repro [-exp all|fig2|fig3|fig6|fig7|fig9|fig10|fig11|table1|overhead|ablations]
+//	      [-quick] [-seed N] [-samples N] [-duration N] [-heracles] [-out DIR]
+//
+// Text tables go to stdout; -out additionally writes CSV/TSV files for
+// plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sturgeon/internal/experiments"
+	"sturgeon/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig6, fig7, fig9, fig10, fig11, table1, overhead, ablations, multi, energy, rapl)")
+		quick    = flag.Bool("quick", false, "shrink sweeps and run lengths for a fast smoke run")
+		seed     = flag.Int64("seed", 42, "random seed")
+		samples  = flag.Int("samples", 0, "profiling sweep size (0 = default)")
+		duration = flag.Int("duration", 0, "evaluation run length in seconds (0 = default 800)")
+		heracles = flag.Bool("heracles", false, "include the Heracles-style baseline in fig9/fig10")
+		outDir   = flag.String("out", "", "directory for CSV/TSV output (optional)")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(experiments.Config{
+		Seed: *seed, Samples: *samples, DurationS: *duration, Quick: *quick,
+	})
+
+	emit := func(name string, tbl *trace.Table) {
+		fmt.Println(tbl)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, name+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}
+	emitSeries := func(name string, ss *trace.SeriesSet) {
+		if *outDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*outDir, name+".tsv"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := ss.WriteTSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		f.Close()
+	}
+
+	want := func(names ...string) bool {
+		if *exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *exp == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("table1") {
+		fmt.Println(experiments.Table1())
+	}
+	if want("fig2") {
+		_, tbl := experiments.Fig2PowerOverload(env)
+		emit("fig2", tbl)
+	}
+	if want("fig3") {
+		_, paper := experiments.Fig3PaperPairs(env)
+		emit("fig3_paper_pairs", paper)
+		_, frontier := experiments.Fig3FeasibleConfigs(env)
+		emit("fig3_frontier", frontier)
+	}
+	if want("fig6") {
+		_, tbl := experiments.Fig6PerformanceModels(env)
+		emit("fig6", tbl)
+	}
+	if want("fig7") {
+		_, tbl := experiments.Fig7PowerModels(env)
+		emit("fig7", tbl)
+	}
+	if want("fig9", "fig10") {
+		_, qos, thpt, sum := experiments.Fig9And10(env, *heracles)
+		emit("fig9_qos", qos)
+		emit("fig10_throughput", thpt)
+		emit("fig9_10_summary", sum)
+	}
+	if want("fig11") {
+		res := experiments.Fig11Trace(env)
+		fmt.Println(res.Summary)
+		spark := func(label string, ss *trace.SeriesSet) {
+			fmt.Println(ss.Title)
+			for _, s := range ss.Series {
+				fmt.Printf("  %-14s %s\n", s.Name, s.Spark(72))
+			}
+		}
+		spark("sturgeon", res.Sturgeon)
+		spark("parties", res.Parties)
+		emitSeries("fig11_sturgeon", res.Sturgeon)
+		emitSeries("fig11_parties", res.Parties)
+		if *outDir == "" {
+			fmt.Println("(use -out DIR to write the Fig. 11 time series as TSV)")
+		}
+	}
+	if want("overhead") {
+		_, tbl := experiments.Overhead(env)
+		emit("overhead", tbl)
+	}
+	if want("ablations") {
+		emit("ablation_queue_engines", experiments.AblationQueueEngines(env))
+		emit("ablation_e2e_engines", experiments.AblationEndToEndEngines(env))
+		emit("ablation_harvest_policy", experiments.AblationHarvestPolicy(env))
+		emit("ablation_peak_vs_mean_power", experiments.AblationPeakVsMeanPower(env))
+		emit("ablation_slack_bounds", experiments.AblationSlackBounds(env))
+		emit("ablation_search_headroom", experiments.AblationSearchHeadroom(env))
+	}
+	if want("multi") {
+		emit("extension_multi_app", experiments.MultiAppShowdown(env))
+	}
+	if want("energy") {
+		emit("extension_energy", experiments.EnergyEfficiency(env, *heracles))
+	}
+	if want("rapl") {
+		emit("extension_rapl", experiments.RAPLBaseline(env))
+	}
+}

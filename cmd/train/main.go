@@ -1,0 +1,88 @@
+// Command train runs the offline profiling sweeps and model-technique
+// comparison of §V: it collects per-application datasets, fits every
+// technique of Figs. 6–7, prints the quality tables, and reports which
+// technique each model family should deploy.
+//
+// Usage:
+//
+//	train [-app NAME] [-samples N] [-seed N]
+//
+// Without -app, all nine applications are swept.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sturgeon/internal/experiments"
+	"sturgeon/internal/models"
+	"sturgeon/internal/trace"
+	"sturgeon/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "single application to profile (default: all)")
+		samples = flag.Int("samples", 1500, "sweep size")
+		seed    = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(experiments.Config{Seed: *seed, Samples: *samples})
+
+	apps := append(workload.LSServices(), workload.BEApps()...)
+	if *app != "" {
+		p, ok := workload.ByName(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown application %q\n", *app)
+			os.Exit(2)
+		}
+		apps = []workload.Profile{p}
+	}
+
+	for _, p := range apps {
+		if p.Class == workload.LS {
+			d := env.LSData(p)
+			clf, err := models.CompareClassification(d.Perf, *seed)
+			must(err)
+			lat, err := models.CompareRegression(d.Latency, *seed)
+			must(err)
+			pow, err := models.CompareRegression(d.Power, *seed)
+			must(err)
+			tbl := trace.NewTable(fmt.Sprintf("%s (LS) — %d samples", p.Name, d.Perf.Len()),
+				"model", "DT", "KNN", "SV", "MLP", "LR", "deploy")
+			addScores(tbl, "feasibility (accuracy)", clf)
+			addScores(tbl, "latency log10 (R²)", lat)
+			addScores(tbl, "power (R²)", pow)
+			fmt.Println(tbl)
+		} else {
+			d := env.BEData(p)
+			thpt, err := models.CompareRegression(d.Thpt, *seed)
+			must(err)
+			pow, err := models.CompareRegression(d.Power, *seed)
+			must(err)
+			tbl := trace.NewTable(fmt.Sprintf("%s (BE) — %d samples", p.Name, d.Thpt.Len()),
+				"model", "DT", "KNN", "SV", "MLP", "LR", "deploy")
+			addScores(tbl, "throughput (R²)", thpt)
+			addScores(tbl, "power (R²)", pow)
+			fmt.Println(tbl)
+		}
+	}
+}
+
+func addScores(tbl *trace.Table, name string, scores []models.Score) {
+	cells := []interface{}{name}
+	for _, s := range scores {
+		cells = append(cells, s.Value)
+	}
+	cells = append(cells, string(models.Best(scores).Technique))
+	tbl.Addf(cells...)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

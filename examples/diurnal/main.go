@@ -1,0 +1,74 @@
+// Diurnal: a day in the life of one power-capped server. The LS service
+// follows a day/night load curve (§II-B: Google web-search servers idle
+// ~30 % over 24 h); Sturgeon harvests the valley for best-effort work and
+// returns the resources as the load climbs toward midday.
+//
+// The 24 h day is compressed to 24 simulated minutes (1 s = 1 min).
+//
+//	go run ./examples/diurnal
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sturgeon/internal/core"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+func main() {
+	ls := workload.Xapian() // web search: the classic diurnal service
+	be := workload.Ferret() // long-running content-similarity batch job
+
+	node := sim.NewNode(ls, be, 11)
+	budget := sim.LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+
+	fmt.Println("training predictor...")
+	pred, err := models.Train(ls, be, models.TrainOptions{
+		Collect: models.CollectOptions{Samples: 1000, Seed: 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const day = 1440 // one compressed day: 1 s per simulated minute
+	ctrl := core.New(node.Spec, pred, budget, core.Options{})
+	if err := node.Apply(hw.SoloLS(node.Spec)); err != nil {
+		log.Fatal(err)
+	}
+	runner := sim.Runner{
+		Node: node, Ctrl: ctrl, Budget: budget,
+		Trace:     workload.Diurnal(0.15, 0.95, day),
+		DurationS: day,
+	}
+	res := runner.Run()
+
+	// Aggregate per "hour" (60 intervals) and draw a load/BE-work chart.
+	fmt.Println("\nhour  load%  BE units  BE cores  power_w   ")
+	var totalBE, totalQ, okQ float64
+	for h := 0; h < 24; h++ {
+		var qps, beUnits, beCores, pw float64
+		for i := h * 60; i < (h+1)*60; i++ {
+			st := res.Intervals[i]
+			qps += st.QPS
+			beUnits += st.BEThroughputUPS
+			beCores += float64(st.Config.BE.Cores)
+			pw += float64(st.Power)
+			totalBE += st.BEThroughputUPS
+			totalQ += st.QPS
+			okQ += st.QPS * st.QoSFrac
+		}
+		loadPct := qps / 60 / ls.PeakQPS * 100
+		bar := strings.Repeat("#", int(beUnits/60/6))
+		fmt.Printf("%4d  %5.1f  %8.0f  %8.1f  %7.1f  %s\n",
+			h, loadPct, beUnits/60, beCores/60, pw/60, bar)
+	}
+
+	fmt.Printf("\nover the day: QoS guarantee %.2f%%, best-effort work %.0f units (%.1f%% of a dedicated machine)\n",
+		okQ/totalQ*100, totalBE,
+		res.NormBEThroughput*100)
+}

@@ -1,0 +1,98 @@
+// Multiservice: the §V-B extension in action — two latency-sensitive
+// services (memcached and xapian) share one power-capped node with two
+// best-effort applications (raytrace and swaptions). The multi-way
+// controller keeps both tails inside their targets while the leftover
+// cores, ways and watts are split across the BE side by marginal utility.
+//
+//	go run ./examples/multiservice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/multi"
+	"sturgeon/internal/power"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+func main() {
+	apps := multi.Apps{
+		workload.Memcached(), // LS 0: 10 ms target
+		workload.Xapian(),    // LS 1: 15 ms target
+		workload.Raytrace(),  // BE 2
+		workload.Swaptions(), // BE 3
+	}
+
+	fmt.Println("profiling the four applications...")
+	opts := models.CollectOptions{Samples: 1000, IntervalsPerSample: 2, Seed: 9}
+	lsm := map[int]*models.LSModels{}
+	bem := map[int]*models.BEModels{}
+	for _, i := range apps.LSIndices() {
+		m, err := models.FitLS(apps[i], models.SweepLS(apps[i], opts), 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lsm[i] = m
+	}
+	for _, j := range apps.BEIndices() {
+		m, err := models.FitBE(apps[j], models.SweepBE(apps[j], opts), 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bem[j] = m
+	}
+
+	params := power.DefaultParams()
+	spec := hw.DefaultSpec()
+	// Budget: the larger primary's peak draw plus a 10 % right-sizing
+	// margin for the second service.
+	budget := sim.LSPeakPower(spec, params, sim.QuietNode(apps[0], apps[2], 1).Bus, apps[0]) * 1.1
+	s := &multi.Searcher{
+		Spec: spec, Apps: apps, LS: lsm, BE: bem,
+		Budget: budget, IdleW: params.IdleW,
+	}
+	ctrl := multi.NewController(spec, apps, s, budget)
+
+	node := multi.NewNode(apps, 9)
+	init := make(multi.Partition, len(apps))
+	for i := range init {
+		init[i].Freq = spec.FreqMin
+	}
+	init[0] = hw.Alloc{Cores: spec.Cores, Freq: spec.FreqMax, LLCWays: spec.LLCWays}
+	if err := node.Apply(init); err != nil {
+		log.Fatal(err)
+	}
+
+	const dur = 180
+	tr0 := workload.Triangle(0.2, 0.6, dur)
+	tr1 := workload.Diurnal(0.2, 0.5, dur)
+	var okQ, totQ, beWork float64
+	fmt.Printf("%5s  %18s  %18s  %8s  %s\n", "t", "memcached", "xapian", "power_w", "partition")
+	for i := 0; i < dur; i++ {
+		t := float64(i + 1)
+		qps := []float64{tr0(t) * apps[0].PeakQPS, tr1(t) * apps[1].PeakQPS}
+		st := node.Step(t, qps)
+		for _, li := range apps.LSIndices() {
+			okQ += st.Apps[li].QPS * st.Apps[li].QoSFrac
+			totQ += st.Apps[li].QPS
+		}
+		for _, j := range apps.BEIndices() {
+			beWork += st.Apps[j].ThroughputUPS
+		}
+		if i%15 == 0 {
+			fmt.Printf("%5.0f  %7.0fq %6.2fms  %7.0fq %6.2fms  %8.1f  %v\n",
+				t, st.Apps[0].QPS, st.Apps[0].P95*1e3,
+				st.Apps[1].QPS, st.Apps[1].P95*1e3,
+				float64(st.Power), st.Partition)
+		}
+		if err := node.Apply(ctrl.Decide(st, qps)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\njoint QoS guarantee rate: %.2f%% | best-effort work: %.0f units | searches: %d, harvests: %d\n",
+		okQ/totQ*100, beWork, ctrl.Searches, ctrl.Harvests)
+}

@@ -1,0 +1,62 @@
+// Quickstart: co-locate memcached with the PARSEC raytrace application on
+// a simulated power-constrained node under Sturgeon, and print what the
+// runtime decides each second.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sturgeon/internal/core"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+func main() {
+	// 1. Pick a latency-sensitive service and a best-effort application.
+	ls := workload.Memcached() // 10 ms p95 target, 60 K QPS peak
+	be := workload.Raytrace()  // cache-hungry PARSEC workload
+
+	// 2. Build the simulated node (the paper's Table II platform: 20
+	//    logical cores, 1.2–2.2 GHz DVFS, 20 LLC ways) and size the power
+	//    budget the paper's way: the LS service's peak-load draw.
+	node := sim.NewNode(ls, be, 1)
+	budget := sim.LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+	fmt.Printf("power budget: %.1f W (LS peak draw)\n", float64(budget))
+
+	// 3. Train the online performance/power predictor from profiling
+	//    sweeps (offline in production; a couple of seconds here).
+	fmt.Println("training predictor...")
+	pred, err := models.Train(ls, be, models.TrainOptions{
+		Collect: models.CollectOptions{Samples: 1000, Seed: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run the Sturgeon controller against a fluctuating load.
+	ctrl := core.New(node.Spec, pred, budget, core.Options{})
+	if err := node.Apply(hw.SoloLS(node.Spec)); err != nil {
+		log.Fatal(err)
+	}
+	runner := sim.Runner{
+		Node: node, Ctrl: ctrl, Budget: budget,
+		Trace:     workload.Triangle(0.2, 0.8, 120),
+		DurationS: 120,
+	}
+	res := runner.Run()
+
+	for i, st := range res.Intervals {
+		if i%10 != 0 {
+			continue
+		}
+		fmt.Printf("t=%3.0fs load=%5.0f qps  p95=%5.2f ms  power=%5.1f W  BE=%6.0f units/s  %v\n",
+			st.Time, st.QPS, st.P95*1e3, float64(st.Power), st.BEThroughputUPS, st.Config)
+	}
+	fmt.Printf("\nQoS guarantee rate: %.2f%%  |  BE throughput: %.1f%% of solo  |  breaker trips: %d\n",
+		res.QoSRate*100, res.NormBEThroughput*100, res.BreakerTrips)
+}

@@ -1,0 +1,3 @@
+module sturgeon
+
+go 1.22

@@ -1,0 +1,252 @@
+// Package actuator implements the paper's Table III control surface on
+// real Linux interfaces: cpuset cgroups for core partitioning, resctrl
+// (Intel CAT) for LLC way partitioning, cpufreq for per-core DVFS and the
+// powercap (Intel RAPL) sysfs for energy readings.
+//
+// Every path root is configurable, so the package is fully exercised by
+// the test suite against a fake sysfs tree; on a real machine the zero
+// Paths value targets the kernel's standard mount points. The simulator
+// in internal/sim implements the same Apply(hw.Config) contract, which is
+// what lets the controllers run unchanged on either substrate.
+package actuator
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"sturgeon/internal/hw"
+)
+
+// Paths locates the kernel control filesystems. Zero values select the
+// standard mount points.
+type Paths struct {
+	// CpusetRoot is the cpuset cgroup controller root
+	// (default /sys/fs/cgroup/cpuset).
+	CpusetRoot string
+	// ResctrlRoot is the resctrl filesystem root (default /sys/fs/resctrl).
+	ResctrlRoot string
+	// CPUFreqRoot is the cpufreq sysfs root
+	// (default /sys/devices/system/cpu).
+	CPUFreqRoot string
+	// RAPLEnergyFile is the package energy counter
+	// (default /sys/class/powercap/intel-rapl/intel-rapl:0/energy_uj).
+	RAPLEnergyFile string
+}
+
+func (p Paths) withDefaults() Paths {
+	if p.CpusetRoot == "" {
+		p.CpusetRoot = "/sys/fs/cgroup/cpuset"
+	}
+	if p.ResctrlRoot == "" {
+		p.ResctrlRoot = "/sys/fs/resctrl"
+	}
+	if p.CPUFreqRoot == "" {
+		p.CPUFreqRoot = "/sys/devices/system/cpu"
+	}
+	if p.RAPLEnergyFile == "" {
+		p.RAPLEnergyFile = "/sys/class/powercap/intel-rapl/intel-rapl:0/energy_uj"
+	}
+	return p
+}
+
+// Linux applies co-location configurations through the kernel interfaces.
+type Linux struct {
+	Spec  hw.Spec
+	Paths Paths
+	// LSGroup and BEGroup name the cgroup/resctrl groups (defaults "ls"
+	// and "be").
+	LSGroup, BEGroup string
+}
+
+// New builds an actuator for the given platform geometry.
+func New(spec hw.Spec, paths Paths) *Linux {
+	return &Linux{Spec: spec, Paths: paths.withDefaults(), LSGroup: "ls", BEGroup: "be"}
+}
+
+// plan computes the concrete core lists and way masks of a configuration:
+// the LS service receives the low core IDs and the low LLC ways, the BE
+// application the next block of each. Parked cores (allocated to neither)
+// stay out of both cpusets.
+type plan struct {
+	lsCores, beCores []int
+	lsMask, beMask   uint64
+	lsFreq, beFreq   hw.GHz
+}
+
+func (l *Linux) plan(cfg hw.Config) (plan, error) {
+	if err := cfg.Validate(l.Spec); err != nil {
+		return plan{}, fmt.Errorf("actuator: %w", err)
+	}
+	var p plan
+	for c := 0; c < cfg.LS.Cores; c++ {
+		p.lsCores = append(p.lsCores, c)
+	}
+	for c := cfg.LS.Cores; c < cfg.LS.Cores+cfg.BE.Cores; c++ {
+		p.beCores = append(p.beCores, c)
+	}
+	p.lsMask = wayMask(0, cfg.LS.LLCWays)
+	p.beMask = wayMask(cfg.LS.LLCWays, cfg.BE.LLCWays)
+	p.lsFreq, p.beFreq = cfg.LS.Freq, cfg.BE.Freq
+	return p, nil
+}
+
+// wayMask returns a contiguous CAT capacity bitmask of n ways starting at
+// the given way index.
+func wayMask(start, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return ((uint64(1) << n) - 1) << start
+}
+
+// coreList renders a cpuset.cpus value ("0-3" style ranges).
+func coreList(cores []int) string {
+	if len(cores) == 0 {
+		return ""
+	}
+	var parts []string
+	start, prev := cores[0], cores[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, strconv.Itoa(start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, c := range cores[1:] {
+		if c == prev+1 {
+			prev = c
+			continue
+		}
+		flush()
+		start, prev = c, c
+	}
+	flush()
+	return strings.Join(parts, ",")
+}
+
+// Apply writes the configuration to the kernel interfaces: cpuset.cpus
+// for both groups, resctrl schemata masks, and per-core scaling_max_freq.
+func (l *Linux) Apply(cfg hw.Config) error {
+	p, err := l.plan(cfg)
+	if err != nil {
+		return err
+	}
+	// Core partitioning (Linux cpuset cgroups).
+	if err := l.writeCpuset(l.LSGroup, p.lsCores); err != nil {
+		return err
+	}
+	if err := l.writeCpuset(l.BEGroup, p.beCores); err != nil {
+		return err
+	}
+	// LLC partitioning (Intel CAT via resctrl).
+	if err := l.writeSchemata(l.LSGroup, p.lsMask); err != nil {
+		return err
+	}
+	if err := l.writeSchemata(l.BEGroup, p.beMask); err != nil {
+		return err
+	}
+	// Per-core DVFS (the ACPI cpufreq driver).
+	for _, c := range p.lsCores {
+		if err := l.writeMaxFreq(c, p.lsFreq); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.beCores {
+		if err := l.writeMaxFreq(c, p.beFreq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Linux) writeCpuset(group string, cores []int) error {
+	path := filepath.Join(l.Paths.CpusetRoot, group, "cpuset.cpus")
+	if err := writeFile(path, coreList(cores)); err != nil {
+		return fmt.Errorf("actuator: cpuset %s: %w", group, err)
+	}
+	return nil
+}
+
+func (l *Linux) writeSchemata(group string, mask uint64) error {
+	path := filepath.Join(l.Paths.ResctrlRoot, group, "schemata")
+	val := fmt.Sprintf("L3:0=%x", mask)
+	if err := writeFile(path, val); err != nil {
+		return fmt.Errorf("actuator: resctrl %s: %w", group, err)
+	}
+	return nil
+}
+
+func (l *Linux) writeMaxFreq(core int, f hw.GHz) error {
+	khz := strconv.Itoa(int(float64(f) * 1e6))
+	path := filepath.Join(l.Paths.CPUFreqRoot,
+		fmt.Sprintf("cpu%d", core), "cpufreq", "scaling_max_freq")
+	if err := writeFile(path, khz); err != nil {
+		return fmt.Errorf("actuator: cpufreq cpu%d: %w", core, err)
+	}
+	return nil
+}
+
+// ReadEnergyUJ reads the RAPL package energy counter in microjoules.
+// Sampling it at the control interval and dividing the delta by the
+// elapsed time yields average power, exactly like the simulator's meter.
+func (l *Linux) ReadEnergyUJ() (uint64, error) {
+	b, err := os.ReadFile(l.Paths.RAPLEnergyFile)
+	if err != nil {
+		return 0, fmt.Errorf("actuator: rapl: %w", err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("actuator: rapl parse: %w", err)
+	}
+	return v, nil
+}
+
+// PowerSampler converts successive RAPL energy readings into watts,
+// handling the 32-bit wraparound of the kernel counter.
+type PowerSampler struct {
+	l        *Linux
+	lastUJ   uint64
+	haveLast bool
+	// WrapUJ is the counter modulus (default 2^32 µJ, the common RAPL
+	// max_energy_range_uj).
+	WrapUJ uint64
+}
+
+// NewPowerSampler wraps the actuator's energy counter.
+func NewPowerSampler(l *Linux) *PowerSampler {
+	return &PowerSampler{l: l, WrapUJ: 1 << 32}
+}
+
+// Sample returns the average power in watts since the previous call,
+// given the elapsed seconds. The first call primes the counter and
+// returns 0.
+func (s *PowerSampler) Sample(elapsedS float64) (float64, error) {
+	cur, err := s.l.ReadEnergyUJ()
+	if err != nil {
+		return 0, err
+	}
+	if !s.haveLast {
+		s.lastUJ, s.haveLast = cur, true
+		return 0, nil
+	}
+	delta := cur - s.lastUJ
+	if cur < s.lastUJ { // counter wrapped
+		delta = cur + (s.WrapUJ - s.lastUJ)
+	}
+	s.lastUJ = cur
+	if elapsedS <= 0 {
+		return 0, fmt.Errorf("actuator: non-positive elapsed time")
+	}
+	return float64(delta) / 1e6 / elapsedS, nil
+}
+
+func writeFile(path, val string) error {
+	if _, err := os.Stat(path); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(val+"\n"), 0o644)
+}

@@ -1,0 +1,210 @@
+package actuator
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sturgeon/internal/hw"
+)
+
+// fakeSysfs builds a fake kernel control tree for the default spec.
+func fakeSysfs(t *testing.T) (Paths, *Linux) {
+	t.Helper()
+	root := t.TempDir()
+	p := Paths{
+		CpusetRoot:     filepath.Join(root, "cpuset"),
+		ResctrlRoot:    filepath.Join(root, "resctrl"),
+		CPUFreqRoot:    filepath.Join(root, "cpu"),
+		RAPLEnergyFile: filepath.Join(root, "rapl", "energy_uj"),
+	}
+	for _, g := range []string{"ls", "be"} {
+		mustMkfile(t, filepath.Join(p.CpusetRoot, g, "cpuset.cpus"), "")
+		mustMkfile(t, filepath.Join(p.ResctrlRoot, g, "schemata"), "")
+	}
+	spec := hw.DefaultSpec()
+	for c := 0; c < spec.Cores; c++ {
+		mustMkfile(t, filepath.Join(p.CPUFreqRoot,
+			"cpu"+strconv.Itoa(c), "cpufreq", "scaling_max_freq"), "2200000")
+	}
+	mustMkfile(t, p.RAPLEnergyFile, "1000000")
+	return p, New(spec, p)
+}
+
+func mustMkfile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func read(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(b))
+}
+
+func TestApplyWritesAllInterfaces(t *testing.T) {
+	p, act := fakeSysfs(t)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6},
+		BE: hw.Alloc{Cores: 16, Freq: 1.8, LLCWays: 14},
+	}
+	if err := act.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(t, filepath.Join(p.CpusetRoot, "ls", "cpuset.cpus")); got != "0-3" {
+		t.Errorf("LS cpuset = %q, want 0-3", got)
+	}
+	if got := read(t, filepath.Join(p.CpusetRoot, "be", "cpuset.cpus")); got != "4-19" {
+		t.Errorf("BE cpuset = %q, want 4-19", got)
+	}
+	// 6 low ways = 0x3f; next 14 ways = 0xfffc0.
+	if got := read(t, filepath.Join(p.ResctrlRoot, "ls", "schemata")); got != "L3:0=3f" {
+		t.Errorf("LS schemata = %q", got)
+	}
+	if got := read(t, filepath.Join(p.ResctrlRoot, "be", "schemata")); got != "L3:0=fffc0" {
+		t.Errorf("BE schemata = %q", got)
+	}
+	// Spot-check the frequency writes on one core of each group.
+	if got := read(t, filepath.Join(p.CPUFreqRoot, "cpu0", "cpufreq", "scaling_max_freq")); got != "1600000" {
+		t.Errorf("LS core freq = %q kHz", got)
+	}
+	if got := read(t, filepath.Join(p.CPUFreqRoot, "cpu19", "cpufreq", "scaling_max_freq")); got != "1800000" {
+		t.Errorf("BE core freq = %q kHz", got)
+	}
+}
+
+func TestApplyParkedCoresStayOut(t *testing.T) {
+	p, act := fakeSysfs(t)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6},
+		BE: hw.Alloc{Cores: 10, Freq: 1.2, LLCWays: 14}, // 6 cores parked
+	}
+	if err := act.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(t, filepath.Join(p.CpusetRoot, "be", "cpuset.cpus")); got != "4-13" {
+		t.Errorf("BE cpuset = %q, want 4-13 (cores 14-19 parked)", got)
+	}
+}
+
+func TestApplyRejectsInvalidConfig(t *testing.T) {
+	_, act := fakeSysfs(t)
+	bad := hw.Config{
+		LS: hw.Alloc{Cores: 15, Freq: 1.6, LLCWays: 6},
+		BE: hw.Alloc{Cores: 15, Freq: 1.8, LLCWays: 14},
+	}
+	if err := act.Apply(bad); err == nil {
+		t.Error("oversubscribed config accepted")
+	}
+}
+
+func TestApplyMissingFilesError(t *testing.T) {
+	spec := hw.DefaultSpec()
+	act := New(spec, Paths{
+		CpusetRoot:  "/nonexistent/cpuset",
+		ResctrlRoot: "/nonexistent/resctrl",
+		CPUFreqRoot: "/nonexistent/cpu",
+	})
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6},
+		BE: hw.Alloc{Cores: 16, Freq: 1.8, LLCWays: 14},
+	}
+	if err := act.Apply(cfg); err == nil {
+		t.Error("missing control files not reported")
+	}
+}
+
+func TestCoreList(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, ""},
+		{[]int{3}, "3"},
+		{[]int{0, 1, 2, 3}, "0-3"},
+		{[]int{0, 2, 3, 7}, "0,2-3,7"},
+		{[]int{5, 6, 8, 9, 10}, "5-6,8-10"},
+	}
+	for _, c := range cases {
+		if got := coreList(c.in); got != c.want {
+			t.Errorf("coreList(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWayMask(t *testing.T) {
+	if got := wayMask(0, 6); got != 0x3f {
+		t.Errorf("wayMask(0,6) = %x", got)
+	}
+	if got := wayMask(6, 14); got != 0xfffc0 {
+		t.Errorf("wayMask(6,14) = %x", got)
+	}
+	if got := wayMask(3, 0); got != 0 {
+		t.Errorf("wayMask(3,0) = %x", got)
+	}
+}
+
+func TestPowerSampler(t *testing.T) {
+	p, act := fakeSysfs(t)
+	s := NewPowerSampler(act)
+	// First call primes.
+	if w, err := s.Sample(1); err != nil || w != 0 {
+		t.Fatalf("prime sample = %v, %v", w, err)
+	}
+	// 50 J over 1 s = 50 W.
+	mustWrite(t, p.RAPLEnergyFile, "51000000")
+	w, err := s.Sample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 50 {
+		t.Errorf("power = %v, want 50", w)
+	}
+	// Wraparound: counter resets past 2^32 µJ.
+	mustWrite(t, p.RAPLEnergyFile, "1000000")
+	w, err = s.Sample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUJ := float64(1000000) + float64(uint64(1)<<32-51000000)
+	if diff := w - wantUJ/1e6; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("wrapped power = %v, want %v", w, wantUJ/1e6)
+	}
+	// Bad elapsed time.
+	if _, err := s.Sample(0); err == nil {
+		t.Error("zero elapsed accepted")
+	}
+}
+
+func TestReadEnergyErrors(t *testing.T) {
+	act := New(hw.DefaultSpec(), Paths{RAPLEnergyFile: "/nonexistent/energy_uj"})
+	if _, err := act.ReadEnergyUJ(); err == nil {
+		t.Error("missing energy file not reported")
+	}
+	root := t.TempDir()
+	bad := filepath.Join(root, "energy_uj")
+	if err := os.WriteFile(bad, []byte("not-a-number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	act2 := New(hw.DefaultSpec(), Paths{RAPLEnergyFile: bad})
+	if _, err := act2.ReadEnergyUJ(); err == nil {
+		t.Error("garbage energy file not reported")
+	}
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMRCValidate(t *testing.T) {
+	good := MRC{MPKI1: 20, MPKIInf: 2, HalfWays: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid MRC rejected: %v", err)
+	}
+	bad := []MRC{
+		{MPKI1: 1, MPKIInf: 2, HalfWays: 4},
+		{MPKI1: 5, MPKIInf: -1, HalfWays: 4},
+		{MPKI1: 5, MPKIInf: 1, HalfWays: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad MRC %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestMPKIEndpointsAndMonotonicity(t *testing.T) {
+	m := MRC{MPKI1: 20, MPKIInf: 2, HalfWays: 4}
+	if got := m.MPKI(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("MPKI(1) = %v, want 20", got)
+	}
+	if got := m.MPKI(1000); math.Abs(got-2) > 1e-3 {
+		t.Errorf("MPKI(inf) = %v, want ~2", got)
+	}
+	prev := math.Inf(1)
+	for w := 1; w <= 20; w++ {
+		cur := m.MPKI(w)
+		if cur > prev {
+			t.Fatalf("MPKI increased at %d ways: %v > %v", w, cur, prev)
+		}
+		if cur < m.MPKIInf {
+			t.Fatalf("MPKI(%d)=%v below floor %v", w, cur, m.MPKIInf)
+		}
+		prev = cur
+	}
+	// Half-life property: excess misses halve every HalfWays ways.
+	excess1 := m.MPKI(1) - m.MPKIInf
+	excess5 := m.MPKI(5) - m.MPKIInf
+	if math.Abs(excess5-excess1/2) > 1e-9 {
+		t.Errorf("excess misses at 5 ways = %v, want %v", excess5, excess1/2)
+	}
+}
+
+func TestMPKIZeroWaysBehavesLikeOne(t *testing.T) {
+	m := MRC{MPKI1: 20, MPKIInf: 2, HalfWays: 4}
+	if m.MPKI(0) != m.MPKI(1) || m.MPKI(-3) != m.MPKI(1) {
+		t.Error("MPKI(<1) should clamp to one way")
+	}
+}
+
+func TestMarginalMPKIDiminishing(t *testing.T) {
+	m := MRC{MPKI1: 30, MPKIInf: 1, HalfWays: 3}
+	prev := math.Inf(1)
+	for w := 1; w < 19; w++ {
+		gain := m.MarginalMPKI(w)
+		if gain < 0 {
+			t.Fatalf("negative marginal gain at %d ways", w)
+		}
+		if gain > prev {
+			t.Fatalf("marginal gain not diminishing at %d ways: %v > %v", w, gain, prev)
+		}
+		prev = gain
+	}
+}
+
+func TestCPIGrowsWithFrequencyWhenMemoryBound(t *testing.T) {
+	c := CPIModel{CPIBase: 0.7, MissPenaltyNs: 70}
+	lo := c.CPI(1.2, 10, 1)
+	hi := c.CPI(2.2, 10, 1)
+	if hi <= lo {
+		t.Errorf("memory-bound CPI should rise with frequency: %v <= %v", hi, lo)
+	}
+	// With zero misses, CPI is frequency-independent.
+	if c.CPI(1.2, 0, 1) != c.CPI(2.2, 0, 1) {
+		t.Error("compute-bound CPI depends on frequency")
+	}
+}
+
+func TestCPIContentionFloorsAtOne(t *testing.T) {
+	c := CPIModel{CPIBase: 0.7, MissPenaltyNs: 70}
+	if c.CPI(2.0, 5, 0.2) != c.CPI(2.0, 5, 1) {
+		t.Error("contention below 1 not clamped")
+	}
+	if c.CPI(2.0, 5, 2) <= c.CPI(2.0, 5, 1) {
+		t.Error("contention multiplier has no effect")
+	}
+}
+
+func TestPerCoreRateSaturatesWithFrequency(t *testing.T) {
+	// The key DVFS economics: instructions/sec per core = f/CPI(f). For a
+	// memory-bound app the 1.2→2.2 GHz gain must be well below the 83 %
+	// frequency gain; for a compute-bound app it must be the full 83 %.
+	mem := CPIModel{CPIBase: 0.6, MissPenaltyNs: 70}
+	cmp := CPIModel{CPIBase: 0.6, MissPenaltyNs: 70}
+	memGain := (2.2 / mem.CPI(2.2, 12, 1)) / (1.2 / mem.CPI(1.2, 12, 1))
+	cmpGain := (2.2 / cmp.CPI(2.2, 0.2, 1)) / (1.2 / cmp.CPI(1.2, 0.2, 1))
+	if memGain >= cmpGain {
+		t.Errorf("memory-bound frequency gain %v not below compute-bound %v", memGain, cmpGain)
+	}
+	if cmpGain < 1.7 {
+		t.Errorf("compute-bound gain %v, want ≈1.83", cmpGain)
+	}
+	if memGain > 1.5 {
+		t.Errorf("memory-bound gain %v, want clearly saturated", memGain)
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	// 1e9 instr/s at 10 MPKI = 1e7 misses/s × 64 B = 0.64 GB/s.
+	got := BandwidthGBs(1e9, 10)
+	if math.Abs(got-0.64) > 1e-9 {
+		t.Errorf("BandwidthGBs = %v, want 0.64", got)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	b := DefaultBus()
+	if got := b.Contention(0); got != 1 {
+		t.Errorf("idle bus contention = %v, want 1", got)
+	}
+	mid := b.Contention(b.PeakGBs * 0.5)
+	high := b.Contention(b.PeakGBs * 0.9)
+	if !(1 < mid && mid < high) {
+		t.Errorf("contention not increasing: 1 < %v < %v expected", mid, high)
+	}
+	if got := b.Contention(b.PeakGBs * 2); got != 6 {
+		t.Errorf("saturated contention = %v, want capped 6", got)
+	}
+	if got := b.Contention(-5); got != 1 {
+		t.Errorf("negative demand contention = %v, want 1", got)
+	}
+}
+
+func TestBusAchieved(t *testing.T) {
+	b := MemBus{PeakGBs: 50}
+	if got := b.Achieved(20); got != 20 {
+		t.Errorf("Achieved(20) = %v", got)
+	}
+	if got := b.Achieved(80); got != 50 {
+		t.Errorf("Achieved(80) = %v, want clipped 50", got)
+	}
+}
+
+func TestContentionPropertyMonotone(t *testing.T) {
+	b := DefaultBus()
+	f := func(a, bb float64) bool {
+		x := math.Abs(math.Mod(a, 120))
+		y := math.Abs(math.Mod(bb, 120))
+		if x > y {
+			x, y = y, x
+		}
+		return b.Contention(x) <= b.Contention(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package cluster models the context of the paper's Fig. 4: a
+// cluster-level scheduler dispatches user queries across many
+// Sturgeon-managed nodes. The paper's evaluation is single-node; this
+// package provides the surrounding fleet so the node runtime can be
+// studied at datacenter scale — per-node Sturgeon instances, a query
+// dispatcher with pluggable policies, a best-effort job queue placed onto
+// whatever capacity the nodes free up, and fleet-level utilization and
+// energy accounting.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+// DispatchPolicy selects the per-node share of the cluster's offered
+// load each interval.
+type DispatchPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Shares returns non-negative weights (normalized by the caller)
+	// given each node's most recent interval stats; nil stats on the
+	// first interval.
+	Shares(nodes []NodeState) []float64
+}
+
+// NodeState is the dispatcher-visible state of one node.
+type NodeState struct {
+	// Last is the node's previous interval (zero value on the first).
+	Last sim.IntervalStats
+	// Healthy is false while the node is considered out of rotation.
+	Healthy bool
+}
+
+// RoundRobin spreads load evenly — the baseline dispatcher.
+type RoundRobin struct{}
+
+// Name implements DispatchPolicy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Shares implements DispatchPolicy.
+func (RoundRobin) Shares(nodes []NodeState) []float64 {
+	out := make([]float64, len(nodes))
+	for i, n := range nodes {
+		if n.Healthy {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// LeastLoaded weights nodes by smoothed latency headroom against the
+// fleet average. The gain is deliberately small and the per-node p95 is
+// EWMA-filtered: each node runs its own Sturgeon controller, and an
+// aggressive dispatcher fighting twenty per-node control loops herds the
+// fleet onto whichever node last looked fastest and saturates it.
+type LeastLoaded struct {
+	// Gain scales the share deviation (default 0.15); Alpha the p95
+	// smoothing factor (default 0.2).
+	Gain, Alpha float64
+
+	smoothed []float64
+}
+
+// Name implements DispatchPolicy.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// Shares implements DispatchPolicy.
+func (p *LeastLoaded) Shares(nodes []NodeState) []float64 {
+	gain := p.Gain
+	if gain <= 0 {
+		gain = 0.15
+	}
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = 0.2
+	}
+	if len(p.smoothed) != len(nodes) {
+		p.smoothed = make([]float64, len(nodes))
+	}
+	out := make([]float64, len(nodes))
+	var sum float64
+	var cnt int
+	for i, n := range nodes {
+		if n.Last.P95 > 0 {
+			if p.smoothed[i] == 0 {
+				p.smoothed[i] = n.Last.P95
+			} else {
+				p.smoothed[i] = alpha*n.Last.P95 + (1-alpha)*p.smoothed[i]
+			}
+		}
+		if n.Healthy && p.smoothed[i] > 0 {
+			sum += p.smoothed[i]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return RoundRobin{}.Shares(nodes)
+	}
+	ref := sum / float64(cnt)
+	for i, n := range nodes {
+		if !n.Healthy {
+			continue
+		}
+		if p.smoothed[i] <= 0 {
+			out[i] = 1
+			continue
+		}
+		w := 1 + gain*(ref-p.smoothed[i])/ref
+		if w < 1-gain {
+			w = 1 - gain
+		}
+		if w > 1+gain {
+			w = 1 + gain
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// Cluster is a fleet of identical Sturgeon-managed nodes serving one LS
+// service, each co-located with a BE application.
+type Cluster struct {
+	Nodes  []*sim.Node
+	Ctrls  []control.Controller
+	Budget power.Watts
+	Policy DispatchPolicy
+	// LS is the fleet's service; PeakQPS scales the cluster trace.
+	LS workload.Profile
+
+	rng *rand.Rand
+}
+
+// New builds a fleet of n nodes. mkCtrl builds one controller per node
+// (they must not be shared — controllers carry state).
+func New(n int, ls, be workload.Profile, budget power.Watts,
+	policy DispatchPolicy, seed int64, mkCtrl func(i int) control.Controller) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	c := &Cluster{Budget: budget, Policy: policy, LS: ls, rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < n; i++ {
+		node := sim.NewNode(ls, be, seed+int64(i)*7919)
+		if err := node.Apply(hw.SoloLS(node.Spec)); err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+		c.Ctrls = append(c.Ctrls, mkCtrl(i))
+	}
+	return c, nil
+}
+
+// IntervalReport aggregates one cluster interval.
+type IntervalReport struct {
+	Time float64
+	// TotalQPS is the cluster-wide offered load; QoSFrac the
+	// query-weighted in-target fraction.
+	TotalQPS float64
+	QoSFrac  float64
+	// BEThroughputUPS is summed best-effort progress.
+	BEThroughputUPS float64
+	// PowerW is summed true node power; OverloadedNodes counts nodes
+	// above their budget this interval.
+	PowerW          float64
+	OverloadedNodes int
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	Intervals []IntervalReport
+	// QoSRate is the fleet-wide query-weighted guarantee rate.
+	QoSRate float64
+	// MeanBEThroughputUPS is the fleet's average best-effort rate.
+	MeanBEThroughputUPS float64
+	// MeanPowerW is the fleet's average total draw; EnergyKJ the total
+	// energy; WorkPerKJ the best-effort units bought per kilojoule.
+	MeanPowerW float64
+	EnergyKJ   float64
+	WorkPerKJ  float64
+}
+
+// Run drives the fleet for duration seconds under a cluster-wide load
+// trace (fraction of n×PeakQPS).
+func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
+	n := len(c.Nodes)
+	states := make([]NodeState, n)
+	for i := range states {
+		states[i].Healthy = true
+	}
+
+	var res Result
+	var wOK, wQ, sumBE, sumPW float64
+	for step := 0; step < durationS; step++ {
+		t := float64(step + 1)
+		total := tr(t) * c.LS.PeakQPS * float64(n)
+
+		shares := c.Policy.Shares(states)
+		var norm float64
+		for _, s := range shares {
+			norm += s
+		}
+		rep := IntervalReport{Time: t, TotalQPS: total}
+		var okQ float64
+		for i, node := range c.Nodes {
+			q := 0.0
+			if norm > 0 {
+				q = total * shares[i] / norm
+			}
+			st := node.Step(t, q)
+			states[i].Last = st
+			okQ += st.QPS * st.QoSFrac
+			rep.BEThroughputUPS += st.BEThroughputUPS
+			rep.PowerW += float64(st.TruePower)
+			if st.TruePower > c.Budget {
+				rep.OverloadedNodes++
+			}
+			obs := control.Observation{
+				Time: t, QPS: st.QPS, P95: st.P95,
+				Target: c.LS.QoSTargetS,
+				Power:  st.Power, Budget: c.Budget,
+				BEThroughput: st.BEThroughputUPS, Config: st.Config,
+			}
+			next := c.Ctrls[i].Decide(obs)
+			if next != st.Config {
+				_ = node.Apply(next)
+			}
+		}
+		if total > 0 {
+			rep.QoSFrac = okQ / total
+		} else {
+			rep.QoSFrac = 1
+		}
+		wOK += okQ
+		wQ += total
+		sumBE += rep.BEThroughputUPS
+		sumPW += rep.PowerW
+		res.Intervals = append(res.Intervals, rep)
+	}
+
+	if wQ > 0 {
+		res.QoSRate = wOK / wQ
+	} else {
+		res.QoSRate = 1
+	}
+	d := float64(max(1, durationS))
+	res.MeanBEThroughputUPS = sumBE / d
+	res.MeanPowerW = sumPW / d
+	res.EnergyKJ = sumPW / 1e3
+	if res.EnergyKJ > 0 {
+		res.WorkPerKJ = sumBE / res.EnergyKJ
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

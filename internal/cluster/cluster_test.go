@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/core"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/power"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+var (
+	predOnce sync.Once
+	pred     *models.Predictor
+	budget   power.Watts
+)
+
+func fixtures(t *testing.T) (*models.Predictor, power.Watts) {
+	t.Helper()
+	predOnce.Do(func() {
+		ls, be := workload.Memcached(), workload.Raytrace()
+		var err error
+		pred, err = models.Train(ls, be, models.TrainOptions{
+			Collect: models.CollectOptions{Samples: 900, IntervalsPerSample: 2, Seed: 3},
+		})
+		if err != nil {
+			panic(err)
+		}
+		n := sim.QuietNode(ls, be, 1)
+		budget = sim.LSPeakPower(n.Spec, n.PowerParams, n.Bus, ls)
+	})
+	return pred, budget
+}
+
+func sturgeonCluster(t *testing.T, n int, policy DispatchPolicy) *Cluster {
+	t.Helper()
+	p, b := fixtures(t)
+	ls, be := workload.Memcached(), workload.Raytrace()
+	c, err := New(n, ls, be, b, policy, 5, func(int) control.Controller {
+		return core.New(hw.DefaultSpec(), p, b, core.Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPolicies(t *testing.T) {
+	nodes := []NodeState{
+		{Healthy: true, Last: sim.IntervalStats{P95: 0.002}},
+		{Healthy: true, Last: sim.IntervalStats{P95: 0.008}},
+		{Healthy: false, Last: sim.IntervalStats{P95: 0.001}},
+	}
+	rr := RoundRobin{}.Shares(nodes)
+	if rr[0] != rr[1] || rr[2] != 0 {
+		t.Errorf("round-robin shares %v", rr)
+	}
+	ll := (&LeastLoaded{}).Shares(nodes)
+	if ll[0] <= ll[1] {
+		t.Errorf("least-loaded did not favour the faster node: %v", ll)
+	}
+	if ll[2] != 0 {
+		t.Error("unhealthy node received load")
+	}
+	// Fresh nodes (no history) still get traffic.
+	fresh := (&LeastLoaded{}).Shares([]NodeState{{Healthy: true}})
+	if fresh[0] <= 0 {
+		t.Error("fresh node received no load")
+	}
+}
+
+func TestNewValidations(t *testing.T) {
+	_, b := fixtures(t)
+	_, err := New(0, workload.Memcached(), workload.Raytrace(), b, RoundRobin{}, 1,
+		func(int) control.Controller { return control.Static{} })
+	if err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+}
+
+func TestClusterRunFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run is slow")
+	}
+	c := sturgeonCluster(t, 4, RoundRobin{})
+	res := c.Run(workload.Triangle(0.2, 0.6, 120), 120)
+	if len(res.Intervals) != 120 {
+		t.Fatalf("intervals = %d", len(res.Intervals))
+	}
+	if res.QoSRate < 0.9 {
+		t.Errorf("fleet QoS %.4f collapsed", res.QoSRate)
+	}
+	if res.MeanBEThroughputUPS <= 0 {
+		t.Error("no fleet best-effort work")
+	}
+	if res.MeanPowerW <= 0 || res.WorkPerKJ <= 0 {
+		t.Errorf("degenerate energy accounting: %+v", res)
+	}
+	// 4 nodes drawing under ~budget each.
+	if res.MeanPowerW > 4*float64(budget)*1.05 {
+		t.Errorf("fleet power %.1f implausible", res.MeanPowerW)
+	}
+}
+
+func TestLeastLoadedBeatsOrMatchesRoundRobinQoS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run is slow")
+	}
+	rr := sturgeonCluster(t, 3, RoundRobin{}).Run(workload.Constant(0.5), 100)
+	ll := sturgeonCluster(t, 3, &LeastLoaded{}).Run(workload.Constant(0.5), 100)
+	// Load-aware dispatch shifts traffic away from interference-struck
+	// nodes; it must not be materially worse.
+	if ll.QoSRate < rr.QoSRate-0.03 {
+		t.Errorf("least-loaded %.4f materially below round-robin %.4f", ll.QoSRate, rr.QoSRate)
+	}
+}

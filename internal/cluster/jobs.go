@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is one finite best-effort batch job: an amount of work in BE units
+// (the same units the workload throughput model produces) submitted at a
+// given time.
+type Job struct {
+	ID       int
+	SubmitS  float64
+	WorkUPS  float64 // total units of work
+	StartS   float64 // first interval with progress (-1 until scheduled)
+	FinishS  float64 // completion time (-1 until done)
+	Progress float64
+}
+
+// Done reports completion.
+func (j *Job) Done() bool { return j.FinishS >= 0 }
+
+// JobQueue turns the fleet's fluctuating best-effort capacity into batch
+// job completions: each interval the nodes' BE throughput is applied to
+// the head of a FIFO queue of finite jobs, producing per-job waiting and
+// turnaround times — the metric a batch scheduler on top of Sturgeon
+// fleets would report.
+type JobQueue struct {
+	jobs    []*Job
+	pending []*Job
+	running *Job
+	nextID  int
+}
+
+// Submit enqueues a job of the given size at time t.
+func (q *JobQueue) Submit(t, workUnits float64) *Job {
+	q.nextID++
+	j := &Job{ID: q.nextID, SubmitS: t, WorkUPS: workUnits, StartS: -1, FinishS: -1}
+	q.jobs = append(q.jobs, j)
+	q.pending = append(q.pending, j)
+	return j
+}
+
+// Advance applies one interval's best-effort capacity (units) at time t.
+// Leftover capacity flows into subsequent jobs within the same interval.
+func (q *JobQueue) Advance(t, units float64) {
+	for units > 0 {
+		if q.running == nil {
+			if len(q.pending) == 0 {
+				return
+			}
+			q.running = q.pending[0]
+			q.pending = q.pending[1:]
+			q.running.StartS = t
+		}
+		need := q.running.WorkUPS - q.running.Progress
+		if units < need {
+			q.running.Progress += units
+			return
+		}
+		units -= need
+		q.running.Progress = q.running.WorkUPS
+		q.running.FinishS = t
+		q.running = nil
+	}
+}
+
+// Jobs returns all submitted jobs in submission order.
+func (q *JobQueue) Jobs() []*Job { return q.jobs }
+
+// Stats summarizes the completed jobs.
+type JobStats struct {
+	Submitted, Completed int
+	// MeanWaitS is submission→start; MeanTurnaroundS submission→finish;
+	// P95TurnaroundS the turnaround tail.
+	MeanWaitS       float64
+	MeanTurnaroundS float64
+	P95TurnaroundS  float64
+}
+
+// Stats computes the summary.
+func (q *JobQueue) Stats() JobStats {
+	st := JobStats{Submitted: len(q.jobs)}
+	var turns []float64
+	for _, j := range q.jobs {
+		if !j.Done() {
+			continue
+		}
+		st.Completed++
+		st.MeanWaitS += j.StartS - j.SubmitS
+		turn := j.FinishS - j.SubmitS
+		st.MeanTurnaroundS += turn
+		turns = append(turns, turn)
+	}
+	if st.Completed > 0 {
+		st.MeanWaitS /= float64(st.Completed)
+		st.MeanTurnaroundS /= float64(st.Completed)
+		sort.Float64s(turns)
+		st.P95TurnaroundS = turns[int(0.95*float64(len(turns)-1))]
+	}
+	return st
+}
+
+// String renders the summary.
+func (s JobStats) String() string {
+	return fmt.Sprintf("jobs %d/%d done, wait %.1fs, turnaround mean %.1fs p95 %.1fs",
+		s.Completed, s.Submitted, s.MeanWaitS, s.MeanTurnaroundS, s.P95TurnaroundS)
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJobQueueFIFOCompletion(t *testing.T) {
+	var q JobQueue
+	a := q.Submit(0, 100)
+	b := q.Submit(1, 50)
+	q.Advance(2, 60) // a: 60/100
+	if a.StartS != 2 || a.Done() {
+		t.Fatalf("job a state: %+v", a)
+	}
+	if b.StartS != -1 {
+		t.Fatal("job b started before a finished")
+	}
+	q.Advance(3, 60) // a done at 3 (40 used), b gets 20/50
+	if !a.Done() || a.FinishS != 3 {
+		t.Fatalf("job a: %+v", a)
+	}
+	if b.StartS != 3 || b.Progress != 20 {
+		t.Fatalf("job b: %+v", b)
+	}
+	q.Advance(4, 30) // b done
+	if !b.Done() || b.FinishS != 4 {
+		t.Fatalf("job b: %+v", b)
+	}
+	st := q.Stats()
+	if st.Completed != 2 || st.Submitted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	// waits: a: 2-0=2, b: 3-1=2 → mean 2. turnarounds: 3, 3 → mean 3.
+	if st.MeanWaitS != 2 || st.MeanTurnaroundS != 3 {
+		t.Errorf("stats %+v", st)
+	}
+	if !strings.Contains(st.String(), "2/2 done") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestJobQueueIdleCapacity(t *testing.T) {
+	var q JobQueue
+	q.Advance(1, 500) // nothing queued: capacity evaporates
+	j := q.Submit(2, 100)
+	q.Advance(3, 500)
+	if !j.Done() || j.FinishS != 3 {
+		t.Fatalf("job: %+v", j)
+	}
+}
+
+func TestJobQueueUnfinished(t *testing.T) {
+	var q JobQueue
+	q.Submit(0, 1e9)
+	q.Advance(1, 10)
+	st := q.Stats()
+	if st.Completed != 0 || st.Submitted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MeanTurnaroundS != 0 {
+		t.Error("unfinished jobs contributed to turnaround")
+	}
+}

@@ -1,0 +1,81 @@
+// Package control defines the contract between resource-management
+// controllers (Sturgeon, PARTIES, Heracles-style baselines) and the node
+// they manage. Controllers see per-interval observations — measured tail
+// latency, load, power, best-effort throughput — and answer with the
+// resource configuration to apply next, exactly the 1 s feedback loop of
+// the paper's Algorithm 1.
+//
+// Keeping this contract in its own package lets controllers stay
+// independent of the node implementation: the same controller drives the
+// simulator substrate here and could drive a real cgroups/CAT/RAPL
+// actuator.
+package control
+
+import (
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// Observation is one interval's telemetry, as visible to a controller.
+// Ground-truth fields of the simulator are deliberately absent: a
+// controller sees only what real telemetry would expose.
+type Observation struct {
+	// Time is the interval end time in seconds since the run began.
+	Time float64
+	// QPS is the measured load of the LS service.
+	QPS float64
+	// P95 is the measured 95 %-ile latency (seconds) of the LS service
+	// over the interval.
+	P95 float64
+	// Target is the QoS target (seconds).
+	Target float64
+	// Power is the RAPL-measured node power over the interval.
+	Power power.Watts
+	// Budget is the node power cap.
+	Budget power.Watts
+	// BEThroughput is the measured best-effort progress (units/s).
+	BEThroughput float64
+	// Config is the configuration that was in force during the interval.
+	Config hw.Config
+}
+
+// Slack returns the paper's control signal (target − latency)/target.
+// Negative slack means the QoS target is violated.
+func (o Observation) Slack() float64 {
+	if o.Target <= 0 {
+		return 0
+	}
+	return (o.Target - o.P95) / o.Target
+}
+
+// Overloaded reports whether measured power exceeds the budget.
+func (o Observation) Overloaded() bool {
+	return o.Power > o.Budget
+}
+
+// Controller decides the next resource configuration from an observation.
+type Controller interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Decide returns the configuration to apply for the next interval.
+	// Returning the observation's config unchanged means "hold".
+	Decide(obs Observation) hw.Config
+}
+
+// Static is a trivial controller that always applies a fixed
+// configuration — useful as an experimental control and for solo runs.
+type Static struct {
+	Cfg   hw.Config
+	Label string
+}
+
+// Name returns the label, or "static" when unset.
+func (s Static) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "static"
+}
+
+// Decide always returns the fixed configuration.
+func (s Static) Decide(Observation) hw.Config { return s.Cfg }

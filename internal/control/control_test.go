@@ -1,0 +1,46 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"sturgeon/internal/hw"
+)
+
+func TestSlack(t *testing.T) {
+	obs := Observation{P95: 0.008, Target: 0.010}
+	if got := obs.Slack(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Slack = %v, want 0.2", got)
+	}
+	violated := Observation{P95: 0.012, Target: 0.010}
+	if got := violated.Slack(); got >= 0 {
+		t.Errorf("violated slack = %v, want negative", got)
+	}
+	if got := (Observation{}).Slack(); got != 0 {
+		t.Errorf("zero-target slack = %v, want 0", got)
+	}
+}
+
+func TestOverloaded(t *testing.T) {
+	if (Observation{Power: 90, Budget: 100}).Overloaded() {
+		t.Error("under-budget flagged as overloaded")
+	}
+	if !(Observation{Power: 110, Budget: 100}).Overloaded() {
+		t.Error("over-budget not flagged")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	cfg := hw.Config{LS: hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6}}
+	s := Static{Cfg: cfg}
+	if s.Name() != "static" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if got := s.Decide(Observation{}); got != cfg {
+		t.Errorf("Decide = %v, want %v", got, cfg)
+	}
+	labeled := Static{Cfg: cfg, Label: "solo-ls"}
+	if labeled.Name() != "solo-ls" {
+		t.Errorf("Name = %q, want solo-ls", labeled.Name())
+	}
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// harvestTarget names the three resources of Fig. 8 the balancer can
+// harvest from the BE application.
+type harvestTarget int
+
+const (
+	harvestCores harvestTarget = iota
+	harvestCache
+	harvestPower  // shift DVFS headroom: BE frequency down, LS frequency up
+	harvestParked // park BE cores entirely (power-shed escalation)
+)
+
+func (h harvestTarget) String() string {
+	switch h {
+	case harvestCores:
+		return "cores"
+	case harvestCache:
+		return "cache"
+	case harvestParked:
+		return "parked"
+	default:
+		return "power"
+	}
+}
+
+// Balancer implements Algorithm 2: the preference-aware feedback loop
+// that harvests just-enough resources from the BE application when the LS
+// service suffers predictor-invisible interference, choosing whichever
+// resource the predictor says costs the least BE throughput, with
+// binary-halving granularity and a revert path for over-harvest.
+type Balancer struct {
+	Spec   hw.Spec
+	Pred   Predictor
+	Budget power.Watts
+	// FixedOrder disables preference-awareness: harvests always take
+	// cores first, then cache, then power — the ablation of DESIGN.md §5.
+	FixedOrder bool
+
+	active bool
+	// Per-resource granularity, halved on over-harvest (Alg. 2 line 14).
+	gCores, gWays, gFreq int
+	// shedStreak escalates consecutive power sheds geometrically.
+	shedStreak int
+	// Last harvest applied, for the revert path.
+	lastTarget harvestTarget
+	lastAmount int
+	harvested  bool
+}
+
+// Active reports whether a balancing episode is in progress.
+func (b *Balancer) Active() bool { return b.active }
+
+// Harvested reports whether the episode has an un-reverted harvest.
+func (b *Balancer) Harvested() bool { return b.harvested }
+
+// Reset ends the balancing episode (called when the controller installs a
+// fresh predictor configuration).
+func (b *Balancer) Reset() {
+	b.active = false
+	b.harvested = false
+	b.shedStreak = 0
+}
+
+// begin initializes granularities to half of what the BE side owns
+// (Alg. 2 lines 1–2).
+func (b *Balancer) begin(cfg hw.Config) {
+	b.active = true
+	b.harvested = false
+	b.gCores = maxInt(1, cfg.BE.Cores/2)
+	b.gWays = maxInt(1, cfg.BE.LLCWays/2)
+	span := b.Spec.LevelOfFreq(cfg.BE.Freq) // levels above the floor
+	b.gFreq = maxInt(1, span/2)
+}
+
+// ShedPower responds to a *measured* power overload: the predictor is
+// blind to whatever is drawing the excess (interference traffic, LS
+// utilization inflation), so the balancer goes straight to the one
+// actuator guaranteed to reduce power — the BE cores' frequency (Fig. 8's
+// power arrow, pointing down only).
+func (b *Balancer) ShedPower(cfg hw.Config) hw.Config {
+	if !b.active {
+		b.begin(cfg)
+	}
+	// Escalate geometrically across consecutive shedding intervals: a
+	// breaker rides through one or two hot intervals, so the response
+	// must clear the excess before tolerance runs out rather than
+	// converge at a fixed granularity.
+	if b.shedStreak < 4 {
+		b.shedStreak++
+	}
+	amount := maxInt(2, b.gFreq<<b.shedStreak) // eager: first shed already doubles
+	beLvl := b.Spec.LevelOfFreq(cfg.BE.Freq)
+	throttle := minInt(amount, beLvl)
+	park := 0
+	if throttle < amount && cfg.BE.Cores > 1 {
+		// Frequency alone cannot absorb the escalation: park BE cores
+		// outright (they leave both partitions, drawing nothing).
+		park = minInt(amount-throttle, cfg.BE.Cores-1)
+	}
+	next := cfg
+	if throttle > 0 {
+		next, _ = shiftBEFreq(b.Spec, next, -throttle)
+	}
+	if park > 0 {
+		next.BE.Cores -= park
+	}
+	if next == cfg {
+		return cfg
+	}
+
+	if park > 0 {
+		b.lastTarget, b.lastAmount, b.harvested = harvestParked, park, true
+	} else {
+		b.lastTarget, b.lastAmount, b.harvested = harvestPower, -throttle, true
+	}
+	return next
+}
+
+// Harvest performs one Alg. 2 iteration for a QoS-threatened interval:
+// predict the throughput loss of harvesting each resource type by its
+// granularity, apply the cheapest power-feasible one, and remember it for
+// a potential revert. It returns the configuration to apply.
+//
+// nearCap marks that the *measured* node power sits close to the budget;
+// the predictor cannot see what is drawing the excess, so in that state
+// only options whose predicted power does not exceed the current
+// configuration's are admissible. deep marks an outright QoS violation
+// (latency far beyond the target) rather than a thin slack.
+func (b *Balancer) Harvest(cfg hw.Config, qps float64, nearCap, deep bool) hw.Config {
+	if !b.active {
+		b.begin(cfg)
+	}
+	cur := b.Pred.Throughput(cfg.BE)
+	curPower := b.Pred.PowerW(cfg, qps)
+
+	type option struct {
+		target harvestTarget
+		amount int
+		cfg    hw.Config
+		loss   float64
+	}
+	var opts []option
+	if next, amt := b.harvestCores(cfg, b.gCores); amt > 0 {
+		opts = append(opts, option{harvestCores, amt, next, cur - b.Pred.Throughput(next.BE)})
+	}
+	// A deep violation is a capacity deficit; cache ways only relieve
+	// memory-side inflation and would waste the recovery interval.
+	if next, amt := b.harvestCache(cfg, b.gWays); amt > 0 && !deep {
+		opts = append(opts, option{harvestCache, amt, next, cur - b.Pred.Throughput(next.BE)})
+	}
+	if next, amt := b.harvestPower(cfg, b.gFreq); amt > 0 {
+		opts = append(opts, option{harvestPower, amt, next, cur - b.Pred.Throughput(next.BE)})
+	}
+
+	bestIdx := -1
+	for i, o := range opts {
+		// Harvesting may itself overload the budget (Alg. 2 line 8): the
+		// LS side gains resources and power.
+		pw := b.Pred.PowerW(o.cfg, qps)
+		if pw > b.Budget {
+			continue
+		}
+		if nearCap && pw > curPower {
+			continue
+		}
+		if b.FixedOrder {
+			// First admissible option in cores→cache→power order.
+			if bestIdx < 0 {
+				bestIdx = i
+			}
+			continue
+		}
+		if bestIdx < 0 || o.loss < opts[bestIdx].loss {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		// Nothing harvestable without overload: fall back to pulling BE
+		// frequency down alone (always reduces power). The returned delta
+		// is negative (levels removed); a negative lastAmount marks the
+		// pure-throttle case for Revert.
+		if next, amt := b.throttleBE(cfg, b.gFreq); amt < 0 {
+			b.lastTarget, b.lastAmount, b.harvested = harvestPower, amt, true
+			return next
+		}
+		return cfg
+	}
+	chosen := opts[bestIdx]
+	b.lastTarget = chosen.target
+	b.lastAmount = chosen.amount
+	b.harvested = true
+	return chosen.cfg
+}
+
+// Revert hands half of the last harvest back to the BE application after
+// the latency turned out "suddenly very low" (Alg. 2 lines 11–14), and
+// halves the granularity of that resource.
+func (b *Balancer) Revert(cfg hw.Config, qps float64) hw.Config {
+	if !b.harvested || b.lastAmount == 0 {
+		return cfg
+	}
+	half := maxInt(1, abs(b.lastAmount)/2)
+	var next hw.Config
+	switch b.lastTarget {
+	case harvestCores:
+		next, _ = moveCores(b.Spec, cfg, -half)
+		b.gCores = maxInt(1, b.gCores/2)
+	case harvestCache:
+		next, _ = moveWays(b.Spec, cfg, -half)
+		b.gWays = maxInt(1, b.gWays/2)
+	case harvestParked:
+		next = cfg
+		next.BE.Cores += half
+		b.gCores = maxInt(1, b.gCores/2)
+	default:
+		if b.lastAmount < 0 { // plain BE throttle: raise BE freq back
+			next, _ = shiftBEFreq(b.Spec, cfg, half)
+		} else {
+			next, _ = shiftFreqPair(b.Spec, cfg, -half)
+		}
+		b.gFreq = maxInt(1, b.gFreq/2)
+	}
+	if next.Validate(b.Spec) != nil {
+		return cfg
+	}
+	// Reverting must not reintroduce a power overload (Alg. 2 line 13).
+	if b.Pred.PowerW(next, qps) > b.Budget {
+		return cfg
+	}
+	b.harvested = false
+	return next
+}
+
+// harvestCores moves up to n cores from BE to LS.
+func (b *Balancer) harvestCores(cfg hw.Config, n int) (hw.Config, int) {
+	return moveCores(b.Spec, cfg, minInt(n, cfg.BE.Cores-1))
+}
+
+// harvestCache moves up to n ways from BE to LS.
+func (b *Balancer) harvestCache(cfg hw.Config, n int) (hw.Config, int) {
+	return moveWays(b.Spec, cfg, minInt(n, cfg.BE.LLCWays-1))
+}
+
+// harvestPower lowers BE frequency by n levels and raises LS frequency by
+// the same amount (Fig. 8's third arrow).
+func (b *Balancer) harvestPower(cfg hw.Config, n int) (hw.Config, int) {
+	return shiftFreqPair(b.Spec, cfg, n)
+}
+
+// throttleBE lowers only the BE frequency (a pure power reduction).
+func (b *Balancer) throttleBE(cfg hw.Config, n int) (hw.Config, int) {
+	return shiftBEFreq(b.Spec, cfg, -n)
+}
+
+// moveCores transfers n cores BE→LS (negative: LS→BE).
+func moveCores(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
+	if n > 0 {
+		n = minInt(n, cfg.BE.Cores-1)
+	} else {
+		n = -minInt(-n, cfg.LS.Cores-1)
+	}
+	if n == 0 {
+		return cfg, 0
+	}
+	cfg.LS.Cores += n
+	cfg.BE.Cores -= n
+	if cfg.Validate(spec) != nil {
+		return cfg, 0
+	}
+	return cfg, n
+}
+
+// moveWays transfers n LLC ways BE→LS (negative: LS→BE).
+func moveWays(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
+	if n > 0 {
+		n = minInt(n, cfg.BE.LLCWays-1)
+	} else {
+		n = -minInt(-n, cfg.LS.LLCWays-1)
+	}
+	if n == 0 {
+		return cfg, 0
+	}
+	cfg.LS.LLCWays += n
+	cfg.BE.LLCWays -= n
+	if cfg.Validate(spec) != nil {
+		return cfg, 0
+	}
+	return cfg, n
+}
+
+// shiftFreqPair lowers BE frequency by n levels and raises LS by n
+// (negative n reverses the shift). The realizable amount is bounded by
+// both grids.
+func shiftFreqPair(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
+	lsLvl := spec.LevelOfFreq(cfg.LS.Freq)
+	beLvl := spec.LevelOfFreq(cfg.BE.Freq)
+	maxLvl := spec.NumFreqLevels() - 1
+	if n > 0 {
+		n = minInt(n, minInt(beLvl, maxLvl-lsLvl))
+	} else {
+		n = -minInt(-n, minInt(lsLvl, maxLvl-beLvl))
+	}
+	if n == 0 {
+		return cfg, 0
+	}
+	cfg.LS.Freq = spec.FreqAtLevel(lsLvl + n)
+	cfg.BE.Freq = spec.FreqAtLevel(beLvl - n)
+	return cfg, n
+}
+
+// shiftBEFreq moves only the BE frequency by n levels (negative lowers).
+func shiftBEFreq(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
+	beLvl := spec.LevelOfFreq(cfg.BE.Freq)
+	maxLvl := spec.NumFreqLevels() - 1
+	to := beLvl + n
+	if to < 0 {
+		to = 0
+	}
+	if to > maxLvl {
+		to = maxLvl
+	}
+	if to == beLvl {
+		return cfg, 0
+	}
+	cfg.BE.Freq = spec.FreqAtLevel(to)
+	return cfg, to - beLvl
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/power"
+)
+
+// Options configure a Sturgeon controller.
+type Options struct {
+	// Alpha and Beta are the slack bounds of Algorithm 1 (defaults 0.10
+	// and 0.20): slack below Alpha threatens QoS, above Beta wastes
+	// resources.
+	Alpha, Beta float64
+	// DisableBalancer produces the paper's Sturgeon-NoB ablation.
+	DisableBalancer bool
+	// FixedHarvestOrder disables the balancer's preference-awareness
+	// (ablation: harvest cores first, always).
+	FixedHarvestOrder bool
+	// SearchHeadroom overrides the searcher's grid headroom: 0 keeps the
+	// default (+1 step), negative disables it (ablation).
+	SearchHeadroom int
+	// LoadDelta is the relative load change (fraction of peak) that
+	// triggers a fresh predictor search when slack is out of bounds
+	// (default 0.01). Below it, a persisting violation is attributed to
+	// unpredictable interference and handed to the balancer.
+	LoadDelta float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.10
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.20
+	}
+	if o.LoadDelta == 0 {
+		o.LoadDelta = 0.01
+	}
+	return o
+}
+
+// Sturgeon is the top-level runtime controller (Algorithm 1). Each 1 s
+// interval it compares the measured latency slack against [Alpha, Beta];
+// when out of bounds it either re-runs the predictor-guided configuration
+// search (if the load moved) or, when the predictor's answer is already
+// in force, lets the preference-aware balancer absorb the residual
+// interference.
+type Sturgeon struct {
+	Spec   hw.Spec
+	Pred   *models.Predictor
+	Budget power.Watts
+	Opt    Options
+
+	searcher Searcher
+	balancer Balancer
+
+	searched      bool
+	lastSearchQPS float64
+	// Searches counts predictor-guided reconfigurations (for overhead
+	// accounting, §VII-E).
+	Searches int
+	// BalancerSteps counts balancer interventions.
+	BalancerSteps int
+}
+
+// New builds a Sturgeon controller for one co-location pair.
+func New(spec hw.Spec, pred *models.Predictor, budget power.Watts, opt Options) *Sturgeon {
+	s := &Sturgeon{
+		Spec:   spec,
+		Pred:   pred,
+		Budget: budget,
+		Opt:    opt.withDefaults(),
+	}
+	s.searcher = Searcher{Spec: spec, Pred: pred, Budget: budget,
+		HeadroomWays: s.Opt.SearchHeadroom, HeadroomFreq: s.Opt.SearchHeadroom}
+	// The balancer checks harvests against the same guarded budget the
+	// searcher uses, so a harvest never knowingly lands above the cap.
+	s.balancer = Balancer{Spec: spec, Pred: pred, Budget: s.searcher.guardedBudget(),
+		FixedOrder: s.Opt.FixedHarvestOrder}
+	return s
+}
+
+// Name identifies the controller variant.
+func (s *Sturgeon) Name() string {
+	if s.Opt.DisableBalancer {
+		return "sturgeon-nob"
+	}
+	return "sturgeon"
+}
+
+// Decide implements Algorithm 1 for one interval.
+func (s *Sturgeon) Decide(obs control.Observation) hw.Config {
+	slack := obs.Slack()
+	// Shed slightly below the cap: RAPL-class meters carry ~1 W of read
+	// noise, and a reading that hides a marginal overload for one
+	// interval is enough to let a sustained excursion ride through.
+	overload := float64(obs.Power) > 0.99*float64(s.Budget)
+
+	inBand := slack >= s.Opt.Alpha && slack <= s.Opt.Beta
+	if inBand && !overload {
+		s.balancer.Reset()
+		return obs.Config
+	}
+
+	// Out of band. A fresh load level warrants a predictor search; the
+	// very first interval always does. While a balancing episode is
+	// absorbing interference the bar is higher — the feedback loop owns
+	// the configuration until the load has moved substantially, so a
+	// re-search cannot keep re-installing an allocation the balancer
+	// just proved insufficient.
+	peak := s.Pred.LS.PeakQPS
+	delta := s.Opt.LoadDelta
+	if s.balancer.Active() {
+		delta *= 5
+	}
+	loadMoved := !s.searched ||
+		math.Abs(obs.QPS-s.lastSearchQPS) > delta*peak
+	if loadMoved {
+		cfg, _ := s.searcher.BestConfig(obs.QPS)
+		s.searched = true
+		s.lastSearchQPS = obs.QPS
+		s.Searches++
+		// Never hand the LS service less capacity than the balancer
+		// established at a comparable load: feedback evidence outranks
+		// the offline model.
+		if s.balancer.Active() && lsCapacity(cfg) < lsCapacity(obs.Config) {
+			cfg = obs.Config
+		} else {
+			s.balancer.Reset()
+		}
+		return cfg
+	}
+
+	// The predictor already answered for this load; the residual is
+	// interference (or its aftermath).
+	if s.Opt.DisableBalancer {
+		return obs.Config
+	}
+	return s.balance(obs, slack, overload)
+}
+
+// lsCapacity scores an LS allocation in core·GHz, the controller's
+// measure of "how much service capacity does this configuration grant".
+func lsCapacity(cfg hw.Config) float64 {
+	return float64(cfg.LS.Cores) * float64(cfg.LS.Freq)
+}
+
+// balance routes one interval to the Algorithm 2 feedback loop.
+func (s *Sturgeon) balance(obs control.Observation, slack float64, overload bool) hw.Config {
+	switch {
+	case overload:
+		s.BalancerSteps++
+		return s.balancer.ShedPower(obs.Config)
+	case slack < s.Opt.Alpha:
+		s.BalancerSteps++
+		nearCap := obs.Power > s.searcher.guardedBudget()
+		deep := slack < -0.5
+		return s.balancer.Harvest(obs.Config, obs.QPS, nearCap, deep)
+	case slack > s.Opt.Beta && s.balancer.Active() && s.balancer.Harvested():
+		// Latency suddenly very low after a harvest: give half back.
+		s.BalancerSteps++
+		return s.balancer.Revert(obs.Config, obs.QPS)
+	default:
+		// Ample slack with nothing left to revert: the interference
+		// episode is over. Drop the search memo so the predictor's
+		// configuration is restored on the next interval — without this,
+		// a constant-load service would stay on the harvested (BE-starved)
+		// configuration forever.
+		if s.balancer.Active() {
+			s.searched = false
+		}
+		s.balancer.Reset()
+		return obs.Config
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/power"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+// Shared fixture: training predictors is the expensive part of these
+// tests, so build them once per (ls, be) pair.
+var (
+	fixMu    sync.Mutex
+	fixCache = map[string]*models.Predictor{}
+)
+
+func predictorFor(t *testing.T, ls, be workload.Profile) *models.Predictor {
+	t.Helper()
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	key := ls.Name + "+" + be.Name
+	if p, ok := fixCache[key]; ok {
+		return p
+	}
+	p, err := models.Train(ls, be, models.TrainOptions{
+		Collect: models.CollectOptions{Samples: 1200, IntervalsPerSample: 2, Seed: 42},
+	})
+	if err != nil {
+		t.Fatalf("training predictor for %s: %v", key, err)
+	}
+	fixCache[key] = p
+	return p
+}
+
+func budgetFor(ls workload.Profile) power.Watts {
+	n := sim.QuietNode(ls, workload.Blackscholes(), 1)
+	return sim.LSPeakPower(n.Spec, n.PowerParams, n.Bus, ls)
+}
+
+func TestSearcherFindsFeasibleConfigs(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	s := &Searcher{Spec: hw.DefaultSpec(), Pred: pred, Budget: budgetFor(ls)}
+
+	for _, frac := range []float64{0.2, 0.35, 0.5, 0.8} {
+		qps := frac * ls.PeakQPS
+		cfg, ok := s.BestConfig(qps)
+		if !ok {
+			t.Fatalf("no feasible config at %.0f%% load", frac*100)
+		}
+		if err := cfg.Validate(s.Spec); err != nil {
+			t.Fatalf("invalid config at %.0f%%: %v", frac*100, err)
+		}
+		if cfg.BE.Cores <= 0 {
+			t.Errorf("at %.0f%% load the BE application got no cores: %v", frac*100, cfg)
+		}
+		// The chosen config must be truly feasible on the physics.
+		node := sim.QuietNode(ls, be, 9)
+		if err := node.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+		st := node.Step(1, qps)
+		if st.TrueP95 > ls.QoSTargetS {
+			t.Errorf("at %.0f%%: config %v violates QoS (p95 %v)", frac*100, cfg, st.TrueP95)
+		}
+		if float64(st.TruePower) > float64(budgetFor(ls))*1.02 {
+			t.Errorf("at %.0f%%: config %v overloads (%.1f vs %.1f)",
+				frac*100, cfg, st.TruePower, budgetFor(ls))
+		}
+	}
+}
+
+func TestSearcherGivesLSMoreAtHigherLoad(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	s := &Searcher{Spec: hw.DefaultSpec(), Pred: pred, Budget: budgetFor(ls)}
+	lo, _ := s.BestConfig(0.2 * ls.PeakQPS)
+	hi, _ := s.BestConfig(0.7 * ls.PeakQPS)
+	loCap := float64(lo.LS.Cores) * float64(lo.LS.Freq)
+	hiCap := float64(hi.LS.Cores) * float64(hi.LS.Freq)
+	if hiCap <= loCap {
+		t.Errorf("LS core·GHz at 70%% (%v) not above 20%% (%v)", hiCap, loCap)
+	}
+}
+
+func TestSearcherCandidatesJustEnough(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	s := &Searcher{Spec: hw.DefaultSpec(), Pred: pred, Budget: budgetFor(ls)}
+	cands := s.Candidates(0.2 * ls.PeakQPS)
+	if len(cands) < 2 {
+		t.Fatalf("only %d candidates at 20%% load; want several feasible trade-offs", len(cands))
+	}
+	prevCores := 0
+	for _, c := range cands {
+		if c.Config.LS.Cores < prevCores {
+			t.Errorf("candidates not in non-decreasing LS-core order: %v", c.Config)
+		}
+		prevCores = c.Config.LS.Cores
+		if c.Throughput <= 0 {
+			t.Errorf("candidate %v scored %v", c.Config, c.Throughput)
+		}
+	}
+	// The last candidate should give the BE side its top frequency (the
+	// sweep's stop condition) unless the core budget ran out first.
+	last := cands[len(cands)-1]
+	if last.Config.BE.Freq != s.Spec.FreqMax && last.Config.BE.Cores > 1 {
+		t.Errorf("sweep stopped at %v before BE reached max frequency", last.Config)
+	}
+}
+
+func TestGuidedSearchMatchesExhaustiveOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive oracle is slow")
+	}
+	ls, be := workload.Memcached(), workload.Swaptions()
+	pred := predictorFor(t, ls, be)
+	s := &Searcher{Spec: hw.DefaultSpec(), Pred: pred, Budget: budgetFor(ls)}
+	qps := 0.3 * ls.PeakQPS
+	guided, ok1 := s.BestConfig(qps)
+	exhaust, ok2 := s.ExhaustiveBest(qps)
+	if !ok1 || !ok2 {
+		t.Fatalf("feasibility disagreement: guided %v exhaustive %v", ok1, ok2)
+	}
+	gt := pred.Throughput(guided.BE)
+	et := pred.Throughput(exhaust.BE)
+	// The guided search restricts itself to just-enough candidates; it
+	// must reach at least 90 % of the oracle's predicted throughput.
+	if gt < 0.9*et {
+		t.Errorf("guided %v (%.0f) far below exhaustive %v (%.0f)", guided, gt, exhaust, et)
+	}
+}
+
+func TestBalancerHarvestReducesBEAndHelpsLS(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	b := &Balancer{Spec: hw.DefaultSpec(), Pred: pred, Budget: budgetFor(ls)}
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6},
+		BE: hw.Alloc{Cores: 16, Freq: 1.6, LLCWays: 14},
+	}
+	qps := 0.2 * ls.PeakQPS
+	next := b.Harvest(cfg, qps, false, false)
+	if next == cfg {
+		t.Fatal("harvest changed nothing")
+	}
+	if !b.Active() || !b.Harvested() {
+		t.Error("balancer state not tracking the harvest")
+	}
+	// Something must have moved toward the LS side.
+	gainedCores := next.LS.Cores > cfg.LS.Cores
+	gainedWays := next.LS.LLCWays > cfg.LS.LLCWays
+	gainedFreq := next.LS.Freq > cfg.LS.Freq
+	beThrottled := next.BE.Freq < cfg.BE.Freq
+	if !(gainedCores || gainedWays || gainedFreq || beThrottled) {
+		t.Errorf("harvest moved nothing toward LS: %v -> %v", cfg, next)
+	}
+	if err := next.Validate(b.Spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Revert must give part of it back and shrink granularity.
+	gBefore := b.gCores + b.gWays + b.gFreq
+	rev := b.Revert(next, qps)
+	if rev == next {
+		t.Error("revert changed nothing")
+	}
+	if got := b.gCores + b.gWays + b.gFreq; got >= gBefore {
+		t.Errorf("granularity not reduced: %d -> %d", gBefore, got)
+	}
+	if b.Harvested() {
+		t.Error("revert left harvested flag set")
+	}
+}
+
+func TestBalancerPrefersCheapestResource(t *testing.T) {
+	// raytrace is the most cache-sensitive BE application at low way
+	// counts but nearly insensitive above ~10 ways, so harvesting half
+	// the ways from a 14-way allocation should usually beat harvesting
+	// half the cores.
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	b := &Balancer{Spec: hw.DefaultSpec(), Pred: pred, Budget: budgetFor(ls)}
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6},
+		BE: hw.Alloc{Cores: 16, Freq: 1.6, LLCWays: 14},
+	}
+	next := b.Harvest(cfg, 0.2*ls.PeakQPS, false, false)
+	if next.BE.Cores < cfg.BE.Cores-1 && next.BE.LLCWays == cfg.BE.LLCWays {
+		// Core harvest of half the BE cores would cost raytrace far more
+		// than the equivalent cache harvest; the preference-aware choice
+		// should avoid it here.
+		t.Errorf("balancer harvested %d cores over cheaper options: %v -> %v",
+			cfg.BE.Cores-next.BE.Cores, cfg, next)
+	}
+}
+
+func TestSturgeonControllerEndToEnd(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	budget := budgetFor(ls)
+	spec := hw.DefaultSpec()
+
+	node := sim.NewNode(ls, be, 77)
+	ctrl := New(spec, pred, budget, Options{})
+	if err := node.Apply(hw.SoloLS(spec)); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.Runner{
+		Node: node, Ctrl: ctrl, Budget: budget,
+		Trace:     workload.Triangle(0.2, 0.8, 400),
+		DurationS: 400,
+	}
+	res := r.Run()
+	if res.QoSRate < 0.95 {
+		t.Errorf("QoS rate %v below the paper's 95%% bar", res.QoSRate)
+	}
+	if res.NormBEThroughput <= 0.1 {
+		t.Errorf("normalized BE throughput %v implausibly low", res.NormBEThroughput)
+	}
+	// Interference can push single intervals over budget before the
+	// balancer reacts, but Sturgeon must never sustain an overload long
+	// enough to trip the breaker (the paper's §VII-B claim).
+	if res.BreakerTrips != 0 {
+		t.Errorf("breaker tripped %d times under Sturgeon", res.BreakerTrips)
+	}
+	if res.OverloadFrac > 0.10 {
+		t.Errorf("overload fraction %v; Sturgeon should stay near budget", res.OverloadFrac)
+	}
+	if ctrl.Searches == 0 {
+		t.Error("controller never searched")
+	}
+	if ctrl.BalancerSteps == 0 {
+		t.Error("balancer never engaged despite interference")
+	}
+}
+
+func TestSturgeonNoBalancerViolatesUnderInterference(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	budget := budgetFor(ls)
+	spec := hw.DefaultSpec()
+
+	run := func(disable bool, seed int64) sim.Result {
+		node := sim.NewNode(ls, be, seed)
+		// Stronger interference than default to make the contrast sharp.
+		node.Interf.StartProb = 0.08
+		node.Interf.SvcFactorHi = 1.9
+		ctrl := New(spec, pred, budget, Options{DisableBalancer: disable})
+		if err := node.Apply(hw.SoloLS(spec)); err != nil {
+			t.Fatal(err)
+		}
+		r := sim.Runner{Node: node, Ctrl: ctrl, Budget: budget,
+			Trace: workload.Triangle(0.2, 0.8, 300), DurationS: 300}
+		return r.Run()
+	}
+	withB := run(false, 101)
+	noB := run(true, 101)
+	if noB.QoSRate >= withB.QoSRate {
+		t.Errorf("balancer did not help: with %.4f vs without %.4f", withB.QoSRate, noB.QoSRate)
+	}
+	// Fig. 10's flip side: the balancer costs some BE throughput.
+	if noB.NormBEThroughput < withB.NormBEThroughput {
+		t.Errorf("NoB throughput %.4f below balanced %.4f; harvesting should cost throughput",
+			noB.NormBEThroughput, withB.NormBEThroughput)
+	}
+}
+
+func TestSturgeonHoldsWhenSlackInBand(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	ctrl := New(hw.DefaultSpec(), pred, budgetFor(ls), Options{})
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 8, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 12, Freq: 1.4, LLCWays: 12},
+	}
+	obs := control.Observation{
+		QPS: 12000, P95: 0.0085, Target: 0.010, // slack = 0.15 ∈ [α, β]
+		Power: 90, Budget: 120, Config: cfg,
+	}
+	if got := ctrl.Decide(obs); got != cfg {
+		t.Errorf("controller moved despite in-band slack: %v", got)
+	}
+	if ctrl.Searches != 0 {
+		t.Error("controller searched despite in-band slack")
+	}
+}
+
+func TestSturgeonNames(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := predictorFor(t, ls, be)
+	if got := New(hw.DefaultSpec(), pred, 100, Options{}).Name(); got != "sturgeon" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := New(hw.DefaultSpec(), pred, 100, Options{DisableBalancer: true}).Name(); got != "sturgeon-nob" {
+		t.Errorf("NoB Name = %q", got)
+	}
+}
+
+func TestMoveHelpersRespectBounds(t *testing.T) {
+	spec := hw.DefaultSpec()
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 1, Freq: 1.2, LLCWays: 1},
+		BE: hw.Alloc{Cores: 19, Freq: 2.2, LLCWays: 19},
+	}
+	// Cannot take the last LS core/way.
+	if _, n := moveCores(spec, cfg, -5); n != 0 {
+		t.Errorf("moved %d cores out of a 1-core LS allocation", n)
+	}
+	if _, n := moveWays(spec, cfg, -5); n != 0 {
+		t.Errorf("moved %d ways out of a 1-way LS allocation", n)
+	}
+	// Freq shift clamps at the grid.
+	next, n := shiftFreqPair(spec, cfg, 100)
+	if n != 10 {
+		t.Errorf("freq shift amount = %d, want 10 (full span)", n)
+	}
+	if next.LS.Freq != spec.FreqMax || next.BE.Freq != spec.FreqMin {
+		t.Errorf("full shift = %v", next)
+	}
+	if math.Abs(float64(next.LS.Freq-2.2)) > 1e-9 {
+		t.Errorf("LS freq = %v", next.LS.Freq)
+	}
+	// Harvesting from a 1-core BE is refused.
+	tiny := hw.Config{
+		LS: hw.Alloc{Cores: 19, Freq: 2.2, LLCWays: 19},
+		BE: hw.Alloc{Cores: 1, Freq: 1.2, LLCWays: 1},
+	}
+	if _, n := moveCores(spec, tiny, 3); n != 0 {
+		t.Errorf("harvested %d cores from a 1-core BE", n)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// chaosPredictor is an adversarial core.Predictor: its answers are
+// deterministic pseudo-random nonsense. The search and balancer must
+// never emit an invalid configuration no matter what the models say.
+type chaosPredictor struct {
+	seed int64
+}
+
+func (c *chaosPredictor) hash(vals ...float64) uint64 {
+	h := uint64(c.seed)*0x9e3779b97f4a7c15 + 0x123456789
+	for _, v := range vals {
+		h ^= uint64(v*1000) + 0x9e3779b97f4a7c15 + h<<6 + h>>2
+	}
+	return h
+}
+
+func (c *chaosPredictor) QoSOK(a hw.Alloc, qps float64) bool {
+	return c.hash(float64(a.Cores), float64(a.Freq), float64(a.LLCWays), qps)%3 != 0
+}
+
+func (c *chaosPredictor) Throughput(a hw.Alloc) float64 {
+	return float64(c.hash(float64(a.Cores), float64(a.Freq), float64(a.LLCWays)) % 1000)
+}
+
+func (c *chaosPredictor) PowerW(cfg hw.Config, qps float64) power.Watts {
+	return power.Watts(60 + c.hash(float64(cfg.LS.Cores), float64(cfg.BE.Cores), qps)%60)
+}
+
+func TestSearcherNeverEmitsInvalidConfigs(t *testing.T) {
+	spec := hw.DefaultSpec()
+	f := func(seed int64, loadFrac float64) bool {
+		pred := &chaosPredictor{seed: seed}
+		s := &Searcher{Spec: spec, Pred: pred, Budget: 100}
+		qps := (0.05 + 0.9*absMod1(loadFrac)) * 60000
+		for _, c := range s.Candidates(qps) {
+			if c.Config.Validate(spec) != nil {
+				return false
+			}
+			if c.Config.BE.Cores < 1 || c.Config.LS.Cores < 1 {
+				return false
+			}
+		}
+		cfg, _ := s.BestConfig(qps)
+		return cfg.Validate(spec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancerNeverEmitsInvalidConfigs(t *testing.T) {
+	spec := hw.DefaultSpec()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		pred := &chaosPredictor{seed: int64(trial)}
+		b := &Balancer{Spec: spec, Pred: pred, Budget: 100}
+		c1 := 1 + rng.Intn(spec.Cores-1)
+		l1 := 1 + rng.Intn(spec.LLCWays-1)
+		cfg := hw.Config{
+			LS: hw.Alloc{Cores: c1, Freq: spec.FreqAtLevel(rng.Intn(11)), LLCWays: l1},
+			BE: hw.Alloc{Cores: spec.Cores - c1, Freq: spec.FreqAtLevel(rng.Intn(11)), LLCWays: spec.LLCWays - l1},
+		}
+		// A random walk of harvests, sheds and reverts.
+		for step := 0; step < 20; step++ {
+			var next hw.Config
+			switch rng.Intn(3) {
+			case 0:
+				next = b.Harvest(cfg, 10000, rng.Intn(2) == 0, rng.Intn(2) == 0)
+			case 1:
+				next = b.ShedPower(cfg)
+			default:
+				next = b.Revert(cfg, 10000)
+			}
+			if err := next.Validate(spec); err != nil {
+				t.Fatalf("trial %d step %d: invalid config %v (%v) from %v", trial, step, next, err, cfg)
+			}
+			if next.LS.Cores < 1 {
+				t.Fatalf("trial %d: balancer starved the LS service: %v", trial, next)
+			}
+			cfg = next
+		}
+	}
+}
+
+func TestBalancerConservesOrParksResources(t *testing.T) {
+	spec := hw.DefaultSpec()
+	pred := &chaosPredictor{seed: 7}
+	b := &Balancer{Spec: spec, Pred: pred, Budget: 100}
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.6, LLCWays: 12},
+	}
+	next := b.Harvest(cfg, 12000, false, false)
+	// Harvests move resources, never create them.
+	if next.LS.Cores+next.BE.Cores > spec.Cores {
+		t.Errorf("cores created: %v", next)
+	}
+	if next.LS.LLCWays+next.BE.LLCWays > spec.LLCWays {
+		t.Errorf("ways created: %v", next)
+	}
+}
+
+func absMod1(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	x = x - float64(int(x))
+	return x
+}

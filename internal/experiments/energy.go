@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"sturgeon/internal/trace"
+	"sturgeon/internal/workload"
+)
+
+// EnergyEfficiency quantifies §II-C's motivation — improving the energy
+// efficiency of power-capped datacenters — by accounting each
+// controller's best-effort work and served queries per kilojoule over the
+// standard fluctuating run on a pair subset.
+func EnergyEfficiency(env *Env, withHeracles bool) *trace.Table {
+	ctrls := []string{"sturgeon", "parties"}
+	if withHeracles {
+		ctrls = append(ctrls, "heracles")
+	}
+	tbl := trace.NewTable("Energy efficiency over the fluctuating run",
+		"pair", "controller", "energy_kj", "be_units_per_kj", "ls_kqueries_per_kj")
+	pairs := []struct{ LS, BE workload.Profile }{
+		{workload.Memcached(), workload.Raytrace()},
+		{workload.Xapian(), workload.Ferret()},
+		{workload.ImgDNN(), workload.Swaptions()},
+	}
+	for _, pair := range pairs {
+		for _, c := range ctrls {
+			res := env.RunPair(c, pair.LS, pair.BE)
+			var energyJ, beUnits, okQueries float64
+			for _, st := range res.Intervals {
+				energyJ += float64(st.TruePower) // 1 s intervals
+				beUnits += st.BEThroughputUPS
+				okQueries += st.QPS * st.QoSFrac
+			}
+			kj := energyJ / 1e3
+			tbl.Addf(pair.LS.Name+"+"+pair.BE.Name, c,
+				kj, beUnits/kj, okQueries/1e3/kj)
+		}
+	}
+	return tbl
+}

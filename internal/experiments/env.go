@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III and §VII) on the simulated substrate, plus the
+// ablation studies DESIGN.md calls out. Each experiment returns a
+// trace.Table (or series set) carrying the same rows/series the paper
+// reports, so cmd/repro and the benchmark harness print comparable
+// output.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"sturgeon/internal/cache"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/power"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Samples is the per-application profiling sweep size (default 1500).
+	Samples int
+	// DurationS is the Fig. 9/10 run length (default 800 — the paper's
+	// 20 % → 80 % → 20 % fluctuation at 1 s intervals).
+	DurationS int
+	// PairLimit caps how many of the 18 co-location pairs the Fig. 9/10
+	// evaluation runs (0 = all) — benchmarks use a subset.
+	PairLimit int
+	// Quick shrinks everything for smoke tests and benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Samples == 0 {
+		c.Samples = 1500
+	}
+	if c.DurationS == 0 {
+		c.DurationS = 800
+	}
+	if c.Quick {
+		c.Samples = 600
+		c.DurationS = 240
+	}
+	return c
+}
+
+// Env caches the expensive shared state — per-application profiling
+// sweeps, fitted predictors, power budgets — across experiments.
+type Env struct {
+	Cfg  Config
+	Spec hw.Spec
+
+	mu      sync.Mutex
+	lsData  map[string]models.LSDatasets
+	beData  map[string]models.BEDatasets
+	preds   map[string]*models.Predictor
+	budgets map[string]power.Watts
+}
+
+// NewEnv builds an experiment environment.
+func NewEnv(cfg Config) *Env {
+	return &Env{
+		Cfg:     cfg.withDefaults(),
+		Spec:    hw.DefaultSpec(),
+		lsData:  map[string]models.LSDatasets{},
+		beData:  map[string]models.BEDatasets{},
+		preds:   map[string]*models.Predictor{},
+		budgets: map[string]power.Watts{},
+	}
+}
+
+func (e *Env) collectOpts() models.CollectOptions {
+	return models.CollectOptions{Samples: e.Cfg.Samples, IntervalsPerSample: 2, Seed: e.Cfg.Seed}
+}
+
+// LSData returns (collecting once) the LS profiling sweep.
+func (e *Env) LSData(ls workload.Profile) models.LSDatasets {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok := e.lsData[ls.Name]; ok {
+		return d
+	}
+	d := models.SweepLS(ls, e.collectOpts())
+	e.lsData[ls.Name] = d
+	return d
+}
+
+// BEData returns (collecting once) the BE profiling sweep.
+func (e *Env) BEData(be workload.Profile) models.BEDatasets {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok := e.beData[be.Name]; ok {
+		return d
+	}
+	d := models.SweepBE(be, e.collectOpts())
+	e.beData[be.Name] = d
+	return d
+}
+
+// Predictor returns (training once) the predictor of a pair.
+func (e *Env) Predictor(ls, be workload.Profile) *models.Predictor {
+	key := ls.Name + "+" + be.Name
+	lds := e.LSData(ls)
+	bds := e.BEData(be)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.preds[key]; ok {
+		return p
+	}
+	p, err := models.TrainFromDatasets(ls, be, lds, bds,
+		models.TrainOptions{Collect: e.collectOpts()})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: training %s: %v", key, err))
+	}
+	e.preds[key] = p
+	return p
+}
+
+// Budget returns (computing once) the LS service's power budget.
+func (e *Env) Budget(ls workload.Profile) power.Watts {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if b, ok := e.budgets[ls.Name]; ok {
+		return b
+	}
+	b := sim.LSPeakPower(e.Spec, power.DefaultParams(), cache.DefaultBus(), ls)
+	e.budgets[ls.Name] = b
+	return b
+}
+
+// JustEnough returns the §III-B narrative just-enough LS allocations at
+// 20 % load used by the Fig. 2 motivation experiment.
+func JustEnough(name string) hw.Alloc {
+	switch name {
+	case "memcached":
+		return hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6}
+	default: // xapian, img-dnn
+		return hw.Alloc{Cores: 4, Freq: 1.8, LLCWays: 5}
+	}
+}
+
+// Pairs enumerates the paper's 18 co-location pairs in figure order.
+func Pairs() []struct{ LS, BE workload.Profile } {
+	var out []struct{ LS, BE workload.Profile }
+	for _, ls := range workload.LSServices() {
+		for _, be := range workload.BEApps() {
+			out = append(out, struct{ LS, BE workload.Profile }{ls, be})
+		}
+	}
+	return out
+}

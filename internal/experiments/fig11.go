@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/trace"
+	"sturgeon/internal/workload"
+)
+
+// Fig11Result carries the trace comparison of one pair under two
+// controllers.
+type Fig11Result struct {
+	Sturgeon, Parties *trace.SeriesSet
+	Summary           *trace.Table
+}
+
+// Fig11Trace reproduces Fig. 11: memcached co-located with raytrace while
+// the load ramps from 20 % to 50 % of peak; per-second BE throughput,
+// core allocations and frequencies under Sturgeon and PARTIES. The
+// paper's shape: Sturgeon settles on fewer, slower LS cores with
+// just-enough ways and hands raytrace the cores it prefers, converging
+// faster and yielding higher BE throughput at most points of the ramp.
+func Fig11Trace(env *Env) Fig11Result {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	duration := env.Cfg.DurationS / 2
+	if duration < 60 {
+		duration = 60
+	}
+	budget := env.Budget(ls)
+	solo := sim.SoloBEThroughput(env.Spec, sim.QuietNode(ls, be, 1).Bus, be)
+
+	run := func(name string) (*trace.SeriesSet, float64) {
+		node := sim.NewNode(ls, be, pairSeed(env.Cfg.Seed, ls.Name, be.Name))
+		ctrl := env.NewController(name, ls, be)
+		if err := node.Apply(hw.SoloLS(env.Spec)); err != nil {
+			panic(err)
+		}
+		r := sim.Runner{
+			Node: node, Ctrl: ctrl, Budget: budget,
+			Trace:     workload.Ramp(0.2, 0.5, float64(duration)),
+			DurationS: duration,
+		}
+		res := r.Run()
+		ss := &trace.SeriesSet{Title: "Fig. 11 (" + name + ")"}
+		thpt := ss.Add("norm_be_thpt")
+		lsCores := ss.Add("ls_cores")
+		beCores := ss.Add("be_cores")
+		lsFreq := ss.Add("ls_freq")
+		beFreq := ss.Add("be_freq")
+		lsWays := ss.Add("ls_ways")
+		for _, st := range res.Intervals {
+			thpt.Append(st.Time, st.BEThroughputUPS/solo)
+			lsCores.Append(st.Time, float64(st.Config.LS.Cores))
+			beCores.Append(st.Time, float64(st.Config.BE.Cores))
+			lsFreq.Append(st.Time, float64(st.Config.LS.Freq))
+			beFreq.Append(st.Time, float64(st.Config.BE.Freq))
+			lsWays.Append(st.Time, float64(st.Config.LS.LLCWays))
+		}
+		return ss, res.NormBEThroughput
+	}
+
+	st, stThpt := run("sturgeon")
+	pa, paThpt := run("parties")
+	sum := trace.NewTable("Fig. 11 summary — memcached+raytrace, 20%→50% ramp",
+		"controller", "mean_norm_be_thpt")
+	sum.Addf("sturgeon", stThpt)
+	sum.Addf("parties", paThpt)
+	return Fig11Result{Sturgeon: st, Parties: pa, Summary: sum}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sturgeon/internal/models"
+	"sturgeon/internal/trace"
+	"sturgeon/internal/workload"
+)
+
+// ModelScoreRow is one application-model's quality across techniques.
+type ModelScoreRow struct {
+	Model  string // e.g. "memcached (LS perf, accuracy)"
+	Scores []models.Score
+}
+
+func scoreTable(title string, rows []ModelScoreRow) *trace.Table {
+	tbl := trace.NewTable(title, "model", "DT", "KNN", "SV", "MLP", "LR", "best")
+	for _, r := range rows {
+		cells := []interface{}{r.Model}
+		for _, s := range r.Scores {
+			cells = append(cells, s.Value)
+		}
+		best := models.Best(r.Scores)
+		cells = append(cells, fmt.Sprintf("%s", best.Technique))
+		tbl.Addf(cells...)
+	}
+	return tbl
+}
+
+// Fig6PerformanceModels reproduces Fig. 6: the quality of every §V-C
+// technique on the performance models — classification accuracy for the
+// LS feasibility models, R² for the BE throughput regressions.
+func Fig6PerformanceModels(env *Env) ([]ModelScoreRow, *trace.Table) {
+	var rows []ModelScoreRow
+	for _, ls := range workload.LSServices() {
+		d := env.LSData(ls)
+		scores, err := models.CompareClassification(d.Perf, env.Cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, ModelScoreRow{Model: ls.Name + " (LS perf, accuracy)", Scores: scores})
+	}
+	for _, be := range workload.BEApps() {
+		d := env.BEData(be)
+		scores, err := models.CompareRegression(d.Thpt, env.Cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, ModelScoreRow{Model: be.Name + " (BE perf, R²)", Scores: scores})
+	}
+	return rows, scoreTable("Fig. 6 — performance-model quality per technique", rows)
+}
+
+// Fig7PowerModels reproduces Fig. 7: R² of every technique on the power
+// models of all nine applications.
+func Fig7PowerModels(env *Env) ([]ModelScoreRow, *trace.Table) {
+	var rows []ModelScoreRow
+	for _, ls := range workload.LSServices() {
+		d := env.LSData(ls)
+		scores, err := models.CompareRegression(d.Power, env.Cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, ModelScoreRow{Model: ls.Name + " (LS power, R²)", Scores: scores})
+	}
+	for _, be := range workload.BEApps() {
+		d := env.BEData(be)
+		scores, err := models.CompareRegression(d.Power, env.Cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, ModelScoreRow{Model: be.Name + " (BE power, R²)", Scores: scores})
+	}
+	return rows, scoreTable("Fig. 7 — power-model quality per technique (R²)", rows)
+}

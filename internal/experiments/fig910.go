@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/core"
+	"sturgeon/internal/heracles"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/parties"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/trace"
+	"sturgeon/internal/workload"
+)
+
+// Controllers evaluated in Figs. 9/10. Heracles is our extra baseline and
+// can be appended via WithHeracles.
+var evalControllers = []string{"sturgeon", "sturgeon-nob", "parties"}
+
+// EvalRow is one (pair, controller) evaluation outcome.
+type EvalRow struct {
+	LS, BE     string
+	Controller string
+	QoSRate    float64
+	NormBE     float64
+	Overload   float64
+	Trips      int
+}
+
+// pairSeed derives a stable per-pair seed.
+func pairSeed(base int64, ls, be string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s+%s", ls, be)
+	return base + int64(h.Sum64()%100000)
+}
+
+// NewController builds a fresh controller by name for a pair.
+func (e *Env) NewController(name string, ls, be workload.Profile) control.Controller {
+	budget := e.Budget(ls)
+	switch name {
+	case "sturgeon":
+		return core.New(e.Spec, e.Predictor(ls, be), budget, core.Options{})
+	case "sturgeon-nob":
+		return core.New(e.Spec, e.Predictor(ls, be), budget, core.Options{DisableBalancer: true})
+	case "parties":
+		return parties.New(e.Spec, budget)
+	case "heracles":
+		return heracles.New(e.Spec, budget)
+	default:
+		panic("experiments: unknown controller " + name)
+	}
+}
+
+// RunPair executes the paper's fluctuating-load evaluation (§VII-A: load
+// 20 % → 80 % → 20 % of peak) for one pair under one controller.
+func (e *Env) RunPair(name string, ls, be workload.Profile) sim.Result {
+	// Same seed across controllers: each policy faces the identical
+	// interference and noise sequence, so comparisons are paired.
+	node := sim.NewNode(ls, be, pairSeed(e.Cfg.Seed, ls.Name, be.Name))
+	budget := e.Budget(ls)
+	ctrl := e.NewController(name, ls, be)
+	if err := node.Apply(hw.SoloLS(e.Spec)); err != nil {
+		panic(err)
+	}
+	r := sim.Runner{
+		Node: node, Ctrl: ctrl, Budget: budget,
+		Trace:     workload.Triangle(0.2, 0.8, float64(e.Cfg.DurationS)),
+		DurationS: e.Cfg.DurationS,
+	}
+	return r.Run()
+}
+
+// Fig9And10 reproduces the main evaluation: QoS guarantee rate (Fig. 9)
+// and normalized BE throughput (Fig. 10) of every pair under Sturgeon,
+// Sturgeon-NoB and enhanced PARTIES. The paper's shape: every controller
+// except NoB keeps the 95 %-ile within target; Sturgeon beats PARTIES'
+// throughput by ≈25 % on average while NoB sits slightly above Sturgeon.
+func Fig9And10(env *Env, withHeracles bool) ([]EvalRow, *trace.Table, *trace.Table, *trace.Table) {
+	ctrls := evalControllers
+	if withHeracles {
+		ctrls = append(append([]string{}, ctrls...), "heracles")
+	}
+	qosTbl := trace.NewTable("Fig. 9 — QoS guarantee rate", append([]string{"pair"}, ctrls...)...)
+	thptTbl := trace.NewTable("Fig. 10 — normalized BE throughput", append([]string{"pair"}, ctrls...)...)
+
+	var rows []EvalRow
+	sums := map[string]*struct {
+		qos, thpt, over float64
+		trips, n        int
+	}{}
+	for _, c := range ctrls {
+		sums[c] = &struct {
+			qos, thpt, over float64
+			trips, n        int
+		}{}
+	}
+
+	pairs := Pairs()
+	if n := env.Cfg.PairLimit; n > 0 && n < len(pairs) {
+		pairs = pairs[:n]
+	}
+	for _, pair := range pairs {
+		qosCells := []interface{}{pair.LS.Name + "+" + pair.BE.Name}
+		thptCells := []interface{}{pair.LS.Name + "+" + pair.BE.Name}
+		for _, c := range ctrls {
+			res := env.RunPair(c, pair.LS, pair.BE)
+			row := EvalRow{
+				LS: pair.LS.Name, BE: pair.BE.Name, Controller: c,
+				QoSRate: res.QoSRate, NormBE: res.NormBEThroughput,
+				Overload: res.OverloadFrac, Trips: res.BreakerTrips,
+			}
+			rows = append(rows, row)
+			qosCells = append(qosCells, row.QoSRate)
+			thptCells = append(thptCells, row.NormBE)
+			s := sums[c]
+			s.qos += row.QoSRate
+			s.thpt += row.NormBE
+			s.over += row.Overload
+			s.trips += row.Trips
+			s.n++
+		}
+		qosTbl.Addf(qosCells...)
+		thptTbl.Addf(thptCells...)
+	}
+
+	sum := trace.NewTable(fmt.Sprintf("Summary (mean over %d pairs)", len(pairs)),
+		"controller", "qos_rate", "norm_thpt", "thpt_vs_parties", "overload_frac", "breaker_trips")
+	parts := sums["parties"]
+	for _, c := range ctrls {
+		s := sums[c]
+		n := float64(s.n)
+		vsParties := 0.0
+		if parts != nil && parts.thpt > 0 {
+			vsParties = (s.thpt/parts.thpt - 1) * 100
+		}
+		sum.Addf(c, s.qos/n, s.thpt/n, fmt.Sprintf("%+.2f%%", vsParties), s.over/n, s.trips)
+	}
+	return rows, qosTbl, thptTbl, sum
+}

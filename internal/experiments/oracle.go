@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+// physOracle implements core.Predictor with ground-truth physics instead
+// of learned models. It powers offline analyses (the Fig. 3 motivation
+// figure enumerates *actually* feasible configurations, like the paper's
+// hardware measurements) and serves as the test oracle for the guided
+// search.
+type physOracle struct {
+	spec hw.Spec
+	ls   workload.Profile
+	be   workload.Profile
+	seed int64
+}
+
+func newPhysOracle(spec hw.Spec, ls, be workload.Profile, seed int64) *physOracle {
+	return &physOracle{spec: spec, ls: ls, be: be, seed: seed}
+}
+
+// QoSOK measures the true tail latency of the LS allocation running with
+// the complement granted to the BE application.
+func (o *physOracle) QoSOK(a hw.Alloc, qps float64) bool {
+	if a.Cores <= 0 {
+		return qps <= 0
+	}
+	node := sim.QuietNode(o.ls, o.be, o.seed)
+	cfg := hw.Complement(o.spec, a, o.spec.FreqMin)
+	if err := node.Apply(cfg); err != nil {
+		return false
+	}
+	st := node.Step(1, qps)
+	return st.TrueP95 <= o.ls.QoSTargetS
+}
+
+// Throughput is the BE application's uncontended rate under the
+// allocation.
+func (o *physOracle) Throughput(a hw.Alloc) float64 {
+	return o.be.BERate(a, 1).ThroughputUPS
+}
+
+// PowerW measures the true co-located node power.
+func (o *physOracle) PowerW(cfg hw.Config, qps float64) power.Watts {
+	node := sim.QuietNode(o.ls, o.be, o.seed)
+	if err := node.Apply(cfg); err != nil {
+		return power.Watts(1e9)
+	}
+	return node.Step(1, qps).TruePower
+}

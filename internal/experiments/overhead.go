@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sturgeon/internal/core"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/trace"
+	"sturgeon/internal/workload"
+)
+
+// OverheadResult quantifies §VII-E: per-model inference latency, the
+// guided §V-B search versus the exhaustive O(N⁴) scan, and the balancer's
+// per-decision cost.
+type OverheadResult struct {
+	ModelInferenceUS   float64
+	GuidedSearchMS     float64
+	GuidedQueries      int64
+	ExhaustiveSearchMS float64
+	ExhaustiveQueries  int64
+	BalancerUS         float64
+	SpeedupX           float64
+}
+
+// Overhead measures the §VII-E costs on the memcached+raytrace pair at
+// 30 % load. The paper reports ≈0.04 ms per model inference, ≤120 ms for
+// the guided search, ≈6.4 s for exhaustive search and ≈0.48 ms per
+// balancer decision; the shape to preserve is the orders-of-magnitude gap
+// between guided and exhaustive.
+func Overhead(env *Env) (OverheadResult, *trace.Table) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred := env.Predictor(ls, be)
+	budget := env.Budget(ls)
+	s := &core.Searcher{Spec: env.Spec, Pred: pred, Budget: budget}
+	qps := 0.3 * ls.PeakQPS
+
+	// Model inference latency.
+	alloc := hw.Alloc{Cores: 8, Freq: 1.8, LLCWays: 8}
+	const nInf = 2000
+	t0 := time.Now()
+	for i := 0; i < nInf; i++ {
+		pred.QoSOK(alloc, qps)
+		pred.Throughput(alloc)
+		pred.PowerW(hw.Config{LS: alloc, BE: alloc}, qps)
+	}
+	perModel := time.Since(t0).Seconds() * 1e6 / (nInf * 5) // ≈5 model calls per loop
+
+	// Guided search.
+	q0 := pred.Queries()
+	t0 = time.Now()
+	const nSearch = 5
+	for i := 0; i < nSearch; i++ {
+		s.BestConfig(qps)
+	}
+	guidedMS := time.Since(t0).Seconds() * 1e3 / nSearch
+	guidedQ := (pred.Queries() - q0) / nSearch
+
+	// Exhaustive search.
+	q0 = pred.Queries()
+	t0 = time.Now()
+	s.ExhaustiveBest(qps)
+	exhaustMS := time.Since(t0).Seconds() * 1e3
+	exhaustQ := pred.Queries() - q0
+
+	// Balancer decision.
+	b := &core.Balancer{Spec: env.Spec, Pred: pred, Budget: budget}
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.6, LLCWays: 12},
+	}
+	const nBal = 500
+	t0 = time.Now()
+	for i := 0; i < nBal; i++ {
+		b.Reset()
+		b.Harvest(cfg, qps, false, false)
+	}
+	balUS := time.Since(t0).Seconds() * 1e6 / nBal
+
+	res := OverheadResult{
+		ModelInferenceUS:   perModel,
+		GuidedSearchMS:     guidedMS,
+		GuidedQueries:      guidedQ,
+		ExhaustiveSearchMS: exhaustMS,
+		ExhaustiveQueries:  exhaustQ,
+		BalancerUS:         balUS,
+		SpeedupX:           exhaustMS / guidedMS,
+	}
+	tbl := trace.NewTable("§VII-E — controller overheads (memcached+raytrace, 30% load)",
+		"metric", "value")
+	tbl.Add("model inference", fmt.Sprintf("%.1f µs", res.ModelInferenceUS))
+	tbl.Add("guided search", fmt.Sprintf("%.2f ms (%d model queries)", res.GuidedSearchMS, res.GuidedQueries))
+	tbl.Add("exhaustive search", fmt.Sprintf("%.0f ms (%d model queries)", res.ExhaustiveSearchMS, res.ExhaustiveQueries))
+	tbl.Add("guided speedup", fmt.Sprintf("%.0fx", res.SpeedupX))
+	tbl.Add("balancer decision", fmt.Sprintf("%.1f µs", res.BalancerUS))
+	return res, tbl
+}

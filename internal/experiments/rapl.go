@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"sturgeon/internal/control"
+	"sturgeon/internal/core"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/trace"
+	"sturgeon/internal/workload"
+)
+
+// raplWrapped is the firmware-capping baseline: an inner controller runs
+// power-UNAWARE (it is shown an infinite budget, like the prior work of
+// §II-B), and the RAPL package limit indiscriminately throttles every
+// core whenever the measured draw exceeds the cap.
+type raplWrapped struct {
+	inner control.Controller
+	cap   *sim.RAPLCap
+}
+
+func (w *raplWrapped) Name() string { return "rapl-capped" }
+
+func (w *raplWrapped) Decide(obs control.Observation) hw.Config {
+	// The software layer is blind to power.
+	blind := obs
+	blind.Budget = 1e9
+	cfg := w.inner.Decide(blind)
+	w.cap.Observe(float64(obs.Power))
+	return w.cap.Apply(cfg)
+}
+
+// RAPLBaseline contrasts Sturgeon with the firmware answer to the same
+// problem: let a power-unaware resource manager allocate for maximum
+// throughput and have the RAPL package limit enforce the cap. The
+// expected shape (argued by the paper's introduction): the cap holds,
+// but because firmware cannot tell latency-critical cores from
+// best-effort ones, the LS service pays with its tail.
+func RAPLBaseline(env *Env) *trace.Table {
+	tbl := trace.NewTable("Extension — Sturgeon vs power-unaware manager under a RAPL package cap",
+		"pair", "controller", "qos_rate", "norm_be_thpt", "overload_frac", "breaker_trips")
+	pairs := []struct{ LS, BE workload.Profile }{
+		{workload.Memcached(), workload.Swaptions()},
+		{workload.Xapian(), workload.Raytrace()},
+	}
+	for _, pair := range pairs {
+		budget := env.Budget(pair.LS)
+		for _, kind := range []string{"sturgeon", "rapl"} {
+			node := sim.NewNode(pair.LS, pair.BE, pairSeed(env.Cfg.Seed, pair.LS.Name, pair.BE.Name))
+			var ctrl control.Controller
+			if kind == "sturgeon" {
+				ctrl = core.New(env.Spec, env.Predictor(pair.LS, pair.BE), budget, core.Options{})
+			} else {
+				inner := core.New(env.Spec, env.Predictor(pair.LS, pair.BE), 1e9, core.Options{})
+				ctrl = &raplWrapped{
+					inner: inner,
+					cap:   &sim.RAPLCap{Spec: env.Spec, Limit: float64(budget)},
+				}
+			}
+			if err := node.Apply(hw.SoloLS(env.Spec)); err != nil {
+				panic(err)
+			}
+			r := sim.Runner{Node: node, Ctrl: ctrl, Budget: budget,
+				Trace:     workload.Triangle(0.2, 0.8, float64(env.Cfg.DurationS)),
+				DurationS: env.Cfg.DurationS}
+			res := r.Run()
+			tbl.Addf(pair.LS.Name+"+"+pair.BE.Name, ctrl.Name(),
+				res.QoSRate, res.NormBEThroughput, res.OverloadFrac, res.BreakerTrips)
+		}
+	}
+	return tbl
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import "sturgeon/internal/trace"
+
+// Table1 reproduces the paper's qualitative system comparison (Table I).
+// It is static by nature; the row for Sturgeon is what this repository
+// implements, and the PARTIES/Heracles rows match the baselines in
+// internal/parties and internal/heracles.
+func Table1() *trace.Table {
+	t := trace.NewTable("Table I — comparing Sturgeon with prior related work",
+		"system", "online res. mgmt", "co-locate LS+BE", "power constraint", "res. preference")
+	t.Add("Bubble", "", "yes", "", "")
+	t.Add("PARTIES", "yes", "yes", "", "LS")
+	t.Add("Dirigent", "yes", "yes", "", "LS")
+	t.Add("PowerChief", "yes", "", "yes", "")
+	t.Add("Rubik", "yes", "yes", "", "")
+	t.Add("Heracles", "yes", "yes", "partial", "")
+	t.Add("Sturgeon", "yes", "yes", "yes", "LS+BE")
+	return t
+}

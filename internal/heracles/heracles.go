@@ -1,0 +1,129 @@
+// Package heracles implements a Heracles-style baseline controller (Lo et
+// al., ISCA'15), the other feedback system Table I situates Sturgeon
+// against. Heracles grows the best-effort allocation only while the LS
+// service has ample latency slack, disables growth and claws resources
+// back on low slack, and uses BE DVFS as its fast power actuator so the
+// node keeps "sufficient power slack" for the LS service — the strategy
+// §I notes can leave BE throughput on the table.
+package heracles
+
+import (
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// Controller is the Heracles-style policy.
+type Controller struct {
+	Spec   hw.Spec
+	Budget power.Watts
+	// Alpha and Beta are the slack bounds (defaults 0.10/0.20).
+	Alpha, Beta float64
+	// PowerGuard is the budget fraction above which BE frequency stops
+	// rising (default 0.92) — the "power slack" Heracles preserves.
+	PowerGuard float64
+	// GrowEvery is the interval count between BE growth steps (default
+	// 4): Heracles grows the best-effort side conservatively, far slower
+	// than it claws back.
+	GrowEvery int
+
+	cooldown int
+	tick     int
+}
+
+// New builds the baseline controller.
+func New(spec hw.Spec, budget power.Watts) *Controller {
+	return &Controller{Spec: spec, Budget: budget, Alpha: 0.10, Beta: 0.20, PowerGuard: 0.92}
+}
+
+// Name identifies the policy.
+func (c *Controller) Name() string { return "heracles" }
+
+// Decide performs one interval's decision.
+func (c *Controller) Decide(obs control.Observation) hw.Config {
+	cfg := obs.Config
+	maxLvl := c.Spec.NumFreqLevels() - 1
+	beLvl := c.Spec.LevelOfFreq(cfg.BE.Freq)
+
+	// Fast power controller: overload throttles BE hard (two levels).
+	if obs.Overloaded() {
+		cfg.BE.Freq = c.Spec.FreqAtLevel(maxInt(0, beLvl-2))
+		return cfg
+	}
+
+	c.tick++
+	grow := c.GrowEvery
+	if grow <= 0 {
+		grow = 4
+	}
+	slack := obs.Slack()
+	switch {
+	case slack < c.Alpha:
+		c.cooldown = 8
+		// Latency danger: claw back cores and cache from the BE side and
+		// throttle it. Heracles is deliberately aggressive here — BE
+		// growth is strictly subordinate to LS latency.
+		next := cfg
+		if next.BE.Cores > 1 {
+			take := minInt(2, next.BE.Cores-1)
+			next.BE.Cores -= take
+			next.LS.Cores += take
+		}
+		if next.BE.LLCWays > 1 {
+			take := minInt(2, next.BE.LLCWays-1)
+			next.BE.LLCWays -= take
+			next.LS.LLCWays += take
+		}
+		next.BE.Freq = c.Spec.FreqAtLevel(maxInt(0, beLvl-1))
+		if next.Validate(c.Spec) != nil {
+			return cfg
+		}
+		return next
+
+	case slack > c.Beta:
+		// Ample slack: grow the BE allocation one unit at a time — but
+		// only once the post-violation cooldown has expired and on the
+		// conservative growth period — raising its frequency only while
+		// power stays under the guard band.
+		if c.cooldown > 0 {
+			c.cooldown--
+			return cfg
+		}
+		if c.tick%grow != 0 {
+			return cfg
+		}
+		next := cfg
+		if next.LS.Cores > 1 {
+			next.LS.Cores--
+			next.BE.Cores++
+		}
+		if next.LS.LLCWays > 1 {
+			next.LS.LLCWays--
+			next.BE.LLCWays++
+		}
+		if float64(obs.Power) < c.PowerGuard*float64(c.Budget) && beLvl < maxLvl {
+			next.BE.Freq = c.Spec.FreqAtLevel(beLvl + 1)
+		}
+		if next.Validate(c.Spec) != nil {
+			return cfg
+		}
+		return next
+
+	default:
+		return cfg
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package heracles
+
+import (
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+func TestGrowthOnHighSlackGuardedByPower(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 100)
+	c.GrowEvery = 1 // test the growth step itself, not the pacing
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 10, Freq: 2.2, LLCWays: 10},
+		BE: hw.Alloc{Cores: 10, Freq: 1.4, LLCWays: 10},
+	}
+	// Lots of slack, power well below guard: BE grows and speeds up.
+	obs := control.Observation{
+		P95: 0.001, Target: 0.010, Power: 80, Budget: 100, Config: cfg,
+	}
+	next := c.Decide(obs)
+	if next.BE.Cores <= cfg.BE.Cores {
+		t.Error("BE did not gain a core")
+	}
+	if next.BE.Freq <= cfg.BE.Freq {
+		t.Error("BE frequency did not rise despite power headroom")
+	}
+	// Same slack but power just under the cap: frequency must not rise.
+	obs.Power = 97
+	obs.Config = cfg
+	next = c.Decide(obs)
+	if next.BE.Freq > cfg.BE.Freq {
+		t.Error("BE frequency rose inside the power guard band")
+	}
+}
+
+func TestLatencyDangerClawsBack(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 100)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 8, Freq: 2.2, LLCWays: 8},
+		BE: hw.Alloc{Cores: 12, Freq: 1.8, LLCWays: 12},
+	}
+	obs := control.Observation{
+		P95: 0.0099, Target: 0.010, Power: 90, Budget: 100, Config: cfg,
+	}
+	next := c.Decide(obs)
+	if next.BE.Cores >= cfg.BE.Cores || next.BE.LLCWays >= cfg.BE.LLCWays {
+		t.Errorf("Heracles did not claw back: %v -> %v", cfg, next)
+	}
+	if next.BE.Freq >= cfg.BE.Freq {
+		t.Error("Heracles did not throttle the BE side")
+	}
+}
+
+func TestOverloadThrottlesHard(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 100)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 8, Freq: 2.2, LLCWays: 8},
+		BE: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
+	}
+	obs := control.Observation{
+		P95: 0.005, Target: 0.010, Power: 110, Budget: 100, Config: cfg,
+	}
+	next := c.Decide(obs)
+	lvlBefore := spec.LevelOfFreq(cfg.BE.Freq)
+	lvlAfter := spec.LevelOfFreq(next.BE.Freq)
+	if lvlBefore-lvlAfter != 2 {
+		t.Errorf("expected a two-level throttle, got %d", lvlBefore-lvlAfter)
+	}
+}
+
+func TestHeraclesEndToEnd(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Swaptions()
+	node := sim.NewNode(ls, be, 33)
+	budget := sim.LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+	ctrl := New(node.Spec, budget)
+	if err := node.Apply(hw.SoloLS(node.Spec)); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.Runner{
+		Node: node, Ctrl: ctrl, Budget: budget,
+		Trace: workload.Triangle(0.2, 0.8, 300), DurationS: 300,
+	}
+	res := r.Run()
+	if res.QoSRate < 0.90 {
+		t.Errorf("Heracles QoS rate %v collapsed", res.QoSRate)
+	}
+	if res.NormBEThroughput <= 0.02 {
+		t.Errorf("Heracles starved the BE application: %v", res.NormBEThroughput)
+	}
+	if res.Controller != "heracles" {
+		t.Errorf("controller name %q", res.Controller)
+	}
+}

@@ -1,0 +1,29 @@
+package hw_test
+
+import (
+	"fmt"
+
+	"sturgeon/internal/hw"
+)
+
+// Configurations use the paper's <C1,F1,L1; C2,F2,L2> notation: the LS
+// service's cores/frequency/LLC-ways, then the BE application's.
+func ExampleConfig() {
+	spec := hw.DefaultSpec()
+	cfg := hw.Complement(spec, hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6}, 1.8)
+	fmt.Println(cfg)
+	fmt.Println("valid:", cfg.Validate(spec) == nil)
+	// Output:
+	// <4C, 1.6F, 6L; 16C, 1.8F, 14L>
+	// valid: true
+}
+
+// The DVFS grid snaps arbitrary frequencies onto the platform's levels.
+func ExampleSpec_ClampFreq() {
+	spec := hw.DefaultSpec()
+	fmt.Println(spec.ClampFreq(1.73))
+	fmt.Println(spec.ClampFreq(9.9))
+	// Output:
+	// 1.7
+	// 2.2
+}

@@ -1,0 +1,28 @@
+package hw
+
+import "testing"
+
+// FuzzConfigValidate throws arbitrary allocations at Validate and the
+// frequency grid: no panics, and accepted configurations must partition
+// within capacity.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(4, 16, 6, 14, 1.6, 1.8)
+	f.Add(0, 0, 0, 0, 0.0, 0.0)
+	f.Add(-3, 25, -1, 40, 9.9, -2.0)
+	f.Fuzz(func(t *testing.T, c1, c2, l1, l2 int, f1, f2 float64) {
+		s := DefaultSpec()
+		cfg := Config{
+			LS: Alloc{Cores: c1, Freq: GHz(f1), LLCWays: l1},
+			BE: Alloc{Cores: c2, Freq: GHz(f2), LLCWays: l2},
+		}
+		err := cfg.Validate(s)
+		if err == nil {
+			if c1+c2 > s.Cores || l1+l2 > s.LLCWays || c1 < 0 || l1 < 0 {
+				t.Fatalf("invalid config accepted: %v", cfg)
+			}
+		}
+		// Grid operations must not panic on any input.
+		_ = s.ClampFreq(GHz(f1))
+		_ = s.LevelOfFreq(GHz(f2))
+	})
+}

@@ -1,0 +1,125 @@
+// Package hw describes the hardware geometry that Sturgeon manages: the
+// partitionable resources of a single power-constrained server — physical
+// cores, per-allocation core frequency (DVFS) and last-level-cache ways.
+//
+// The package is deliberately free of behaviour: it defines the resource
+// vocabulary (Spec, Alloc, Config) shared by the simulator substrate, the
+// predictor and the controllers, together with validation and enumeration
+// helpers. All quantities mirror Table II of the paper: an Intel Xeon
+// E5-2630 v4 with 20 logical cores, DVFS steps between 1.2 and 2.2 GHz and
+// a 20-way 25 MB L3 cache.
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// GHz is a core frequency in gigahertz.
+type GHz float64
+
+// Spec describes the partitionable geometry of one server.
+//
+// The zero value is not useful; construct with DefaultSpec or fill every
+// field and call Validate.
+type Spec struct {
+	// Cores is the number of logical cores available for partitioning.
+	Cores int
+	// FreqMin and FreqMax bound the DVFS range, inclusive.
+	FreqMin, FreqMax GHz
+	// FreqStep is the DVFS step granularity.
+	FreqStep GHz
+	// LLCWays is the number of last-level-cache ways (Intel CAT granularity).
+	LLCWays int
+	// LLCSizeMB is the total last-level-cache capacity in megabytes.
+	LLCSizeMB float64
+}
+
+// DefaultSpec returns the experimental platform of the paper (Table II):
+// 20 logical cores, 1.2–2.2 GHz in 10 steps, 20 LLC ways of a 25 MB L3.
+func DefaultSpec() Spec {
+	return Spec{
+		Cores:     20,
+		FreqMin:   1.2,
+		FreqMax:   2.2,
+		FreqStep:  0.1,
+		LLCWays:   20,
+		LLCSizeMB: 25,
+	}
+}
+
+// Validate reports whether the specification is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return fmt.Errorf("hw: spec has %d cores, need at least 1", s.Cores)
+	case s.LLCWays <= 0:
+		return fmt.Errorf("hw: spec has %d LLC ways, need at least 1", s.LLCWays)
+	case s.LLCSizeMB <= 0:
+		return fmt.Errorf("hw: spec has %.2f MB LLC, need a positive size", s.LLCSizeMB)
+	case s.FreqMin <= 0 || s.FreqMax < s.FreqMin:
+		return fmt.Errorf("hw: spec frequency range [%.2f, %.2f] GHz is invalid", s.FreqMin, s.FreqMax)
+	case s.FreqStep <= 0:
+		return fmt.Errorf("hw: spec frequency step %.2f GHz must be positive", s.FreqStep)
+	}
+	return nil
+}
+
+// FreqLevels returns every DVFS operating point from FreqMin to FreqMax
+// inclusive, lowest first.
+func (s Spec) FreqLevels() []GHz {
+	n := s.NumFreqLevels()
+	levels := make([]GHz, 0, n)
+	for i := 0; i < n; i++ {
+		levels = append(levels, s.FreqAtLevel(i))
+	}
+	return levels
+}
+
+// NumFreqLevels returns the number of DVFS operating points.
+func (s Spec) NumFreqLevels() int {
+	return int(math.Round(float64((s.FreqMax-s.FreqMin)/s.FreqStep))) + 1
+}
+
+// FreqAtLevel returns the frequency of DVFS level i (0 = FreqMin). Levels
+// outside the range are clamped.
+func (s Spec) FreqAtLevel(i int) GHz {
+	if i < 0 {
+		i = 0
+	}
+	if max := s.NumFreqLevels() - 1; i > max {
+		i = max
+	}
+	// Round to the step grid to avoid accumulating float error.
+	f := float64(s.FreqMin) + float64(i)*float64(s.FreqStep)
+	return GHz(math.Round(f*1000) / 1000)
+}
+
+// LevelOfFreq returns the DVFS level whose frequency is nearest to f,
+// clamped to the valid range.
+func (s Spec) LevelOfFreq(f GHz) int {
+	if f <= s.FreqMin {
+		return 0
+	}
+	if f >= s.FreqMax {
+		return s.NumFreqLevels() - 1
+	}
+	return int(math.Round(float64((f - s.FreqMin) / s.FreqStep)))
+}
+
+// ClampFreq snaps f onto the spec's DVFS grid.
+func (s Spec) ClampFreq(f GHz) GHz {
+	return s.FreqAtLevel(s.LevelOfFreq(f))
+}
+
+// WaySizeMB returns the capacity of a single LLC way in megabytes.
+func (s Spec) WaySizeMB() float64 {
+	return s.LLCSizeMB / float64(s.LLCWays)
+}
+
+// ConfigSpace returns the size of the exhaustive co-location configuration
+// space N_C × N_F × N_L × N_F searched in §V-B of the paper (40 000 on the
+// default spec).
+func (s Spec) ConfigSpace() int {
+	return s.Cores * s.NumFreqLevels() * s.LLCWays * s.NumFreqLevels()
+}

@@ -1,0 +1,131 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSpecValid(t *testing.T) {
+	s := DefaultSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("DefaultSpec invalid: %v", err)
+	}
+	if s.Cores != 20 || s.LLCWays != 20 {
+		t.Errorf("DefaultSpec geometry = %d cores, %d ways; want 20, 20", s.Cores, s.LLCWays)
+	}
+}
+
+func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	base := DefaultSpec()
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero cores", func(s *Spec) { s.Cores = 0 }},
+		{"negative cores", func(s *Spec) { s.Cores = -4 }},
+		{"zero ways", func(s *Spec) { s.LLCWays = 0 }},
+		{"zero cache", func(s *Spec) { s.LLCSizeMB = 0 }},
+		{"inverted freq range", func(s *Spec) { s.FreqMin, s.FreqMax = 2.2, 1.2 }},
+		{"zero freq", func(s *Spec) { s.FreqMin = 0 }},
+		{"zero step", func(s *Spec) { s.FreqStep = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			tc.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", s)
+			}
+		})
+	}
+}
+
+func TestFreqLevelsCountAndEndpoints(t *testing.T) {
+	s := DefaultSpec()
+	levels := s.FreqLevels()
+	// 1.2 .. 2.2 in 0.1 steps = 11 points; the paper speaks of "10-level
+	// frequencies", counting steps rather than points.
+	if len(levels) != 11 {
+		t.Fatalf("got %d levels, want 11", len(levels))
+	}
+	if levels[0] != s.FreqMin || levels[len(levels)-1] != s.FreqMax {
+		t.Errorf("endpoints = %v, %v; want %v, %v", levels[0], levels[len(levels)-1], s.FreqMin, s.FreqMax)
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			t.Errorf("levels not strictly increasing at %d: %v", i, levels)
+		}
+	}
+}
+
+func TestFreqLevelRoundTrip(t *testing.T) {
+	s := DefaultSpec()
+	for i := 0; i < s.NumFreqLevels(); i++ {
+		f := s.FreqAtLevel(i)
+		if got := s.LevelOfFreq(f); got != i {
+			t.Errorf("LevelOfFreq(FreqAtLevel(%d)=%v) = %d", i, f, got)
+		}
+	}
+}
+
+func TestFreqClamping(t *testing.T) {
+	s := DefaultSpec()
+	if got := s.FreqAtLevel(-3); got != s.FreqMin {
+		t.Errorf("FreqAtLevel(-3) = %v, want min %v", got, s.FreqMin)
+	}
+	if got := s.FreqAtLevel(99); got != s.FreqMax {
+		t.Errorf("FreqAtLevel(99) = %v, want max %v", got, s.FreqMax)
+	}
+	if got := s.ClampFreq(0.3); got != s.FreqMin {
+		t.Errorf("ClampFreq(0.3) = %v, want %v", got, s.FreqMin)
+	}
+	if got := s.ClampFreq(9.9); got != s.FreqMax {
+		t.Errorf("ClampFreq(9.9) = %v, want %v", got, s.FreqMax)
+	}
+}
+
+func TestClampFreqSnapsToGrid(t *testing.T) {
+	s := DefaultSpec()
+	got := s.ClampFreq(1.745)
+	if math.Abs(float64(got)-1.7) > 1e-9 {
+		t.Errorf("ClampFreq(1.745) = %v, want 1.7", got)
+	}
+	got = s.ClampFreq(1.76)
+	if math.Abs(float64(got)-1.8) > 1e-9 {
+		t.Errorf("ClampFreq(1.76) = %v, want 1.8", got)
+	}
+}
+
+func TestConfigSpaceMatchesPaper(t *testing.T) {
+	// §V-B: "20 × 10 × 20 × 10 = 40000". The paper counts 10 frequency
+	// levels where the grid has 11 points; our count is exact.
+	s := DefaultSpec()
+	want := 20 * 11 * 20 * 11
+	if got := s.ConfigSpace(); got != want {
+		t.Errorf("ConfigSpace = %d, want %d", got, want)
+	}
+}
+
+func TestWaySize(t *testing.T) {
+	s := DefaultSpec()
+	if got := s.WaySizeMB(); math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("WaySizeMB = %v, want 1.25", got)
+	}
+}
+
+func TestClampFreqPropertyOnGrid(t *testing.T) {
+	s := DefaultSpec()
+	f := func(raw float64) bool {
+		g := s.ClampFreq(GHz(math.Abs(math.Mod(raw, 5))))
+		if g < s.FreqMin || g > s.FreqMax {
+			return false
+		}
+		// Must lie on the grid.
+		lvl := s.LevelOfFreq(g)
+		return s.FreqAtLevel(lvl) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package mlkit
+
+import "testing"
+
+func benchData(n int) ([][]float64, []float64) {
+	return synthReg(n, 99)
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	X, y := benchData(1500)
+	m := &KNNRegressor{K: 5}
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(X[i%len(X)])
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	X, y := benchData(1500)
+	m := &TreeRegressor{}
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(X[i%len(X)])
+	}
+}
+
+func BenchmarkMLPPredict(b *testing.B) {
+	X, y := benchData(1500)
+	m := &MLPRegressor{Epochs: 30, Seed: 1}
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(X[i%len(X)])
+	}
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	X, y := benchData(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := &TreeRegressor{}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLPFit(b *testing.B) {
+	X, y := benchData(600)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := &MLPRegressor{Epochs: 50, Seed: 1}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLassoFit(b *testing.B) {
+	X, y := benchData(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := &Lasso{Lambda: 0.01}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package mlkit
+
+import "testing"
+
+func TestForestRegressorGeneralizes(t *testing.T) {
+	X, y := synthReg(1500, 61)
+	r2, err := EvaluateRegressor(&ForestRegressor{Seed: 1}, X[:1200], y[:1200], X[1200:], y[1200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.9 {
+		t.Errorf("forest test R2 = %v, want ≥0.9", r2)
+	}
+}
+
+func TestForestBeatsSingleTreeVariance(t *testing.T) {
+	// On a small noisy sample the bagged ensemble should generalize at
+	// least as well as a single deep tree.
+	X, y := synthReg(420, 67)
+	single, err := EvaluateRegressor(&TreeRegressor{}, X[:300], y[:300], X[300:], y[300:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := EvaluateRegressor(&ForestRegressor{Seed: 2}, X[:300], y[:300], X[300:], y[300:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest < single-0.02 {
+		t.Errorf("forest R2 %v materially below single tree %v", forest, single)
+	}
+}
+
+func TestForestClassifier(t *testing.T) {
+	X, y := synthClf(1500, 71)
+	acc, err := EvaluateClassifier(&ForestClassifier{Seed: 3}, X[:1200], y[:1200], X[1200:], y[1200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.92 {
+		t.Errorf("forest accuracy = %v, want ≥0.92", acc)
+	}
+	// Probabilities stay in [0,1].
+	m := &ForestClassifier{Seed: 3, Trees: 10}
+	if err := m.Fit(X[:200], y[:200]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := m.PredictProb(X[i])
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	X, y := synthReg(300, 73)
+	a := &ForestRegressor{Seed: 5, Trees: 10}
+	b := &ForestRegressor{Seed: 5, Trees: 10}
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a.Predict(X[i]) != b.Predict(X[i]) {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+}
+
+func TestForestRejectsBadInput(t *testing.T) {
+	var m ForestRegressor
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if m.Predict([]float64{1}) != 0 {
+		t.Error("unfitted forest should predict 0")
+	}
+	var c ForestClassifier
+	if err := c.Fit([][]float64{{1}}, []int{2}); err == nil {
+		t.Error("non-binary labels accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package mlkit
+
+// GBMRegressor is gradient-boosted regression trees with squared-error
+// loss: each shallow tree fits the residual of the ensemble so far,
+// scaled by a learning rate. Like the random forest it sits outside the
+// paper's five techniques, rounding the kit out toward what a production
+// model-selection pass would actually sweep.
+type GBMRegressor struct {
+	// Trees is the boosting rounds (default 80); Depth each tree's limit
+	// (default 3); LearningRate the shrinkage (default 0.1); MinLeaf the
+	// minimum leaf size (default 4).
+	Trees        int
+	Depth        int
+	LearningRate float64
+	MinLeaf      int
+
+	base  float64
+	trees []*TreeRegressor
+	lr    float64
+}
+
+// Fit runs the boosting rounds.
+func (m *GBMRegressor) Fit(X [][]float64, y []float64) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	rounds := m.Trees
+	if rounds <= 0 {
+		rounds = 80
+	}
+	depth := m.Depth
+	if depth <= 0 {
+		depth = 3
+	}
+	m.lr = m.LearningRate
+	if m.lr <= 0 {
+		m.lr = 0.1
+	}
+	minLeaf := m.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 4
+	}
+
+	// Initialize with the mean.
+	m.base = 0
+	for _, v := range y {
+		m.base += v
+	}
+	m.base /= float64(len(y))
+
+	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = m.base
+	}
+	m.trees = m.trees[:0]
+	for r := 0; r < rounds; r++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		t := &TreeRegressor{MaxDepth: depth, MinLeaf: minLeaf}
+		if err := t.Fit(X, resid); err != nil {
+			return err
+		}
+		m.trees = append(m.trees, t)
+		for i, x := range X {
+			pred[i] += m.lr * t.Predict(x)
+		}
+	}
+	return nil
+}
+
+// Predict sums the shrunken ensemble.
+func (m *GBMRegressor) Predict(x []float64) float64 {
+	v := m.base
+	for _, t := range m.trees {
+		v += m.lr * t.Predict(x)
+	}
+	return v
+}

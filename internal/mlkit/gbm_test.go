@@ -1,0 +1,54 @@
+package mlkit
+
+import "testing"
+
+func TestGBMGeneralizes(t *testing.T) {
+	X, y := synthReg(1500, 91)
+	r2, err := EvaluateRegressor(&GBMRegressor{}, X[:1200], y[:1200], X[1200:], y[1200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.95 {
+		t.Errorf("GBM test R2 = %v, want ≥0.95", r2)
+	}
+}
+
+func TestGBMBeatsSingleShallowTree(t *testing.T) {
+	X, y := synthReg(900, 93)
+	shallow, err := EvaluateRegressor(&TreeRegressor{MaxDepth: 3}, X[:700], y[:700], X[700:], y[700:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbm, err := EvaluateRegressor(&GBMRegressor{Depth: 3}, X[:700], y[:700], X[700:], y[700:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gbm <= shallow {
+		t.Errorf("boosting did not beat its weak learner: %v <= %v", gbm, shallow)
+	}
+}
+
+func TestGBMRejectsBadInput(t *testing.T) {
+	var m GBMRegressor
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestGBMMoreRoundsMonotoneTrainFit(t *testing.T) {
+	X, y := synthReg(500, 97)
+	fit := func(rounds int) float64 {
+		m := &GBMRegressor{Trees: rounds}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		pred := make([]float64, len(y))
+		for i, x := range X {
+			pred[i] = m.Predict(x)
+		}
+		return R2(y, pred)
+	}
+	if fit(80) <= fit(5) {
+		t.Error("more boosting rounds did not improve the training fit")
+	}
+}

@@ -1,0 +1,129 @@
+package mlkit
+
+import (
+	"sort"
+)
+
+// knnBase stores the standardized training set shared by the KNN
+// regressor and classifier.
+type knnBase struct {
+	k      int
+	scaler *Scaler
+	xs     [][]float64
+}
+
+func (b *knnBase) fit(X [][]float64, n int) error {
+	if err := checkMatrix(X, n); err != nil {
+		return err
+	}
+	b.scaler = FitScaler(X)
+	b.xs = b.scaler.TransformAll(X)
+	if b.k <= 0 {
+		b.k = 5
+	}
+	if b.k > len(b.xs) {
+		b.k = len(b.xs)
+	}
+	return nil
+}
+
+// neighbors returns the indices of the k nearest training samples.
+func (b *knnBase) neighbors(x []float64) []int {
+	q := b.scaler.Transform(x)
+	type ds struct {
+		d   float64
+		idx int
+	}
+	all := make([]ds, len(b.xs))
+	for i, row := range b.xs {
+		d := 0.0
+		for j := range row {
+			dv := row[j] - q[j]
+			d += dv * dv
+		}
+		all[i] = ds{d, i}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].idx < all[j].idx
+	})
+	out := make([]int, b.k)
+	for i := 0; i < b.k; i++ {
+		out[i] = all[i].idx
+	}
+	return out
+}
+
+// KNNRegressor predicts the mean target of the K nearest neighbours in
+// standardized feature space — the technique the paper found best for BE
+// performance and for both power models (Figs. 6–7).
+type KNNRegressor struct {
+	// K is the neighbourhood size (default 5).
+	K int
+
+	base knnBase
+	y    []float64
+}
+
+// Fit stores the training set.
+func (m *KNNRegressor) Fit(X [][]float64, y []float64) error {
+	m.base.k = m.K
+	if err := m.base.fit(X, len(y)); err != nil {
+		return err
+	}
+	m.y = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict averages the K nearest targets.
+func (m *KNNRegressor) Predict(x []float64) float64 {
+	if len(m.y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	nb := m.base.neighbors(x)
+	for _, i := range nb {
+		sum += m.y[i]
+	}
+	return sum / float64(len(nb))
+}
+
+// KNNClassifier predicts the majority label of the K nearest neighbours.
+type KNNClassifier struct {
+	// K is the neighbourhood size (default 5).
+	K int
+
+	base knnBase
+	y    []int
+}
+
+// Fit stores the training set.
+func (m *KNNClassifier) Fit(X [][]float64, y []int) error {
+	if err := checkBinary(y); err != nil {
+		return err
+	}
+	m.base.k = m.K
+	if err := m.base.fit(X, len(y)); err != nil {
+		return err
+	}
+	m.y = append([]int(nil), y...)
+	return nil
+}
+
+// PredictClass returns the majority vote (ties go to 1).
+func (m *KNNClassifier) PredictClass(x []float64) int {
+	if len(m.y) == 0 {
+		return 0
+	}
+	ones := 0
+	nb := m.base.neighbors(x)
+	for _, i := range nb {
+		ones += m.y[i]
+	}
+	if 2*ones >= len(nb) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,206 @@
+package mlkit
+
+import (
+	"math"
+)
+
+// LinearRegression is ordinary least squares with optional ridge damping
+// (Ridge > 0 stabilizes nearly collinear sweeps), solved by the normal
+// equations with Gaussian elimination.
+type LinearRegression struct {
+	// Ridge is the L2 regularization strength (0 = pure OLS).
+	Ridge float64
+
+	coef      []float64 // per-feature weights
+	intercept float64
+}
+
+// Fit solves (XᵀX + λI)β = Xᵀy with an intercept column.
+func (m *LinearRegression) Fit(X [][]float64, y []float64) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	d := len(X[0]) + 1 // + intercept
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	// Accumulate the augmented normal equations; feature d-1 is the
+	// constant 1.
+	row := make([]float64, d)
+	for s, xs := range X {
+		copy(row, xs)
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][d] += row[i] * y[s]
+		}
+	}
+	for i := 0; i < d-1; i++ { // do not damp the intercept
+		a[i][i] += m.Ridge
+	}
+	beta, ok := solveLinear(a)
+	if !ok {
+		// Singular system: retry with a small ridge.
+		for i := 0; i < d-1; i++ {
+			a[i][i] += 1e-8
+		}
+		beta, ok = solveLinear(a)
+		if !ok {
+			return ErrNoData
+		}
+	}
+	m.coef = beta[:d-1]
+	m.intercept = beta[d-1]
+	return nil
+}
+
+// Predict returns β·x + intercept.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	v := m.intercept
+	for j, c := range m.coef {
+		if j < len(x) {
+			v += c * x[j]
+		}
+	}
+	return v
+}
+
+// Coefficients returns the fitted weights (without intercept).
+func (m *LinearRegression) Coefficients() []float64 {
+	return append([]float64(nil), m.coef...)
+}
+
+// Intercept returns the fitted intercept.
+func (m *LinearRegression) Intercept() float64 { return m.intercept }
+
+// solveLinear solves the augmented system a (n×(n+1)) in place by Gaussian
+// elimination with partial pivoting. It reports false when singular.
+func solveLinear(a [][]float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[p] = a[p], a[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i][n] / a[i][i]
+	}
+	return out, true
+}
+
+// LogisticRegression is a binary classifier trained by full-batch
+// gradient descent on standardized features.
+type LogisticRegression struct {
+	// LR is the learning rate (default 0.5); Iters the descent steps
+	// (default 400); L2 the regularization strength.
+	LR    float64
+	Iters int
+	L2    float64
+
+	scaler    *Scaler
+	coef      []float64
+	intercept float64
+}
+
+// Fit trains the classifier.
+func (m *LogisticRegression) Fit(X [][]float64, y []int) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	if err := checkBinary(y); err != nil {
+		return err
+	}
+	lr := m.LR
+	if lr <= 0 {
+		lr = 0.5
+	}
+	iters := m.Iters
+	if iters <= 0 {
+		iters = 400
+	}
+	m.scaler = FitScaler(X)
+	xs := m.scaler.TransformAll(X)
+	d := len(xs[0])
+	m.coef = make([]float64, d)
+	m.intercept = 0
+	n := float64(len(xs))
+	grad := make([]float64, d)
+	for it := 0; it < iters; it++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		g0 := 0.0
+		for i, x := range xs {
+			p := sigmoid(m.rawScore(x))
+			e := p - float64(y[i])
+			for j, v := range x {
+				grad[j] += e * v
+			}
+			g0 += e
+		}
+		for j := range m.coef {
+			m.coef[j] -= lr * (grad[j]/n + m.L2*m.coef[j])
+		}
+		m.intercept -= lr * g0 / n
+	}
+	return nil
+}
+
+func (m *LogisticRegression) rawScore(scaled []float64) float64 {
+	v := m.intercept
+	for j, c := range m.coef {
+		if j < len(scaled) {
+			v += c * scaled[j]
+		}
+	}
+	return v
+}
+
+// PredictProb returns P(class = 1).
+func (m *LogisticRegression) PredictProb(x []float64) float64 {
+	if m.scaler == nil {
+		return 0.5
+	}
+	return sigmoid(m.rawScore(m.scaler.Transform(x)))
+}
+
+// PredictClass returns the maximum-probability label.
+func (m *LogisticRegression) PredictClass(x []float64) int {
+	if m.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,246 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+)
+
+// mlpNet is a one-hidden-layer perceptron with tanh activation, trained
+// by mini-batch SGD with momentum. The output is linear; the classifier
+// wrapper applies a sigmoid.
+type mlpNet struct {
+	hidden int
+	lr     float64
+	epochs int
+	batch  int
+	seed   int64
+	l2     float64
+
+	scaler     *Scaler
+	yMean, ySD float64
+
+	w1 [][]float64 // hidden × in
+	b1 []float64
+	w2 []float64 // hidden
+	b2 float64
+}
+
+func (n *mlpNet) defaults() {
+	if n.hidden <= 0 {
+		n.hidden = 16
+	}
+	if n.lr <= 0 {
+		n.lr = 0.02
+	}
+	if n.epochs <= 0 {
+		n.epochs = 200
+	}
+	if n.batch <= 0 {
+		n.batch = 16
+	}
+}
+
+// fit trains on standardized features and (for regression) standardized
+// targets; classify switches the loss to cross-entropy through a sigmoid.
+func (n *mlpNet) fit(X [][]float64, y []float64, classify bool) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	n.defaults()
+	n.scaler = FitScaler(X)
+	xs := n.scaler.TransformAll(X)
+	in := len(xs[0])
+	m := len(xs)
+
+	ys := make([]float64, m)
+	if classify {
+		copy(ys, y)
+		n.yMean, n.ySD = 0, 1
+	} else {
+		n.yMean, n.ySD = 0, 0
+		for _, v := range y {
+			n.yMean += v
+		}
+		n.yMean /= float64(m)
+		for _, v := range y {
+			d := v - n.yMean
+			n.ySD += d * d
+		}
+		n.ySD = math.Sqrt(n.ySD / float64(m))
+		if n.ySD < 1e-12 {
+			n.ySD = 1
+		}
+		for i, v := range y {
+			ys[i] = (v - n.yMean) / n.ySD
+		}
+	}
+
+	rng := rand.New(rand.NewSource(n.seed + 1))
+	n.w1 = make([][]float64, n.hidden)
+	n.b1 = make([]float64, n.hidden)
+	n.w2 = make([]float64, n.hidden)
+	scale := math.Sqrt(2 / float64(in))
+	for h := range n.w1 {
+		n.w1[h] = make([]float64, in)
+		for j := range n.w1[h] {
+			n.w1[h][j] = rng.NormFloat64() * scale
+		}
+		n.w2[h] = rng.NormFloat64() * math.Sqrt(1/float64(n.hidden))
+	}
+	n.b2 = 0
+
+	// Momentum buffers.
+	v1 := make([][]float64, n.hidden)
+	for h := range v1 {
+		v1[h] = make([]float64, in)
+	}
+	vb1 := make([]float64, n.hidden)
+	v2 := make([]float64, n.hidden)
+	vb2 := 0.0
+	const mom = 0.9
+
+	hid := make([]float64, n.hidden)
+	for e := 0; e < n.epochs; e++ {
+		perm := rng.Perm(m)
+		for start := 0; start < m; start += n.batch {
+			end := start + n.batch
+			if end > m {
+				end = m
+			}
+			bs := float64(end - start)
+			// Accumulate gradients over the batch.
+			g1 := make([][]float64, n.hidden)
+			for h := range g1 {
+				g1[h] = make([]float64, in)
+			}
+			gb1 := make([]float64, n.hidden)
+			g2 := make([]float64, n.hidden)
+			gb2 := 0.0
+			for _, i := range perm[start:end] {
+				x := xs[i]
+				// Forward.
+				for h := 0; h < n.hidden; h++ {
+					z := n.b1[h]
+					for j, xv := range x {
+						z += n.w1[h][j] * xv
+					}
+					hid[h] = math.Tanh(z)
+				}
+				out := n.b2
+				for h, hv := range hid {
+					out += n.w2[h] * hv
+				}
+				var dOut float64
+				if classify {
+					dOut = sigmoid(out) - ys[i] // dCE/dz
+				} else {
+					dOut = out - ys[i] // dMSE/2
+				}
+				// Backward.
+				gb2 += dOut
+				for h, hv := range hid {
+					g2[h] += dOut * hv
+					dh := dOut * n.w2[h] * (1 - hv*hv)
+					gb1[h] += dh
+					for j, xv := range x {
+						g1[h][j] += dh * xv
+					}
+				}
+			}
+			// Momentum update.
+			for h := 0; h < n.hidden; h++ {
+				v2[h] = mom*v2[h] - n.lr*(g2[h]/bs+n.l2*n.w2[h])
+				n.w2[h] += v2[h]
+				vb1[h] = mom*vb1[h] - n.lr*gb1[h]/bs
+				n.b1[h] += vb1[h]
+				for j := range n.w1[h] {
+					v1[h][j] = mom*v1[h][j] - n.lr*(g1[h][j]/bs+n.l2*n.w1[h][j])
+					n.w1[h][j] += v1[h][j]
+				}
+			}
+			vb2 = mom*vb2 - n.lr*gb2/bs
+			n.b2 += vb2
+		}
+	}
+	return nil
+}
+
+// raw evaluates the pre-output activation on an unscaled input.
+func (n *mlpNet) raw(x []float64) float64 {
+	if n.scaler == nil {
+		return 0
+	}
+	xs := n.scaler.Transform(x)
+	out := n.b2
+	for h := 0; h < n.hidden; h++ {
+		z := n.b1[h]
+		for j, xv := range xs {
+			z += n.w1[h][j] * xv
+		}
+		out += n.w2[h] * math.Tanh(z)
+	}
+	return out
+}
+
+// MLPRegressor is a one-hidden-layer neural network regressor.
+type MLPRegressor struct {
+	// Hidden is the hidden width (default 16); LR the learning rate
+	// (default 0.02); Epochs the training passes (default 200); Seed the
+	// initialization seed; L2 the weight decay.
+	Hidden int
+	LR     float64
+	Epochs int
+	Seed   int64
+	L2     float64
+
+	net mlpNet
+}
+
+// Fit trains the network.
+func (m *MLPRegressor) Fit(X [][]float64, y []float64) error {
+	m.net = mlpNet{hidden: m.Hidden, lr: m.LR, epochs: m.Epochs, seed: m.Seed, l2: m.L2}
+	return m.net.fit(X, y, false)
+}
+
+// Predict evaluates the network in original target units.
+func (m *MLPRegressor) Predict(x []float64) float64 {
+	return m.net.raw(x)*m.net.ySD + m.net.yMean
+}
+
+// MLPClassifier is a one-hidden-layer neural network binary classifier.
+type MLPClassifier struct {
+	// See MLPRegressor for the meaning of the hyperparameters.
+	Hidden int
+	LR     float64
+	Epochs int
+	Seed   int64
+	L2     float64
+
+	net mlpNet
+}
+
+// Fit trains with sigmoid cross-entropy.
+func (m *MLPClassifier) Fit(X [][]float64, y []int) error {
+	if err := checkBinary(y); err != nil {
+		return err
+	}
+	yf := make([]float64, len(y))
+	for i, v := range y {
+		yf[i] = float64(v)
+	}
+	m.net = mlpNet{hidden: m.Hidden, lr: m.LR, epochs: m.Epochs, seed: m.Seed, l2: m.L2}
+	return m.net.fit(X, yf, true)
+}
+
+// PredictProb returns P(class = 1).
+func (m *MLPClassifier) PredictProb(x []float64) float64 {
+	return sigmoid(m.net.raw(x))
+}
+
+// PredictClass thresholds at 0.5.
+func (m *MLPClassifier) PredictClass(x []float64) int {
+	if m.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}

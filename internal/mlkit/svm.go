@@ -1,0 +1,209 @@
+package mlkit
+
+import (
+	"math/rand"
+)
+
+// SVMClassifier is a linear support-vector machine trained with the
+// Pegasos stochastic sub-gradient algorithm on standardized features.
+type SVMClassifier struct {
+	// Lambda is the regularization strength (default 1e-3); Epochs the
+	// number of passes over the data (default 40); Seed the shuffling
+	// seed.
+	Lambda float64
+	Epochs int
+	Seed   int64
+
+	scaler *Scaler
+	w      []float64
+	b      float64
+}
+
+// Fit trains the hinge-loss separator; labels are 0/1.
+func (m *SVMClassifier) Fit(X [][]float64, y []int) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	if err := checkBinary(y); err != nil {
+		return err
+	}
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 40
+	}
+	m.scaler = FitScaler(X)
+	xs := m.scaler.TransformAll(X)
+	n := len(xs)
+	d := len(xs[0])
+	m.w = make([]float64, d)
+	m.b = 0
+
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	t := 0
+	for e := 0; e < epochs; e++ {
+		for _, i := range rng.Perm(n) {
+			t++
+			eta := 1 / (lambda * float64(t))
+			yi := float64(2*y[i] - 1) // ±1
+			margin := yi * (dot(m.w, xs[i]) + m.b)
+			for j := range m.w {
+				m.w[j] *= 1 - eta*lambda
+			}
+			if margin < 1 {
+				for j := range m.w {
+					m.w[j] += eta * yi * xs[i][j]
+				}
+				m.b += eta * yi
+			}
+		}
+	}
+	return nil
+}
+
+// Decision returns the signed margin.
+func (m *SVMClassifier) Decision(x []float64) float64 {
+	if m.scaler == nil {
+		return 0
+	}
+	return dot(m.w, m.scaler.Transform(x)) + m.b
+}
+
+// PredictClass returns 1 for a non-negative margin.
+func (m *SVMClassifier) PredictClass(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// SVR is linear ε-insensitive support-vector regression trained by
+// stochastic sub-gradient descent on standardized features and targets.
+type SVR struct {
+	// Lambda regularizes (default 1e-4); Epsilon is the insensitive tube
+	// half-width in standardized target units (default 0.05); Epochs the
+	// passes (default 60); Seed the shuffling seed.
+	Lambda  float64
+	Epsilon float64
+	Epochs  int
+	Seed    int64
+
+	scaler     *Scaler
+	yMean, ySD float64
+	w          []float64
+	b          float64
+}
+
+// Fit trains the regressor.
+func (m *SVR) Fit(X [][]float64, y []float64) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-4
+	}
+	eps := m.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 60
+	}
+	m.scaler = FitScaler(X)
+	xs := m.scaler.TransformAll(X)
+	n := len(xs)
+	d := len(xs[0])
+
+	// Standardize targets so Epsilon has scale-free meaning.
+	m.yMean, m.ySD = 0, 0
+	for _, v := range y {
+		m.yMean += v
+	}
+	m.yMean /= float64(n)
+	for _, v := range y {
+		dv := v - m.yMean
+		m.ySD += dv * dv
+	}
+	m.ySD = sqrt(m.ySD / float64(n))
+	if m.ySD < 1e-12 {
+		m.ySD = 1
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - m.yMean) / m.ySD
+	}
+
+	m.w = make([]float64, d)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	// Polyak averaging over the second half of training smooths the
+	// sub-gradient oscillation around the optimum.
+	avgW := make([]float64, d)
+	avgB := 0.0
+	avgN := 0
+	halfway := epochs / 2
+	t := 0
+	for e := 0; e < epochs; e++ {
+		for _, i := range rng.Perm(n) {
+			t++
+			eta := 1 / (lambda * float64(t))
+			if eta > 1 {
+				eta = 1
+			}
+			pred := dot(m.w, xs[i]) + m.b
+			err := pred - ys[i]
+			for j := range m.w {
+				m.w[j] *= 1 - eta*lambda
+			}
+			switch {
+			case err > eps:
+				for j := range m.w {
+					m.w[j] -= eta * xs[i][j]
+				}
+				m.b -= eta
+			case err < -eps:
+				for j := range m.w {
+					m.w[j] += eta * xs[i][j]
+				}
+				m.b += eta
+			}
+			if e >= halfway {
+				for j := range m.w {
+					avgW[j] += m.w[j]
+				}
+				avgB += m.b
+				avgN++
+			}
+		}
+	}
+	if avgN > 0 {
+		for j := range avgW {
+			m.w[j] = avgW[j] / float64(avgN)
+		}
+		m.b = avgB / float64(avgN)
+	}
+	return nil
+}
+
+// Predict evaluates the fitted tube centre in original target units.
+func (m *SVR) Predict(x []float64) float64 {
+	if m.scaler == nil {
+		return 0
+	}
+	return (dot(m.w, m.scaler.Transform(x))+m.b)*m.ySD + m.yMean
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		if i < len(b) {
+			s += a[i] * b[i]
+		}
+	}
+	return s
+}

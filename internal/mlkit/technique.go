@@ -1,0 +1,60 @@
+package mlkit
+
+import "fmt"
+
+// Technique names one of the modelling families the paper compares in
+// §V-C. For LR the classifier side is logistic regression and the
+// regressor side linear regression, exactly as the paper's Fig. 6 caption
+// notes.
+type Technique string
+
+// The five techniques of Figs. 6–7.
+const (
+	DT  Technique = "DT"
+	KNN Technique = "KNN"
+	SV  Technique = "SV"
+	MLP Technique = "MLP"
+	LR  Technique = "LR"
+)
+
+// AllTechniques returns the techniques in the paper's figure order.
+func AllTechniques() []Technique {
+	return []Technique{DT, KNN, SV, MLP, LR}
+}
+
+// NewRegressor constructs a fresh regressor of the technique with
+// Sturgeon's default hyperparameters.
+func (t Technique) NewRegressor(seed int64) Regressor {
+	switch t {
+	case DT:
+		return &TreeRegressor{MaxDepth: 14, MinLeaf: 2}
+	case KNN:
+		return &KNNRegressor{K: 5}
+	case SV:
+		return &SVR{Epochs: 80, Seed: seed}
+	case MLP:
+		return &MLPRegressor{Hidden: 24, Epochs: 250, Seed: seed}
+	case LR:
+		return &LinearRegression{Ridge: 1e-6}
+	default:
+		panic(fmt.Sprintf("mlkit: unknown technique %q", string(t)))
+	}
+}
+
+// NewClassifier constructs a fresh binary classifier of the technique.
+func (t Technique) NewClassifier(seed int64) Classifier {
+	switch t {
+	case DT:
+		return &TreeClassifier{MaxDepth: 10, MinLeaf: 8}
+	case KNN:
+		return &KNNClassifier{K: 5}
+	case SV:
+		return &SVMClassifier{Epochs: 60, Seed: seed}
+	case MLP:
+		return &MLPClassifier{Hidden: 24, Epochs: 250, Seed: seed}
+	case LR:
+		return &LogisticRegression{}
+	default:
+		panic(fmt.Sprintf("mlkit: unknown technique %q", string(t)))
+	}
+}

@@ -1,0 +1,216 @@
+package mlkit
+
+import (
+	"math"
+	"sort"
+)
+
+// treeNode is one CART node; leaves carry a value.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64 // leaf: mean target (regression) or P(1) (classification)
+	leaf      bool
+}
+
+func (n *treeNode) eval(x []float64) float64 {
+	for !n.leaf {
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// treeParams bounds the recursive builder.
+type treeParams struct {
+	maxDepth    int
+	minLeaf     int
+	minImproved float64
+}
+
+// buildTree grows a CART tree minimizing weighted impurity. For
+// regression the impurity is variance; classification passes y ∈ {0,1}
+// through the same machinery (variance of a Bernoulli = Gini/2, so the
+// split ordering is identical to Gini).
+func buildTree(X [][]float64, y []float64, idx []int, depth int, p treeParams) *treeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	node := &treeNode{leaf: true, value: mean}
+	if depth >= p.maxDepth || len(idx) < 2*p.minLeaf {
+		return node
+	}
+	imp := impurity(y, idx, mean)
+	if imp <= 1e-12 {
+		return node
+	}
+
+	bestGain := p.minImproved
+	bestFeat, bestThresh := -1, 0.0
+	d := len(X[0])
+	order := make([]int, len(idx))
+	for f := 0; f < d; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		// Prefix sums over the sorted order for O(1) split evaluation.
+		var sumL, sqL float64
+		var sumT, sqT float64
+		for _, i := range order {
+			sumT += y[i]
+			sqT += y[i] * y[i]
+		}
+		n := float64(len(order))
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			sumL += y[i]
+			sqL += y[i] * y[i]
+			// Can't split between equal feature values.
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < p.minLeaf || int(nr) < p.minLeaf {
+				continue
+			}
+			varL := sqL - sumL*sumL/nl
+			sumR := sumT - sumL
+			varR := (sqT - sqL) - sumR*sumR/nr
+			gain := imp - (varL + varR)
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return node
+	}
+	node.leaf = false
+	node.feature = bestFeat
+	node.threshold = bestThresh
+	node.left = buildTree(X, y, li, depth+1, p)
+	node.right = buildTree(X, y, ri, depth+1, p)
+	return node
+}
+
+// impurity returns the total squared deviation (n·variance).
+func impurity(y []float64, idx []int, mean float64) float64 {
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - mean
+		s += d * d
+	}
+	return s
+}
+
+// TreeRegressor is a CART regression tree.
+type TreeRegressor struct {
+	// MaxDepth bounds tree depth (default 12); MinLeaf the minimum leaf
+	// size (default 2).
+	MaxDepth int
+	MinLeaf  int
+
+	root *treeNode
+}
+
+// Fit grows the tree.
+func (m *TreeRegressor) Fit(X [][]float64, y []float64) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	p := treeParams{maxDepth: m.MaxDepth, minLeaf: m.MinLeaf, minImproved: 1e-12}
+	if p.maxDepth <= 0 {
+		p.maxDepth = 12
+	}
+	if p.minLeaf <= 0 {
+		p.minLeaf = 2
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = buildTree(X, y, idx, 0, p)
+	return nil
+}
+
+// Predict walks the tree.
+func (m *TreeRegressor) Predict(x []float64) float64 {
+	if m.root == nil {
+		return math.NaN()
+	}
+	return m.root.eval(x)
+}
+
+// TreeClassifier is a CART binary classifier (Gini splits) — the paper's
+// best technique for the LS performance (QoS-feasibility) model.
+type TreeClassifier struct {
+	// MaxDepth bounds tree depth (default 12); MinLeaf the minimum leaf
+	// size (default 2).
+	MaxDepth int
+	MinLeaf  int
+
+	root *treeNode
+}
+
+// Fit grows the tree on binary labels.
+func (m *TreeClassifier) Fit(X [][]float64, y []int) error {
+	if err := checkMatrix(X, len(y)); err != nil {
+		return err
+	}
+	if err := checkBinary(y); err != nil {
+		return err
+	}
+	yf := make([]float64, len(y))
+	for i, v := range y {
+		yf[i] = float64(v)
+	}
+	p := treeParams{maxDepth: m.MaxDepth, minLeaf: m.MinLeaf, minImproved: 1e-12}
+	if p.maxDepth <= 0 {
+		p.maxDepth = 12
+	}
+	if p.minLeaf <= 0 {
+		p.minLeaf = 2
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = buildTree(X, yf, idx, 0, p)
+	return nil
+}
+
+// PredictProb returns the leaf's positive-class fraction.
+func (m *TreeClassifier) PredictProb(x []float64) float64 {
+	if m.root == nil {
+		return 0.5
+	}
+	return m.root.eval(x)
+}
+
+// PredictClass thresholds the leaf probability at 0.5.
+func (m *TreeClassifier) PredictClass(x []float64) int {
+	if m.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,179 @@
+// Package models implements Sturgeon's online performance/power predictor
+// (§V of the paper): per-application models trained offline on profiling
+// sweeps, the Fig. 5 prediction API used by the configuration search and
+// the balancer, and the §V-C technique comparison behind Figs. 6–7.
+//
+// Four models exist per co-location pair:
+//
+//   - LS performance — a binary classifier answering "does <C1,F1,L1> meet
+//     the QoS target at this QPS?" (best technique: decision tree)
+//   - LS power — a regressor for the node power running the LS service
+//     alone under an allocation (best: KNN)
+//   - BE performance — a regressor for best-effort throughput under an
+//     allocation (best: KNN/MLP)
+//   - BE power — a regressor for the *incremental* power of the BE
+//     allocation (best: KNN)
+//
+// The features are the paper's Lasso-selected four: input size (QPS for
+// LS services, the PARSEC input level for BE applications), core count,
+// core frequency and LLC ways. Power labels use the peak reading over the
+// sampling window, matching the paper's conservative peak-power training.
+package models
+
+import (
+	"math"
+	"math/rand"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/telemetry"
+	"sturgeon/internal/workload"
+)
+
+// LSFeatureNames are the columns of LS datasets: the paper's four
+// Lasso-selected features plus the engineered load-per-capacity column
+// (see lsFeatures).
+var LSFeatureNames = []string{"qps", "cores", "freq", "ways", "load_per_cap"}
+
+// BEFeatureNames are the columns of BE datasets.
+var BEFeatureNames = []string{"input", "cores", "freq", "ways", "capacity"}
+
+// QoSGuardBand scales the QoS target when labelling training samples:
+// a configuration counts as feasible only when its measured tail latency
+// sits below GuardBand × target. The margin absorbs model error so that
+// configurations the classifier accepts rarely violate the true target —
+// the same conservatism the paper applies to power (peak-power labels).
+const QoSGuardBand = 0.9
+
+// CollectOptions shape a profiling sweep.
+type CollectOptions struct {
+	// Samples is the number of random configurations to measure
+	// (default 1200).
+	Samples int
+	// IntervalsPerSample is how many 1 s intervals each configuration is
+	// observed for; power labels take the peak over them (default 3).
+	IntervalsPerSample int
+	// Seed drives both the configuration sampling and measurement noise.
+	Seed int64
+	// MeanPowerLabels trains power models on interval-mean power instead
+	// of the paper's conservative peak power (ablation, DESIGN.md §5.2).
+	MeanPowerLabels bool
+}
+
+func (o CollectOptions) withDefaults() CollectOptions {
+	if o.Samples <= 0 {
+		o.Samples = 1200
+	}
+	if o.IntervalsPerSample <= 0 {
+		o.IntervalsPerSample = 3
+	}
+	return o
+}
+
+// CollectLS sweeps random <cores, freq, ways> × QPS points for an LS
+// service running alone on a profiling node and returns three datasets:
+// perf with binary QoS-feasibility labels, pow with peak node power
+// labels, and lat with log10 tail-latency labels. The latency dataset
+// feeds the regression side of the Fig. 5 performance model ("predict
+// the tail latency"), which the predictor cross-checks against the
+// classifier.
+func CollectLS(ls workload.Profile, opts CollectOptions) (perf, pow, lat telemetry.Dataset) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// The BE side of the node is irrelevant: zero cores.
+	node := sim.ProfilingNode(ls, workload.Blackscholes(), opts.Seed+1)
+	spec := node.Spec
+
+	perfRec := telemetry.NewRecorder(LSFeatureNames...)
+	powRec := telemetry.NewRecorder(LSFeatureNames...)
+	latRec := telemetry.NewRecorder(LSFeatureNames...)
+	for s := 0; s < opts.Samples; s++ {
+		alloc := hw.Alloc{
+			Cores:   1 + rng.Intn(spec.Cores),
+			Freq:    spec.FreqAtLevel(rng.Intn(spec.NumFreqLevels())),
+			LLCWays: 1 + rng.Intn(spec.LLCWays),
+		}
+		qps := (0.05 + 0.95*rng.Float64()) * ls.PeakQPS
+		cfg := hw.Config{LS: alloc, BE: hw.Alloc{Freq: spec.FreqMin}}
+		if err := node.Apply(cfg); err != nil {
+			continue
+		}
+		node.ResetQueue()
+		feats := lsFeatures(alloc, qps)
+		var worstP95, peakW, sumW float64
+		for i := 0; i < opts.IntervalsPerSample; i++ {
+			st := node.Step(float64(s*opts.IntervalsPerSample+i), qps)
+			if st.P95 > worstP95 {
+				worstP95 = st.P95
+			}
+			if float64(st.Power) > peakW {
+				peakW = float64(st.Power)
+			}
+			sumW += float64(st.Power)
+		}
+		ok := 0.0
+		if worstP95 <= QoSGuardBand*ls.QoSTargetS {
+			ok = 1
+		}
+		powLabel := peakW
+		if opts.MeanPowerLabels {
+			powLabel = sumW / float64(opts.IntervalsPerSample)
+		}
+		_ = perfRec.Add(feats, ok)
+		_ = powRec.Add(feats, powLabel)
+		_ = latRec.Add(feats, math.Log10(math.Max(worstP95, 1e-6)))
+	}
+	return perfRec.Dataset(), powRec.Dataset(), latRec.Dataset()
+}
+
+// CollectBE sweeps random <cores, freq, ways> × input-level points for a
+// BE application running alone and returns throughput and incremental
+// power datasets. Incremental power excludes the platform idle floor, so
+// summing an LS power prediction and a BE power prediction approximates
+// co-located node power (Fig. 5's composition).
+func CollectBE(be workload.Profile, opts CollectOptions) (thpt, pow telemetry.Dataset) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	thptRec := telemetry.NewRecorder(BEFeatureNames...)
+	powRec := telemetry.NewRecorder(BEFeatureNames...)
+	for s := 0; s < opts.Samples; s++ {
+		level := 1 + rng.Intn(6)
+		leveled := be.WithInput(level)
+		node := sim.ProfilingNode(workload.Memcached(), leveled, opts.Seed+int64(s)+1)
+		spec := node.Spec
+		alloc := hw.Alloc{
+			Cores:   1 + rng.Intn(spec.Cores),
+			Freq:    spec.FreqAtLevel(rng.Intn(spec.NumFreqLevels())),
+			LLCWays: 1 + rng.Intn(spec.LLCWays),
+		}
+		cfg := hw.Config{LS: hw.Alloc{Freq: spec.FreqMin}, BE: alloc}
+		if err := node.Apply(cfg); err != nil {
+			continue
+		}
+		feats := beFeatureVec(level, alloc)
+		var sumT, peakW, sumW float64
+		for i := 0; i < opts.IntervalsPerSample; i++ {
+			st := node.Step(float64(i), 0)
+			sumT += st.BEThroughputUPS
+			if float64(st.Power) > peakW {
+				peakW = float64(st.Power)
+			}
+			sumW += float64(st.Power)
+		}
+		powLabel := peakW
+		if opts.MeanPowerLabels {
+			powLabel = sumW / float64(opts.IntervalsPerSample)
+		}
+		inc := powLabel - float64(node.PowerParams.IdleW)
+		if inc < 0 {
+			inc = 0
+		}
+		// Throughput instrumentation (IPC counters) carries a few percent
+		// of measurement noise, like the latency and power channels.
+		meas := sumT / float64(opts.IntervalsPerSample) * (1 + 0.02*rng.NormFloat64())
+		_ = thptRec.Add(feats, meas)
+		_ = powRec.Add(feats, inc)
+	}
+	return thptRec.Dataset(), powRec.Dataset()
+}

@@ -1,0 +1,84 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sturgeon/internal/mlkit"
+	"sturgeon/internal/telemetry"
+)
+
+// Score is one technique's quality on one model family.
+type Score struct {
+	Technique mlkit.Technique
+	// Value is R² for regression models and accuracy for classification
+	// models (the paper reports R² for both; accuracy is the natural
+	// analogue for a binary classifier and lives on the same [0,1]
+	// better-is-higher scale).
+	Value float64
+}
+
+// CompareRegression evaluates every §V-C technique on a regression
+// dataset with an 80/20 split and returns R² scores in figure order.
+func CompareRegression(ds telemetry.Dataset, seed int64) ([]Score, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train, test := ds.Split(0.2, rng)
+	if train.Len() == 0 || test.Len() == 0 {
+		return nil, fmt.Errorf("models: dataset with %d samples cannot be split", ds.Len())
+	}
+	var out []Score
+	for _, tech := range mlkit.AllTechniques() {
+		r2, err := mlkit.EvaluateRegressor(tech.NewRegressor(seed), train.X, train.Y, test.X, test.Y)
+		if err != nil {
+			return nil, fmt.Errorf("models: %s: %w", tech, err)
+		}
+		out = append(out, Score{tech, r2})
+	}
+	return out, nil
+}
+
+// CompareClassification evaluates every technique on a binary dataset
+// (labels stored as 0/1 floats) and returns accuracy scores.
+func CompareClassification(ds telemetry.Dataset, seed int64) ([]Score, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train, test := ds.Split(0.2, rng)
+	if train.Len() == 0 || test.Len() == 0 {
+		return nil, fmt.Errorf("models: dataset with %d samples cannot be split", ds.Len())
+	}
+	toInt := func(ys []float64) []int {
+		out := make([]int, len(ys))
+		for i, v := range ys {
+			if v >= 0.5 {
+				out[i] = 1
+			}
+		}
+		return out
+	}
+	trainY, testY := toInt(train.Y), toInt(test.Y)
+	var out []Score
+	for _, tech := range mlkit.AllTechniques() {
+		acc, err := mlkit.EvaluateClassifier(tech.NewClassifier(seed), train.X, trainY, test.X, testY)
+		if err != nil {
+			return nil, fmt.Errorf("models: %s: %w", tech, err)
+		}
+		out = append(out, Score{tech, acc})
+	}
+	return out, nil
+}
+
+// Best returns the highest-scoring technique of a comparison.
+func Best(scores []Score) Score {
+	best := scores[0]
+	for _, s := range scores[1:] {
+		if s.Value > best.Value {
+			best = s
+		}
+	}
+	return best
+}

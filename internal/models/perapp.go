@@ -1,0 +1,119 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/mlkit"
+	"sturgeon/internal/power"
+	"sturgeon/internal/workload"
+)
+
+// LSModels is the per-service model bundle: the three LS-side models of
+// Fig. 5 without a BE counterpart. It backs the multi-application
+// extension of §V-B, where each application is searched independently.
+type LSModels struct {
+	LS            workload.Profile
+	Feasible      mlkit.Classifier
+	Latency       mlkit.Regressor
+	Power         mlkit.Regressor
+	LatencyMargin float64
+}
+
+// FitLS fits the LS model bundle from a profiling sweep.
+func FitLS(ls workload.Profile, d LSDatasets, seed int64) (*LSModels, error) {
+	m := &LSModels{
+		LS:            ls,
+		Feasible:      mlkit.DT.NewClassifier(seed),
+		Latency:       mlkit.KNN.NewRegressor(seed),
+		Power:         mlkit.KNN.NewRegressor(seed),
+		LatencyMargin: 0.85,
+	}
+	yc := make([]int, d.Perf.Len())
+	for i, v := range d.Perf.Y {
+		yc[i] = int(v)
+	}
+	if err := m.Feasible.Fit(d.Perf.X, yc); err != nil {
+		return nil, fmt.Errorf("models: %s feasibility: %w", ls.Name, err)
+	}
+	if err := m.Latency.Fit(d.Latency.X, d.Latency.Y); err != nil {
+		return nil, fmt.Errorf("models: %s latency: %w", ls.Name, err)
+	}
+	if err := m.Power.Fit(d.Power.X, d.Power.Y); err != nil {
+		return nil, fmt.Errorf("models: %s power: %w", ls.Name, err)
+	}
+	return m, nil
+}
+
+// QoSOK mirrors Predictor.QoSOK for the standalone bundle.
+func (m *LSModels) QoSOK(a hw.Alloc, qps float64) bool {
+	if a.Cores <= 0 {
+		return qps <= 0
+	}
+	feats := lsFeatures(a, qps)
+	if m.Feasible.PredictClass(feats) != 1 {
+		return false
+	}
+	pred := math.Pow(10, m.Latency.Predict(feats))
+	return pred <= m.LatencyMargin*m.LS.QoSTargetS
+}
+
+// NodePowerW predicts the absolute node power of the service running
+// alone under the allocation (platform idle included).
+func (m *LSModels) NodePowerW(a hw.Alloc, qps float64) power.Watts {
+	return power.Watts(m.Power.Predict(lsFeatures(a, qps)))
+}
+
+// BEModels is the per-application best-effort bundle.
+type BEModels struct {
+	BE         workload.Profile
+	InputLevel int
+	Thpt       mlkit.Regressor
+	PowerInc   mlkit.Regressor
+}
+
+// FitBE fits the BE model bundle from a profiling sweep.
+func FitBE(be workload.Profile, d BEDatasets, seed int64) (*BEModels, error) {
+	m := &BEModels{
+		BE:         be,
+		InputLevel: be.InputLevel,
+		Thpt:       mlkit.MLP.NewRegressor(seed),
+		PowerInc:   mlkit.KNN.NewRegressor(seed),
+	}
+	if m.InputLevel == 0 {
+		m.InputLevel = 3
+	}
+	if err := m.Thpt.Fit(d.Thpt.X, d.Thpt.Y); err != nil {
+		return nil, fmt.Errorf("models: %s throughput: %w", be.Name, err)
+	}
+	if err := m.PowerInc.Fit(d.Power.X, d.Power.Y); err != nil {
+		return nil, fmt.Errorf("models: %s power: %w", be.Name, err)
+	}
+	return m, nil
+}
+
+// Throughput mirrors Predictor.Throughput.
+func (m *BEModels) Throughput(a hw.Alloc) float64 {
+	if a.Cores <= 0 {
+		return 0
+	}
+	v := m.Thpt.Predict(beFeatureVec(m.InputLevel, a))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// PowerIncW predicts the incremental node power of the allocation (the
+// platform idle floor excluded).
+func (m *BEModels) PowerIncW(a hw.Alloc) power.Watts {
+	if a.Cores <= 0 {
+		return 0
+	}
+	v := m.PowerInc.Predict(beFeatureVec(m.InputLevel, a))
+	if v < 0 {
+		v = 0
+	}
+	return power.Watts(v)
+}

@@ -1,0 +1,122 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sturgeon/internal/mlkit"
+	"sturgeon/internal/workload"
+)
+
+// Predictor persistence: §V-A trains the models offline and §V-C stores
+// them on the server. Save writes the five fitted models plus a metadata
+// manifest into a directory; LoadPredictor restores a ready-to-serve
+// predictor without re-running the profiling sweeps.
+
+const manifestName = "predictor.json"
+
+type manifest struct {
+	LSName        string  `json:"ls"`
+	BEName        string  `json:"be"`
+	InputLevel    int     `json:"input_level"`
+	LatencyMargin float64 `json:"latency_margin"`
+}
+
+var modelFiles = []string{"ls_feasible", "ls_latency", "ls_power", "be_thpt", "be_power"}
+
+// Save writes the predictor's models and manifest into dir (created if
+// missing).
+func (p *Predictor) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	save := func(name string, m interface{}) error {
+		f, err := os.Create(filepath.Join(dir, name+".model"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := mlkit.Save(f, m); err != nil {
+			return fmt.Errorf("models: saving %s: %w", name, err)
+		}
+		return nil
+	}
+	for name, m := range map[string]interface{}{
+		"ls_feasible": p.LSFeasible,
+		"ls_latency":  p.LSLatency,
+		"ls_power":    p.LSPower,
+		"be_thpt":     p.BEThpt,
+		"be_power":    p.BEPower,
+	} {
+		if err := save(name, m); err != nil {
+			return err
+		}
+	}
+	mf := manifest{
+		LSName: p.LS.Name, BEName: p.BE.Name,
+		InputLevel: p.InputLevel, LatencyMargin: p.LatencyMargin,
+	}
+	b, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), b, 0o644)
+}
+
+// LoadPredictor restores a predictor saved with Save. The manifest's
+// application names must resolve in the workload registry (custom
+// profiles can be patched onto the returned predictor afterwards).
+func LoadPredictor(dir string) (*Predictor, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var mf manifest
+	if err := json.Unmarshal(b, &mf); err != nil {
+		return nil, fmt.Errorf("models: manifest: %w", err)
+	}
+	ls, ok := workload.ByName(mf.LSName)
+	if !ok {
+		return nil, fmt.Errorf("models: unknown LS service %q in manifest", mf.LSName)
+	}
+	be, ok := workload.ByName(mf.BEName)
+	if !ok {
+		return nil, fmt.Errorf("models: unknown BE application %q in manifest", mf.BEName)
+	}
+	p := &Predictor{
+		LS: ls, BE: be,
+		InputLevel: mf.InputLevel, LatencyMargin: mf.LatencyMargin,
+	}
+	loadR := func(name string) (mlkit.Regressor, error) {
+		f, err := os.Open(filepath.Join(dir, name+".model"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mlkit.LoadRegressor(f)
+	}
+	f, err := os.Open(filepath.Join(dir, "ls_feasible.model"))
+	if err != nil {
+		return nil, err
+	}
+	p.LSFeasible, err = mlkit.LoadClassifier(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if p.LSLatency, err = loadR("ls_latency"); err != nil {
+		return nil, err
+	}
+	if p.LSPower, err = loadR("ls_power"); err != nil {
+		return nil, err
+	}
+	if p.BEThpt, err = loadR("be_thpt"); err != nil {
+		return nil, err
+	}
+	if p.BEPower, err = loadR("be_power"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

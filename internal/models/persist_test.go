@@ -1,0 +1,53 @@
+package models
+
+import (
+	"testing"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/workload"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	pred, err := Train(ls, be, TrainOptions{Collect: smallOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := pred.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LS.Name != "memcached" || back.BE.Name != "rt" {
+		t.Errorf("manifest apps = %s/%s", back.LS.Name, back.BE.Name)
+	}
+	if back.InputLevel != pred.InputLevel || back.LatencyMargin != pred.LatencyMargin {
+		t.Error("manifest scalars drifted")
+	}
+	// Every prediction surface must be bit-identical after reload.
+	for _, c := range []int{2, 6, 12, 18} {
+		for _, f := range []hw.GHz{1.2, 1.7, 2.2} {
+			a := hw.Alloc{Cores: c, Freq: f, LLCWays: c}
+			qps := float64(c) * 1500
+			if pred.QoSOK(a, qps) != back.QoSOK(a, qps) {
+				t.Fatalf("QoSOK drift at %v", a)
+			}
+			if pred.Throughput(a) != back.Throughput(a) {
+				t.Fatalf("Throughput drift at %v", a)
+			}
+			cfg := hw.Config{LS: a, BE: hw.Alloc{Cores: 20 - c, Freq: f, LLCWays: 20 - c}}
+			if pred.PowerW(cfg, qps) != back.PowerW(cfg, qps) {
+				t.Fatalf("PowerW drift at %v", cfg)
+			}
+		}
+	}
+}
+
+func TestLoadPredictorErrors(t *testing.T) {
+	if _, err := LoadPredictor(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

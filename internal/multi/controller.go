@@ -1,0 +1,190 @@
+package multi
+
+import (
+	"math"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// Controller is the Algorithm-1-style loop for N co-located applications:
+// every interval it checks each LS service's slack; a load move triggers
+// a fresh multi-way search, residual violations are absorbed by harvesting
+// one resource unit from whichever best-effort application the models say
+// loses least, and measured power overloads throttle the BE side.
+type Controller struct {
+	Spec     hw.Spec
+	Apps     Apps
+	Searcher *Searcher
+	Budget   power.Watts
+	// Alpha, Beta and LoadDelta follow core.Options (defaults 0.10, 0.20,
+	// 0.01).
+	Alpha, Beta, LoadDelta float64
+
+	searched  bool
+	harvested bool
+	lastQPS   []float64
+	// Searches and Harvests count the controller's actions.
+	Searches, Harvests int
+}
+
+// NewController builds the multi-app controller.
+func NewController(spec hw.Spec, apps Apps, s *Searcher, budget power.Watts) *Controller {
+	return &Controller{
+		Spec: spec, Apps: apps, Searcher: s, Budget: budget,
+		Alpha: 0.10, Beta: 0.20, LoadDelta: 0.01,
+	}
+}
+
+// Decide returns the partition to apply for the next interval.
+func (c *Controller) Decide(st IntervalStats, qps []float64) Partition {
+	p := st.Partition
+
+	overload := float64(st.Power) > 0.99*float64(c.Budget)
+	worst := math.Inf(1) // worst (smallest) slack across LS services
+	worstIdx := -1
+	for _, i := range c.Apps.LSIndices() {
+		app := c.Apps[i]
+		slack := (app.QoSTargetS - st.Apps[i].P95) / app.QoSTargetS
+		if slack < worst {
+			worst = slack
+			worstIdx = i
+		}
+	}
+
+	// Hold only inside the slack band (Alg. 1): below Alpha the QoS is
+	// threatened, above Beta resources are sitting idle and should be
+	// re-searched back to the best-effort side as the load recedes.
+	if !overload && worst >= c.Alpha && worst <= c.Beta {
+		c.harvested = false
+		return p
+	}
+	// Episode over (ample slack after harvesting): drop the search memo
+	// so the predictor's configuration is restored even at constant load.
+	if !overload && worst > c.Beta && c.harvested {
+		c.harvested = false
+		c.searched = false
+	}
+
+	// Re-search when any LS load moved.
+	moved := !c.searched
+	for _, i := range c.Apps.LSIndices() {
+		peak := c.Apps[i].PeakQPS
+		var last float64
+		if i < len(c.lastQPS) {
+			last = c.lastQPS[i]
+		}
+		if math.Abs(qpsAt(qps, i)-last) > c.LoadDelta*peak {
+			moved = true
+		}
+	}
+	if moved {
+		next, _ := c.Searcher.Best(qps)
+		c.searched = true
+		c.lastQPS = append([]float64(nil), qps...)
+		c.Searches++
+		return next
+	}
+
+	if overload {
+		// Throttle every running BE application one DVFS level; park a
+		// core when already at the floor.
+		next := p.Clone()
+		changed := false
+		for _, j := range c.Apps.BEIndices() {
+			a := next[j]
+			if a.Cores == 0 {
+				continue
+			}
+			if lvl := c.Spec.LevelOfFreq(a.Freq); lvl > 0 {
+				a.Freq = c.Spec.FreqAtLevel(lvl - 1)
+				changed = true
+			} else if a.Cores > 1 {
+				a.Cores--
+				changed = true
+			}
+			next[j] = a
+		}
+		if changed {
+			c.Harvests++
+			return next
+		}
+		return p
+	}
+
+	// Violation at steady load: interference. Harvest from the cheapest
+	// best-effort source for the worst-off service, with the number of
+	// units proportional to how deep the violation is.
+	if worstIdx >= 0 && worst < c.Alpha {
+		units := 1
+		if worst < 0 {
+			units += minInt(4, int(-worst*2))
+		}
+		next := p
+		did := false
+		for u := 0; u < units; u++ {
+			n, ok := c.harvestFor(next, worstIdx)
+			if !ok {
+				break
+			}
+			next = n
+			did = true
+		}
+		if did {
+			c.Harvests++
+			c.harvested = true
+			return next
+		}
+	}
+	return p
+}
+
+// harvestFor moves one resource unit to the violated LS service from the
+// BE application whose predicted throughput loss is smallest.
+func (c *Controller) harvestFor(p Partition, lsIdx int) (Partition, bool) {
+	type option struct {
+		part Partition
+		loss float64
+	}
+	var best *option
+	consider := func(next Partition, loss float64) {
+		if err := next.Validate(c.Spec); err != nil {
+			return
+		}
+		if best == nil || loss < best.loss {
+			best = &option{part: next, loss: loss}
+		}
+	}
+	for _, j := range c.Apps.BEIndices() {
+		m := c.Searcher.BE[j]
+		cur := p[j]
+		if cur.Cores == 0 {
+			continue
+		}
+		base := m.Throughput(cur)
+		if cur.Cores > 1 {
+			next := p.Clone()
+			next[j].Cores--
+			next[lsIdx].Cores++
+			consider(next, base-m.Throughput(next[j]))
+		}
+		if cur.LLCWays > 1 {
+			next := p.Clone()
+			next[j].LLCWays--
+			next[lsIdx].LLCWays++
+			consider(next, base-m.Throughput(next[j]))
+		}
+		if lvl := c.Spec.LevelOfFreq(cur.Freq); lvl > 0 {
+			if lsLvl := c.Spec.LevelOfFreq(p[lsIdx].Freq); lsLvl < c.Spec.NumFreqLevels()-1 {
+				next := p.Clone()
+				next[j].Freq = c.Spec.FreqAtLevel(lvl - 1)
+				next[lsIdx].Freq = c.Spec.FreqAtLevel(lsLvl + 1)
+				consider(next, base-m.Throughput(next[j]))
+			}
+		}
+	}
+	if best == nil {
+		return p, false
+	}
+	return best.part, true
+}

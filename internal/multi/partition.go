@@ -1,0 +1,89 @@
+// Package multi extends Sturgeon to nodes hosting several co-located
+// applications at once — any mix of latency-sensitive services and
+// best-effort applications. §V-B of the paper sketches the extension
+// ("the algorithm can be extended to support multiple LS/BE applications
+// by independently searching the configuration for each application");
+// this package implements it: per-service just-enough searches in
+// priority order, followed by a marginal-utility allocation of the
+// remainder across the best-effort applications under the power budget,
+// and an Algorithm-1-style controller with a multi-way balancer.
+package multi
+
+import (
+	"fmt"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/workload"
+)
+
+// Partition assigns one allocation per application (index-aligned with
+// the node's application list). Allocations are exclusive; cores and ways
+// not assigned to anyone are parked.
+type Partition []hw.Alloc
+
+// Validate checks per-allocation sanity and joint capacity.
+func (p Partition) Validate(spec hw.Spec) error {
+	cores, ways := 0, 0
+	for i, a := range p {
+		if err := a.Validate(spec); err != nil {
+			return fmt.Errorf("multi: app %d: %w", i, err)
+		}
+		cores += a.Cores
+		ways += a.LLCWays
+	}
+	if cores > spec.Cores {
+		return fmt.Errorf("multi: %d cores allocated, spec has %d", cores, spec.Cores)
+	}
+	if ways > spec.LLCWays {
+		return fmt.Errorf("multi: %d ways allocated, spec has %d", ways, spec.LLCWays)
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (p Partition) Clone() Partition {
+	return append(Partition(nil), p...)
+}
+
+// FreeCores returns the unallocated core count.
+func (p Partition) FreeCores(spec hw.Spec) int {
+	n := spec.Cores
+	for _, a := range p {
+		n -= a.Cores
+	}
+	return n
+}
+
+// FreeWays returns the unallocated LLC way count.
+func (p Partition) FreeWays(spec hw.Spec) int {
+	n := spec.LLCWays
+	for _, a := range p {
+		n -= a.LLCWays
+	}
+	return n
+}
+
+// Apps is the node's application mix.
+type Apps []workload.Profile
+
+// LSIndices returns the indices of the latency-sensitive services.
+func (as Apps) LSIndices() []int {
+	var out []int
+	for i, a := range as {
+		if a.Class == workload.LS {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BEIndices returns the indices of the best-effort applications.
+func (as Apps) BEIndices() []int {
+	var out []int
+	for i, a := range as {
+		if a.Class == workload.BE {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package multi
+
+import (
+	"sturgeon/internal/hw"
+	"sturgeon/internal/models"
+	"sturgeon/internal/power"
+)
+
+// Searcher generalizes §V-B to N applications. Latency-sensitive services
+// are satisfied first, in list order, each with a just-enough binary
+// search against its own models; the remaining cores, ways and power
+// headroom are then distributed across the best-effort applications by
+// marginal utility — each step grants one resource unit to whichever
+// application's predicted throughput gains most, power-checked against
+// the guarded budget.
+type Searcher struct {
+	Spec hw.Spec
+	Apps Apps
+	// LS and BE hold the per-application model bundles, indexed like Apps.
+	LS map[int]*models.LSModels
+	BE map[int]*models.BEModels
+	// Budget is the node power cap; IdleW the platform idle floor used to
+	// compose total power from per-application predictions.
+	Budget power.Watts
+	IdleW  power.Watts
+	// Headroom grants each LS service extra grid steps past just-enough
+	// (default 1); PowerGuardFrac shrinks the budget (default 0.03).
+	Headroom       int
+	PowerGuardFrac float64
+}
+
+func (s *Searcher) headroom() int {
+	if s.Headroom == 0 {
+		return 1
+	}
+	if s.Headroom < 0 {
+		return 0
+	}
+	return s.Headroom
+}
+
+func (s *Searcher) guardedBudget() power.Watts {
+	g := s.PowerGuardFrac
+	if g <= 0 {
+		g = 0.03
+	}
+	return s.Budget * power.Watts(1-g)
+}
+
+// TotalPowerW composes the node power prediction: the idle floor plus
+// each LS service's incremental draw plus each BE allocation's increment.
+func (s *Searcher) TotalPowerW(p Partition, qps []float64) power.Watts {
+	total := s.IdleW
+	for i := range s.Apps {
+		if m, ok := s.LS[i]; ok {
+			if p[i].Cores > 0 {
+				inc := m.NodePowerW(p[i], qpsAt(qps, i)) - s.IdleW
+				if inc > 0 {
+					total += inc
+				}
+			}
+			continue
+		}
+		if m, ok := s.BE[i]; ok {
+			total += m.PowerIncW(p[i])
+		}
+	}
+	return total
+}
+
+// Best returns the partition the search settles on and whether every LS
+// service was satisfiable. Unsatisfiable services receive everything that
+// is left (the multi-app analogue of falling back to SoloLS).
+func (s *Searcher) Best(qps []float64) (Partition, bool) {
+	spec := s.Spec
+	p := make(Partition, len(s.Apps))
+	for i := range p {
+		p[i].Freq = spec.FreqMin
+	}
+	freeCores, freeWays := spec.Cores, spec.LLCWays
+	maxLvl := spec.NumFreqLevels() - 1
+	ok := true
+
+	// Phase 1: just-enough per LS service, in list order.
+	for _, i := range s.Apps.LSIndices() {
+		m := s.LS[i]
+		q := qpsAt(qps, i)
+		c := s.minCores(m, q, freeCores, freeWays)
+		if c < 0 {
+			// Not satisfiable even with everything left: grant it all.
+			p[i] = hw.Alloc{Cores: freeCores, Freq: spec.FreqMax, LLCWays: freeWays}
+			freeCores, freeWays = 0, 0
+			ok = false
+			continue
+		}
+		// At the minimum core count the service may compensate with a
+		// large slice of the cache; sweep a few core counts and keep the
+		// allocation with the smallest normalized footprint, so the
+		// best-effort side inherits a balanced remainder.
+		bestC, bestL := -1, -1
+		bestCost := 1e18
+		for cc := c; cc <= minInt(c+6, freeCores); cc++ {
+			l := s.minWays(m, q, cc, maxLvl, freeWays)
+			if l < 0 {
+				continue
+			}
+			cost := float64(cc)/float64(spec.Cores) + float64(l)/float64(spec.LLCWays)
+			if cost < bestCost {
+				bestCost, bestC, bestL = cost, cc, l
+			}
+		}
+		if bestC < 0 {
+			bestC, bestL = freeCores, freeWays
+		}
+		c = bestC
+		l := minInt(bestL+s.headroom(), freeWays)
+		f := s.minFreq(m, q, c, l)
+		if f < 0 {
+			f = maxLvl
+		}
+		f = minInt(f+s.headroom(), maxLvl)
+		p[i] = hw.Alloc{Cores: c, Freq: spec.FreqAtLevel(f), LLCWays: l}
+		freeCores -= c
+		freeWays -= l
+	}
+
+	// Phase 2: marginal-utility allocation across the BE applications.
+	bes := s.Apps.BEIndices()
+	budget := s.guardedBudget()
+	for _, j := range bes {
+		if freeCores > 0 && freeWays > 0 {
+			seed := hw.Alloc{Cores: 1, Freq: spec.FreqMin, LLCWays: 1}
+			try := p.Clone()
+			try[j] = seed
+			if s.TotalPowerW(try, qps) <= budget {
+				p[j] = seed
+				freeCores--
+				freeWays--
+			}
+		}
+	}
+	for {
+		type move struct {
+			app   int
+			alloc hw.Alloc
+			cores int
+			ways  int
+			gain  float64
+		}
+		var best *move
+		for _, j := range bes {
+			cur := p[j]
+			if cur.Cores == 0 {
+				continue
+			}
+			base := s.BE[j].Throughput(cur)
+			candidates := []struct {
+				alloc hw.Alloc
+				cores int
+				ways  int
+			}{}
+			if freeCores > 0 {
+				a := cur
+				a.Cores++
+				candidates = append(candidates, struct {
+					alloc hw.Alloc
+					cores int
+					ways  int
+				}{a, 1, 0})
+			}
+			if freeWays > 0 {
+				a := cur
+				a.LLCWays++
+				candidates = append(candidates, struct {
+					alloc hw.Alloc
+					cores int
+					ways  int
+				}{a, 0, 1})
+			}
+			if lvl := spec.LevelOfFreq(cur.Freq); lvl < maxLvl {
+				a := cur
+				a.Freq = spec.FreqAtLevel(lvl + 1)
+				candidates = append(candidates, struct {
+					alloc hw.Alloc
+					cores int
+					ways  int
+				}{a, 0, 0})
+			}
+			for _, cand := range candidates {
+				try := p.Clone()
+				try[j] = cand.alloc
+				if s.TotalPowerW(try, qps) > budget {
+					continue
+				}
+				gain := s.BE[j].Throughput(cand.alloc) - base
+				if gain <= 0 {
+					continue
+				}
+				if best == nil || gain > best.gain {
+					best = &move{app: j, alloc: cand.alloc, cores: cand.cores, ways: cand.ways, gain: gain}
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		p[best.app] = best.alloc
+		freeCores -= best.cores
+		freeWays -= best.ways
+	}
+	return p, ok
+}
+
+func (s *Searcher) minCores(m *models.LSModels, qps float64, maxCores, ways int) int {
+	if maxCores < 1 {
+		return -1
+	}
+	ok := func(c int) bool {
+		return m.QoSOK(hw.Alloc{Cores: c, Freq: s.Spec.FreqMax, LLCWays: ways}, qps)
+	}
+	if !ok(maxCores) {
+		return -1
+	}
+	lo, hi := 1, maxCores
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+func (s *Searcher) minWays(m *models.LSModels, qps float64, c, flvl, maxWays int) int {
+	if maxWays < 1 {
+		return -1
+	}
+	f := s.Spec.FreqAtLevel(flvl)
+	ok := func(l int) bool {
+		return m.QoSOK(hw.Alloc{Cores: c, Freq: f, LLCWays: l}, qps)
+	}
+	if !ok(maxWays) {
+		return -1
+	}
+	lo, hi := 1, maxWays
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+func (s *Searcher) minFreq(m *models.LSModels, qps float64, c, l int) int {
+	maxLvl := s.Spec.NumFreqLevels() - 1
+	ok := func(lvl int) bool {
+		return m.QoSOK(hw.Alloc{Cores: c, Freq: s.Spec.FreqAtLevel(lvl), LLCWays: l}, qps)
+	}
+	if !ok(maxLvl) {
+		return -1
+	}
+	lo, hi := 0, maxLvl
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

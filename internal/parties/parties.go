@@ -1,0 +1,239 @@
+// Package parties implements the enhanced PARTIES baseline the paper
+// compares against (§VII-A). PARTIES (Chen, Delimitrou, Martínez —
+// ASPLOS'19) is a feedback controller: each interval it adjusts one type
+// of resource by one unit in the direction the latency slack indicates
+// and watches the next interval's latency as feedback, rotating to
+// another resource type when the adjustment did not help.
+//
+// The original controller is power-unaware; following the paper's
+// enhancement, when an adjustment overloads the power budget the
+// controller reverts it and tries another resource type. Because that
+// revert-and-retry needs several feedback iterations, transient overloads
+// still slip through — exactly the behaviour §VII-B reports (7 of 18
+// pairs overload before convergence).
+package parties
+
+import (
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// resType is one adjustable resource dimension.
+type resType int
+
+const (
+	resCores resType = iota
+	resCache
+	resFreq // shift frequency between the co-runners
+	numRes
+)
+
+func (r resType) String() string {
+	switch r {
+	case resCores:
+		return "cores"
+	case resCache:
+		return "cache"
+	default:
+		return "freq"
+	}
+}
+
+// Controller is the enhanced-PARTIES policy.
+type Controller struct {
+	Spec   hw.Spec
+	Budget power.Watts
+	// Alpha and Beta are the slack bounds (defaults 0.10/0.20, matching
+	// the Sturgeon configuration so the comparison is fair).
+	Alpha, Beta float64
+
+	cur      resType
+	lastP95  float64
+	lastMove struct {
+		res    resType
+		amount int // +1 = toward LS, −1 = toward BE
+		valid  bool
+	}
+	initialized bool
+	// cooldown blocks downsizing for a few intervals after a violation so
+	// the controller does not immediately re-enter the configuration it
+	// just escaped (PARTIES waits for the system to stabilize between
+	// adjustments).
+	cooldown int
+}
+
+// New builds the baseline controller.
+func New(spec hw.Spec, budget power.Watts) *Controller {
+	return &Controller{Spec: spec, Budget: budget, Alpha: 0.10, Beta: 0.20}
+}
+
+// Name identifies the policy.
+func (c *Controller) Name() string { return "parties" }
+
+// Decide performs one feedback step.
+func (c *Controller) Decide(obs control.Observation) hw.Config {
+	cfg := obs.Config
+	slack := obs.Slack()
+
+	// Power enhancement: an overload reverts the move that (presumably)
+	// caused it and rotates to another resource; with nothing to revert
+	// it throttles the BE frequency one step.
+	if obs.Overloaded() {
+		if c.lastMove.valid {
+			next, ok := apply(c.Spec, cfg, c.lastMove.res, -c.lastMove.amount)
+			c.lastMove.valid = false
+			c.rotate()
+			if ok {
+				c.lastP95 = obs.P95
+				return next
+			}
+		}
+		if next, ok := shiftBE(c.Spec, cfg, -1); ok {
+			c.lastP95 = obs.P95
+			return next
+		}
+		// BE already at the frequency floor: PARTIES has no further power
+		// actuator (the paper's point — its feedback loop can be cornered
+		// above the budget). Fall through to the latency logic so QoS at
+		// least keeps being defended.
+	}
+
+	defer func() { c.lastP95 = obs.P95; c.initialized = true }()
+
+	switch {
+	case slack < c.Alpha:
+		// Upsizing: if the previous upsize of this resource type did not
+		// shorten the latency, rotate to another type (the PARTIES
+		// feedback rule). An outright violation (negative slack) ramps
+		// several units at once — the FSM's fast lane.
+		c.cooldown = 8
+		if c.initialized && c.lastMove.valid && c.lastMove.amount > 0 && obs.P95 >= c.lastP95 {
+			// The previous upsize of this resource did not shorten the
+			// latency: give it back and rotate to another type — the
+			// PARTIES FSM's "adjust, observe, revert if unhelpful" rule.
+			if reverted, ok := apply(c.Spec, cfg, c.lastMove.res, -1); ok {
+				cfg = reverted
+			}
+			c.rotate()
+		}
+		units := 1
+		if slack < 0 {
+			units = 1 + minInt(3, int(-slack*2))
+		}
+		next := cfg
+		applied := 0
+		for i := 0; i < units; i++ {
+			n, ok := apply(c.Spec, next, c.cur, +1)
+			if !ok {
+				c.rotate()
+				n, ok = apply(c.Spec, next, c.cur, +1)
+				if !ok {
+					c.rotate()
+					n, ok = apply(c.Spec, next, c.cur, +1)
+				}
+			}
+			if !ok {
+				break
+			}
+			next = n
+			applied++
+		}
+		if applied == 0 {
+			return cfg
+		}
+		c.lastMove.res, c.lastMove.amount, c.lastMove.valid = c.cur, +1, true
+		return next
+
+	case slack > c.Beta && c.cooldown > 0:
+		c.cooldown--
+		c.lastMove.valid = false
+		return cfg
+
+	case slack > c.Beta:
+		// Downsizing: release one unit of the current resource to the BE
+		// application. If the release turns out excessive the next
+		// interval's slack < Alpha branch will take it back.
+		next, ok := apply(c.Spec, cfg, c.cur, -1)
+		if !ok {
+			c.rotate()
+			next, _ = apply(c.Spec, cfg, c.cur, -1)
+		}
+		c.lastMove.res, c.lastMove.amount, c.lastMove.valid = c.cur, -1, true
+		// Spread releases across resource types so the BE application
+		// receives cores, cache and frequency alike.
+		c.rotate()
+		return next
+
+	default:
+		c.lastMove.valid = false
+		return cfg
+	}
+}
+
+func (c *Controller) rotate() { c.cur = (c.cur + 1) % numRes }
+
+// apply moves one unit of a resource toward the LS service (dir = +1) or
+// toward the BE application (dir = −1). It reports false when the move is
+// not realizable.
+func apply(spec hw.Spec, cfg hw.Config, r resType, dir int) (hw.Config, bool) {
+	switch r {
+	case resCores:
+		if dir > 0 && cfg.BE.Cores <= 1 {
+			return cfg, false
+		}
+		if dir < 0 && cfg.LS.Cores <= 1 {
+			return cfg, false
+		}
+		cfg.LS.Cores += dir
+		cfg.BE.Cores -= dir
+	case resCache:
+		if dir > 0 && cfg.BE.LLCWays <= 1 {
+			return cfg, false
+		}
+		if dir < 0 && cfg.LS.LLCWays <= 1 {
+			return cfg, false
+		}
+		cfg.LS.LLCWays += dir
+		cfg.BE.LLCWays -= dir
+	default:
+		lsLvl := spec.LevelOfFreq(cfg.LS.Freq)
+		beLvl := spec.LevelOfFreq(cfg.BE.Freq)
+		maxLvl := spec.NumFreqLevels() - 1
+		if dir > 0 && (lsLvl >= maxLvl || beLvl <= 0) {
+			return cfg, false
+		}
+		if dir < 0 && (lsLvl <= 0 || beLvl >= maxLvl) {
+			return cfg, false
+		}
+		cfg.LS.Freq = spec.FreqAtLevel(lsLvl + dir)
+		cfg.BE.Freq = spec.FreqAtLevel(beLvl - dir)
+	}
+	if cfg.Validate(spec) != nil {
+		return cfg, false
+	}
+	return cfg, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// shiftBE moves the BE frequency by n levels.
+func shiftBE(spec hw.Spec, cfg hw.Config, n int) (hw.Config, bool) {
+	lvl := spec.LevelOfFreq(cfg.BE.Freq) + n
+	if lvl < 0 {
+		lvl = 0
+	}
+	if max := spec.NumFreqLevels() - 1; lvl > max {
+		lvl = max
+	}
+	if spec.FreqAtLevel(lvl) == cfg.BE.Freq {
+		return cfg, false
+	}
+	cfg.BE.Freq = spec.FreqAtLevel(lvl)
+	return cfg, true
+}

@@ -1,0 +1,143 @@
+package parties
+
+import (
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+func TestUpsizeOnLowSlack(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 120)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.6, LLCWays: 12},
+	}
+	obs := control.Observation{
+		P95: 0.0098, Target: 0.010, // slack < 0.1
+		Power: 90, Budget: 120, Config: cfg, QPS: 1000,
+	}
+	next := c.Decide(obs)
+	if next == cfg {
+		t.Fatal("PARTIES held despite low slack")
+	}
+	// One unit of one resource moved toward LS.
+	dc := next.LS.Cores - cfg.LS.Cores
+	dw := next.LS.LLCWays - cfg.LS.LLCWays
+	df := spec.LevelOfFreq(next.LS.Freq) - spec.LevelOfFreq(cfg.LS.Freq)
+	if dc+dw+df != 1 {
+		t.Errorf("expected a single-unit upsize, got %v -> %v", cfg, next)
+	}
+}
+
+func TestDownsizeOnHighSlack(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 120)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.6, LLCWays: 12},
+	}
+	obs := control.Observation{
+		P95: 0.001, Target: 0.010, // slack = 0.9 > β
+		Power: 90, Budget: 120, Config: cfg, QPS: 1000,
+	}
+	next := c.Decide(obs)
+	if next == cfg {
+		t.Fatal("PARTIES held despite high slack")
+	}
+	gained := (cfg.LS.Cores - next.LS.Cores) + (cfg.LS.LLCWays - next.LS.LLCWays) +
+		(spec.LevelOfFreq(cfg.LS.Freq) - spec.LevelOfFreq(next.LS.Freq))
+	if gained != 1 {
+		t.Errorf("expected a single-unit downsize, got %v -> %v", cfg, next)
+	}
+}
+
+func TestHoldInBand(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 120)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.6, LLCWays: 12},
+	}
+	obs := control.Observation{
+		P95: 0.0085, Target: 0.010, // slack 0.15 ∈ [α, β]
+		Power: 90, Budget: 120, Config: cfg, QPS: 1000,
+	}
+	if next := c.Decide(obs); next != cfg {
+		t.Errorf("PARTIES moved in band: %v", next)
+	}
+}
+
+func TestPowerEnhancementRevertsOnOverload(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 100)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.6, LLCWays: 12},
+	}
+	// First a downsize (high slack) so there is a last move to revert.
+	obs := control.Observation{
+		P95: 0.001, Target: 0.010, Power: 90, Budget: 100, Config: cfg, QPS: 1000,
+	}
+	after := c.Decide(obs)
+	// Now an overload: the controller must not keep the move.
+	obs2 := control.Observation{
+		P95: 0.001, Target: 0.010, Power: 110, Budget: 100, Config: after, QPS: 1000,
+	}
+	reverted := c.Decide(obs2)
+	if reverted == after {
+		t.Error("PARTIES did not react to overload")
+	}
+}
+
+func TestOverloadWithNothingToRevertThrottlesBE(t *testing.T) {
+	spec := hw.DefaultSpec()
+	c := New(spec, 100)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.8, LLCWays: 12},
+	}
+	obs := control.Observation{
+		P95: 0.0085, Target: 0.010, Power: 110, Budget: 100, Config: cfg, QPS: 1000,
+	}
+	next := c.Decide(obs)
+	if next.BE.Freq >= cfg.BE.Freq {
+		t.Errorf("expected BE throttle, got %v -> %v", cfg, next)
+	}
+}
+
+func TestPartiesEndToEndKeepsQoS(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	node := sim.NewNode(ls, be, 31)
+	budget := sim.LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+	ctrl := New(node.Spec, budget)
+	if err := node.Apply(hw.SoloLS(node.Spec)); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.Runner{
+		Node: node, Ctrl: ctrl, Budget: budget,
+		Trace: workload.Triangle(0.2, 0.8, 400), DurationS: 400,
+	}
+	res := r.Run()
+	if res.QoSRate < 0.90 {
+		t.Errorf("PARTIES QoS rate %v collapsed", res.QoSRate)
+	}
+	if res.NormBEThroughput <= 0.05 {
+		t.Errorf("PARTIES starved the BE application: %v", res.NormBEThroughput)
+	}
+}
+
+func TestRotationCoversAllResources(t *testing.T) {
+	c := &Controller{}
+	seen := map[resType]bool{}
+	for i := 0; i < 4; i++ {
+		seen[c.cur] = true
+		c.rotate()
+	}
+	if len(seen) != int(numRes) {
+		t.Errorf("rotation covered %d of %d resources", len(seen), numRes)
+	}
+}

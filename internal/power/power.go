@@ -1,0 +1,259 @@
+// Package power models the power behaviour of a power-constrained server
+// and provides a RAPL-style sampled power meter, the power-budget
+// accounting that Sturgeon's predictor checks configurations against, and
+// a circuit-breaker abstraction (§II-A of the paper: sustained overload
+// risks tripping the breaker).
+//
+// The physics follow the classic CMOS decomposition: a large static
+// platform floor plus per-core dynamic power that grows super-linearly
+// with frequency (≈ a·f³ + b·f, since voltage scales with frequency),
+// scaled by the application's activity factor and core utilization, plus
+// uncore and DRAM terms. The super-linear frequency term is what makes
+// "more slow cores vs. fewer fast cores" a genuine trade-off under a
+// budget, which is the paper's central observation.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"sturgeon/internal/hw"
+)
+
+// Watts is electrical power in watts.
+type Watts float64
+
+// Params holds the coefficients of the server power model.
+type Params struct {
+	// IdleW is the static platform power with all cores idle.
+	IdleW Watts
+	// CoreC3 and CoreC1 set per-core dynamic power at activity factor 1
+	// and utilization 1: P = CoreC3·f³ + CoreC1·f (f in GHz).
+	CoreC3 Watts
+	CoreC1 Watts
+	// CoreIdleW is the per-core cost of keeping a core out of deep sleep
+	// (allocated but idle fraction still pays a residency cost).
+	CoreIdleW Watts
+	// UncoreDynW is the maximum dynamic uncore (LLC + ring) power, scaled
+	// by the fraction of active ways.
+	UncoreDynW Watts
+	// DRAMPerGBs is DRAM power per GB/s of memory traffic.
+	DRAMPerGBs Watts
+}
+
+// DefaultParams returns coefficients calibrated so that the default
+// hw.Spec reproduces the paper's Fig. 2 corridor: the power budget equals
+// the LS service's peak-load draw, and naive co-location overshoots it by
+// roughly 2–13 % depending on the BE application.
+func DefaultParams() Params {
+	return Params{
+		IdleW:      62,
+		CoreC3:     0.30,
+		CoreC1:     0.25,
+		CoreIdleW:  0.35,
+		UncoreDynW: 6,
+		DRAMPerGBs: 0.55,
+	}
+}
+
+// CoreLoad describes one allocation's contribution to dynamic core power.
+type CoreLoad struct {
+	Cores int
+	Freq  hw.GHz
+	// Util is the average busy fraction of the allocated cores in [0,1].
+	Util float64
+	// Activity is the application's activity factor in [0,1]: how much
+	// switching capacitance its instruction mix toggles per busy cycle.
+	// Compute-dense BE applications sit higher than event-driven LS
+	// services, which is the root cause of co-location power overload.
+	Activity float64
+}
+
+// CoreDynamic returns the dynamic power of a single fully-active core at
+// frequency f and activity factor 1.
+func (p Params) CoreDynamic(f hw.GHz) Watts {
+	g := float64(f)
+	return p.CoreC3*Watts(g*g*g) + p.CoreC1*Watts(g)
+}
+
+// Total evaluates the model: platform idle + per-allocation core power +
+// uncore scaled by active LLC ways + DRAM traffic power.
+func (p Params) Total(loads []CoreLoad, activeWays, totalWays int, dramGBs float64) Watts {
+	total := p.IdleW
+	for _, l := range loads {
+		if l.Cores <= 0 {
+			continue
+		}
+		util := clamp01(l.Util)
+		act := clamp01(l.Activity)
+		perCore := Watts(util*act)*p.CoreDynamic(l.Freq) + p.CoreIdleW
+		total += Watts(l.Cores) * perCore
+	}
+	if totalWays > 0 {
+		total += p.UncoreDynW * Watts(float64(activeWays)/float64(totalWays))
+	}
+	total += p.DRAMPerGBs * Watts(dramGBs)
+	return total
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Budget tracks a node power cap and overload statistics, mirroring how
+// the paper sets the cap to the LS service's peak-load power (§III-B).
+type Budget struct {
+	Cap Watts
+
+	samples  int
+	overload int
+	maxRatio float64
+	sumRatio float64
+}
+
+// NewBudget returns a budget with the given cap.
+func NewBudget(cap Watts) *Budget {
+	if cap <= 0 {
+		panic(fmt.Sprintf("power: budget cap %v must be positive", cap))
+	}
+	return &Budget{Cap: cap}
+}
+
+// Observe records one interval's power draw and reports whether it
+// overloads the budget.
+func (b *Budget) Observe(w Watts) bool {
+	b.samples++
+	ratio := float64(w / b.Cap)
+	b.sumRatio += ratio
+	if ratio > b.maxRatio {
+		b.maxRatio = ratio
+	}
+	over := w > b.Cap
+	if over {
+		b.overload++
+	}
+	return over
+}
+
+// OverloadFraction returns the fraction of observed intervals above cap.
+func (b *Budget) OverloadFraction() float64 {
+	if b.samples == 0 {
+		return 0
+	}
+	return float64(b.overload) / float64(b.samples)
+}
+
+// PeakRatio returns the maximum observed power/cap ratio.
+func (b *Budget) PeakRatio() float64 { return b.maxRatio }
+
+// MeanRatio returns the average observed power/cap ratio.
+func (b *Budget) MeanRatio() float64 {
+	if b.samples == 0 {
+		return 0
+	}
+	return b.sumRatio / float64(b.samples)
+}
+
+// Samples returns how many intervals have been observed.
+func (b *Budget) Samples() int { return b.samples }
+
+// Reset clears accumulated statistics, keeping the cap.
+func (b *Budget) Reset() {
+	b.samples, b.overload, b.maxRatio, b.sumRatio = 0, 0, 0, 0
+}
+
+// Breaker models the facility circuit breaker: it trips after power
+// exceeds the limit for more than Tolerance consecutive observations
+// (breakers tolerate brief transients but not sustained overload).
+type Breaker struct {
+	Limit     Watts
+	Tolerance int
+
+	consecutive int
+	tripped     bool
+}
+
+// Observe feeds one power sample; it returns true if the breaker is (now)
+// tripped. A tripped breaker stays tripped until Reset.
+func (br *Breaker) Observe(w Watts) bool {
+	if br.tripped {
+		return true
+	}
+	if w > br.Limit {
+		br.consecutive++
+		if br.consecutive > br.Tolerance {
+			br.tripped = true
+		}
+	} else {
+		br.consecutive = 0
+	}
+	return br.tripped
+}
+
+// Tripped reports whether the breaker has tripped.
+func (br *Breaker) Tripped() bool { return br.tripped }
+
+// Reset re-arms the breaker.
+func (br *Breaker) Reset() { br.consecutive, br.tripped = 0, false }
+
+// Meter is a RAPL-style sampled power meter: reads of the true draw are
+// quantized and perturbed by measurement noise, and an energy counter
+// accumulates like the RAPL MSR does.
+type Meter struct {
+	// NoiseSD is the standard deviation of additive Gaussian read noise.
+	NoiseSD Watts
+	// Quantum is the measurement resolution (RAPL counts in ~15.3 µJ
+	// units; at 1 s sampling that is sub-watt, we default to 0.1 W).
+	Quantum Watts
+
+	rng     func() float64 // standard normal source
+	energyJ float64
+	peak    Watts
+	last    Watts
+}
+
+// NewMeter builds a meter with the given noise level and a deterministic
+// normal source (pass nil for a noiseless meter).
+func NewMeter(noiseSD Watts, normal func() float64) *Meter {
+	return &Meter{NoiseSD: noiseSD, Quantum: 0.1, rng: normal}
+}
+
+// Read samples the true power (with noise and quantization), accumulates
+// energy over dt seconds, and tracks the peak reading.
+func (m *Meter) Read(truth Watts, dtSeconds float64) Watts {
+	v := truth
+	if m.rng != nil && m.NoiseSD > 0 {
+		v += Watts(m.rng()) * m.NoiseSD
+	}
+	if m.Quantum > 0 {
+		v = Watts(math.Round(float64(v/m.Quantum))) * m.Quantum
+	}
+	if v < 0 {
+		v = 0
+	}
+	m.energyJ += float64(v) * dtSeconds
+	if v > m.peak {
+		m.peak = v
+	}
+	m.last = v
+	return v
+}
+
+// EnergyJoules returns accumulated energy.
+func (m *Meter) EnergyJoules() float64 { return m.energyJ }
+
+// Peak returns the highest reading seen.
+func (m *Meter) Peak() Watts { return m.peak }
+
+// Last returns the most recent reading.
+func (m *Meter) Last() Watts { return m.last }
+
+// ResetPeak clears the peak tracker (per-window peak power is what the
+// paper trains its conservative power models on, §V-A).
+func (m *Meter) ResetPeak() { m.peak = 0 }

@@ -1,0 +1,219 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sturgeon/internal/hw"
+)
+
+func TestCoreDynamicSuperLinear(t *testing.T) {
+	p := DefaultParams()
+	// Doubling frequency must more than double dynamic power (cube term).
+	p1 := p.CoreDynamic(1.1)
+	p2 := p.CoreDynamic(2.2)
+	if p2 <= 2*p1 {
+		t.Errorf("CoreDynamic(2.2)=%v not super-linear vs CoreDynamic(1.1)=%v", p2, p1)
+	}
+}
+
+func TestCoreDynamicMonotone(t *testing.T) {
+	p := DefaultParams()
+	s := hw.DefaultSpec()
+	prev := Watts(-1)
+	for _, f := range s.FreqLevels() {
+		cur := p.CoreDynamic(f)
+		if cur <= prev {
+			t.Fatalf("CoreDynamic not increasing at %v GHz: %v <= %v", f, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTotalComposition(t *testing.T) {
+	p := DefaultParams()
+	idle := p.Total(nil, 0, 20, 0)
+	if idle != p.IdleW {
+		t.Errorf("idle total = %v, want %v", idle, p.IdleW)
+	}
+	one := p.Total([]CoreLoad{{Cores: 1, Freq: 2.2, Util: 1, Activity: 1}}, 0, 20, 0)
+	want := p.IdleW + p.CoreDynamic(2.2) + p.CoreIdleW
+	if math.Abs(float64(one-want)) > 1e-9 {
+		t.Errorf("one core total = %v, want %v", one, want)
+	}
+	// Zero-core loads contribute nothing.
+	same := p.Total([]CoreLoad{{Cores: 0, Freq: 2.2, Util: 1, Activity: 1}}, 0, 20, 0)
+	if same != idle {
+		t.Errorf("zero-core load changed power: %v != %v", same, idle)
+	}
+}
+
+func TestTotalClampsUtilAndActivity(t *testing.T) {
+	p := DefaultParams()
+	over := p.Total([]CoreLoad{{Cores: 2, Freq: 2.0, Util: 7, Activity: 3}}, 0, 20, 0)
+	ref := p.Total([]CoreLoad{{Cores: 2, Freq: 2.0, Util: 1, Activity: 1}}, 0, 20, 0)
+	if over != ref {
+		t.Errorf("out-of-range util/activity not clamped: %v != %v", over, ref)
+	}
+}
+
+func TestTotalMonotoneInEverything(t *testing.T) {
+	p := DefaultParams()
+	base := p.Total([]CoreLoad{{Cores: 4, Freq: 1.6, Util: 0.5, Activity: 0.5}}, 5, 20, 2)
+	more := []struct {
+		name string
+		w    Watts
+	}{
+		{"cores", p.Total([]CoreLoad{{Cores: 8, Freq: 1.6, Util: 0.5, Activity: 0.5}}, 5, 20, 2)},
+		{"freq", p.Total([]CoreLoad{{Cores: 4, Freq: 2.2, Util: 0.5, Activity: 0.5}}, 5, 20, 2)},
+		{"util", p.Total([]CoreLoad{{Cores: 4, Freq: 1.6, Util: 0.9, Activity: 0.5}}, 5, 20, 2)},
+		{"activity", p.Total([]CoreLoad{{Cores: 4, Freq: 1.6, Util: 0.5, Activity: 0.9}}, 5, 20, 2)},
+		{"ways", p.Total([]CoreLoad{{Cores: 4, Freq: 1.6, Util: 0.5, Activity: 0.5}}, 15, 20, 2)},
+		{"dram", p.Total([]CoreLoad{{Cores: 4, Freq: 1.6, Util: 0.5, Activity: 0.5}}, 5, 20, 9)},
+	}
+	for _, m := range more {
+		if m.w <= base {
+			t.Errorf("increasing %s did not increase power: %v <= %v", m.name, m.w, base)
+		}
+	}
+}
+
+func TestTotalPropertyNonNegativeAndAboveIdle(t *testing.T) {
+	p := DefaultParams()
+	f := func(cores uint8, flvl uint8, util, act float64, ways uint8, bw float64) bool {
+		s := hw.DefaultSpec()
+		load := CoreLoad{
+			Cores:    int(cores) % (s.Cores + 1),
+			Freq:     s.FreqAtLevel(int(flvl)),
+			Util:     math.Abs(math.Mod(util, 1)),
+			Activity: math.Abs(math.Mod(act, 1)),
+		}
+		w := p.Total([]CoreLoad{load}, int(ways)%21, 20, math.Abs(math.Mod(bw, 30)))
+		return w >= p.IdleW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(100)
+	if over := b.Observe(90); over {
+		t.Error("90W flagged as overload of 100W budget")
+	}
+	if over := b.Observe(110); !over {
+		t.Error("110W not flagged as overload")
+	}
+	b.Observe(105)
+	if got := b.OverloadFraction(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("OverloadFraction = %v, want 2/3", got)
+	}
+	if got := b.PeakRatio(); math.Abs(got-1.1) > 1e-9 {
+		t.Errorf("PeakRatio = %v, want 1.1", got)
+	}
+	if got := b.MeanRatio(); math.Abs(got-(0.9+1.1+1.05)/3) > 1e-9 {
+		t.Errorf("MeanRatio = %v", got)
+	}
+	b.Reset()
+	if b.Samples() != 0 || b.OverloadFraction() != 0 {
+		t.Error("Reset did not clear statistics")
+	}
+}
+
+func TestBudgetRejectsNonPositiveCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBudget(0) did not panic")
+		}
+	}()
+	NewBudget(0)
+}
+
+func TestBreakerTripsOnSustainedOverload(t *testing.T) {
+	br := &Breaker{Limit: 100, Tolerance: 2}
+	for i := 0; i < 2; i++ {
+		if br.Observe(120) {
+			t.Fatalf("breaker tripped after %d samples, tolerance 2", i+1)
+		}
+	}
+	if !br.Observe(120) {
+		t.Error("breaker did not trip after tolerance exceeded")
+	}
+	if !br.Observe(50) {
+		t.Error("tripped breaker reset itself")
+	}
+	br.Reset()
+	if br.Tripped() {
+		t.Error("Reset did not re-arm breaker")
+	}
+}
+
+func TestBreakerToleratesTransients(t *testing.T) {
+	br := &Breaker{Limit: 100, Tolerance: 2}
+	for i := 0; i < 50; i++ {
+		br.Observe(120)
+		br.Observe(120)
+		if br.Observe(80) {
+			t.Fatal("breaker tripped on transient spikes within tolerance")
+		}
+	}
+}
+
+func TestMeterNoiselessReadsTruth(t *testing.T) {
+	m := NewMeter(0, nil)
+	got := m.Read(101.23, 1)
+	if math.Abs(float64(got)-101.2) > 1e-9 { // quantized to 0.1 W
+		t.Errorf("Read = %v, want 101.2", got)
+	}
+	if math.Abs(m.EnergyJoules()-101.2) > 1e-9 {
+		t.Errorf("EnergyJoules = %v, want 101.2", m.EnergyJoules())
+	}
+}
+
+func TestMeterPeakTracking(t *testing.T) {
+	m := NewMeter(0, nil)
+	m.Read(90, 1)
+	m.Read(130, 1)
+	m.Read(100, 1)
+	if m.Peak() != 130 {
+		t.Errorf("Peak = %v, want 130", m.Peak())
+	}
+	if m.Last() != 100 {
+		t.Errorf("Last = %v, want 100", m.Last())
+	}
+	m.ResetPeak()
+	m.Read(95, 1)
+	if m.Peak() != 95 {
+		t.Errorf("Peak after reset = %v, want 95", m.Peak())
+	}
+}
+
+func TestMeterNoiseIsBoundedAndUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMeter(1.0, rng.NormFloat64)
+	const truth = 100.0
+	var sum float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		sum += float64(m.Read(truth, 1))
+	}
+	mean := sum / n
+	if math.Abs(mean-truth) > 0.1 {
+		t.Errorf("noisy meter biased: mean %v vs truth %v", mean, truth)
+	}
+	if m.Peak() > truth+6 || m.Peak() < truth {
+		t.Errorf("peak %v implausible for sd=1 noise", m.Peak())
+	}
+}
+
+func TestMeterNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMeter(50, rng.NormFloat64)
+	for i := 0; i < 1000; i++ {
+		if got := m.Read(1, 1); got < 0 {
+			t.Fatalf("negative meter reading %v", got)
+		}
+	}
+}

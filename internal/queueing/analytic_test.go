@@ -1,0 +1,141 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRhoAndStability(t *testing.T) {
+	q := Analytic{Lambda: 1000, Servers: 4, SvcMean: 0.002, SvcCV: 0.5}
+	if got := q.Rho(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Rho = %v, want 0.5", got)
+	}
+	if !q.Stable() {
+		t.Error("queue at ρ=0.5 reported unstable")
+	}
+	q.Lambda = 2001
+	if q.Stable() {
+		t.Error("queue at ρ>1 reported stable")
+	}
+	q.Servers = 0
+	if q.Stable() {
+		t.Error("queue with no servers reported stable")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/c textbook values: c=2, a=1 (ρ=0.5) → C = 1/3.
+	q := Analytic{Lambda: 1, Servers: 2, SvcMean: 1, SvcCV: 1}
+	if got := q.ErlangC(); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("ErlangC(c=2, a=1) = %v, want 1/3", got)
+	}
+	// c=1: C = ρ.
+	q1 := Analytic{Lambda: 0.7, Servers: 1, SvcMean: 1, SvcCV: 1}
+	if got := q1.ErlangC(); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("ErlangC(c=1, ρ=0.7) = %v, want 0.7", got)
+	}
+}
+
+func TestMeanWaitMatchesMMcFormula(t *testing.T) {
+	// For M/M/1: Wq = ρ/(μ−λ).
+	q := Analytic{Lambda: 0.5, Servers: 1, SvcMean: 1, SvcCV: 1}
+	want := 0.5 / (1 - 0.5)
+	if got := q.MeanWait(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanWait M/M/1 = %v, want %v", got, want)
+	}
+	// Deterministic service halves the wait (Allen–Cunneen (1+CV²)/2).
+	qd := Analytic{Lambda: 0.5, Servers: 1, SvcMean: 1, SvcCV: 0}
+	if got := qd.MeanWait(); math.Abs(got-want/2) > 1e-6 {
+		t.Errorf("MeanWait M/D/1 = %v, want %v", got, want/2)
+	}
+}
+
+func TestSojournCDFMonotoneAndBounded(t *testing.T) {
+	q := Analytic{Lambda: 3000, Servers: 8, SvcMean: 0.002, SvcCV: 0.6}
+	prev := -1.0
+	for _, tt := range []float64{0, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.016, 0.05, 0.2} {
+		c := q.SojournCDF(tt)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v: %v < %v", tt, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at %v: %v", tt, c)
+		}
+		prev = c
+	}
+	if got := q.SojournCDF(10); got < 0.999 {
+		t.Errorf("CDF(10s) = %v, want ≈1", got)
+	}
+}
+
+func TestSojournQuantileInvertsCDF(t *testing.T) {
+	q := Analytic{Lambda: 5000, Servers: 6, SvcMean: 0.0008, SvcCV: 0.5}
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		x := q.SojournQuantile(p)
+		if got := q.SojournCDF(x); math.Abs(got-p) > 1e-4 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestSojournQuantileGrowsWithLoad(t *testing.T) {
+	base := Analytic{Servers: 8, SvcMean: 0.002, SvcCV: 0.6}
+	prev := 0.0
+	for _, lambda := range []float64{500, 1500, 2500, 3500, 3900} {
+		q := base
+		q.Lambda = lambda
+		p95 := q.SojournQuantile(0.95)
+		if p95 <= prev {
+			t.Fatalf("p95 not increasing with load at λ=%v: %v <= %v", lambda, p95, prev)
+		}
+		prev = p95
+	}
+}
+
+func TestSojournQuantileImprovesWithServersAndSpeed(t *testing.T) {
+	q := Analytic{Lambda: 3000, Servers: 8, SvcMean: 0.002, SvcCV: 0.6}
+	p95 := q.SojournQuantile(0.95)
+	more := q
+	more.Servers = 12
+	if got := more.SojournQuantile(0.95); got >= p95 {
+		t.Errorf("more servers did not reduce p95: %v >= %v", got, p95)
+	}
+	faster := q
+	faster.SvcMean = 0.001
+	if got := faster.SojournQuantile(0.95); got >= p95 {
+		t.Errorf("faster service did not reduce p95: %v >= %v", got, p95)
+	}
+}
+
+func TestSaturatedQueueBehaviour(t *testing.T) {
+	q := Analytic{Lambda: 10000, Servers: 4, SvcMean: 0.002, SvcCV: 0.5, IntervalS: 1}
+	// ρ = 5: heavily overloaded.
+	frac := q.FractionWithin(0.010)
+	if frac <= 0 || frac >= 0.5 {
+		t.Errorf("overloaded FractionWithin(10ms) = %v, want small positive", frac)
+	}
+	// More headroom → larger fraction within.
+	if q.FractionWithin(0.050) <= frac {
+		t.Error("larger target did not admit more queries")
+	}
+	p95 := q.SojournQuantile(0.95)
+	if p95 < 0.1 {
+		t.Errorf("overloaded p95 = %v, want large", p95)
+	}
+	// Deeper overload → worse tail.
+	q2 := q
+	q2.Lambda = 20000
+	if q2.SojournQuantile(0.95) <= p95 {
+		t.Error("doubling overload did not raise p95")
+	}
+}
+
+func TestZeroServerQueue(t *testing.T) {
+	q := Analytic{Lambda: 100, Servers: 0, SvcMean: 0.001, SvcCV: 0.5}
+	if !math.IsInf(q.SojournQuantile(0.95), 1) {
+		t.Error("zero-server p95 should be +Inf")
+	}
+	if q.FractionWithin(1) != 0 {
+		t.Error("zero-server queue should serve nothing")
+	}
+}

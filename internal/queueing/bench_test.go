@@ -1,0 +1,30 @@
+package queueing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAnalyticSojournP95(b *testing.B) {
+	q := Analytic{Lambda: 20000, Servers: 8, SvcMean: 0.0003, SvcCV: 0.7, ArrivalCV: 2.8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.SojournQuantile(0.95)
+	}
+}
+
+func BenchmarkAnalyticFractionWithin(b *testing.B) {
+	q := Analytic{Lambda: 20000, Servers: 8, SvcMean: 0.0003, SvcCV: 0.7, ArrivalCV: 2.8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.FractionWithin(0.010)
+	}
+}
+
+func BenchmarkDESOneSecond(b *testing.B) {
+	d := &DES{Servers: 8, SvcMean: 0.0003, SvcCV: 0.7, Rng: rand.New(rand.NewSource(1))}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Run(20000, 0, 1)
+	}
+}

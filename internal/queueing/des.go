@@ -1,0 +1,140 @@
+package queueing
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DES is a discrete-event M/G/c queueing simulator with lognormal service
+// times. It is the reference implementation the analytic model is
+// validated against, and can serve as a drop-in (slower, noisier) latency
+// engine for the node simulator.
+type DES struct {
+	Servers int
+	SvcMean float64
+	SvcCV   float64
+	// BatchMean enables bursty (batch-Poisson) arrivals: batches arrive
+	// Poisson at rate lambda/BatchMean with geometrically distributed
+	// sizes of that mean, giving an arrival index of dispersion of
+	// 2·BatchMean−1 (so analytic ArrivalCV ≈ √(2·BatchMean−1)).
+	// Values ≤ 1 mean plain Poisson arrivals.
+	BatchMean float64
+	Rng       *rand.Rand
+}
+
+// Latencies holds per-query sojourn times from one simulated stretch.
+type Latencies struct {
+	sorted []float64
+}
+
+// N returns the number of completed queries.
+func (l Latencies) N() int { return len(l.sorted) }
+
+// Quantile returns the p-quantile of the observed sojourn times.
+func (l Latencies) Quantile(p float64) float64 {
+	if len(l.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return l.sorted[0]
+	}
+	if p >= 1 {
+		return l.sorted[len(l.sorted)-1]
+	}
+	idx := p * float64(len(l.sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(l.sorted) {
+		return l.sorted[lo]
+	}
+	return l.sorted[lo]*(1-frac) + l.sorted[lo+1]*frac
+}
+
+// FractionWithin returns the fraction of queries with sojourn ≤ t.
+func (l Latencies) FractionWithin(t float64) float64 {
+	if len(l.sorted) == 0 {
+		return 0
+	}
+	n := sort.SearchFloat64s(l.sorted, math.Nextafter(t, math.Inf(1)))
+	return float64(n) / float64(len(l.sorted))
+}
+
+// Mean returns the average sojourn time.
+func (l Latencies) Mean() float64 {
+	if len(l.sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range l.sorted {
+		sum += v
+	}
+	return sum / float64(len(l.sorted))
+}
+
+type departHeap []float64
+
+func (h departHeap) Len() int            { return len(h) }
+func (h departHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h departHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *departHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Run simulates Poisson arrivals at rate lambda for the given duration
+// (seconds) after a warmup stretch whose completions are discarded.
+// Dispatch is FCFS: each arrival is served by whichever server frees
+// earliest, so the simulation tracks one "next free" time per server.
+// Queries queue without shedding, as the paper's services do.
+func (d *DES) Run(lambda, warmup, duration float64) Latencies {
+	if d.Servers <= 0 || lambda <= 0 {
+		return Latencies{}
+	}
+	svc := NewLogNormal(d.SvcMean, d.SvcCV)
+	rng := d.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	// avail holds each server's next-free time.
+	avail := make(departHeap, d.Servers)
+	heap.Init(&avail)
+
+	batch := d.BatchMean
+	if batch < 1 {
+		batch = 1
+	}
+	var out []float64
+	end := warmup + duration
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * batch / lambda
+		if t > end {
+			break
+		}
+		// Geometric batch size with the configured mean.
+		n := 1
+		for batch > 1 && rng.Float64() < 1-1/batch {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			start := heap.Pop(&avail).(float64)
+			if start < t {
+				start = t
+			}
+			depart := start + svc.Sample(rng.NormFloat64)
+			heap.Push(&avail, depart)
+			if t >= warmup {
+				out = append(out, depart-t)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return Latencies{sorted: out}
+}

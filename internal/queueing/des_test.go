@@ -1,0 +1,100 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDESBasicStats(t *testing.T) {
+	d := &DES{Servers: 4, SvcMean: 0.002, SvcCV: 0.5, Rng: rand.New(rand.NewSource(7))}
+	lat := d.Run(1000, 2, 20) // ρ = 0.5
+	if lat.N() < 15000 {
+		t.Fatalf("only %d completions, want ≈20000", lat.N())
+	}
+	if m := lat.Mean(); m < 0.002 || m > 0.004 {
+		t.Errorf("mean sojourn %v implausible for ρ=0.5", m)
+	}
+	p50, p95, p99 := lat.Quantile(0.5), lat.Quantile(0.95), lat.Quantile(0.99)
+	if !(p50 < p95 && p95 < p99) {
+		t.Errorf("quantiles not ordered: %v %v %v", p50, p95, p99)
+	}
+}
+
+func TestDESFractionWithinConsistentWithQuantile(t *testing.T) {
+	d := &DES{Servers: 4, SvcMean: 0.002, SvcCV: 0.5, Rng: rand.New(rand.NewSource(3))}
+	lat := d.Run(1200, 2, 20)
+	p95 := lat.Quantile(0.95)
+	frac := lat.FractionWithin(p95)
+	if math.Abs(frac-0.95) > 0.01 {
+		t.Errorf("FractionWithin(p95) = %v, want ≈0.95", frac)
+	}
+}
+
+func TestDESEmptyCases(t *testing.T) {
+	d := &DES{Servers: 0, SvcMean: 0.002, SvcCV: 0.5}
+	if lat := d.Run(100, 0, 1); lat.N() != 0 {
+		t.Error("zero-server run produced completions")
+	}
+	d2 := &DES{Servers: 2, SvcMean: 0.002, SvcCV: 0.5}
+	if lat := d2.Run(0, 0, 1); lat.N() != 0 {
+		t.Error("zero-rate run produced completions")
+	}
+	var empty Latencies
+	if !math.IsNaN(empty.Quantile(0.5)) || !math.IsNaN(empty.Mean()) {
+		t.Error("empty latencies should yield NaN stats")
+	}
+	if empty.FractionWithin(1) != 0 {
+		t.Error("empty latencies FractionWithin should be 0")
+	}
+}
+
+// TestAnalyticMatchesDES is the cross-validation called out in DESIGN.md:
+// the analytic M/G/c approximation must track the discrete-event ground
+// truth across utilizations and service CVs.
+func TestAnalyticMatchesDES(t *testing.T) {
+	cases := []struct {
+		name    string
+		lambda  float64
+		servers int
+		mean    float64
+		cv      float64
+		tol     float64 // relative tolerance on p95
+	}{
+		{"low-util", 800, 8, 0.002, 0.5, 0.10},
+		{"mid-util", 2400, 8, 0.002, 0.5, 0.12},
+		{"high-util", 3400, 8, 0.002, 0.5, 0.25},
+		{"high-cv", 2000, 8, 0.002, 1.2, 0.25},
+		{"low-cv", 2400, 8, 0.002, 0.1, 0.15},
+		{"many-servers", 8000, 20, 0.002, 0.6, 0.15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &DES{Servers: tc.servers, SvcMean: tc.mean, SvcCV: tc.cv,
+				Rng: rand.New(rand.NewSource(11))}
+			lat := d.Run(tc.lambda, 5, 60)
+			a := Analytic{Lambda: tc.lambda, Servers: tc.servers,
+				SvcMean: tc.mean, SvcCV: tc.cv}
+			dp95, ap95 := lat.Quantile(0.95), a.SojournQuantile(0.95)
+			if rel := math.Abs(dp95-ap95) / dp95; rel > tc.tol {
+				t.Errorf("p95 mismatch: DES %v vs analytic %v (rel %.2f, tol %.2f)",
+					dp95, ap95, rel, tc.tol)
+			}
+			// QoS-rate agreement at the analytic p95 point.
+			frac := lat.FractionWithin(ap95)
+			if math.Abs(frac-0.95) > 0.04 {
+				t.Errorf("DES FractionWithin(analytic p95) = %v, want ≈0.95", frac)
+			}
+		})
+	}
+}
+
+func TestDESSaturatedGrowsUnbounded(t *testing.T) {
+	d := &DES{Servers: 2, SvcMean: 0.002, SvcCV: 0.5, Rng: rand.New(rand.NewSource(5))}
+	short := d.Run(2000, 0, 2).Quantile(0.95) // ρ = 2
+	d2 := &DES{Servers: 2, SvcMean: 0.002, SvcCV: 0.5, Rng: rand.New(rand.NewSource(5))}
+	long := d2.Run(2000, 0, 8).Quantile(0.95)
+	if long <= short {
+		t.Errorf("overloaded queue tail did not grow with time: %v <= %v", long, short)
+	}
+}

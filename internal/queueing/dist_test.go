@@ -1,0 +1,95 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogNormalMeanMatchesParameter(t *testing.T) {
+	for _, tc := range []struct{ mean, cv float64 }{
+		{0.001, 0.3}, {0.004, 0.8}, {1, 0.1}, {2.5, 1.5},
+	} {
+		l := NewLogNormal(tc.mean, tc.cv)
+		if got := l.Mean(); math.Abs(got-tc.mean)/tc.mean > 1e-9 {
+			t.Errorf("mean(%v,%v) = %v", tc.mean, tc.cv, got)
+		}
+	}
+}
+
+func TestLogNormalCDFQuantileRoundTrip(t *testing.T) {
+	l := NewLogNormal(0.002, 0.6)
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		x := l.Quantile(p)
+		if got := l.CDF(x); math.Abs(got-p) > 1e-6 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestLogNormalCDFBounds(t *testing.T) {
+	l := NewLogNormal(1, 0.5)
+	if l.CDF(0) != 0 || l.CDF(-1) != 0 {
+		t.Error("CDF of non-positive x must be 0")
+	}
+	if got := l.CDF(1e12); got < 1-1e-9 {
+		t.Errorf("CDF(huge) = %v, want ~1", got)
+	}
+}
+
+func TestLogNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := NewLogNormal(0.005, 0.5)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := l.Sample(rng.NormFloat64)
+		if v <= 0 {
+			t.Fatal("non-positive lognormal sample")
+		}
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-0.005)/0.005 > 0.02 {
+		t.Errorf("sample mean %v, want ≈0.005", mean)
+	}
+	if math.Abs(sd/mean-0.5) > 0.03 {
+		t.Errorf("sample CV %v, want ≈0.5", sd/mean)
+	}
+}
+
+func TestStdNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.9772498680518208, 2},
+		{0.0227501319481792, -2},
+		{0.95, 1.6448536269514722},
+		{0.99, 2.3263478740408408},
+	}
+	for _, c := range cases {
+		if got := stdNormalQuantile(c.p); math.Abs(got-c.z) > 1e-8 {
+			t.Errorf("quantile(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+	if !math.IsInf(stdNormalQuantile(0), -1) || !math.IsInf(stdNormalQuantile(1), 1) {
+		t.Error("endpoint quantiles should be infinite")
+	}
+}
+
+func TestStdNormalQuantileRoundTripProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p < 1e-6 || p > 1-1e-6 {
+			return true
+		}
+		z := stdNormalQuantile(p)
+		return math.Abs(stdNormalCDF(z)-p) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

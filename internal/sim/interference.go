@@ -1,0 +1,90 @@
+// Package sim implements the simulated power-constrained server node:
+// the ground-truth physics (workload behaviour × cache contention ×
+// queueing × power), the Table-III actuator surface (cpuset / CAT /
+// ACPI-DVFS / RAPL analogues), measurement noise, and the unmanaged
+// interference that motivates the paper's resource balancer.
+package sim
+
+import "math/rand"
+
+// Interference models contention on unmanaged shared resources and
+// uncontrollable system activity (OS interrupt handling, network stack,
+// co-runner bursts on the memory path). Episodes begin at random, last a
+// geometrically distributed number of intervals, inflate the LS service's
+// per-query work and add memory-bus demand. Crucially, the effect is
+// invisible to Sturgeon's offline-trained predictor — only the feedback
+// balancer can react to it (§VI).
+type Interference struct {
+	// StartProb is the per-interval probability a new episode begins.
+	StartProb float64
+	// MeanDur is the mean episode length in intervals (geometric).
+	MeanDur float64
+	// SvcFactorLo/Hi bound the uniform service-time inflation factor.
+	SvcFactorLo, SvcFactorHi float64
+	// SevereProb is the chance an episode is severe, drawing its factor
+	// from SevereFactorLo/Hi instead — the rare deep interference (e.g.
+	// a co-scheduled batch job thrashing the memory path) that violates
+	// even services with generous latency targets.
+	SevereProb                     float64
+	SevereFactorLo, SevereFactorHi float64
+	// BwLoGBs/BwHiGBs bound the uniform extra memory-bus demand.
+	BwLoGBs, BwHiGBs float64
+
+	rng       *rand.Rand
+	active    bool
+	svcFactor float64
+	extraBW   float64
+}
+
+// DefaultInterference returns the episode model used by the evaluation:
+// a new episode roughly every 170 intervals, lasting ~8 intervals,
+// inflating LS work by 10–30 % (20 % of episodes: 70–110 %) with
+// 2–8 GB/s of background traffic.
+func DefaultInterference(rng *rand.Rand) *Interference {
+	return &Interference{
+		StartProb:      0.006,
+		MeanDur:        8,
+		SvcFactorLo:    1.10,
+		SvcFactorHi:    1.30,
+		SevereProb:     0.20,
+		SevereFactorLo: 1.7,
+		SevereFactorHi: 2.1,
+		BwLoGBs:        2,
+		BwHiGBs:        8,
+		rng:            rng,
+	}
+}
+
+// None returns a disabled interference source (for calibration runs and
+// model-training sweeps, which the paper also performs interference-free
+// on a dedicated cluster).
+func None() *Interference {
+	return &Interference{}
+}
+
+// Step advances one interval and returns the LS service-time factor
+// (≥ 1), the extra bus demand in GB/s, and whether an episode is active.
+func (in *Interference) Step() (svcFactor, extraBWGBs float64, active bool) {
+	if in.rng == nil {
+		return 1, 0, false
+	}
+	if in.active {
+		// Geometric continuation: leave with probability 1/MeanDur.
+		if in.MeanDur <= 1 || in.rng.Float64() < 1/in.MeanDur {
+			in.active = false
+		}
+	}
+	if !in.active && in.StartProb > 0 && in.rng.Float64() < in.StartProb {
+		in.active = true
+		lo, hi := in.SvcFactorLo, in.SvcFactorHi
+		if in.SevereProb > 0 && in.rng.Float64() < in.SevereProb {
+			lo, hi = in.SevereFactorLo, in.SevereFactorHi
+		}
+		in.svcFactor = lo + in.rng.Float64()*(hi-lo)
+		in.extraBW = in.BwLoGBs + in.rng.Float64()*(in.BwHiGBs-in.BwLoGBs)
+	}
+	if !in.active {
+		return 1, 0, false
+	}
+	return in.svcFactor, in.extraBW, true
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sturgeon/internal/cache"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+	"sturgeon/internal/queueing"
+	"sturgeon/internal/workload"
+)
+
+// IntervalStats reports one simulated 1 s interval. Fields prefixed True
+// are ground truth the controllers never see; the measured fields carry
+// realistic telemetry noise.
+type IntervalStats struct {
+	Time float64
+	QPS  float64
+
+	// TrueP95 is the physics tail latency; P95 the noisy measurement.
+	TrueP95 float64
+	P95     float64
+	// QoSFrac is the true fraction of the interval's queries finishing
+	// within the QoS target (the paper's guarantee-rate contribution).
+	QoSFrac float64
+
+	// BEThroughputUPS is best-effort progress in units/s.
+	BEThroughputUPS float64
+
+	// TruePower is the physics draw; Power the RAPL-style reading.
+	TruePower power.Watts
+	Power     power.Watts
+
+	LSUtil, BEUtil float64
+	LSRho          float64
+	Contention     float64
+	Interference   bool
+	Config         hw.Config
+}
+
+// Node is the simulated power-constrained server. It exposes the same
+// actuation surface as the paper's Table III tools — core partitioning,
+// per-allocation DVFS, LLC way partitioning and a sampled power meter —
+// over synthetic physics.
+type Node struct {
+	Spec        hw.Spec
+	PowerParams power.Params
+	Bus         cache.MemBus
+	LSProfile   workload.Profile
+	BEProfile   workload.Profile
+	Meter       *power.Meter
+	Interf      *Interference
+
+	// P95NoiseSD is the baseline lognormal sd of latency measurement
+	// noise; noise grows further as the service nears saturation.
+	P95NoiseSD float64
+	// QoSPercentile is the tail percentile tracked (default 0.95, the
+	// paper's primary metric; Fig. 9's narrative also quotes 99 %-iles).
+	QoSPercentile float64
+	// UseDES switches the latency engine from the analytic G/G/c
+	// approximation to per-interval discrete-event simulation with
+	// sampled queries — slower and noisier, used by the queue-engine
+	// ablation as the higher-fidelity reference.
+	UseDES bool
+
+	rng *rand.Rand
+	cfg hw.Config
+	// backlog carries queued-but-unserved queries across intervals: a
+	// service pushed past saturation does not recover instantly when
+	// capacity returns — the queue drains over the following intervals
+	// with elevated latency, exactly the gradual degradation feedback
+	// controllers rely on for a usable gradient.
+	backlog float64
+}
+
+// NewNode builds a node with the paper's default platform, the default
+// power physics and interference model, seeded deterministically.
+func NewNode(ls, be workload.Profile, seed int64) *Node {
+	rng := rand.New(rand.NewSource(seed))
+	n := &Node{
+		Spec:        hw.DefaultSpec(),
+		PowerParams: power.DefaultParams(),
+		Bus:         cache.DefaultBus(),
+		LSProfile:   ls,
+		BEProfile:   be,
+		Meter:       power.NewMeter(0.8, rng.NormFloat64),
+		Interf:      DefaultInterference(rng),
+		P95NoiseSD:  0.04,
+		rng:         rng,
+	}
+	n.cfg = hw.SoloLS(n.Spec)
+	return n
+}
+
+// QuietNode builds a node without interference or measurement noise —
+// the dedicated-cluster profiling environment of §V-A.
+func QuietNode(ls, be workload.Profile, seed int64) *Node {
+	n := NewNode(ls, be, seed)
+	n.Meter = power.NewMeter(0, nil)
+	n.Interf = None()
+	n.P95NoiseSD = 0
+	return n
+}
+
+// ProfilingNode builds a node with realistic measurement noise but no
+// interference episodes: the environment model-training sweeps run in.
+// Trained models therefore carry irreducible measurement error (their
+// Fig. 6/7 R² sits below 1) yet never learn the interference the
+// balancer exists to absorb.
+func ProfilingNode(ls, be workload.Profile, seed int64) *Node {
+	n := NewNode(ls, be, seed)
+	n.Interf = None()
+	return n
+}
+
+// Apply sets the resource configuration (validating against the spec),
+// like writing cpuset cgroups, resctrl masks and ACPI frequency files.
+func (n *Node) Apply(cfg hw.Config) error {
+	cfg.LS.Freq = n.Spec.ClampFreq(cfg.LS.Freq)
+	cfg.BE.Freq = n.Spec.ClampFreq(cfg.BE.Freq)
+	if err := cfg.Validate(n.Spec); err != nil {
+		return fmt.Errorf("sim: apply: %w", err)
+	}
+	n.cfg = cfg
+	return nil
+}
+
+// Config returns the configuration currently in force.
+func (n *Node) Config() hw.Config { return n.cfg }
+
+// physics solves the steady state of one interval: a short fixed-point
+// iteration couples the two applications through memory-bus contention.
+// It returns the LS state, the BE state, the contention multiplier, and
+// the LS power utilization.
+func (n *Node) physics(qps, svcFactor, extraBW float64) (workload.LSState, workload.BEState, float64, float64) {
+	contention := 1.0
+	var ls workload.LSState
+	var be workload.BEState
+	for i := 0; i < 3; i++ {
+		ls = n.LSProfile.LSRate(n.cfg.LS, qps, contention)
+		be = n.BEProfile.BERate(n.cfg.BE, contention)
+		demand := ls.BandwidthGBs + be.BandwidthGBs + extraBW
+		contention = n.Bus.Contention(demand)
+	}
+	// Interference inflates LS per-query time through *stalls* on
+	// unmanaged shared resources. Stalled cycles occupy the core (so the
+	// queueing capacity shrinks by the full factor) but toggle little
+	// switching capacitance, so dynamic power tracks the pre-inflation
+	// busy fraction.
+	powerUtil := math.Min(ls.Rho, 1)
+	ls.SvcMean *= svcFactor
+	ls.Rho *= svcFactor
+	ls.Util = math.Min(ls.Rho, 1)
+	return ls, be, contention, powerUtil
+}
+
+// Step advances one interval of dt = 1 s at the given offered load and
+// returns its statistics. The configuration applied beforehand is in
+// force for the whole interval.
+func (n *Node) Step(t, qps float64) IntervalStats {
+	svcFactor, extraBW, interfering := 1.0, 0.0, false
+	if n.Interf != nil {
+		svcFactor, extraBW, interfering = n.Interf.Step()
+	}
+	ls, be, contention, lsPowerUtil := n.physics(qps, svcFactor, extraBW)
+
+	// Queue backlog dynamics: compute the average extra wait imposed by
+	// queries left over from previous intervals, then update the backlog
+	// with this interval's net flow.
+	backlogWait := n.stepBacklog(qps, ls.SvcMean)
+
+	// Latency: the chosen queueing engine on the effective service time,
+	// shifted by the backlog drain wait.
+	target := n.LSProfile.QoSTargetS
+	pct := n.QoSPercentile
+	if pct <= 0 || pct >= 1 {
+		pct = 0.95
+	}
+	var trueP95, qosFrac float64
+	if n.UseDES {
+		trueP95, qosFrac = n.desLatency(qps, ls.SvcMean, target, backlogWait, pct)
+	} else {
+		q := queueing.Analytic{
+			Lambda:    qps,
+			Servers:   n.cfg.LS.Cores,
+			SvcMean:   ls.SvcMean,
+			SvcCV:     n.LSProfile.SvcCV,
+			ArrivalCV: n.LSProfile.ArrivalCV,
+			IntervalS: 1,
+		}
+		trueP95 = q.SojournQuantile(pct) + backlogWait
+		if budget := target - backlogWait; budget > 0 {
+			qosFrac = q.FractionWithin(budget)
+		}
+	}
+	if qps <= 0 && n.backlog <= 0 {
+		trueP95, qosFrac = 0, 1
+	}
+
+	// Power: BE cores spin at full residency; LS cores track load.
+	beUtil := 0.0
+	if n.cfg.BE.Cores > 0 {
+		beUtil = 1.0
+	}
+	loads := []power.CoreLoad{
+		{Cores: n.cfg.LS.Cores, Freq: n.cfg.LS.Freq, Util: lsPowerUtil, Activity: n.LSProfile.Activity},
+		{Cores: n.cfg.BE.Cores, Freq: n.cfg.BE.Freq, Util: beUtil, Activity: n.BEProfile.Activity},
+	}
+	activeWays := n.cfg.LS.LLCWays + n.cfg.BE.LLCWays
+	dram := n.Bus.Achieved(ls.BandwidthGBs + be.BandwidthGBs + extraBW)
+	truePower := n.PowerParams.Total(loads, activeWays, n.Spec.LLCWays, dram)
+	measPower := truePower
+	if n.Meter != nil {
+		measPower = n.Meter.Read(truePower, 1)
+	}
+
+	// Latency measurement noise grows near saturation, where a 1 s
+	// window of a heavy tail is an unstable estimator.
+	measP95 := trueP95
+	if n.P95NoiseSD > 0 && trueP95 > 0 && !math.IsInf(trueP95, 1) {
+		sd := n.P95NoiseSD
+		if ls.Rho > 0.75 {
+			sd += 0.10 * math.Min((ls.Rho-0.75)/0.25, 2)
+		}
+		measP95 = trueP95 * math.Exp(n.rng.NormFloat64()*sd)
+	}
+
+	return IntervalStats{
+		Time:            t,
+		QPS:             qps,
+		TrueP95:         trueP95,
+		P95:             measP95,
+		QoSFrac:         qosFrac,
+		BEThroughputUPS: be.ThroughputUPS,
+		TruePower:       truePower,
+		Power:           measPower,
+		LSUtil:          ls.Util,
+		BEUtil:          be.Util,
+		LSRho:           ls.Rho,
+		Contention:      contention,
+		Interference:    interfering,
+		Config:          n.cfg,
+	}
+}
+
+// desLatency runs a per-interval discrete-event simulation (sampling at
+// most ~20 k queries and scaling) and returns the tail latency and the
+// in-target fraction, both shifted by the carried-backlog wait.
+func (n *Node) desLatency(qps, svcMean, target, backlogWait, pct float64) (float64, float64) {
+	if n.cfg.LS.Cores <= 0 || qps <= 0 {
+		return math.Inf(1), 0
+	}
+	cv := n.LSProfile.ArrivalCV
+	if cv <= 0 {
+		cv = 1
+	}
+	batch := (cv*cv + 1) / 2 // CVa² ≈ 2m−1 for geometric batches
+	d := &queueing.DES{
+		Servers:   n.cfg.LS.Cores,
+		SvcMean:   svcMean,
+		SvcCV:     n.LSProfile.SvcCV,
+		BatchMean: batch,
+		Rng:       n.rng,
+	}
+	lat := d.Run(qps, 0.2, 1)
+	if lat.N() == 0 {
+		return math.Inf(1), 0
+	}
+	p := lat.Quantile(pct) + backlogWait
+	frac := 0.0
+	if budget := target - backlogWait; budget > 0 {
+		frac = lat.FractionWithin(budget)
+	}
+	return p, frac
+}
+
+// stepBacklog advances the carried queue by one 1 s interval and returns
+// the average extra wait new arrivals experienced behind it.
+func (n *Node) stepBacklog(qps, svcMean float64) float64 {
+	if n.cfg.LS.Cores <= 0 || svcMean <= 0 {
+		// No servers: everything offered this interval queues.
+		n.backlog += qps
+		return math.Inf(1)
+	}
+	capacity := float64(n.cfg.LS.Cores) / svcMean // queries/s
+	start := n.backlog
+	net := qps - capacity // backlog growth rate while positive
+
+	var avg float64
+	end := start + net
+	switch {
+	case end >= 0 && start >= 0:
+		avg = start + net/2
+	case start > 0 && end < 0:
+		// Drains to zero partway through the interval.
+		t0 := start / (capacity - qps)
+		avg = (start / 2) * t0
+		end = 0
+	default:
+		avg, end = 0, 0
+	}
+	if end < 0 {
+		end = 0
+	}
+	// Client timeouts bound the queue: requests older than ~half a second
+	// are abandoned (they still count as violated in the interval they
+	// were offered), so an overload episode cannot poison minutes of
+	// subsequent service.
+	if limit := 0.5 * capacity; end > limit {
+		end = limit
+	}
+	n.backlog = end
+	if avg < 0 {
+		avg = 0
+	}
+	return avg / capacity
+}
+
+// Backlog returns the queries currently carried over (ground truth).
+func (n *Node) Backlog() float64 { return n.backlog }
+
+// ResetQueue clears carried backlog — used between profiling samples,
+// where each measured configuration must start from a drained service
+// (the paper's offline sweeps restart the load generator per point).
+func (n *Node) ResetQueue() { n.backlog = 0 }
+
+// SoloBEThroughput returns the BE application's throughput running alone
+// on the whole machine at maximum frequency — the normalization basis of
+// Fig. 10.
+func SoloBEThroughput(spec hw.Spec, bus cache.MemBus, be workload.Profile) float64 {
+	alloc := hw.SoloBE(spec).BE
+	contention := 1.0
+	var st workload.BEState
+	for i := 0; i < 3; i++ {
+		st = be.BERate(alloc, contention)
+		contention = bus.Contention(st.BandwidthGBs)
+	}
+	return st.ThroughputUPS
+}
+
+// LSPeakPower returns the node's power draw with the LS service running
+// alone at peak load on all resources at maximum frequency — the paper's
+// power-budget definition (§III-B).
+func LSPeakPower(spec hw.Spec, params power.Params, bus cache.MemBus, ls workload.Profile) power.Watts {
+	alloc := hw.SoloLS(spec).LS
+	contention := 1.0
+	var st workload.LSState
+	for i := 0; i < 3; i++ {
+		st = ls.LSRate(alloc, ls.PeakQPS, contention)
+		contention = bus.Contention(st.BandwidthGBs)
+	}
+	loads := []power.CoreLoad{
+		{Cores: alloc.Cores, Freq: alloc.Freq, Util: st.Util, Activity: ls.Activity},
+	}
+	return params.Total(loads, spec.LLCWays, spec.LLCWays, bus.Achieved(st.BandwidthGBs))
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"sturgeon/internal/hw"
+)
+
+func TestRAPLCapThrottleAndRelease(t *testing.T) {
+	r := &RAPLCap{Spec: hw.DefaultSpec(), Limit: 100}
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 4, Freq: 2.2, LLCWays: 6},
+		BE: hw.Alloc{Cores: 16, Freq: 2.0, LLCWays: 14},
+	}
+	// Below the limit: untouched.
+	r.Observe(95)
+	if got := r.Apply(cfg); got != cfg {
+		t.Errorf("under-limit apply changed config: %v", got)
+	}
+	// One hot interval at +4 W: proportional response (1 + 4/2 = 3 steps).
+	r.Observe(104)
+	got := r.Apply(cfg)
+	if got.LS.Freq != 1.9 || got.BE.Freq != 1.7 {
+		t.Errorf("throttled config = %v, want −3 steps on both sides", got)
+	}
+	if r.Throttle() != 3 {
+		t.Errorf("throttle = %d", r.Throttle())
+	}
+	// Sustained headroom releases one step at a time.
+	r.Observe(90)
+	if r.Throttle() != 2 {
+		t.Errorf("throttle after release = %d", r.Throttle())
+	}
+	// In the hysteresis band (limit−headroom .. limit) nothing changes.
+	r.Observe(99)
+	if r.Throttle() != 2 {
+		t.Errorf("hysteresis band changed throttle: %d", r.Throttle())
+	}
+}
+
+func TestRAPLCapFloorsAtMinFrequency(t *testing.T) {
+	r := &RAPLCap{Spec: hw.DefaultSpec(), Limit: 50}
+	for i := 0; i < 50; i++ {
+		r.Observe(120)
+	}
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 10, Freq: 2.2, LLCWays: 10},
+		BE: hw.Alloc{Cores: 10, Freq: 1.4, LLCWays: 10},
+	}
+	got := r.Apply(cfg)
+	if got.LS.Freq != 1.2 || got.BE.Freq != 1.2 {
+		t.Errorf("fully throttled config = %v, want 1.2 GHz floor", got)
+	}
+	if err := got.Validate(hw.DefaultSpec()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"sturgeon/internal/control"
+	"sturgeon/internal/power"
+	"sturgeon/internal/workload"
+)
+
+// Runner drives one co-location experiment: it steps the node at 1 s
+// intervals under a load trace, feeds each interval's telemetry to a
+// controller, and applies the controller's configuration decisions —
+// the outer loop of the paper's evaluation (§VII).
+type Runner struct {
+	Node *Node
+	Ctrl control.Controller
+	// Budget is the node power cap handed to the controller and used for
+	// overload accounting.
+	Budget power.Watts
+	// Trace maps time to load fraction of the LS service's peak.
+	Trace workload.Trace
+	// DurationS is the run length in seconds.
+	DurationS int
+}
+
+// Result aggregates a run.
+type Result struct {
+	Controller string
+	Intervals  []IntervalStats
+
+	// QoSRate is the query-weighted fraction of queries completed within
+	// the QoS target (Fig. 9's metric).
+	QoSRate float64
+	// MeanBEThroughputUPS is the time-averaged best-effort progress.
+	MeanBEThroughputUPS float64
+	// NormBEThroughput is MeanBEThroughputUPS normalized to the BE
+	// application's solo run (Fig. 10's metric).
+	NormBEThroughput float64
+	// OverloadFrac is the fraction of intervals whose true power exceeded
+	// the budget; PeakPowerRatio the maximum true power/budget ratio.
+	OverloadFrac   float64
+	PeakPowerRatio float64
+	// BreakerTrips counts sustained overloads (more than two consecutive
+	// above-budget intervals) — the facility-breaker view of §II-A:
+	// breakers ride through transient jitter but trip on sustained
+	// excursions. The breaker is re-armed after each trip so every
+	// sustained episode is counted.
+	BreakerTrips int
+}
+
+// Run executes the experiment and returns aggregated statistics.
+func (r *Runner) Run() Result {
+	node := r.Node
+	budget := power.NewBudget(r.Budget)
+	breaker := power.Breaker{Limit: r.Budget, Tolerance: 2}
+	trips := 0
+
+	var (
+		intervals []IntervalStats
+		wQoS      float64 // Σ qps·qosFrac
+		wQPS      float64 // Σ qps
+		sumBE     float64
+	)
+	for i := 0; i < r.DurationS; i++ {
+		t := float64(i + 1)
+		qps := r.Trace(t) * node.LSProfile.PeakQPS
+		st := node.Step(t, qps)
+		budget.Observe(st.TruePower)
+		if breaker.Observe(st.TruePower) {
+			trips++
+			breaker.Reset()
+		}
+		intervals = append(intervals, st)
+
+		wQoS += st.QPS * st.QoSFrac
+		wQPS += st.QPS
+		sumBE += st.BEThroughputUPS
+
+		obs := control.Observation{
+			Time:         t,
+			QPS:          st.QPS,
+			P95:          st.P95,
+			Target:       node.LSProfile.QoSTargetS,
+			Power:        st.Power,
+			Budget:       r.Budget,
+			BEThroughput: st.BEThroughputUPS,
+			Config:       st.Config,
+		}
+		next := r.Ctrl.Decide(obs)
+		if next != st.Config {
+			// Controllers may emit configurations on the frequency grid
+			// edge; Apply clamps and validates. An invalid decision is a
+			// controller bug surfaced by keeping the old configuration.
+			_ = node.Apply(next)
+		}
+	}
+
+	res := Result{
+		Controller:          r.Ctrl.Name(),
+		Intervals:           intervals,
+		MeanBEThroughputUPS: sumBE / float64(max(1, r.DurationS)),
+		OverloadFrac:        budget.OverloadFraction(),
+		PeakPowerRatio:      budget.PeakRatio(),
+		BreakerTrips:        trips,
+	}
+	if wQPS > 0 {
+		res.QoSRate = wQoS / wQPS
+	} else {
+		res.QoSRate = 1
+	}
+	if solo := SoloBEThroughput(node.Spec, node.Bus, node.BEProfile); solo > 0 {
+		res.NormBEThroughput = res.MeanBEThroughputUPS / solo
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

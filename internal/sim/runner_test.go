@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/workload"
+)
+
+func TestRunnerStaticHealthyConfig(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	node := QuietNode(ls, be, 21)
+	budget := LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 8, Freq: 2.0, LLCWays: 10},
+		BE: hw.Alloc{Cores: 12, Freq: 1.2, LLCWays: 10},
+	}
+	if err := node.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{
+		Node:      node,
+		Ctrl:      control.Static{Cfg: cfg},
+		Budget:    budget,
+		Trace:     workload.Constant(0.2),
+		DurationS: 50,
+	}
+	res := r.Run()
+	if len(res.Intervals) != 50 {
+		t.Fatalf("intervals = %d, want 50", len(res.Intervals))
+	}
+	if res.QoSRate < 0.99 {
+		t.Errorf("QoSRate = %v, want ≈1 for a generous config", res.QoSRate)
+	}
+	if res.NormBEThroughput <= 0 || res.NormBEThroughput >= 1 {
+		t.Errorf("NormBEThroughput = %v, want in (0,1)", res.NormBEThroughput)
+	}
+	if res.Controller != "static" {
+		t.Errorf("Controller = %q", res.Controller)
+	}
+}
+
+func TestRunnerDetectsOverload(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Swaptions()
+	node := QuietNode(ls, be, 22)
+	budget := LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+	// Power-unaware configuration: BE at max frequency on 16 cores.
+	cfg := hw.Complement(node.Spec, hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6}, node.Spec.FreqMax)
+	if err := node.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{
+		Node:      node,
+		Ctrl:      control.Static{Cfg: cfg},
+		Budget:    budget,
+		Trace:     workload.Constant(0.2),
+		DurationS: 20,
+	}
+	res := r.Run()
+	if res.OverloadFrac != 1 {
+		t.Errorf("OverloadFrac = %v, want 1 for a power-unaware config", res.OverloadFrac)
+	}
+	if res.PeakPowerRatio <= 1 {
+		t.Errorf("PeakPowerRatio = %v, want > 1", res.PeakPowerRatio)
+	}
+}
+
+func TestRunnerAppliesControllerDecisions(t *testing.T) {
+	ls, be := workload.Xapian(), workload.Blackscholes()
+	node := QuietNode(ls, be, 23)
+	start := hw.SoloLS(node.Spec)
+	if err := node.Apply(start); err != nil {
+		t.Fatal(err)
+	}
+	target := hw.Config{
+		LS: hw.Alloc{Cores: 10, Freq: 2.0, LLCWays: 10},
+		BE: hw.Alloc{Cores: 10, Freq: 1.4, LLCWays: 10},
+	}
+	r := Runner{
+		Node:      node,
+		Ctrl:      control.Static{Cfg: target},
+		Budget:    150,
+		Trace:     workload.Constant(0.3),
+		DurationS: 3,
+	}
+	res := r.Run()
+	if res.Intervals[0].Config != start {
+		t.Errorf("first interval config = %v, want the initial %v", res.Intervals[0].Config, start)
+	}
+	if res.Intervals[1].Config != target {
+		t.Errorf("second interval config = %v, want controller's %v", res.Intervals[1].Config, target)
+	}
+	// BE had zero cores in interval 0 — no progress.
+	if res.Intervals[0].BEThroughputUPS != 0 {
+		t.Error("BE progressed with zero cores")
+	}
+	if res.Intervals[1].BEThroughputUPS <= 0 {
+		t.Error("BE made no progress after reallocation")
+	}
+}
+
+func TestRunnerZeroQPSTraceQoSPerfect(t *testing.T) {
+	node := QuietNode(workload.ImgDNN(), workload.Facesim(), 24)
+	cfg := hw.SoloLS(node.Spec)
+	if err := node.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{
+		Node: node, Ctrl: control.Static{Cfg: cfg},
+		Budget: 150, Trace: workload.Constant(0), DurationS: 5,
+	}
+	res := r.Run()
+	if res.QoSRate != 1 {
+		t.Errorf("QoSRate with no load = %v, want 1", res.QoSRate)
+	}
+}

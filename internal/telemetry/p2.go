@@ -1,0 +1,133 @@
+// Package telemetry provides the measurement substrate the paper assumes
+// datacenters already deploy (§V-A): streaming quantile estimation for
+// tail latencies, sliding measurement windows, exponentially weighted
+// averages, and a recorder that accumulates offline training samples for
+// the performance/power models.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2 is the Jain–Chlamtac P² streaming quantile estimator: it tracks a
+// single quantile of an unbounded observation stream in O(1) space by
+// maintaining five markers whose heights follow a piecewise-parabolic
+// interpolation. It is the classic datacenter telemetry primitive for
+// tail-latency tracking without storing samples.
+type P2 struct {
+	p     float64
+	n     int
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based)
+	want  [5]float64 // desired positions
+	inc   [5]float64 // desired position increments
+	boot  []float64  // first five observations
+	ready bool
+}
+
+// NewP2 returns an estimator for the p-quantile, 0 < p < 1.
+func NewP2(p float64) *P2 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("telemetry: quantile %v outside (0,1)", p))
+	}
+	e := &P2{p: p}
+	e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Observe feeds one observation.
+func (e *P2) Observe(x float64) {
+	e.n++
+	if !e.ready {
+		e.boot = append(e.boot, x)
+		if len(e.boot) == 5 {
+			sort.Float64s(e.boot)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.boot[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.boot = nil
+			e.ready = true
+		}
+		return
+	}
+
+	// Find the cell containing x and update extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2) parabolic(i int, s float64) float64 {
+	n := e.pos
+	q := e.q
+	return q[i] + s/(n[i+1]-n[i-1])*
+		((n[i]-n[i-1]+s)*(q[i+1]-q[i])/(n[i+1]-n[i])+
+			(n[i+1]-n[i]-s)*(q[i]-q[i-1])/(n[i]-n[i-1]))
+}
+
+func (e *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the nearest-rank quantile of what it has;
+// with none it returns NaN.
+func (e *P2) Value() float64 {
+	if e.ready {
+		return e.q[2]
+	}
+	if len(e.boot) == 0 {
+		return math.NaN()
+	}
+	tmp := append([]float64(nil), e.boot...)
+	sort.Float64s(tmp)
+	idx := int(e.p * float64(len(tmp)))
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// Count returns the number of observations so far.
+func (e *P2) Count() int { return e.n }

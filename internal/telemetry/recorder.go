@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a design matrix plus labels, the exchange format between the
+// telemetry recorder and the model-training layer.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+	// FeatureNames documents the columns (e.g. "qps", "cores", "freq",
+	// "ways" — the four Lasso-selected features of §V-A).
+	FeatureNames []string
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Validate checks rectangular shape.
+func (d Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("telemetry: %d feature rows vs %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return nil
+	}
+	w := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("telemetry: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// test fraction, shuffled by rng (deterministic for a seeded source).
+func (d Dataset) Split(testFrac float64, rng *rand.Rand) (train, test Dataset) {
+	n := d.Len()
+	idx := rng.Perm(n)
+	nTest := int(testFrac * float64(n))
+	if nTest < 0 {
+		nTest = 0
+	}
+	if nTest > n {
+		nTest = n
+	}
+	mk := func(ids []int) Dataset {
+		out := Dataset{FeatureNames: d.FeatureNames}
+		for _, i := range ids {
+			out.X = append(out.X, d.X[i])
+			out.Y = append(out.Y, d.Y[i])
+		}
+		return out
+	}
+	return mk(idx[nTest:]), mk(idx[:nTest])
+}
+
+// Recorder accumulates (features, label) samples — the offline training
+// collection path the paper runs on dedicated-cluster telemetry.
+type Recorder struct {
+	names []string
+	x     [][]float64
+	y     []float64
+}
+
+// NewRecorder creates a recorder with named feature columns.
+func NewRecorder(featureNames ...string) *Recorder {
+	return &Recorder{names: featureNames}
+}
+
+// Add records one sample; the feature count must match the schema.
+func (r *Recorder) Add(features []float64, label float64) error {
+	if len(features) != len(r.names) {
+		return fmt.Errorf("telemetry: %d features for %d-column schema %v",
+			len(features), len(r.names), r.names)
+	}
+	r.x = append(r.x, append([]float64(nil), features...))
+	r.y = append(r.y, label)
+	return nil
+}
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int { return len(r.x) }
+
+// Dataset returns the accumulated samples.
+func (r *Recorder) Dataset() Dataset {
+	return Dataset{X: r.x, Y: r.y, FeatureNames: r.names}
+}

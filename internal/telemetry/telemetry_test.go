@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		est := NewP2(p)
+		var all []float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			// Lognormal-ish latency stream.
+			v := math.Exp(rng.NormFloat64() * 0.7)
+			est.Observe(v)
+			all = append(all, v)
+		}
+		sort.Float64s(all)
+		exact := all[int(p*float64(n))]
+		got := est.Value()
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("P2(%v) = %v vs exact %v (rel err %.3f)", p, got, exact, rel)
+		}
+		if est.Count() != n {
+			t.Errorf("Count = %d, want %d", est.Count(), n)
+		}
+	}
+}
+
+func TestP2SmallStreams(t *testing.T) {
+	est := NewP2(0.95)
+	if !math.IsNaN(est.Value()) {
+		t.Error("empty estimator should report NaN")
+	}
+	est.Observe(3)
+	if est.Value() != 3 {
+		t.Errorf("single-sample value = %v, want 3", est.Value())
+	}
+	est.Observe(1)
+	est.Observe(2)
+	v := est.Value()
+	if v < 1 || v > 3 {
+		t.Errorf("three-sample value %v outside data range", v)
+	}
+}
+
+func TestP2PanicsOnBadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) did not panic", p)
+				}
+			}()
+			NewP2(p)
+		}()
+	}
+}
+
+func TestP2MonotoneUnderSortedInput(t *testing.T) {
+	est := NewP2(0.5)
+	for i := 1; i <= 1001; i++ {
+		est.Observe(float64(i))
+	}
+	got := est.Value()
+	if math.Abs(got-501) > 10 {
+		t.Errorf("median of 1..1001 estimated %v, want ≈501", got)
+	}
+}
+
+func TestWindowQuantileAndEviction(t *testing.T) {
+	w := NewWindow(5)
+	for i := 1; i <= 5; i++ {
+		w.Observe(float64(i))
+	}
+	if got := w.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	// Push two more: window should hold {3,4,5,6,7}.
+	w.Observe(6)
+	w.Observe(7)
+	if got := w.Quantile(0); got != 3 {
+		t.Errorf("min after eviction = %v, want 3", got)
+	}
+	if got := w.Quantile(1); got != 7 {
+		t.Errorf("max after eviction = %v, want 7", got)
+	}
+	if got := w.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := w.Max(); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if w.Len() != 5 {
+		t.Errorf("Len = %d, want 5", w.Len())
+	}
+}
+
+func TestWindowEmptyAndReset(t *testing.T) {
+	w := NewWindow(3)
+	if !math.IsNaN(w.Quantile(0.5)) || !math.IsNaN(w.Mean()) || !math.IsNaN(w.Max()) {
+		t.Error("empty window should report NaN")
+	}
+	w.Observe(1)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	// Zero/negative capacity behaves as capacity 1.
+	w1 := NewWindow(0)
+	w1.Observe(4)
+	w1.Observe(9)
+	if got := w1.Quantile(0.5); got != 9 {
+		t.Errorf("cap-0 window kept %v, want latest 9", got)
+	}
+}
+
+func TestWindowInterpolatedQuantile(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Observe(v)
+	}
+	if got := w.Quantile(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("interpolated median = %v, want 2.5", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if !math.IsNaN(e.Value()) {
+		t.Error("unobserved EWMA should be NaN")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Errorf("first value = %v, want 10", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Errorf("after 20: %v, want 15", e.Value())
+	}
+	bad := EWMA{Alpha: 7}
+	bad.Observe(1)
+	bad.Observe(2)
+	if v := bad.Value(); v <= 1 || v >= 2 {
+		t.Errorf("invalid alpha fallback produced %v", v)
+	}
+}
+
+func TestRecorderAndDataset(t *testing.T) {
+	r := NewRecorder("qps", "cores", "freq", "ways")
+	if err := r.Add([]float64{1000, 4, 1.6, 6}, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	for i := 0; i < 99; i++ {
+		_ = r.Add([]float64{float64(i), 1, 2, 3}, float64(i))
+	}
+	d := r.Dataset()
+	if d.Len() != 100 || r.Len() != 100 {
+		t.Fatalf("dataset len = %d, want 100", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	train, test := d.Split(0.2, rand.New(rand.NewSource(1)))
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Errorf("split = %d/%d, want 80/20", train.Len(), test.Len())
+	}
+	// No overlap and full coverage.
+	seen := map[float64]bool{}
+	for _, y := range append(train.Y, test.Y...) {
+		if seen[y] {
+			t.Fatalf("duplicate sample %v after split", y)
+		}
+		seen[y] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("split lost samples: %d", len(seen))
+	}
+}
+
+func TestDatasetValidateCatchesRagged(t *testing.T) {
+	d := Dataset{X: [][]float64{{1, 2}, {3}}, Y: []float64{1, 2}}
+	if d.Validate() == nil {
+		t.Error("ragged dataset accepted")
+	}
+	d2 := Dataset{X: [][]float64{{1}}, Y: []float64{}}
+	if d2.Validate() == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// Window is a fixed-capacity sliding window of observations supporting
+// exact quantiles, mean and extrema over the most recent Cap samples —
+// the per-interval measurement primitive of the paper's 1 s control loop.
+type Window struct {
+	cap  int
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewWindow returns a window keeping the latest cap observations.
+func NewWindow(cap int) *Window {
+	if cap <= 0 {
+		cap = 1
+	}
+	return &Window{cap: cap, buf: make([]float64, 0, cap)}
+}
+
+// Observe appends one observation, evicting the oldest when full.
+func (w *Window) Observe(x float64) {
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, x)
+		return
+	}
+	w.buf[w.next] = x
+	w.next = (w.next + 1) % w.cap
+	w.full = true
+}
+
+// Len returns the number of retained observations.
+func (w *Window) Len() int { return len(w.buf) }
+
+// snapshot returns a sorted copy of the window contents.
+func (w *Window) snapshot() []float64 {
+	s := append([]float64(nil), w.buf...)
+	sort.Float64s(s)
+	return s
+}
+
+// Quantile returns the exact p-quantile over the window (NaN when empty).
+func (w *Window) Quantile(p float64) float64 {
+	s := w.snapshot()
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	idx := p * float64(len(s)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the window average (NaN when empty).
+func (w *Window) Mean() float64 {
+	if len(w.buf) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range w.buf {
+		sum += v
+	}
+	return sum / float64(len(w.buf))
+}
+
+// Max returns the window maximum (NaN when empty).
+func (w *Window) Max() float64 {
+	if len(w.buf) == 0 {
+		return math.NaN()
+	}
+	m := w.buf[0]
+	for _, v := range w.buf[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Reset clears the window.
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.full = false
+}
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; higher reacts faster.
+	Alpha float64
+
+	value float64
+	init  bool
+}
+
+// Observe folds one observation into the average.
+func (e *EWMA) Observe(x float64) {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.3
+	}
+	e.value = a*x + (1-a)*e.value
+}
+
+// Value returns the current average (NaN before any observation).
+func (e *EWMA) Value() float64 {
+	if !e.init {
+		return math.NaN()
+	}
+	return e.value
+}

@@ -1,0 +1,26 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"sturgeon/internal/trace"
+)
+
+// Tables render the paper's rows as aligned text (and CSV via WriteCSV).
+func ExampleTable() {
+	t := trace.NewTable("Fig. X", "pair", "qos")
+	t.Addf("memcached+rt", 0.9856)
+	fmt.Print(t)
+	// Output:
+	// Fig. X
+	// pair          qos
+	// ------------  ------
+	// memcached+rt  0.9856
+}
+
+// Sparklines give a terminal view of a Fig.-11-style series.
+func ExampleSparkline() {
+	fmt.Println(trace.Sparkline([]float64{1, 2, 3, 5, 8, 5, 3, 2}, 0))
+	// Output:
+	// ▁▂▃▅█▅▃▂
+}

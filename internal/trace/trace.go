@@ -1,0 +1,219 @@
+// Package trace provides the experiment-output primitives: aligned text
+// tables for figure/table reproduction, CSV/TSV emission for plotting,
+// and named time series for trace figures like the paper's Fig. 11.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple rows-and-headers result container.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; cells beyond the header count are kept as-is.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which is rendered with 4 significant
+// decimals.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			line.WriteString(c)
+			line.WriteString(strings.Repeat(" ", max(0, pad)))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one named time series.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// SeriesSet renders multiple series sharing a time base as TSV.
+type SeriesSet struct {
+	Title  string
+	Series []*Series
+}
+
+// Add registers a series and returns it for appending.
+func (ss *SeriesSet) Add(name string) *Series {
+	s := &Series{Name: name}
+	ss.Series = append(ss.Series, s)
+	return s
+}
+
+// WriteTSV emits time in the first column and one column per series.
+// Series are assumed to share the first series' time base; shorter series
+// pad with empty cells.
+func (ss *SeriesSet) WriteTSV(w io.Writer) error {
+	if len(ss.Series) == 0 {
+		return nil
+	}
+	head := []string{"t"}
+	for _, s := range ss.Series {
+		head = append(head, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(head, "\t")); err != nil {
+		return err
+	}
+	base := ss.Series[0]
+	for i := range base.T {
+		cells := []string{fmt.Sprintf("%g", base.T[i])}
+		for _, s := range ss.Series {
+			if i < len(s.V) {
+				cells = append(cells, fmt.Sprintf("%g", s.V[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkRunes are the eight block heights of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode strip, resampled to
+// width columns (width ≤ 0 keeps one column per point). Useful for
+// eyeballing a Fig.-11-style series straight in the terminal.
+func Sparkline(v []float64, width int) string {
+	if len(v) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(v) {
+		width = len(v)
+	}
+	// Resample by bucket means.
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i, x := range v {
+		b := i * width / len(v)
+		buckets[b] += x
+		counts[b]++
+	}
+	lo, hi := buckets[0]/float64(counts[0]), buckets[0]/float64(counts[0])
+	for b := range buckets {
+		buckets[b] /= float64(max(1, counts[b]))
+		if buckets[b] < lo {
+			lo = buckets[b]
+		}
+		if buckets[b] > hi {
+			hi = buckets[b]
+		}
+	}
+	span := hi - lo
+	out := make([]rune, width)
+	for b, x := range buckets {
+		idx := 0
+		if span > 0 {
+			idx = int((x - lo) / span * float64(len(sparkRunes)-1))
+		}
+		out[b] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// Spark renders a series' values (see Sparkline).
+func (s *Series) Spark(width int) string {
+	return Sparkline(s.V, width)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableStringAlignment(t *testing.T) {
+	tbl := NewTable("Title", "name", "value")
+	tbl.Add("a", "1")
+	tbl.Add("longer-name", "2.5")
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("first line %q", lines[0])
+	}
+	// Header, separator and both rows share the first column width.
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("missing separator: %q", lines[2])
+	}
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want 5", len(lines))
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.Addf("x", 0.123456, 42)
+	row := tbl.Rows[0]
+	if row[0] != "x" || row[1] != "0.1235" || row[2] != "42" {
+		t.Errorf("Addf row = %v", row)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.Add("1", "x,y") // comma must be quoted
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSeriesSetTSV(t *testing.T) {
+	ss := &SeriesSet{}
+	a := ss.Add("alpha")
+	b := ss.Add("beta")
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b.Append(1, 0.5) // shorter series pads
+	var sb strings.Builder
+	if err := ss.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "t\talpha\tbeta" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "1\t10\t0.5" {
+		t.Errorf("row 1 %q", lines[1])
+	}
+	if lines[2] != "2\t20\t" {
+		t.Errorf("row 2 %q (short series should pad)", lines[2])
+	}
+}
+
+func TestSeriesSetEmpty(t *testing.T) {
+	ss := &SeriesSet{}
+	var sb strings.Builder
+	if err := ss.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty set produced %q", sb.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", s)
+	}
+	// Constant series renders the lowest block everywhere.
+	c := Sparkline([]float64{5, 5, 5, 5}, 4)
+	if c != "▁▁▁▁" {
+		t.Errorf("constant sparkline = %q", c)
+	}
+	// Resampling halves the width.
+	r := Sparkline([]float64{0, 0, 7, 7}, 2)
+	if len([]rune(r)) != 2 {
+		t.Errorf("resampled width = %d", len([]rune(r)))
+	}
+	ser := &Series{V: []float64{1, 9, 1, 9}}
+	if len([]rune(ser.Spark(4))) != 4 {
+		t.Error("Series.Spark width mismatch")
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"sturgeon/internal/hw"
+)
+
+func TestBERateZeroCores(t *testing.T) {
+	bs := Blackscholes()
+	st := bs.BERate(hw.Alloc{Cores: 0, Freq: 2.2, LLCWays: 10}, 1)
+	if st.ThroughputUPS != 0 || st.IPS != 0 {
+		t.Errorf("zero-core BE state = %+v, want zeros", st)
+	}
+}
+
+func TestBERateMonotoneInResources(t *testing.T) {
+	for _, p := range BEApps() {
+		base := p.BERate(hw.Alloc{Cores: 8, Freq: 1.6, LLCWays: 8}, 1).ThroughputUPS
+		moreCores := p.BERate(hw.Alloc{Cores: 12, Freq: 1.6, LLCWays: 8}, 1).ThroughputUPS
+		moreFreq := p.BERate(hw.Alloc{Cores: 8, Freq: 2.0, LLCWays: 8}, 1).ThroughputUPS
+		moreWays := p.BERate(hw.Alloc{Cores: 8, Freq: 1.6, LLCWays: 16}, 1).ThroughputUPS
+		if moreCores <= base || moreFreq <= base || moreWays < base {
+			t.Errorf("%s: throughput not monotone: base %v cores %v freq %v ways %v",
+				p.Name, base, moreCores, moreFreq, moreWays)
+		}
+	}
+}
+
+func TestBERateContentionHurts(t *testing.T) {
+	rt := Raytrace()
+	free := rt.BERate(hw.Alloc{Cores: 8, Freq: 2.0, LLCWays: 8}, 1)
+	cont := rt.BERate(hw.Alloc{Cores: 8, Freq: 2.0, LLCWays: 8}, 2)
+	if cont.ThroughputUPS >= free.ThroughputUPS {
+		t.Error("memory contention did not reduce throughput")
+	}
+	if cont.CPI <= free.CPI {
+		t.Error("memory contention did not raise CPI")
+	}
+}
+
+// TestCoreVsFrequencyPreference pins the resource-preference spectrum the
+// paper's Fig. 3 turns on: under the 35 %-load configuration pair
+// (8 cores @2.2 GHz vs 12 cores @1.4 GHz), compute-bound applications
+// prefer the frequency-rich option while the memory-bound pipeline ferret
+// prefers the core-rich option.
+func TestCoreVsFrequencyPreference(t *testing.T) {
+	coreRich := hw.Alloc{Cores: 12, Freq: 1.4, LLCWays: 10}
+	freqRich := hw.Alloc{Cores: 8, Freq: 2.2, LLCWays: 10}
+	prefersCores := map[string]bool{"fe": true}
+	for _, p := range BEApps() {
+		tc := p.BERate(coreRich, 1).ThroughputUPS
+		tf := p.BERate(freqRich, 1).ThroughputUPS
+		if prefersCores[p.Name] {
+			if tc <= tf {
+				t.Errorf("%s should prefer cores at this pair: cores %v <= freq %v", p.Name, tc, tf)
+			}
+		} else if tf <= tc {
+			t.Errorf("%s should prefer frequency at this pair: freq %v <= cores %v", p.Name, tf, tc)
+		}
+	}
+}
+
+// TestMoreCoresWinAtLowLoadPair mirrors the 20 %-load pair of Fig. 3
+// (16 cores @1.8 GHz vs 12 cores @2.2 GHz): with that much parallelism on
+// offer, every BE application profits more from cores.
+func TestMoreCoresWinAtLowLoadPair(t *testing.T) {
+	coreRich := hw.Alloc{Cores: 16, Freq: 1.8, LLCWays: 14}
+	freqRich := hw.Alloc{Cores: 12, Freq: 2.2, LLCWays: 13}
+	for _, p := range BEApps() {
+		tc := p.BERate(coreRich, 1).ThroughputUPS
+		tf := p.BERate(freqRich, 1).ThroughputUPS
+		if tc <= tf {
+			t.Errorf("%s: 16C@1.8 %v not above 12C@2.2 %v", p.Name, tc, tf)
+		}
+	}
+}
+
+func TestLSRateUtilizationAndSaturation(t *testing.T) {
+	mc := Memcached()
+	a := hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6}
+	st := mc.LSRate(a, 0.2*mc.PeakQPS, 1)
+	if st.Rho <= 0 || st.Rho >= 1 {
+		t.Errorf("memcached at 20%% load on 4C@1.6/6L: rho = %v, want busy but stable", st.Rho)
+	}
+	// Saturation: throughput clips at capacity.
+	sat := mc.LSRate(a, mc.PeakQPS, 1)
+	if sat.Rho <= 1 {
+		t.Errorf("peak load on 4 cores should saturate, rho = %v", sat.Rho)
+	}
+	if sat.Util != 1 {
+		t.Errorf("saturated util = %v, want 1", sat.Util)
+	}
+	if sat.IPS >= mc.PeakQPS*mc.InstrPerQuery {
+		t.Error("saturated service executed more than capacity")
+	}
+}
+
+func TestLSRateScalesWithResources(t *testing.T) {
+	for _, p := range LSServices() {
+		qps := 0.4 * p.PeakQPS
+		slow := p.LSRate(hw.Alloc{Cores: 8, Freq: 1.2, LLCWays: 6}, qps, 1)
+		fast := p.LSRate(hw.Alloc{Cores: 8, Freq: 2.2, LLCWays: 6}, qps, 1)
+		if fast.SvcMean >= slow.SvcMean {
+			t.Errorf("%s: higher frequency did not shorten service time", p.Name)
+		}
+		cached := p.LSRate(hw.Alloc{Cores: 8, Freq: 1.2, LLCWays: 18}, qps, 1)
+		if cached.SvcMean >= slow.SvcMean {
+			t.Errorf("%s: more ways did not shorten service time", p.Name)
+		}
+		wide := p.LSRate(hw.Alloc{Cores: 16, Freq: 1.2, LLCWays: 6}, qps, 1)
+		if wide.Rho >= slow.Rho {
+			t.Errorf("%s: more cores did not reduce utilization", p.Name)
+		}
+	}
+}
+
+func TestLSPeakFeasibleOnWholeMachine(t *testing.T) {
+	// The paper sizes the power budget at the LS service's peak load on
+	// the whole machine — which therefore must be comfortably stable.
+	s := hw.DefaultSpec()
+	for _, p := range LSServices() {
+		st := p.LSRate(hw.Alloc{Cores: s.Cores, Freq: s.FreqMax, LLCWays: s.LLCWays}, p.PeakQPS, 1)
+		if st.Rho >= 0.75 {
+			t.Errorf("%s at peak on whole machine: rho = %v, want < 0.75", p.Name, st.Rho)
+		}
+		if st.Rho <= 0.2 {
+			t.Errorf("%s at peak on whole machine: rho = %v, implausibly idle", p.Name, st.Rho)
+		}
+	}
+}
+
+func TestJustEnoughNeighborhoodMatchesPaperNarrative(t *testing.T) {
+	// §III-B: "at 20%% of the peak load, 4 cores at 1.6 GHz and 6 LLC ways
+	// are enough for memcached, while 4 cores at 1.8 GHz and 5 LLC ways
+	// are enough for xapian and img-dnn". "Enough" means stably below
+	// saturation so the queueing tail can meet the QoS target, while one
+	// step fewer resources is not.
+	type tc struct {
+		p     Profile
+		alloc hw.Alloc
+	}
+	mc, xa, id := Memcached(), Xapian(), ImgDNN()
+	cases := []tc{
+		{mc, hw.Alloc{Cores: 4, Freq: 1.6, LLCWays: 6}},
+		{xa, hw.Alloc{Cores: 4, Freq: 1.8, LLCWays: 5}},
+		{id, hw.Alloc{Cores: 4, Freq: 1.8, LLCWays: 5}},
+	}
+	for _, c := range cases {
+		st := c.p.LSRate(c.alloc, 0.2*c.p.PeakQPS, 1)
+		if st.Rho >= 1 {
+			t.Errorf("%s at 20%% on %v: rho = %v, want stable", c.p.Name, c.alloc, st.Rho)
+		}
+		// Two fewer cores must not be enough — "just-enough" is tight.
+		tight := c.alloc
+		tight.Cores -= 2
+		st2 := c.p.LSRate(tight, 0.2*c.p.PeakQPS, 1)
+		if st2.Rho < 1 {
+			t.Errorf("%s at 20%% on %v: rho = %v, allocation not tight", c.p.Name, tight, st2.Rho)
+		}
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	fe := Ferret()
+	st := fe.BERate(hw.Alloc{Cores: 16, Freq: 2.2, LLCWays: 4}, 1)
+	if st.BandwidthGBs <= 0 {
+		t.Fatal("no bandwidth from a memory-heavy app")
+	}
+	// Bandwidth must equal IPS × MPKI/1000 × 64 B.
+	want := st.IPS * st.MPKI / 1000 * 64 / 1e9
+	if math.Abs(st.BandwidthGBs-want)/want > 1e-9 {
+		t.Errorf("bandwidth %v inconsistent with IPS/MPKI (%v)", st.BandwidthGBs, want)
+	}
+	// More ways → fewer misses → less traffic.
+	cached := fe.BERate(hw.Alloc{Cores: 16, Freq: 2.2, LLCWays: 18}, 1)
+	if cached.BandwidthGBs >= st.BandwidthGBs {
+		t.Error("more ways did not cut bandwidth")
+	}
+}

@@ -1,0 +1,36 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sturgeon/internal/workload"
+)
+
+// Load traces map time to a fraction of the service's peak QPS.
+func ExampleTriangle() {
+	tr := workload.Triangle(0.2, 0.8, 600) // the paper's §VII-A input
+	fmt.Printf("%.2f %.2f %.2f\n", tr(0), tr(300), tr(600))
+	// Output:
+	// 0.20 0.80 0.20
+}
+
+// Production traces replay from CSV with linear interpolation.
+func ExampleReplayCSV() {
+	csv := "t,frac\n0,0.2\n60,0.8\n120,0.4\n"
+	tr, _ := workload.ReplayCSV(strings.NewReader(csv))
+	fmt.Printf("%.2f %.2f\n", tr(30), tr(90))
+	// Output:
+	// 0.50 0.60
+}
+
+// Profiles span the preference spectrum the paper exploits: ferret's
+// pipeline scales almost linearly while fluidanimate's barriers bite.
+func ExampleProfile_Speedup() {
+	fe, _ := workload.ByName("fe")
+	fd, _ := workload.ByName("fd")
+	fmt.Printf("ferret x%.1f, fluidanimate x%.1f on 16 cores\n",
+		fe.Speedup(16), fd.Speedup(16))
+	// Output:
+	// ferret x13.9, fluidanimate x9.9 on 16 cores
+}

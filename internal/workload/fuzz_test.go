@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReplayCSV exercises the CSV trace parser with arbitrary input: it
+// must never panic, and any successfully parsed trace must be total and
+// finite over a probe range.
+func FuzzReplayCSV(f *testing.F) {
+	f.Add("t,frac\n0,0.2\n60,0.8\n")
+	f.Add("0,0.1\n10,0.9\n20,0.5\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("0,0.1\n0,0.2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ReplayCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, x := range []float64{-1, 0, 5, 1e6} {
+			v := tr(x)
+			if v != v { // NaN
+				t.Fatalf("trace produced NaN at %v for input %q", x, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,347 @@
+// Package workload defines behavioural models of the applications the
+// paper co-locates: three latency-sensitive (LS) services — memcached,
+// xapian and img-dnn — and six best-effort (BE) PARSEC applications —
+// blackscholes, facesim, ferret, raytrace, swaptions and fluidanimate.
+//
+// Each application is a Profile: an instruction-level description (base
+// CPI, miss-ratio curve, instructions per query/work-unit), a scalability
+// law (Amdahl serial fraction plus synchronization loss), a power activity
+// factor, and — for LS services — a QoS target and peak load. Together
+// these span the resource-preference spectrum the paper exploits:
+// compute-bound scalable applications profit from frequency, memory-bound
+// pipelines profit from cores, cache-hungry applications profit from LLC
+// ways.
+//
+// The profiles are synthetic stand-ins calibrated to the published
+// characteristics of the real applications (see DESIGN.md §2); their role
+// is to preserve the *shape* of the trade-offs, not testbed-exact numbers.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"sturgeon/internal/cache"
+)
+
+// Class distinguishes latency-sensitive services from best-effort
+// applications.
+type Class int
+
+const (
+	// LS marks a latency-sensitive service with a tail-latency QoS target.
+	LS Class = iota
+	// BE marks a best-effort application measured by throughput only.
+	BE
+)
+
+// String returns "LS" or "BE".
+func (c Class) String() string {
+	if c == LS {
+		return "LS"
+	}
+	return "BE"
+}
+
+// Profile is the behavioural model of one application.
+type Profile struct {
+	// Name is the short identifier used in the paper's figures (bs, fa,
+	// fe, rt, sp, fd, memcached, xapian, img-dnn).
+	Name string
+	// FullName is the human-readable application name.
+	FullName string
+	Class    Class
+
+	// CPI is the core-bound CPI model; MRC the LLC miss-ratio curve.
+	CPI cache.CPIModel
+	MRC cache.MRC
+
+	// Activity is the power activity factor in [0,1] (see power.CoreLoad).
+	Activity float64
+
+	// LS-only fields.
+
+	// QoSTargetS is the tail-latency target in seconds (95 %-ile).
+	QoSTargetS float64
+	// PeakQPS is the service's peak load in queries per second.
+	PeakQPS float64
+	// InstrPerQuery is the average instruction count of one query.
+	InstrPerQuery float64
+	// SvcCV is the coefficient of variation of per-query service time.
+	SvcCV float64
+	// ArrivalCV is the burstiness of the arrival process (1 = Poisson).
+	// Fan-out RPC patterns and TCP batching make real service traffic
+	// markedly bursty; memcached's tiny queries arrive in the burstiest
+	// clumps, which is why its tail rises well before core saturation.
+	ArrivalCV float64
+
+	// BE-only fields.
+
+	// InstrPerUnit is the instruction count of one unit of best-effort
+	// work (throughput is reported in units/s).
+	InstrPerUnit float64
+	// SerialFrac is the Amdahl serial fraction.
+	SerialFrac float64
+	// SyncLoss is the additional per-extra-core efficiency loss from
+	// synchronization and communication.
+	SyncLoss float64
+	// InputLevel is the PARSEC-style input-set level in 1..6 (the paper
+	// uses these as the BE "input size" model feature). Level 3
+	// corresponds to the native-run calibration above.
+	InputLevel int
+}
+
+// Validate checks internal consistency of the profile.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without a name")
+	}
+	if err := p.MRC.Validate(); err != nil {
+		return fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	if p.CPI.CPIBase <= 0 || p.CPI.MissPenaltyNs < 0 {
+		return fmt.Errorf("workload %s: invalid CPI model %+v", p.Name, p.CPI)
+	}
+	if p.Activity <= 0 || p.Activity > 1 {
+		return fmt.Errorf("workload %s: activity %v outside (0,1]", p.Name, p.Activity)
+	}
+	switch p.Class {
+	case LS:
+		if p.QoSTargetS <= 0 || p.PeakQPS <= 0 || p.InstrPerQuery <= 0 || p.SvcCV <= 0 {
+			return fmt.Errorf("workload %s: incomplete LS parameters", p.Name)
+		}
+		if p.ArrivalCV <= 0 {
+			return fmt.Errorf("workload %s: arrival CV must be positive", p.Name)
+		}
+	case BE:
+		if p.InstrPerUnit <= 0 {
+			return fmt.Errorf("workload %s: incomplete BE parameters", p.Name)
+		}
+		if p.SerialFrac < 0 || p.SerialFrac >= 1 || p.SyncLoss < 0 {
+			return fmt.Errorf("workload %s: invalid scaling parameters", p.Name)
+		}
+		if p.InputLevel < 1 || p.InputLevel > 6 {
+			return fmt.Errorf("workload %s: input level %d outside 1..6", p.Name, p.InputLevel)
+		}
+	default:
+		return fmt.Errorf("workload %s: unknown class %d", p.Name, p.Class)
+	}
+	return nil
+}
+
+const missPenaltyNs = 75
+
+// Hyper-threading geometry of the experimental platform (Table II: 10
+// physical cores per socket, 2 threads per core, HT enabled — §VII-A runs
+// on 20 logical cores). Once an allocation exceeds the physical core
+// count, each additional logical core shares a physical core with a
+// sibling and contributes only a fraction of a core's capacity. The kink
+// this puts at 10 cores is a real discontinuity of the platform's
+// performance surface.
+const (
+	physicalCores       = 10
+	htSiblingEfficiency = 0.8
+)
+
+// EffectiveParallelism converts n logical cores into physical-core
+// equivalents under the platform's hyper-threading geometry.
+func EffectiveParallelism(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= physicalCores {
+		return float64(n)
+	}
+	return physicalCores + htSiblingEfficiency*float64(n-physicalCores)
+}
+
+// Memcached returns the model of the in-memory key-value cache: tiny
+// highly-variable queries at very high rate, modest cache appetite, low
+// power activity (network- and stall-dominated).
+func Memcached() Profile {
+	return Profile{
+		Name: "memcached", FullName: "Memcached (CloudSuite, Twitter dataset)",
+		Class:         LS,
+		CPI:           cache.CPIModel{CPIBase: 0.55, MissPenaltyNs: missPenaltyNs},
+		MRC:           cache.MRC{MPKI1: 8, MPKIInf: 2, HalfWays: 3},
+		Activity:      0.55,
+		QoSTargetS:    0.010,
+		PeakQPS:       60000,
+		InstrPerQuery: 0.42e6,
+		SvcCV:         0.7,
+		ArrivalCV:     2.8,
+	}
+}
+
+// Xapian returns the model of the web-search leaf node: branchy index
+// walks with a mid-sized footprint and moderately variable query cost.
+func Xapian() Profile {
+	return Profile{
+		Name: "xapian", FullName: "Xapian web search (Tailbench, Wikipedia index)",
+		Class:         LS,
+		CPI:           cache.CPIModel{CPIBase: 0.90, MissPenaltyNs: missPenaltyNs},
+		MRC:           cache.MRC{MPKI1: 10, MPKIInf: 1.5, HalfWays: 4},
+		Activity:      0.60,
+		QoSTargetS:    0.015,
+		PeakQPS:       3500,
+		InstrPerQuery: 4.9e6,
+		SvcCV:         0.6,
+		ArrivalCV:     1.5,
+	}
+}
+
+// ImgDNN returns the model of the handwriting-recognition service: dense
+// uniform compute per query with a compact working set.
+func ImgDNN() Profile {
+	return Profile{
+		Name: "img-dnn", FullName: "Img-dnn handwriting recognition (Tailbench, MNIST)",
+		Class:         LS,
+		CPI:           cache.CPIModel{CPIBase: 0.50, MissPenaltyNs: missPenaltyNs},
+		MRC:           cache.MRC{MPKI1: 6, MPKIInf: 1, HalfWays: 2.5},
+		Activity:      0.65,
+		QoSTargetS:    0.010,
+		PeakQPS:       3000,
+		InstrPerQuery: 8e6,
+		SvcCV:         0.3,
+		ArrivalCV:     1.2,
+	}
+}
+
+// Blackscholes: embarrassingly parallel option pricing; compute-bound with
+// a tiny working set, so it profits fully from frequency and from cores.
+func Blackscholes() Profile {
+	return beProfile("bs", "PARSEC blackscholes", 0.80, cache.MRC{MPKI1: 3, MPKIInf: 0.3, HalfWays: 2},
+		0.46, 42e6, 0.010, 0.0008)
+}
+
+// Profile calibration note: the Amdahl serial fractions and miss-ratio
+// curves below are jointly tuned so the six applications populate the
+// paper's preference spectrum under the Fig. 3 configuration pairs —
+// every application prefers 16 cores @1.8 GHz over 12 @2.2 GHz (the
+// 20 %-load pair), while at the 35 %-load pair (8 cores @2.2 GHz vs
+// 12 @1.4 GHz) only the memory-bound pipeline ferret keeps preferring
+// cores. See workload tests TestCoreVsFrequencyPreference and
+// TestMoreCoresWinAtLowLoadPair for the pinned inequalities.
+
+// Facesim: physics simulation with moderate memory traffic and visible
+// synchronization between frames.
+func Facesim() Profile {
+	return beProfile("fa", "PARSEC facesim", 0.70, cache.MRC{MPKI1: 12, MPKIInf: 1.2, HalfWays: 1.5},
+		0.40, 110e6, 0.040, 0)
+}
+
+// Ferret: content-similarity pipeline; near-perfect pipeline scaling but
+// memory-bound stages, so extra cores beat extra frequency.
+func Ferret() Profile {
+	return beProfile("fe", "PARSEC ferret", 0.55, cache.MRC{MPKI1: 15, MPKIInf: 6, HalfWays: 4},
+		0.34, 95e6, 0.004, 0.0006)
+	// fe keeps a high compulsory-miss floor: its per-core rate saturates
+	// with frequency, so it is the one application that prefers cores at
+	// every load — the paper's Fig. 3 outlier.
+}
+
+// Raytrace: good scaling and a large reuse-friendly working set — the most
+// LLC-way-sensitive of the six.
+func Raytrace() Profile {
+	return beProfile("rt", "PARSEC raytrace", 0.65, cache.MRC{MPKI1: 18, MPKIInf: 0.8, HalfWays: 2.2},
+		0.38, 80e6, 0.030, 0)
+}
+
+// Swaptions: Monte-Carlo pricing; compute-dense, highest activity factor,
+// excellent scaling.
+func Swaptions() Profile {
+	return beProfile("sp", "PARSEC swaptions", 0.85, cache.MRC{MPKI1: 2, MPKIInf: 0.2, HalfWays: 2},
+		0.50, 60e6, 0.006, 0.0005)
+}
+
+// Fluidanimate: particle simulation whose frame barriers impose the
+// heaviest synchronization loss of the six.
+func Fluidanimate() Profile {
+	return beProfile("fd", "PARSEC fluidanimate", 0.60, cache.MRC{MPKI1: 10, MPKIInf: 1.0, HalfWays: 1.5},
+		0.44, 130e6, 0.035, 0.0005)
+}
+
+func beProfile(name, full string, cpiBase float64, mrc cache.MRC, activity, instrPerUnit, serial, sync float64) Profile {
+	return Profile{
+		Name: name, FullName: full,
+		Class:        BE,
+		CPI:          cache.CPIModel{CPIBase: cpiBase, MissPenaltyNs: missPenaltyNs},
+		MRC:          mrc,
+		Activity:     activity,
+		InstrPerUnit: instrPerUnit,
+		SerialFrac:   serial,
+		SyncLoss:     sync,
+		InputLevel:   3,
+	}
+}
+
+// LSServices returns the three latency-sensitive services in paper order.
+func LSServices() []Profile {
+	return []Profile{Memcached(), Xapian(), ImgDNN()}
+}
+
+// BEApps returns the six best-effort applications in paper order.
+func BEApps() []Profile {
+	return []Profile{Blackscholes(), Facesim(), Ferret(), Raytrace(), Swaptions(), Fluidanimate()}
+}
+
+// ByName looks an application up by its short name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range append(LSServices(), BEApps()...) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// WithInput returns a copy of a BE profile adjusted to a PARSEC-style
+// input level in 1..6. Larger inputs enlarge the working set (scaling the
+// miss-ratio curve) and the per-unit instruction count.
+func (p Profile) WithInput(level int) Profile {
+	if p.Class != BE {
+		return p
+	}
+	if level < 1 {
+		level = 1
+	}
+	if level > 6 {
+		level = 6
+	}
+	// Geometric growth per level relative to the calibrated level 3.
+	scale := math.Pow(1.8, float64(level-3))
+	q := p
+	q.InputLevel = level
+	q.InstrPerUnit = p.InstrPerUnit * scale
+	ws := math.Pow(1.3, float64(level-3))
+	q.MRC.MPKI1 = p.MRC.MPKI1 * ws
+	q.MRC.MPKIInf = p.MRC.MPKIInf * ws
+	q.MRC.HalfWays = p.MRC.HalfWays * math.Pow(1.15, float64(level-3))
+	return q
+}
+
+// Speedup returns the parallel speedup of the profile on n logical cores:
+// Amdahl's law over the hyper-threading-effective parallelism, degraded
+// by a per-extra-thread synchronization loss. It is 1 at n=1 and concave
+// in n.
+func (p Profile) Speedup(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	e := EffectiveParallelism(n)
+	amdahl := e / (1 + p.SerialFrac*(e-1))
+	loss := 1 - p.SyncLoss*float64(n-1)
+	if loss < 0.05 {
+		loss = 0.05
+	}
+	return amdahl * loss
+}
+
+// QoSTarget returns the QoS target for LS profiles; it panics for BE
+// profiles, which have none.
+func (p Profile) QoSTarget() float64 {
+	if p.Class != LS {
+		panic(fmt.Sprintf("workload: %s is not an LS service", p.Name))
+	}
+	return p.QoSTargetS
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range append(LSServices(), BEApps()...) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestRegistries(t *testing.T) {
+	if got := len(LSServices()); got != 3 {
+		t.Errorf("LSServices count = %d, want 3", got)
+	}
+	if got := len(BEApps()); got != 6 {
+		t.Errorf("BEApps count = %d, want 6", got)
+	}
+	for _, name := range []string{"memcached", "xapian", "img-dnn", "bs", "fa", "fe", "rt", "sp", "fd"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestPaperQoSTargetsAndPeaks(t *testing.T) {
+	// §III-A: 10 ms for memcached and img-dnn, 15 ms for xapian.
+	// §VII-A: peak loads 60 K, 3.5 K, 3 K QPS.
+	cases := []struct {
+		name   string
+		target float64
+		peak   float64
+	}{
+		{"memcached", 0.010, 60000},
+		{"xapian", 0.015, 3500},
+		{"img-dnn", 0.010, 3000},
+	}
+	for _, c := range cases {
+		p, _ := ByName(c.name)
+		if p.QoSTarget() != c.target {
+			t.Errorf("%s QoS target = %v, want %v", c.name, p.QoSTarget(), c.target)
+		}
+		if p.PeakQPS != c.peak {
+			t.Errorf("%s peak = %v, want %v", c.name, p.PeakQPS, c.peak)
+		}
+	}
+}
+
+func TestQoSTargetPanicsForBE(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("QoSTarget on a BE profile did not panic")
+		}
+	}()
+	Blackscholes().QoSTarget()
+}
+
+func TestValidateCatchesBrokenProfiles(t *testing.T) {
+	mut := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Activity = 0 },
+		func(p *Profile) { p.Activity = 1.5 },
+		func(p *Profile) { p.CPI.CPIBase = 0 },
+		func(p *Profile) { p.MRC.HalfWays = 0 },
+	}
+	for i, m := range mut {
+		p := Memcached()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	ls := Memcached()
+	ls.PeakQPS = 0
+	if ls.Validate() == nil {
+		t.Error("LS profile without peak accepted")
+	}
+	be := Ferret()
+	be.SerialFrac = 1
+	if be.Validate() == nil {
+		t.Error("BE profile with serial fraction 1 accepted")
+	}
+	be2 := Ferret()
+	be2.InputLevel = 7
+	if be2.Validate() == nil {
+		t.Error("BE profile with input level 7 accepted")
+	}
+}
+
+func TestSpeedupProperties(t *testing.T) {
+	for _, p := range BEApps() {
+		if got := p.Speedup(1); got != 1 {
+			t.Errorf("%s Speedup(1) = %v, want 1", p.Name, got)
+		}
+		if got := p.Speedup(0); got != 0 {
+			t.Errorf("%s Speedup(0) = %v, want 0", p.Name, got)
+		}
+		prev := 0.0
+		for n := 1; n <= 20; n++ {
+			s := p.Speedup(n)
+			if s > float64(n) {
+				t.Errorf("%s superlinear speedup at %d cores: %v", p.Name, n, s)
+			}
+			if s < prev {
+				// Mild decline at very high core counts is physical
+				// (synchronization collapse) but none of our six profiles
+				// should decline within 20 cores.
+				t.Errorf("%s speedup declined at %d cores: %v < %v", p.Name, n, s, prev)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestScalingSpectrum(t *testing.T) {
+	// Ferret is the best-scaling profile (pipeline); fluidanimate the
+	// worst (sync-heavy). This ordering is what flips the core-vs-
+	// frequency preference in Fig. 3.
+	fe, _ := ByName("fe")
+	fd, _ := ByName("fd")
+	if fe.Speedup(16) <= fd.Speedup(16) {
+		t.Errorf("ferret speedup %v not above fluidanimate %v", fe.Speedup(16), fd.Speedup(16))
+	}
+	if fe.Speedup(16) < 13 {
+		t.Errorf("ferret 16-core speedup %v, want near-linear (≥13)", fe.Speedup(16))
+	}
+	if fd.Speedup(16) > 12 {
+		t.Errorf("fluidanimate 16-core speedup %v, want visibly sublinear (≤12)", fd.Speedup(16))
+	}
+}
+
+func TestWithInputScalesWorkAndFootprint(t *testing.T) {
+	base := Raytrace()
+	small := base.WithInput(1)
+	big := base.WithInput(6)
+	if !(small.InstrPerUnit < base.InstrPerUnit && base.InstrPerUnit < big.InstrPerUnit) {
+		t.Error("input level does not order instruction counts")
+	}
+	if !(small.MRC.MPKI1 < base.MRC.MPKI1 && base.MRC.MPKI1 < big.MRC.MPKI1) {
+		t.Error("input level does not order working sets")
+	}
+	for _, lvl := range []int{0, 1, 3, 6, 9} {
+		q := base.WithInput(lvl)
+		if err := q.Validate(); err != nil {
+			t.Errorf("WithInput(%d) produced invalid profile: %v", lvl, err)
+		}
+	}
+	// LS profiles are unaffected.
+	ls := Memcached()
+	if got := ls.WithInput(5); got.InstrPerQuery != ls.InstrPerQuery {
+		t.Error("WithInput modified an LS profile")
+	}
+}
+
+func TestWithInputLevel3IsIdentity(t *testing.T) {
+	for _, p := range BEApps() {
+		q := p.WithInput(3)
+		if q.InstrPerUnit != p.InstrPerUnit || q.MRC != p.MRC {
+			t.Errorf("%s WithInput(3) changed the profile", p.Name)
+		}
+	}
+}
+
+func TestSpeedupQuickProperty(t *testing.T) {
+	p := Facesim()
+	f := func(n uint8) bool {
+		c := int(n%32) + 1
+		s := p.Speedup(c)
+		return s >= 0.05 && s <= float64(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Replay builds a trace from recorded (time, load-fraction) points with
+// linear interpolation between them — the hook for driving the simulator
+// from a production load trace instead of a synthetic shape. Outside the
+// recorded range the boundary values hold.
+func Replay(times, fracs []float64) (Trace, error) {
+	if len(times) == 0 || len(times) != len(fracs) {
+		return nil, fmt.Errorf("workload: replay needs matching non-empty time/fraction series")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("workload: replay times not strictly increasing at index %d", i)
+		}
+	}
+	ts := append([]float64(nil), times...)
+	fs := append([]float64(nil), fracs...)
+	return func(t float64) float64 {
+		if t <= ts[0] {
+			return fs[0]
+		}
+		if t >= ts[len(ts)-1] {
+			return fs[len(fs)-1]
+		}
+		i := sort.SearchFloat64s(ts, t)
+		// ts[i-1] < t ≤ ts[i]
+		span := ts[i] - ts[i-1]
+		frac := (t - ts[i-1]) / span
+		return fs[i-1] + (fs[i]-fs[i-1])*frac
+	}, nil
+}
+
+// ReplayCSV reads a two-column CSV (seconds, load fraction of peak; a
+// header row is skipped if non-numeric) and returns the interpolating
+// trace.
+func ReplayCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var times, fracs []float64
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: replay csv: %w", err)
+		}
+		t, err1 := strconv.ParseFloat(rec[0], 64)
+		f, err2 := strconv.ParseFloat(rec[1], 64)
+		if err1 != nil || err2 != nil {
+			if first {
+				first = false
+				continue // header row
+			}
+			return nil, fmt.Errorf("workload: replay csv: bad row %v", rec)
+		}
+		first = false
+		times = append(times, t)
+		fracs = append(fracs, f)
+	}
+	return Replay(times, fracs)
+}

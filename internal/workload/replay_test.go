@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReplayInterpolates(t *testing.T) {
+	tr, err := Replay([]float64{0, 10, 20}, []float64{0.2, 0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{
+		-5: 0.2, 0: 0.2, 5: 0.4, 10: 0.6, 15: 0.5, 20: 0.4, 100: 0.4,
+	}
+	for x, want := range cases {
+		if got := tr(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("tr(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := Replay(nil, nil); err == nil {
+		t.Error("empty replay accepted")
+	}
+	if _, err := Replay([]float64{0, 1}, []float64{0.1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Replay([]float64{0, 5, 5}, []float64{1, 2, 3}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestReplayCSV(t *testing.T) {
+	src := "t,frac\n0,0.2\n60,0.8\n120,0.3\n"
+	tr, err := ReplayCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr(30); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("tr(30) = %v, want 0.5", got)
+	}
+	if got := tr(120); got != 0.3 {
+		t.Errorf("tr(120) = %v, want 0.3", got)
+	}
+}
+
+func TestReplayCSVNoHeader(t *testing.T) {
+	tr, err := ReplayCSV(strings.NewReader("0,0.1\n10,0.9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("tr(5) = %v", got)
+	}
+}
+
+func TestReplayCSVErrors(t *testing.T) {
+	if _, err := ReplayCSV(strings.NewReader("a,b\nc,d\n")); err == nil {
+		t.Error("all-garbage CSV accepted")
+	}
+	if _, err := ReplayCSV(strings.NewReader("0,0.1\nbad,row\n")); err == nil {
+		t.Error("mid-stream garbage accepted")
+	}
+	if _, err := ReplayCSV(strings.NewReader("0,0.1,extra\n")); err == nil {
+		t.Error("three-column CSV accepted")
+	}
+}
