@@ -11,8 +11,10 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"sturgeon/internal/control"
+	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/power"
 	"sturgeon/internal/sim"
@@ -133,7 +135,17 @@ type Cluster struct {
 	Policy DispatchPolicy
 	// LS is the fleet's service; PeakQPS scales the cluster trace.
 	LS workload.Profile
+	// Health tunes the failure detector (zero value = defaults).
+	Health HealthOptions
+	// Injectors optionally carries one fault injector per node (nil
+	// entries run that node clean). Install with InjectFaults or
+	// SetFaultPlans.
+	Injectors []*faults.Injector
 
+	// rng is the fleet's sole randomness source, injected via the New
+	// seed — no package-level math/rand is consulted anywhere, so two
+	// clusters built with the same seed behave identically (including
+	// under `go test -count=2` and the chaos harness).
 	rng *rand.Rand
 }
 
@@ -154,6 +166,38 @@ func New(n int, ls, be workload.Profile, budget power.Watts,
 		c.Ctrls = append(c.Ctrls, mkCtrl(i))
 	}
 	return c, nil
+}
+
+// InjectFaults materializes one deterministic fault plan per node from
+// spec, deriving every per-node seed from the cluster's injected rng so
+// the whole chaos schedule is a pure function of the cluster seed.
+func (c *Cluster) InjectFaults(spec faults.Spec, durationS int) {
+	c.Injectors = make([]*faults.Injector, len(c.Nodes))
+	for i := range c.Nodes {
+		planSeed := c.rng.Int63()
+		noiseSeed := c.rng.Int63()
+		c.Injectors[i] = faults.NewInjector(faults.New(spec, planSeed, durationS), noiseSeed)
+	}
+}
+
+// SetFaultPlans installs explicit per-node plans (nil entries run that
+// node clean) — the scripted-scenario entry point of the test battery.
+// Plans beyond len(Nodes) are ignored; missing ones are nil.
+func (c *Cluster) SetFaultPlans(plans ...*faults.Plan) {
+	c.Injectors = make([]*faults.Injector, len(c.Nodes))
+	for i := range c.Nodes {
+		if i < len(plans) && plans[i] != nil {
+			c.Injectors[i] = faults.NewInjector(plans[i], c.rng.Int63())
+		}
+	}
+}
+
+// injector returns node i's injector, or nil when the fleet runs clean.
+func (c *Cluster) injector(i int) *faults.Injector {
+	if i < len(c.Injectors) {
+		return c.Injectors[i]
+	}
+	return nil
 }
 
 // IntervalReport aggregates one cluster interval.
@@ -183,13 +227,52 @@ type Result struct {
 	MeanPowerW float64
 	EnergyKJ   float64
 	WorkPerKJ  float64
+	// LostQueries is the offered load dispatched to crashed nodes (each
+	// such query counts as a QoS violation in QoSRate).
+	LostQueries float64
+	// Health summarizes failure-detector activity; Faults tallies the
+	// injected faults across the fleet (both zero on clean runs).
+	Health HealthStats
+	Faults faults.Counters
+}
+
+// Summary renders a stable fixed-precision digest of the run for
+// golden-file comparison and determinism checks: headline metrics, the
+// fault and health tallies, and every tenth interval's trajectory. Any
+// semantic drift in the simulator, dispatcher or fault layer shows up as
+// a diff against the checked-in fixture.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "intervals %d\n", len(r.Intervals))
+	fmt.Fprintf(&b, "qos_rate %.6f\n", r.QoSRate)
+	fmt.Fprintf(&b, "be_ups %.4f\n", r.MeanBEThroughputUPS)
+	fmt.Fprintf(&b, "mean_power_w %.4f\n", r.MeanPowerW)
+	fmt.Fprintf(&b, "energy_kj %.4f\n", r.EnergyKJ)
+	fmt.Fprintf(&b, "work_per_kj %.4f\n", r.WorkPerKJ)
+	fmt.Fprintf(&b, "lost_queries %.2f\n", r.LostQueries)
+	fmt.Fprintf(&b, "health evictions %d readmissions %d unhealthy_intervals %d\n",
+		r.Health.Evictions, r.Health.Readmissions, r.Health.UnhealthyNodeIntervals)
+	fmt.Fprintf(&b, "faults %s\n", r.Faults)
+	for i, iv := range r.Intervals {
+		if i%10 != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "t=%04.0f qps %.1f qos %.4f be %.2f pw %.2f over %d\n",
+			iv.Time, iv.TotalQPS, iv.QoSFrac, iv.BEThroughputUPS, iv.PowerW, iv.OverloadedNodes)
+	}
+	return b.String()
 }
 
 // Run drives the fleet for duration seconds under a cluster-wide load
-// trace (fraction of n×PeakQPS).
+// trace (fraction of n×PeakQPS). Crashed nodes drop their dispatched
+// share (those queries count as violated) until the failure detector
+// evicts them and the dispatch policies renormalize the survivors'
+// shares; recovered nodes re-admit after a backoff probation.
 func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 	n := len(c.Nodes)
+	opt := c.Health.withDefaults()
 	states := make([]NodeState, n)
+	health := make([]nodeHealth, n)
 	for i := range states {
 		states[i].Healthy = true
 	}
@@ -208,12 +291,41 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 		rep := IntervalReport{Time: t, TotalQPS: total}
 		var okQ float64
 		for i, node := range c.Nodes {
+			inj := c.injector(i)
 			q := 0.0
 			if norm > 0 {
 				q = total * shares[i] / norm
 			}
+
+			if inj.Crashed(step) {
+				// The node is down: its dispatched share is lost and its
+				// telemetry goes dark (the 0 W reading is what the
+				// failure detector keys on).
+				res.LostQueries += q
+				states[i].Last = sim.IntervalStats{Time: t, QPS: q, Faults: inj.Flags(step)}
+				states[i].Healthy = health[i].observe(true, opt, &res.Health)
+				if !states[i].Healthy {
+					res.Health.UnhealthyNodeIntervals++
+				}
+				continue
+			}
+			if step > 0 && inj.CrashedAt(step-1) {
+				// Reboot: drained queue, boot configuration.
+				node.ResetQueue()
+				_ = node.Apply(hw.SoloLS(node.Spec))
+			}
+
 			st := node.Step(t, q)
+			if inj != nil {
+				st.Power = inj.PerturbPower(step, st.Power)
+				st.P95 = inj.PerturbP95(step, st.P95)
+				st.Faults = inj.Flags(step)
+			}
 			states[i].Last = st
+			states[i].Healthy = health[i].observe(st.Power <= 0, opt, &res.Health)
+			if !states[i].Healthy {
+				res.Health.UnhealthyNodeIntervals++
+			}
 			okQ += st.QPS * st.QoSFrac
 			rep.BEThroughputUPS += st.BEThroughputUPS
 			rep.PowerW += float64(st.TruePower)
@@ -228,7 +340,7 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 			}
 			next := c.Ctrls[i].Decide(obs)
 			if next != st.Config {
-				_ = node.Apply(next)
+				inj.Actuate(step, st.Config, next, node.Apply)
 			}
 		}
 		if total > 0 {
@@ -241,6 +353,11 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 		sumBE += rep.BEThroughputUPS
 		sumPW += rep.PowerW
 		res.Intervals = append(res.Intervals, rep)
+	}
+	for i := range c.Injectors {
+		if c.Injectors[i] != nil {
+			res.Faults.Add(c.Injectors[i].C)
+		}
 	}
 
 	if wQ > 0 {

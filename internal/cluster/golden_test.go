@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/faults"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenScenario is a small seeded fleet chaos run pinned by a
+// checked-in fixture: three statically managed nodes under a triangle
+// load with the default fault profile. Any change to the simulator
+// physics, the dispatcher, the failure detector or the fault layer
+// shifts the summary and fails the diff — semantics can only change
+// loudly, together with a regenerated fixture (`go test
+// ./internal/cluster -run Golden -update`).
+func goldenScenario(t *testing.T) Result {
+	t.Helper()
+	const duration = 80
+	ls, be := workload.Memcached(), workload.Raytrace()
+	node := sim.QuietNode(ls, be, 1)
+	budget := sim.LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+	split := hw.Config{
+		LS: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
+		BE: hw.Alloc{Cores: 8, Freq: 1.6, LLCWays: 8},
+	}
+	c, err := New(3, ls, be, budget, RoundRobin{}, 20260805, func(int) control.Controller {
+		return control.Static{Cfg: split}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if err := n.Apply(split); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 0 gets the seeded default chaos profile; node 1 a scripted
+	// crash plus a stale-latency window, so the fixture pins the crash /
+	// eviction / lost-query path as well as the telemetry faults.
+	c.SetFaultPlans(
+		faults.New(faults.DefaultSpec(), 101, duration),
+		faults.Manual(duration,
+			faults.Episode{Kind: faults.NodeCrash, Start: 20, End: 45},
+			faults.Episode{Kind: faults.LatencyStale, Start: 55, End: 65},
+		),
+	)
+	return c.Run(workload.Triangle(0.2, 0.7, duration), duration)
+}
+
+func TestGoldenFleetSummary(t *testing.T) {
+	got := goldenScenario(t).Summary()
+	path := filepath.Join("testdata", "fleet_summary.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fleet summary drifted from golden fixture.\n--- got ---\n%s--- want ---\n%s"+
+			"(if the change is intentional, regenerate with `go test ./internal/cluster -run Golden -update`)",
+			got, want)
+	}
+}
+
+// TestGoldenScenarioByteIdentical re-runs the full golden scenario twice
+// in-process — fresh cluster, fresh plans — and requires byte-identical
+// summaries, the run-to-run half of the reproducibility criterion.
+func TestGoldenScenarioByteIdentical(t *testing.T) {
+	if goldenScenario(t).Summary() != goldenScenario(t).Summary() {
+		t.Fatal("golden scenario is not reproducible within one process")
+	}
+}

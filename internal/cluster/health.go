@@ -1,0 +1,83 @@
+package cluster
+
+// HealthOptions tune the dispatcher's failure detector. The detector
+// watches per-node telemetry only — a crashed node is one whose measured
+// power reads 0 W (no powered-on server draws nothing) — mirroring how a
+// real dispatcher infers death from missed heartbeats rather than being
+// told.
+type HealthOptions struct {
+	// MissThreshold is the number of consecutive dead-telemetry
+	// intervals before a node is evicted from rotation (default 2, so a
+	// crash is detected and its load redistributed within 3 intervals).
+	MissThreshold int
+	// ReadmitAfter is the number of consecutive alive-telemetry
+	// intervals a recovered node must show before re-admission
+	// (default 3).
+	ReadmitAfter int
+	// BackoffMax caps the re-admission backoff multiplier: each repeated
+	// eviction doubles the required healthy streak up to
+	// ReadmitAfter×BackoffMax (default 4), so a flapping node is probed
+	// progressively less eagerly.
+	BackoffMax int
+}
+
+func (h HealthOptions) withDefaults() HealthOptions {
+	if h.MissThreshold <= 0 {
+		h.MissThreshold = 2
+	}
+	if h.ReadmitAfter <= 0 {
+		h.ReadmitAfter = 3
+	}
+	if h.BackoffMax <= 0 {
+		h.BackoffMax = 4
+	}
+	return h
+}
+
+// HealthStats summarizes failure-detector activity over a run.
+type HealthStats struct {
+	// Evictions counts nodes removed from rotation; Readmissions counts
+	// returns to rotation.
+	Evictions, Readmissions int
+	// UnhealthyNodeIntervals is the total node·intervals spent out of
+	// rotation.
+	UnhealthyNodeIntervals int
+}
+
+// nodeHealth is the per-node failure-detector state.
+type nodeHealth struct {
+	missed   int // consecutive dead-telemetry intervals
+	alive    int // consecutive alive-telemetry intervals while evicted
+	evicted  bool
+	required int // healthy streak required for re-admission (backs off)
+}
+
+// observe feeds one interval's liveness signal and returns the node's
+// new in-rotation status. stats is updated in place.
+func (h *nodeHealth) observe(dead bool, opt HealthOptions, stats *HealthStats) (healthy bool) {
+	if dead {
+		h.missed++
+		h.alive = 0
+		if !h.evicted && h.missed >= opt.MissThreshold {
+			h.evicted = true
+			stats.Evictions++
+			// Double the readmission bar on every eviction, capped.
+			if h.required == 0 {
+				h.required = opt.ReadmitAfter
+			} else if h.required < opt.ReadmitAfter*opt.BackoffMax {
+				h.required *= 2
+			}
+		}
+		return !h.evicted
+	}
+	h.missed = 0
+	if h.evicted {
+		h.alive++
+		if h.alive >= h.required {
+			h.evicted = false
+			h.alive = 0
+			stats.Readmissions++
+		}
+	}
+	return !h.evicted
+}

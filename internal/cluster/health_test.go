@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/faults"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+// staticFleet builds a cheap deterministic fleet: every node runs the LS
+// service on the whole machine under a fixed controller, so the tests
+// exercise dispatch, health detection and fault injection without model
+// training.
+func staticFleet(t *testing.T, n int, seed int64) *Cluster {
+	t.Helper()
+	ls, be := workload.Memcached(), workload.Raytrace()
+	node := sim.QuietNode(ls, be, 1)
+	budget := sim.LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls)
+	c, err := New(n, ls, be, budget, RoundRobin{}, seed, func(int) control.Controller {
+		return control.Static{Cfg: hw.SoloLS(hw.DefaultSpec())}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDispatcherEvictsCrashedNode is the fleet-robustness acceptance
+// test: under a node-crash fault plan the dispatcher must mark the node
+// unhealthy within 3 intervals, redistribute its share, and lose far
+// less QoS than the crashed node's capacity share would naively imply.
+func TestDispatcherEvictsCrashedNode(t *testing.T) {
+	const (
+		nodes      = 4
+		duration   = 160
+		crashStart = 30
+		crashEnd   = 90
+	)
+	clean := staticFleet(t, nodes, 5).Run(workload.Constant(0.5), duration)
+
+	c := staticFleet(t, nodes, 5)
+	c.SetFaultPlans(faults.Manual(duration,
+		faults.Episode{Kind: faults.NodeCrash, Start: crashStart, End: crashEnd},
+	))
+	res := c.Run(workload.Constant(0.5), duration)
+
+	if res.Health.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", res.Health.Evictions)
+	}
+	if res.Health.Readmissions != 1 {
+		t.Fatalf("readmissions = %d, want 1 (node must return after reboot)", res.Health.Readmissions)
+	}
+	if res.Faults.CrashIntervals != crashEnd-crashStart {
+		t.Fatalf("crash intervals = %d, want %d", res.Faults.CrashIntervals, crashEnd-crashStart)
+	}
+
+	// Detection within 3 intervals: load keeps landing on the dead node
+	// only until eviction, so at most 3 intervals of one node's share is
+	// lost — not the whole 60-interval outage.
+	perNodeInterval := 0.5 * c.LS.PeakQPS // one node's share of one interval
+	if res.LostQueries <= 0 {
+		t.Fatal("crash lost no queries — detection happened impossibly early")
+	}
+	if res.LostQueries > 3*perNodeInterval*1.01 {
+		t.Fatalf("lost %.0f queries — more than 3 intervals of the node's share (%.0f); detection too slow",
+			res.LostQueries, 3*perNodeInterval)
+	}
+
+	// Unhealthy bookkeeping: evicted from ~interval crashStart+2 until a
+	// few probation intervals past recovery.
+	if res.Health.UnhealthyNodeIntervals < crashEnd-crashStart-5 ||
+		res.Health.UnhealthyNodeIntervals > crashEnd-crashStart+10 {
+		t.Errorf("unhealthy intervals = %d, want ≈ %d", res.Health.UnhealthyNodeIntervals, crashEnd-crashStart)
+	}
+
+	// QoS must degrade far less than the naive capacity-share bound:
+	// share (1/4) × outage fraction (60/160) = 9.4 %.
+	naive := (1.0 / nodes) * float64(crashEnd-crashStart) / duration
+	loss := clean.QoSRate - res.QoSRate
+	if loss < 0 {
+		t.Fatalf("crash improved QoS? clean %.4f chaos %.4f", clean.QoSRate, res.QoSRate)
+	}
+	if loss > naive/2 {
+		t.Errorf("QoS loss %.4f not materially better than naive %.4f — redistribution ineffective",
+			loss, naive)
+	}
+}
+
+// TestFlappingNodeBacksOff checks the re-admission backoff: a node that
+// crashes repeatedly must face a doubling probation.
+func TestFlappingNodeBacksOff(t *testing.T) {
+	const duration = 120
+	c := staticFleet(t, 3, 9)
+	c.SetFaultPlans(faults.Manual(duration,
+		faults.Episode{Kind: faults.NodeCrash, Start: 10, End: 20},
+		faults.Episode{Kind: faults.NodeCrash, Start: 30, End: 40},
+		faults.Episode{Kind: faults.NodeCrash, Start: 60, End: 70},
+	))
+	res := c.Run(workload.Constant(0.4), duration)
+	if res.Health.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", res.Health.Evictions)
+	}
+	if res.Health.Readmissions != 3 {
+		t.Fatalf("readmissions = %d, want 3", res.Health.Readmissions)
+	}
+	// Probation doubles (3, 6, 12): later outages cost more unhealthy
+	// intervals than the first even though the crash windows are equal.
+	min := (20 - 12) + (40 - 32) + (70 - 62) + 3 + 6 + 12
+	if res.Health.UnhealthyNodeIntervals < min-4 {
+		t.Errorf("unhealthy intervals %d too low for backed-off probation (want ≈ %d)",
+			res.Health.UnhealthyNodeIntervals, min)
+	}
+}
+
+// TestClusterChaosRunDeterministic is the fleet half of the
+// reproducibility acceptance criterion: the same cluster seed and fault
+// spec produce byte-identical summaries across independent invocations.
+func TestClusterChaosRunDeterministic(t *testing.T) {
+	run := func() string {
+		c := staticFleet(t, 3, 11)
+		c.InjectFaults(faults.DefaultSpec(), 100)
+		return c.Run(workload.Triangle(0.2, 0.7, 100), 100).Summary()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("seeded chaos summaries diverged:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+// TestTelemetryFaultsDoNotKillHealthyNodes: meter dropouts alone (power
+// reads 0 for a few intervals) may trigger a spurious eviction, but the
+// node must be re-admitted and the fleet must keep serving.
+func TestTelemetryFaultsDoNotKillHealthyNodes(t *testing.T) {
+	const duration = 100
+	c := staticFleet(t, 3, 13)
+	c.SetFaultPlans(faults.Manual(duration,
+		faults.Episode{Kind: faults.PowerDrop, Start: 20, End: 26},
+	))
+	res := c.Run(workload.Constant(0.4), duration)
+	if res.Health.Evictions != res.Health.Readmissions {
+		t.Fatalf("spurious eviction never healed: %+v", res.Health)
+	}
+	if res.LostQueries != 0 {
+		t.Fatalf("telemetry-only faults lost %.0f queries", res.LostQueries)
+	}
+	if res.QoSRate < 0.95 {
+		t.Fatalf("fleet QoS %.4f collapsed under a meter dropout", res.QoSRate)
+	}
+}

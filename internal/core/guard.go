@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// Guarded hardens any controller against dirty telemetry and flaky
+// actuators — the defensive layer the fault-injection battery exercises.
+// It enforces three invariants on top of the wrapped policy:
+//
+//   - Missing observations hold the last-known-good configuration: a NaN
+//     or non-positive latency sample together with an implausible power
+//     reading means the controller is flying blind, and a blind
+//     reconfiguration is strictly worse than inertia.
+//   - A power reading below the modeled floor (FloorW) is impossible —
+//     no powered-on server draws less than its platform idle — so it is
+//     replaced by the last trusted reading rather than believed. This
+//     keeps a dropped/stuck meter from reading as "massive power slack"
+//     and triggering a harvest-everything overreaction.
+//   - Failed actuation is retried boundedly: when the in-force
+//     configuration shows a previous decision never took effect, the
+//     decision is re-issued up to MaxRetries times before the guard
+//     accepts reality and re-plans from the configuration that actually
+//     stuck.
+//
+// The guard also clamps every emitted configuration to the hardware
+// spec and never lets the LS service drop to zero cores, no matter what
+// the wrapped policy answers.
+type Guarded struct {
+	Inner control.Controller
+	Spec  hw.Spec
+	// FloorW is the lowest believable power reading (default: 80 % of
+	// the default platform idle).
+	FloorW power.Watts
+	// MaxRetries bounds actuation re-issues (default 2).
+	MaxRetries int
+
+	// Holds counts intervals the guard held the configuration because
+	// telemetry was unusable; Substitutions counts repaired readings;
+	// Retries counts re-issued actuations.
+	Holds, Substitutions, Retries int
+
+	lastGood control.Observation
+	haveGood bool
+
+	pending    hw.Config
+	hasPending bool
+	retries    int
+}
+
+// Guard wraps inner with default floor and retry settings.
+func Guard(inner control.Controller, spec hw.Spec) *Guarded {
+	return &Guarded{
+		Inner:  inner,
+		Spec:   spec,
+		FloorW: power.DefaultParams().IdleW * 0.8,
+	}
+}
+
+// Name identifies the guarded variant in reports.
+func (g *Guarded) Name() string { return g.Inner.Name() + "+guard" }
+
+func (g *Guarded) maxRetries() int {
+	if g.MaxRetries <= 0 {
+		return 2
+	}
+	return g.MaxRetries
+}
+
+// Decide sanitizes the observation, handles actuation retry, and routes
+// the repaired telemetry to the wrapped controller.
+func (g *Guarded) Decide(obs control.Observation) hw.Config {
+	raw := obs
+
+	latencyBad := math.IsNaN(obs.P95) || math.IsInf(obs.P95, 0) || obs.P95 < 0
+	if latencyBad {
+		if g.haveGood {
+			obs.P95 = g.lastGood.P95
+		} else {
+			// No history: assume the target is exactly met, which makes
+			// slack 0 — out of band on the cautious side.
+			obs.P95 = obs.Target
+		}
+		g.Substitutions++
+	}
+
+	qpsBad := math.IsNaN(obs.QPS) || math.IsInf(obs.QPS, 0) || obs.QPS < 0
+	if qpsBad {
+		if g.haveGood {
+			obs.QPS = g.lastGood.QPS
+		} else {
+			obs.QPS = 0
+		}
+		g.Substitutions++
+	}
+
+	powerBad := math.IsNaN(float64(obs.Power)) || math.IsInf(float64(obs.Power), 0) ||
+		obs.Power <= 0 || (g.FloorW > 0 && obs.Power < g.FloorW)
+	if powerBad {
+		if g.haveGood {
+			obs.Power = g.lastGood.Power
+		} else {
+			obs.Power = g.FloorW
+		}
+		g.Substitutions++
+	}
+
+	// Actuation audit: if the last decision never landed, re-issue it a
+	// bounded number of times before replanning from reality.
+	if g.hasPending {
+		switch {
+		case obs.Config == g.pending:
+			g.hasPending, g.retries = false, 0
+		case g.retries < g.maxRetries():
+			g.retries++
+			g.Retries++
+			return g.pending
+		default:
+			g.hasPending, g.retries = false, 0
+		}
+	}
+
+	if latencyBad && powerBad {
+		// Both control signals are garbage: hold last-known-good.
+		g.Holds++
+		return obs.Config
+	}
+
+	out := g.clamp(g.Inner.Decide(obs), obs.Config)
+	if out != obs.Config {
+		g.pending, g.hasPending, g.retries = out, true, 0
+	}
+	if !latencyBad && !qpsBad && !powerBad {
+		g.lastGood, g.haveGood = raw, true
+	}
+	return out
+}
+
+// clamp snaps cfg onto the spec grid and falls back to the in-force
+// configuration when the result is invalid or starves the LS service.
+func (g *Guarded) clamp(cfg, fallback hw.Config) hw.Config {
+	cfg.LS.Freq = g.Spec.ClampFreq(cfg.LS.Freq)
+	cfg.BE.Freq = g.Spec.ClampFreq(cfg.BE.Freq)
+	if cfg.LS.Cores < 1 || cfg.Validate(g.Spec) != nil {
+		return fallback
+	}
+	return cfg
+}

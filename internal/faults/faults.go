@@ -1,0 +1,234 @@
+// Package faults implements a deterministic, seed-driven fault-injection
+// layer for the simulated node and fleet: stuck/noisy/dropped power
+// readings, stale or missing latency telemetry, actuator writes that
+// silently fail or only partially apply, and whole-node crash/recovery
+// windows at the cluster level.
+//
+// Every fault schedule is a pure function of (Spec, seed, duration):
+// building the same plan twice yields byte-identical episodes, and an
+// Injector replaying the same plan perturbs a telemetry stream
+// identically. That reproducibility is the property the chaos test
+// battery depends on — a failing chaos run can always be replayed
+// exactly from its seed.
+//
+// The paper's controller (Alg. 1) assumes clean RAPL readings and
+// actuators that always take effect; §IV hedges that RAPL-class meters
+// carry ~1 W of read noise. This package is the adversarial version of
+// that hedge: it lets the test battery prove the control loops degrade
+// gracefully when their inputs are wrong, in the spirit of CuttleSys and
+// the hyperscale co-location literature where sensor staleness and node
+// churn are first-class events.
+package faults
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// PowerStuck freezes the power meter at its last reading.
+	PowerStuck Kind = iota
+	// PowerNoise adds heavy Gaussian noise (Spec.PowerNoiseSD) to reads.
+	PowerNoise
+	// PowerDrop makes the meter return 0 W (a failed RAPL MSR read).
+	PowerDrop
+	// LatencyStale repeats the previous p95 sample (frozen exporter).
+	LatencyStale
+	// LatencyDrop reports NaN p95 (missing telemetry scrape).
+	LatencyDrop
+	// ActuatorDrop silently discards configuration writes.
+	ActuatorDrop
+	// ActuatorPartial applies only the DVFS half of a write: the
+	// frequency files land but the cpuset/resctrl updates are lost.
+	ActuatorPartial
+	// NodeCrash takes the whole node offline: no service, no best-effort
+	// progress, no telemetry, until the episode ends and the node
+	// reboots.
+	NodeCrash
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"power.stuck", "power.noise", "power.drop",
+	"latency.stale", "latency.drop",
+	"act.drop", "act.partial",
+	"crash",
+}
+
+// String returns the knob name of the kind (also used by ParseSpec).
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("faults.Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Flags is the set of fault kinds active in one interval, as a bitmask.
+type Flags uint16
+
+// Has reports whether kind k is active.
+func (f Flags) Has(k Kind) bool { return f&(1<<uint(k)) != 0 }
+
+// String lists the active kinds, or "-" when none are.
+func (f Flags) String() string {
+	if f == 0 {
+		return "-"
+	}
+	var parts []string
+	for k := Kind(0); k < numKinds; k++ {
+		if f.Has(k) {
+			parts = append(parts, k.String())
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Counters tallies injected faults over a run. The zero value is ready
+// to use.
+type Counters struct {
+	// PowerStuck/PowerNoise/PowerDrop count perturbed power readings.
+	PowerStuck, PowerNoise, PowerDrop int
+	// LatencyStale/LatencyDrop count perturbed latency samples.
+	LatencyStale, LatencyDrop int
+	// ActuatorDrop/ActuatorPartial count sabotaged configuration writes.
+	ActuatorDrop, ActuatorPartial int
+	// CrashIntervals counts intervals the node spent offline.
+	CrashIntervals int
+}
+
+// Add accumulates another tally (fleet aggregation).
+func (c *Counters) Add(o Counters) {
+	c.PowerStuck += o.PowerStuck
+	c.PowerNoise += o.PowerNoise
+	c.PowerDrop += o.PowerDrop
+	c.LatencyStale += o.LatencyStale
+	c.LatencyDrop += o.LatencyDrop
+	c.ActuatorDrop += o.ActuatorDrop
+	c.ActuatorPartial += o.ActuatorPartial
+	c.CrashIntervals += o.CrashIntervals
+}
+
+// Total returns the sum over all fault classes.
+func (c Counters) Total() int {
+	return c.PowerStuck + c.PowerNoise + c.PowerDrop +
+		c.LatencyStale + c.LatencyDrop +
+		c.ActuatorDrop + c.ActuatorPartial + c.CrashIntervals
+}
+
+// String renders a compact stable summary (used by golden fixtures).
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"pwr stuck/noise/drop %d/%d/%d, lat stale/drop %d/%d, act drop/partial %d/%d, crash %d",
+		c.PowerStuck, c.PowerNoise, c.PowerDrop,
+		c.LatencyStale, c.LatencyDrop,
+		c.ActuatorDrop, c.ActuatorPartial, c.CrashIntervals)
+}
+
+// Spec holds the fault-model knobs: per-interval episode start
+// probabilities, mean episode durations and noise magnitude. The zero
+// value injects nothing.
+type Spec struct {
+	// Rates are per-interval probabilities that a new episode of the
+	// kind begins (while no episode of that kind is running).
+	PowerStuckRate, PowerNoiseRate, PowerDropRate float64
+	LatencyStaleRate, LatencyDropRate             float64
+	ActuatorDropRate, ActuatorPartialRate         float64
+	CrashRate                                     float64
+
+	// MeterDurS is the mean duration (intervals, geometric) of telemetry
+	// episodes — stuck/noisy/dropped meters and stale/missing latency.
+	// Default 5. Actuator faults are always single-write events.
+	MeterDurS float64
+	// CrashDurS is the mean crash length in intervals (default 20).
+	CrashDurS float64
+	// PowerNoiseSD is the added read noise in watts during PowerNoise
+	// episodes (default 8 — an order of magnitude above the meter's
+	// intrinsic ~1 W, enough to hide a marginal overload).
+	PowerNoiseSD float64
+}
+
+// DefaultSpec returns a moderate chaos profile: telemetry episodes a few
+// times per thousand intervals, rarer actuator losses, and an occasional
+// node crash.
+func DefaultSpec() Spec {
+	return Spec{
+		PowerStuckRate:      0.004,
+		PowerNoiseRate:      0.004,
+		PowerDropRate:       0.002,
+		LatencyStaleRate:    0.004,
+		LatencyDropRate:     0.002,
+		ActuatorDropRate:    0.01,
+		ActuatorPartialRate: 0.01,
+		CrashRate:           0.0008,
+		MeterDurS:           5,
+		CrashDurS:           20,
+		PowerNoiseSD:        8,
+	}
+}
+
+// rate returns the sanitized start probability for kind k in [0, 1].
+func (s Spec) rate(k Kind) float64 {
+	var r float64
+	switch k {
+	case PowerStuck:
+		r = s.PowerStuckRate
+	case PowerNoise:
+		r = s.PowerNoiseRate
+	case PowerDrop:
+		r = s.PowerDropRate
+	case LatencyStale:
+		r = s.LatencyStaleRate
+	case LatencyDrop:
+		r = s.LatencyDropRate
+	case ActuatorDrop:
+		r = s.ActuatorDropRate
+	case ActuatorPartial:
+		r = s.ActuatorPartialRate
+	case NodeCrash:
+		r = s.CrashRate
+	}
+	// NaN and negatives inject nothing; probabilities cap at 1.
+	if !(r > 0) {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// meanDur returns the sanitized mean episode duration for kind k (≥ 1).
+func (s Spec) meanDur(k Kind) float64 {
+	var d float64
+	switch k {
+	case PowerStuck, PowerNoise, PowerDrop, LatencyStale, LatencyDrop:
+		d = s.MeterDurS
+		if !(d >= 1) {
+			d = 5
+		}
+	case NodeCrash:
+		d = s.CrashDurS
+		if !(d >= 1) {
+			d = 20
+		}
+	default: // actuator faults sabotage exactly one write
+		d = 1
+	}
+	return d
+}
+
+// noiseSD returns the sanitized power read-noise magnitude in watts.
+func (s Spec) noiseSD() float64 {
+	sd := s.PowerNoiseSD
+	if !(sd >= 0) {
+		return 0
+	}
+	if sd == 0 {
+		return 8
+	}
+	return sd
+}

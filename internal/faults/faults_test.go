@@ -1,0 +1,253 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	a := New(spec, 42, 5000)
+	b := New(spec, 42, 5000)
+	if !reflect.DeepEqual(a.Episodes, b.Episodes) {
+		t.Fatal("same (spec, seed, duration) produced different schedules")
+	}
+	c := New(spec, 43, 5000)
+	if reflect.DeepEqual(a.Episodes, c.Episodes) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	if len(a.Episodes) == 0 {
+		t.Fatal("default spec over 5000 intervals scheduled nothing")
+	}
+}
+
+func TestPlanEpisodesWithinDuration(t *testing.T) {
+	spec := DefaultSpec()
+	for _, d := range []int{0, 1, 7, 300} {
+		p := New(spec, 9, d)
+		for _, e := range p.Episodes {
+			if e.Start < 0 || e.End > d || e.Start >= e.End {
+				t.Fatalf("duration %d: episode %+v out of bounds", d, e)
+			}
+		}
+	}
+}
+
+func TestPlanSubStreamsIndependent(t *testing.T) {
+	// Disabling one kind must not reshuffle the others' episodes.
+	spec := DefaultSpec()
+	full := New(spec, 11, 4000)
+	spec.CrashRate = 0
+	noCrash := New(spec, 11, 4000)
+	filter := func(eps []Episode, k Kind) []Episode {
+		var out []Episode
+		for _, e := range eps {
+			if e.Kind == k {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if k == NodeCrash {
+			continue
+		}
+		if !reflect.DeepEqual(filter(full.Episodes, k), filter(noCrash.Episodes, k)) {
+			t.Fatalf("disabling crash reshuffled %v episodes", k)
+		}
+	}
+	if len(filter(noCrash.Episodes, NodeCrash)) != 0 {
+		t.Fatal("crash episodes survived a zero crash rate")
+	}
+}
+
+func TestManualClampsAndSorts(t *testing.T) {
+	p := Manual(50,
+		Episode{Kind: NodeCrash, Start: 40, End: 99},
+		Episode{Kind: PowerStuck, Start: -5, End: 3},
+		Episode{Kind: LatencyDrop, Start: 10, End: 10}, // empty → dropped
+		Episode{Kind: Kind(99), Start: 0, End: 5},      // unknown → dropped
+	)
+	want := []Episode{
+		{Kind: PowerStuck, Start: 0, End: 3},
+		{Kind: NodeCrash, Start: 40, End: 50},
+	}
+	if !reflect.DeepEqual(p.Episodes, want) {
+		t.Fatalf("episodes = %+v, want %+v", p.Episodes, want)
+	}
+	if !p.CrashedAt(45) || p.CrashedAt(39) || p.CrashedAt(50) {
+		t.Fatal("crash window membership wrong")
+	}
+	if !p.Active(1).Has(PowerStuck) || p.Active(1).Has(NodeCrash) {
+		t.Fatal("flags wrong")
+	}
+}
+
+func TestInjectorPowerFaults(t *testing.T) {
+	p := Manual(10,
+		Episode{Kind: PowerStuck, Start: 2, End: 4},
+		Episode{Kind: PowerDrop, Start: 6, End: 7},
+	)
+	in := NewInjector(p, 1)
+	if got := in.PerturbPower(0, 100); got != 100 {
+		t.Fatalf("clean read perturbed: %v", got)
+	}
+	in.PerturbPower(1, 110)
+	if got := in.PerturbPower(2, 150); got != 110 {
+		t.Fatalf("stuck meter returned %v, want frozen 110", got)
+	}
+	if got := in.PerturbPower(3, 160); got != 110 {
+		t.Fatalf("stuck meter moved: %v", got)
+	}
+	if got := in.PerturbPower(4, 120); got != 120 {
+		t.Fatalf("meter did not unstick: %v", got)
+	}
+	if got := in.PerturbPower(6, 130); got != 0 {
+		t.Fatalf("dropped read returned %v, want 0", got)
+	}
+	if in.C.PowerStuck != 2 || in.C.PowerDrop != 1 {
+		t.Fatalf("counters %+v", in.C)
+	}
+}
+
+func TestInjectorLatencyFaults(t *testing.T) {
+	p := Manual(10,
+		Episode{Kind: LatencyStale, Start: 1, End: 3},
+		Episode{Kind: LatencyDrop, Start: 5, End: 6},
+	)
+	in := NewInjector(p, 1)
+	in.PerturbP95(0, 0.010)
+	if got := in.PerturbP95(1, 0.050); got != 0.010 {
+		t.Fatalf("stale sample = %v, want 0.010", got)
+	}
+	if got := in.PerturbP95(2, 0.060); got != 0.010 {
+		t.Fatalf("stale sample moved: %v", got)
+	}
+	if got := in.PerturbP95(5, 0.020); !math.IsNaN(got) {
+		t.Fatalf("dropped sample = %v, want NaN", got)
+	}
+	if in.C.LatencyStale != 2 || in.C.LatencyDrop != 1 {
+		t.Fatalf("counters %+v", in.C)
+	}
+}
+
+func TestInjectorActuatorFaults(t *testing.T) {
+	spec := hw.DefaultSpec()
+	cur := hw.Config{
+		LS: hw.Alloc{Cores: 10, Freq: 2.0, LLCWays: 10},
+		BE: hw.Alloc{Cores: 10, Freq: 1.6, LLCWays: 10},
+	}
+	next := hw.Config{
+		LS: hw.Alloc{Cores: 12, Freq: 1.8, LLCWays: 12},
+		BE: hw.Alloc{Cores: 8, Freq: 2.2, LLCWays: 8},
+	}
+	apply := func(c hw.Config) error { return c.Validate(spec) }
+
+	p := Manual(10,
+		Episode{Kind: ActuatorDrop, Start: 0, End: 1},
+		Episode{Kind: ActuatorPartial, Start: 1, End: 2},
+	)
+	in := NewInjector(p, 1)
+	if got := in.Actuate(0, cur, next, apply); got != cur {
+		t.Fatalf("dropped write changed config: %v", got)
+	}
+	got := in.Actuate(1, cur, next, apply)
+	if got.LS.Cores != cur.LS.Cores || got.LS.LLCWays != cur.LS.LLCWays {
+		t.Fatalf("partial write moved cores/ways: %v", got)
+	}
+	if got.LS.Freq != next.LS.Freq || got.BE.Freq != next.BE.Freq {
+		t.Fatalf("partial write lost the DVFS half: %v", got)
+	}
+	if err := got.Validate(spec); err != nil {
+		t.Fatalf("partial result invalid: %v", err)
+	}
+	if got2 := in.Actuate(5, cur, next, apply); got2 != next {
+		t.Fatalf("clean write did not land: %v", got2)
+	}
+	if in.C.ActuatorDrop != 1 || in.C.ActuatorPartial != 1 {
+		t.Fatalf("counters %+v", in.C)
+	}
+}
+
+func TestInjectorReplayIsIdentical(t *testing.T) {
+	p := New(DefaultSpec(), 7, 500)
+	run := func() []float64 {
+		in := NewInjector(p, 99)
+		var out []float64
+		for i := 0; i < 500; i++ {
+			out = append(out, float64(in.PerturbPower(i, power.Watts(100+i%7))))
+			out = append(out, in.PerturbP95(i, 0.01+float64(i%5)*0.001))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		same := a[i] == b[i] || (math.IsNaN(a[i]) && math.IsNaN(b[i]))
+		if !same {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNilInjectorIsTransparent(t *testing.T) {
+	var in *Injector
+	if in.Crashed(3) || in.CrashedAt(3) || in.Flags(3) != 0 {
+		t.Fatal("nil injector reported faults")
+	}
+	if got := in.PerturbPower(0, 55); got != 55 {
+		t.Fatalf("nil injector perturbed power: %v", got)
+	}
+	if got := in.PerturbP95(0, 0.01); got != 0.01 {
+		t.Fatalf("nil injector perturbed latency: %v", got)
+	}
+	spec := hw.DefaultSpec()
+	next := hw.SoloLS(spec)
+	got := in.Actuate(0, hw.Config{}, next, func(c hw.Config) error { return nil })
+	if got != next {
+		t.Fatalf("nil injector blocked actuation: %v", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("power.stuck=0.01, latency.drop=0.005;crash=0.001 crash.dur=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PowerStuckRate != 0.01 || spec.LatencyDropRate != 0.005 ||
+		spec.CrashRate != 0.001 || spec.CrashDurS != 30 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if s, err := ParseSpec(""); err != nil || s != (Spec{}) {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+	if s, err := ParseSpec("default"); err != nil || s != DefaultSpec() {
+		t.Fatalf("default spec: %+v, %v", s, err)
+	}
+	for _, bad := range []string{"nope=1", "power.stuck", "power.stuck=abc"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCountersAddAndString(t *testing.T) {
+	a := Counters{PowerStuck: 1, CrashIntervals: 2}
+	a.Add(Counters{PowerStuck: 3, LatencyDrop: 4})
+	if a.PowerStuck != 4 || a.LatencyDrop != 4 || a.CrashIntervals != 2 {
+		t.Fatalf("add: %+v", a)
+	}
+	if a.Total() != 10 {
+		t.Fatalf("total %d", a.Total())
+	}
+	if a.String() == "" || (Flags(0)).String() != "-" {
+		t.Fatal("string rendering broken")
+	}
+	f := Flags(1<<uint(PowerStuck) | 1<<uint(NodeCrash))
+	if f.String() != "power.stuck+crash" {
+		t.Fatalf("flags string %q", f.String())
+	}
+}

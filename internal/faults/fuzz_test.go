@@ -1,0 +1,54 @@
+package faults
+
+import "testing"
+
+// FuzzParseSpec exercises the fault-plan decoder and plan constructor
+// with arbitrary input: the decoder must never panic, and every plan
+// materialized from an accepted spec must keep all of its episodes
+// within the run duration no matter how hostile the knob values are
+// (NaN rates, negative durations, infinities).
+func FuzzParseSpec(f *testing.F) {
+	f.Add("power.stuck=0.01,latency.drop=0.005,crash=0.001,crash.dur=30", int64(1), 100)
+	f.Add("default", int64(42), 500)
+	f.Add("", int64(0), 0)
+	f.Add("crash=1,crash.dur=NaN", int64(-9), 50)
+	f.Add("power.noise=Inf,power.noise.sd=-5,meter.dur=-1", int64(7), 20)
+	f.Add("act.drop=1e308,act.partial=-1e308", int64(3), -4)
+	f.Fuzz(func(t *testing.T, src string, seed int64, durationS int) {
+		spec, err := ParseSpec(src)
+		if err != nil {
+			return
+		}
+		if durationS > 4096 {
+			durationS %= 4096 // keep fuzz iterations fast
+		}
+		p := New(spec, seed, durationS)
+		if p.DurationS < 0 {
+			t.Fatalf("negative duration survived: %d", p.DurationS)
+		}
+		for _, e := range p.Episodes {
+			if e.Start < 0 || e.End > p.DurationS || e.Start >= e.End {
+				t.Fatalf("episode %+v outside run [0, %d)", e, p.DurationS)
+			}
+			if e.Kind < 0 || e.Kind >= numKinds {
+				t.Fatalf("episode with invalid kind: %+v", e)
+			}
+		}
+		// The per-interval index must agree with the episode list.
+		for i := 0; i < p.DurationS; i++ {
+			var want Flags
+			for _, e := range p.Episodes {
+				if i >= e.Start && i < e.End {
+					want |= 1 << uint(e.Kind)
+				}
+			}
+			if got := p.Active(i); got != want {
+				t.Fatalf("Active(%d) = %v, episodes say %v", i, got, want)
+			}
+		}
+		// Out-of-range queries are always quiet.
+		if p.Active(-1) != 0 || p.Active(p.DurationS) != 0 {
+			t.Fatal("out-of-range interval reported faults")
+		}
+	})
+}

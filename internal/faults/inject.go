@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// Injector applies one node's Plan to its telemetry stream and actuation
+// path, counting every injected fault. It carries the mutable state a
+// schedule alone cannot (last-seen readings, the noise RNG), so the Plan
+// stays shareable while each run gets its own Injector.
+//
+// An Injector is not safe for concurrent use; each simulated node owns
+// exactly one.
+type Injector struct {
+	Plan *Plan
+	// C tallies the faults injected so far.
+	C Counters
+
+	rng       *rand.Rand
+	lastPower power.Watts
+	havePower bool
+	lastP95   float64
+	haveP95   bool
+}
+
+// NewInjector pairs a plan with a deterministic noise stream. A nil plan
+// yields an injector that never perturbs anything.
+func NewInjector(p *Plan, seed int64) *Injector {
+	return &Injector{Plan: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Flags returns the fault mask for interval t.
+func (in *Injector) Flags(t int) Flags {
+	if in == nil {
+		return 0
+	}
+	return in.Plan.Active(t)
+}
+
+// Crashed reports whether the node is offline during interval t and
+// accounts the downtime.
+func (in *Injector) Crashed(t int) bool {
+	if in == nil || !in.Plan.CrashedAt(t) {
+		return false
+	}
+	in.C.CrashIntervals++
+	return true
+}
+
+// CrashedAt is the non-counting schedule query (for recovery-transition
+// checks that must not double-count downtime).
+func (in *Injector) CrashedAt(t int) bool { return in != nil && in.Plan.CrashedAt(t) }
+
+// PerturbPower filters one power reading through the active meter
+// faults: dropped reads return 0 W, stuck meters repeat their last
+// reading, noisy meters add Gaussian error of Spec.PowerNoiseSD watts.
+func (in *Injector) PerturbPower(t int, w power.Watts) power.Watts {
+	if in == nil {
+		return w
+	}
+	f := in.Plan.Active(t)
+	switch {
+	case f.Has(PowerDrop):
+		in.C.PowerDrop++
+		return 0
+	case f.Has(PowerStuck):
+		in.C.PowerStuck++
+		if !in.havePower {
+			in.lastPower, in.havePower = w, true
+		}
+		return in.lastPower
+	case f.Has(PowerNoise):
+		in.C.PowerNoise++
+		w += power.Watts(in.rng.NormFloat64() * in.Plan.Spec.noiseSD())
+		if w < 0 {
+			w = 0
+		}
+	}
+	in.lastPower, in.havePower = w, true
+	return w
+}
+
+// PerturbP95 filters one latency sample: dropped scrapes return NaN,
+// stale exporters repeat the previous sample.
+func (in *Injector) PerturbP95(t int, p float64) float64 {
+	if in == nil {
+		return p
+	}
+	f := in.Plan.Active(t)
+	switch {
+	case f.Has(LatencyDrop):
+		in.C.LatencyDrop++
+		return math.NaN()
+	case f.Has(LatencyStale):
+		in.C.LatencyStale++
+		if !in.haveP95 {
+			in.lastP95, in.haveP95 = p, true
+		}
+		return in.lastP95
+	}
+	in.lastP95, in.haveP95 = p, true
+	return p
+}
+
+// Actuate attempts to install next through apply (which validates and
+// may reject), honouring the interval's actuator faults: dropped writes
+// leave cur in force; partial writes land only the DVFS half, keeping
+// cur's core and LLC partitioning. It returns the configuration actually
+// in force afterwards.
+func (in *Injector) Actuate(t int, cur, next hw.Config, apply func(hw.Config) error) hw.Config {
+	if in == nil {
+		if apply(next) == nil {
+			return next
+		}
+		return cur
+	}
+	f := in.Plan.Active(t)
+	switch {
+	case f.Has(ActuatorDrop):
+		in.C.ActuatorDrop++
+		return cur
+	case f.Has(ActuatorPartial):
+		in.C.ActuatorPartial++
+		part := cur
+		part.LS.Freq, part.BE.Freq = next.LS.Freq, next.BE.Freq
+		if apply(part) == nil {
+			return part
+		}
+		return cur
+	}
+	if apply(next) == nil {
+		return next
+	}
+	return cur
+}

@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec decodes a compact "key=value,key=value" fault-model string,
+// the format the chaos CLI examples accept, e.g.
+//
+//	power.stuck=0.01,latency.drop=0.005,crash=0.001,crash.dur=30
+//
+// Keys are the Kind knob names (power.stuck, power.noise, power.drop,
+// latency.stale, latency.drop, act.drop, act.partial, crash) taking
+// per-interval episode start probabilities, plus meter.dur and crash.dur
+// (mean episode intervals) and power.noise.sd (watts). Separators may be
+// commas, semicolons or whitespace. The empty string decodes to the
+// zero Spec (no faults); "default" decodes to DefaultSpec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ';' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if len(fields) == 1 && fields[0] == "default" {
+		return DefaultSpec(), nil
+	}
+	for _, kv := range fields {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: %q is not key=value", kv)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("faults: %s: %v", key, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "power.stuck":
+			spec.PowerStuckRate = x
+		case "power.noise":
+			spec.PowerNoiseRate = x
+		case "power.drop":
+			spec.PowerDropRate = x
+		case "latency.stale":
+			spec.LatencyStaleRate = x
+		case "latency.drop":
+			spec.LatencyDropRate = x
+		case "act.drop":
+			spec.ActuatorDropRate = x
+		case "act.partial":
+			spec.ActuatorPartialRate = x
+		case "crash":
+			spec.CrashRate = x
+		case "meter.dur":
+			spec.MeterDurS = x
+		case "crash.dur":
+			spec.CrashDurS = x
+		case "power.noise.sd":
+			spec.PowerNoiseSD = x
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown knob %q", key)
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Episode is one scheduled fault: kind k is active over the half-open
+// interval index range [Start, End).
+type Episode struct {
+	Kind       Kind
+	Start, End int
+}
+
+// Plan is a concrete, fully materialized fault schedule for one node
+// over a run of DurationS one-second intervals. Plans are immutable
+// after construction and safe to share between a runner and a recorder —
+// all mutable injection state lives in Injector.
+type Plan struct {
+	Spec      Spec
+	DurationS int
+	Episodes  []Episode
+
+	flags []Flags // per-interval active mask, len == DurationS
+}
+
+// New materializes the schedule implied by spec over durationS intervals.
+// The schedule is a pure function of (spec, seed, durationS): each fault
+// kind draws from its own sub-stream derived from the seed, so adding a
+// knob to the spec never reshuffles the other kinds' episodes.
+func New(spec Spec, seed int64, durationS int) *Plan {
+	if durationS < 0 {
+		durationS = 0
+	}
+	p := &Plan{Spec: spec, DurationS: durationS}
+	for k := Kind(0); k < numKinds; k++ {
+		rate := spec.rate(k)
+		if rate <= 0 {
+			continue
+		}
+		dur := spec.meanDur(k)
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(k)*7919 + 12345))
+		for t := 0; t < durationS; {
+			if rng.Float64() >= rate {
+				t++
+				continue
+			}
+			// Geometric length with mean ≈ dur, bounded by the run end so
+			// every episode lies within [0, durationS).
+			end := t + 1
+			for end < durationS && dur > 1 && rng.Float64() > 1/dur {
+				end++
+			}
+			p.Episodes = append(p.Episodes, Episode{Kind: k, Start: t, End: end})
+			t = end
+		}
+	}
+	p.index()
+	return p
+}
+
+// Manual builds a plan from explicit episodes, clamping each to
+// [0, durationS) and dropping the empty ones — the scripted-scenario
+// entry point of the test battery.
+func Manual(durationS int, eps ...Episode) *Plan {
+	if durationS < 0 {
+		durationS = 0
+	}
+	p := &Plan{DurationS: durationS}
+	for _, e := range eps {
+		if e.Kind < 0 || e.Kind >= numKinds {
+			continue
+		}
+		if e.Start < 0 {
+			e.Start = 0
+		}
+		if e.End > durationS {
+			e.End = durationS
+		}
+		if e.Start >= e.End {
+			continue
+		}
+		p.Episodes = append(p.Episodes, e)
+	}
+	sort.SliceStable(p.Episodes, func(i, j int) bool {
+		if p.Episodes[i].Start != p.Episodes[j].Start {
+			return p.Episodes[i].Start < p.Episodes[j].Start
+		}
+		return p.Episodes[i].Kind < p.Episodes[j].Kind
+	})
+	p.index()
+	return p
+}
+
+// index precomputes the per-interval active mask.
+func (p *Plan) index() {
+	p.flags = make([]Flags, p.DurationS)
+	for _, e := range p.Episodes {
+		for i := e.Start; i < e.End; i++ {
+			p.flags[i] |= 1 << uint(e.Kind)
+		}
+	}
+}
+
+// Active returns the fault mask of interval t (0 outside the run).
+func (p *Plan) Active(t int) Flags {
+	if p == nil || t < 0 || t >= len(p.flags) {
+		return 0
+	}
+	return p.flags[t]
+}
+
+// CrashedAt reports whether the node is offline in interval t.
+func (p *Plan) CrashedAt(t int) bool { return p.Active(t).Has(NodeCrash) }
+
+// Empty reports whether the plan schedules no faults at all.
+func (p *Plan) Empty() bool { return p == nil || len(p.Episodes) == 0 }

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/faults"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/workload"
+)
+
+func chaosRunner(seed int64, plan *faults.Plan) *Runner {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	node := NewNode(ls, be, seed)
+	spec := node.Spec
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
+		BE: hw.Alloc{Cores: 8, Freq: 1.6, LLCWays: 8},
+	}
+	if err := node.Apply(cfg); err != nil {
+		panic(err)
+	}
+	return &Runner{
+		Node:      node,
+		Ctrl:      control.Static{Cfg: cfg},
+		Budget:    LSPeakPower(spec, node.PowerParams, node.Bus, ls),
+		Trace:     workload.Constant(0.4),
+		DurationS: 240,
+		Faults:    faults.NewInjector(plan, seed+1),
+	}
+}
+
+// TestChaosRunIsReproducible is the acceptance property of the fault
+// layer: the same seed and fault plan produce byte-identical Result
+// summaries across two independent invocations.
+func TestChaosRunIsReproducible(t *testing.T) {
+	run := func() Result {
+		plan := faults.New(faults.DefaultSpec(), 77, 240)
+		return chaosRunner(5, plan).Run()
+	}
+	a, b := run(), run()
+	sa, sb := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b)
+	if sa != sb {
+		t.Fatal("identical seeded chaos runs diverged")
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("fault counters diverged: %+v vs %+v", a.Faults, b.Faults)
+	}
+}
+
+func TestRunnerCountsInjectedFaults(t *testing.T) {
+	plan := faults.Manual(240,
+		faults.Episode{Kind: faults.PowerStuck, Start: 10, End: 20},
+		faults.Episode{Kind: faults.LatencyDrop, Start: 30, End: 40},
+		faults.Episode{Kind: faults.NodeCrash, Start: 100, End: 130},
+	)
+	res := chaosRunner(5, plan).Run()
+	if res.Faults.PowerStuck != 10 {
+		t.Errorf("PowerStuck = %d, want 10", res.Faults.PowerStuck)
+	}
+	if res.Faults.LatencyDrop != 10 {
+		t.Errorf("LatencyDrop = %d, want 10", res.Faults.LatencyDrop)
+	}
+	if res.Faults.CrashIntervals != 30 {
+		t.Errorf("CrashIntervals = %d, want 30", res.Faults.CrashIntervals)
+	}
+	if len(res.Intervals) != 240 {
+		t.Fatalf("intervals %d", len(res.Intervals))
+	}
+	// Crash intervals carry the fault flag and no service.
+	iv := res.Intervals[110]
+	if !iv.Faults.Has(faults.NodeCrash) {
+		t.Error("crash interval not flagged")
+	}
+	if iv.QoSFrac != 0 || iv.TruePower != 0 || iv.BEThroughputUPS != 0 {
+		t.Errorf("crashed node still serving: %+v", iv)
+	}
+	if iv.QPS <= 0 {
+		t.Error("crashed interval lost its offered-load accounting")
+	}
+}
+
+func TestCrashOutageDegradesQoSProportionally(t *testing.T) {
+	clean := chaosRunner(5, nil).Run()
+	crashed := chaosRunner(5, faults.Manual(240,
+		faults.Episode{Kind: faults.NodeCrash, Start: 100, End: 130},
+	)).Run()
+	if crashed.QoSRate >= clean.QoSRate {
+		t.Fatalf("30-interval outage did not hurt QoS: %.4f vs %.4f",
+			crashed.QoSRate, clean.QoSRate)
+	}
+	// The outage covers 30/240 of a constant-load run, so the guarantee
+	// rate should drop by roughly that share — not collapse entirely.
+	loss := clean.QoSRate - crashed.QoSRate
+	if loss < 0.08 || loss > 0.20 {
+		t.Errorf("QoS loss %.4f implausible for a 12.5%% outage", loss)
+	}
+	// Recovery actually happens: the tail of the run serves again.
+	tail := crashed.Intervals[len(crashed.Intervals)-1]
+	if tail.QoSFrac <= 0.5 || tail.TruePower <= 0 {
+		t.Errorf("node did not recover after crash: %+v", tail)
+	}
+}
+
+func TestActuatorDropFreezesConfig(t *testing.T) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	node := NewNode(ls, be, 3)
+	start := hw.Config{
+		LS: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
+		BE: hw.Alloc{Cores: 8, Freq: 1.6, LLCWays: 8},
+	}
+	if err := node.Apply(start); err != nil {
+		t.Fatal(err)
+	}
+	want := hw.Config{
+		LS: hw.Alloc{Cores: 14, Freq: 2.2, LLCWays: 14},
+		BE: hw.Alloc{Cores: 6, Freq: 1.4, LLCWays: 6},
+	}
+	// Every write is dropped: the config in force never moves even
+	// though the controller demands a change each interval.
+	r := &Runner{
+		Node:      node,
+		Ctrl:      control.Static{Cfg: want},
+		Budget:    LSPeakPower(node.Spec, node.PowerParams, node.Bus, ls),
+		Trace:     workload.Constant(0.3),
+		DurationS: 20,
+		Faults: faults.NewInjector(faults.Manual(20,
+			faults.Episode{Kind: faults.ActuatorDrop, Start: 0, End: 20},
+		), 9),
+	}
+	res := r.Run()
+	for i, iv := range res.Intervals {
+		if iv.Config != start {
+			t.Fatalf("interval %d: dropped writes still moved config to %v", i, iv.Config)
+		}
+	}
+	if res.Faults.ActuatorDrop != 20 {
+		t.Errorf("ActuatorDrop = %d, want 20", res.Faults.ActuatorDrop)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"sturgeon/internal/cache"
+	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/power"
 	"sturgeon/internal/queueing"
@@ -38,6 +39,10 @@ type IntervalStats struct {
 	Contention     float64
 	Interference   bool
 	Config         hw.Config
+
+	// Faults is the fault-injection mask active this interval (zero when
+	// the run carries no fault plan). Set by the runner, not by Step.
+	Faults faults.Flags
 }
 
 // Node is the simulated power-constrained server. It exposes the same

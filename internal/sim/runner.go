@@ -2,6 +2,8 @@ package sim
 
 import (
 	"sturgeon/internal/control"
+	"sturgeon/internal/faults"
+	"sturgeon/internal/hw"
 	"sturgeon/internal/power"
 	"sturgeon/internal/workload"
 )
@@ -20,6 +22,9 @@ type Runner struct {
 	Trace workload.Trace
 	// DurationS is the run length in seconds.
 	DurationS int
+	// Faults optionally injects deterministic telemetry/actuator/crash
+	// faults between the node and the controller. Nil runs clean.
+	Faults *faults.Injector
 }
 
 // Result aggregates a run.
@@ -45,6 +50,8 @@ type Result struct {
 	// excursions. The breaker is re-armed after each trip so every
 	// sustained episode is counted.
 	BreakerTrips int
+	// Faults tallies the injected faults (zero without a fault plan).
+	Faults faults.Counters
 }
 
 // Run executes the experiment and returns aggregated statistics.
@@ -53,6 +60,7 @@ func (r *Runner) Run() Result {
 	budget := power.NewBudget(r.Budget)
 	breaker := power.Breaker{Limit: r.Budget, Tolerance: 2}
 	trips := 0
+	inj := r.Faults
 
 	var (
 		intervals []IntervalStats
@@ -63,7 +71,30 @@ func (r *Runner) Run() Result {
 	for i := 0; i < r.DurationS; i++ {
 		t := float64(i + 1)
 		qps := r.Trace(t) * node.LSProfile.PeakQPS
+
+		if inj.Crashed(i) {
+			// Total outage: every offered query is lost (violated), no
+			// best-effort progress, no power draw, no telemetry for the
+			// controller to react to.
+			intervals = append(intervals, IntervalStats{
+				Time: t, QPS: qps, Faults: inj.Flags(i),
+			})
+			wQPS += qps
+			continue
+		}
+		if i > 0 && inj.CrashedAt(i-1) {
+			// Reboot: the queue drained while the node was down and the
+			// machine comes back in its boot configuration.
+			node.ResetQueue()
+			_ = node.Apply(hw.SoloLS(node.Spec))
+		}
+
 		st := node.Step(t, qps)
+		if inj != nil {
+			st.Power = inj.PerturbPower(i, st.Power)
+			st.P95 = inj.PerturbP95(i, st.P95)
+			st.Faults = inj.Flags(i)
+		}
 		budget.Observe(st.TruePower)
 		if breaker.Observe(st.TruePower) {
 			trips++
@@ -90,7 +121,8 @@ func (r *Runner) Run() Result {
 			// Controllers may emit configurations on the frequency grid
 			// edge; Apply clamps and validates. An invalid decision is a
 			// controller bug surfaced by keeping the old configuration.
-			_ = node.Apply(next)
+			// The injector may additionally drop or mangle the write.
+			inj.Actuate(i, st.Config, next, node.Apply)
 		}
 	}
 
@@ -101,6 +133,9 @@ func (r *Runner) Run() Result {
 		OverloadFrac:        budget.OverloadFraction(),
 		PeakPowerRatio:      budget.PeakRatio(),
 		BreakerTrips:        trips,
+	}
+	if inj != nil {
+		res.Faults = inj.C
 	}
 	if wQPS > 0 {
 		res.QoSRate = wQoS / wQPS
