@@ -1,0 +1,119 @@
+// Command bench runs the reproducible fleet benchmark harness
+// (internal/bench): a pinned scenario matrix of fleet sizes × fault
+// plans × dispatch policies, each stepped serially and on the worker
+// pool, measuring wall-time, node-steps per second and allocations while
+// byte-checking that seeded replay is identical at every parallelism
+// level. It writes the machine-readable report (BENCH_fleet.json) and
+// exits non-zero when determinism breaks or a measurement violates the
+// schema's invariants — the CI bench job runs exactly this binary.
+//
+// Usage:
+//
+//	go run ./cmd/bench -nodes 4,16 -parallelism 1,2,8 -duration 40 \
+//	    -policies round-robin,least-loaded -faults clean,default \
+//	    -seed 20260806 -out BENCH_fleet.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sturgeon/internal/bench"
+	"sturgeon/internal/trace"
+)
+
+func parseInts(s, flagName string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-%s: %q is not a positive integer", flagName, f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+func parseNames(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func main() {
+	def := bench.DefaultOptions()
+	nodes := flag.String("nodes", "4,16", "comma-separated fleet sizes")
+	parallelism := flag.String("parallelism", "1,2,8",
+		"comma-separated node-stepping parallelism levels (1 is always added as the serial baseline)")
+	duration := flag.Int("duration", def.DurationS, "simulated seconds per scenario")
+	policies := flag.String("policies", strings.Join(def.Policies, ","),
+		"comma-separated dispatch policies (round-robin, least-loaded)")
+	faultSpecs := flag.String("faults", strings.Join(def.FaultSpecs, ","),
+		"comma-separated fault plans (clean, default)")
+	seed := flag.Int64("seed", def.Seed, "base seed; every scenario derives its own from it")
+	repeat := flag.Int("repeat", def.Repeats, "best-of count per matrix cell")
+	out := flag.String("out", "BENCH_fleet.json", "report path ('' skips writing)")
+	flag.Parse()
+
+	fleetSizes, err := parseInts(*nodes, "nodes")
+	if err != nil {
+		fatal(err)
+	}
+	pars, err := parseInts(*parallelism, "parallelism")
+	if err != nil {
+		fatal(err)
+	}
+	opt := bench.Options{
+		FleetSizes:   fleetSizes,
+		Parallelisms: pars,
+		DurationS:    *duration,
+		Policies:     parseNames(*policies),
+		FaultSpecs:   parseNames(*faultSpecs),
+		Seed:         *seed,
+		Repeats:      *repeat,
+	}
+
+	rep, err := bench.Execute(opt)
+	if rep != nil {
+		printReport(rep)
+		if *out != "" {
+			if werr := bench.WriteFile(*out, rep); werr != nil {
+				fatal(werr)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func printReport(rep *bench.Report) {
+	fmt.Printf("host: %s, GOMAXPROCS %d, %d CPUs\n", rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU)
+	tbl := trace.NewTable("fleet benchmark",
+		"scenario", "par", "wall_s", "steps/s", "speedup", "alloc_mib", "qos", "deterministic")
+	for _, r := range rep.Runs {
+		tbl.Addf(r.Scenario, r.Parallelism, r.WallSeconds, r.NodeStepsPerSec,
+			fmt.Sprintf("%.2fx", r.SpeedupVsSerial), r.AllocMiB, r.QoSRate, rep.Deterministic)
+	}
+	fmt.Print(tbl.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", strings.TrimPrefix(err.Error(), "bench: "))
+	os.Exit(1)
+}

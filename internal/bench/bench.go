@@ -1,0 +1,313 @@
+// Package bench is the reproducible fleet benchmark harness behind
+// cmd/bench and the CI bench job. It runs a pinned scenario matrix —
+// fleet sizes × fault plans × dispatch policies, each at several
+// node-stepping parallelism levels — against the cluster simulator,
+// records wall-time, node-steps per second and allocation counts, checks
+// the QoS/throughput invariants every run must satisfy, and verifies
+// that seeded replay stays byte-identical across parallelism levels (the
+// determinism contract of internal/pool). Results serialize to the
+// machine-readable BENCH_fleet.json tracked at the repo root, so
+// speedups are measured and diffable rather than asserted.
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"sturgeon/internal/cluster"
+	"sturgeon/internal/control"
+	"sturgeon/internal/faults"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+// Schema identifies the BENCH_fleet.json layout; bump on breaking change.
+const Schema = "sturgeon/bench-fleet/v1"
+
+// Scenario pins one benchmark workload: a fleet of a given size under a
+// triangle load, a named dispatch policy and a named fault plan, fully
+// determined by Seed.
+type Scenario struct {
+	Name      string `json:"name"`
+	Nodes     int    `json:"nodes"`
+	DurationS int    `json:"duration_s"`
+	// Policy is "round-robin" or "least-loaded".
+	Policy string `json:"policy"`
+	// Faults is "clean" (no injector) or "default" (the chaos battery's
+	// faults.DefaultSpec applied to every node).
+	Faults string `json:"faults"`
+	Seed   int64  `json:"seed"`
+}
+
+// Run is one measured execution of a scenario at a parallelism level.
+type Run struct {
+	Scenario    string `json:"scenario"`
+	Nodes       int    `json:"nodes"`
+	Parallelism int    `json:"parallelism"`
+	// WallSeconds is the end-to-end simulation time; NodeStepsPerSec is
+	// Nodes × DurationS simulated node-seconds per wall-clock second —
+	// the harness's throughput metric.
+	WallSeconds     float64 `json:"wall_seconds"`
+	NodeStepsPerSec float64 `json:"node_steps_per_sec"`
+	// AllocMiB / AllocObjects are the heap traffic of the run (deltas of
+	// runtime.MemStats TotalAlloc / Mallocs).
+	AllocMiB     float64 `json:"alloc_mib"`
+	AllocObjects uint64  `json:"alloc_objects"`
+	// QoSRate and BEThroughputUPS carry the domain invariants: the
+	// fleet's query-weighted guarantee rate and mean best-effort rate.
+	QoSRate         float64 `json:"qos_rate"`
+	BEThroughputUPS float64 `json:"be_throughput_ups"`
+	// SummarySHA256 hashes Result.Summary(); equal hashes across
+	// parallelism levels of one scenario prove seeded-replay determinism.
+	SummarySHA256 string `json:"summary_sha256"`
+	// SpeedupVsSerial is NodeStepsPerSec over the same scenario's
+	// parallelism=1 run (1.0 for the serial run itself).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the root of BENCH_fleet.json.
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS and NumCPU record the measurement host's parallel
+	// capacity — the hard ceiling on any speedup the runs can show.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Repeats is the best-of count behind every Run (wall-clock noise on
+	// shared runners dwarfs the simulator's own variance, so each cell
+	// keeps its fastest repetition; the domain metrics and summary hash
+	// are required to be identical across repetitions).
+	Repeats int   `json:"repeats"`
+	Runs    []Run `json:"runs"`
+	// Deterministic is true iff every scenario's summary hash is
+	// identical across all measured parallelism levels.
+	Deterministic bool `json:"deterministic"`
+}
+
+// Options select the benchmark matrix.
+type Options struct {
+	FleetSizes   []int
+	Parallelisms []int
+	DurationS    int
+	Policies     []string
+	FaultSpecs   []string
+	Seed         int64
+	// Repeats is the best-of count per matrix cell (default 3).
+	Repeats int
+}
+
+// DefaultOptions is the CI matrix: small enough to finish in seconds,
+// wide enough to cover both policies, chaos on/off and the serial vs
+// pooled comparison on a 16-node fleet.
+func DefaultOptions() Options {
+	return Options{
+		FleetSizes:   []int{4, 16},
+		Parallelisms: []int{1, 2, 8},
+		DurationS:    40,
+		Policies:     []string{"round-robin", "least-loaded"},
+		FaultSpecs:   []string{"clean", "default"},
+		Seed:         20260806,
+		Repeats:      3,
+	}
+}
+
+// Matrix expands opt into the scenario list (fleet sizes × fault specs ×
+// policies), deriving a distinct deterministic seed per scenario.
+func Matrix(opt Options) []Scenario {
+	var out []Scenario
+	for _, n := range opt.FleetSizes {
+		for _, fs := range opt.FaultSpecs {
+			for _, p := range opt.Policies {
+				out = append(out, Scenario{
+					Name:      fmt.Sprintf("fleet%d-%s-%s", n, p, fs),
+					Nodes:     n,
+					DurationS: opt.DurationS,
+					Policy:    p,
+					Faults:    fs,
+					Seed:      opt.Seed + int64(101*n) + int64(13*len(out)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// buildCluster materializes a scenario's fleet: statically partitioned
+// nodes (the controller cost is constant across parallelism levels, so
+// the measurement isolates the stepping fan-out) with the scenario's
+// dispatch policy and fault plan.
+func buildCluster(sc Scenario, parallelism int) (*cluster.Cluster, error) {
+	ls, be := workload.Memcached(), workload.Raytrace()
+	probe := sim.QuietNode(ls, be, 1)
+	budget := sim.LSPeakPower(probe.Spec, probe.PowerParams, probe.Bus, ls)
+	split := hw.Config{
+		LS: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
+		BE: hw.Alloc{Cores: 8, Freq: 1.6, LLCWays: 8},
+	}
+	var policy cluster.DispatchPolicy
+	switch sc.Policy {
+	case "round-robin":
+		policy = cluster.RoundRobin{}
+	case "least-loaded":
+		policy = &cluster.LeastLoaded{}
+	default:
+		return nil, fmt.Errorf("bench: unknown policy %q", sc.Policy)
+	}
+	c, err := cluster.New(sc.Nodes, ls, be, budget, policy, sc.Seed,
+		func(int) control.Controller { return control.Static{Cfg: split} })
+	if err != nil {
+		return nil, err
+	}
+	c.Parallelism = parallelism
+	for _, n := range c.Nodes {
+		if err := n.Apply(split); err != nil {
+			return nil, err
+		}
+	}
+	switch sc.Faults {
+	case "clean":
+	case "default":
+		c.InjectFaults(faults.DefaultSpec(), sc.DurationS)
+	default:
+		return nil, fmt.Errorf("bench: unknown fault spec %q", sc.Faults)
+	}
+	return c, nil
+}
+
+// measureOnce executes one scenario at one parallelism level on a fresh
+// fleet.
+func measureOnce(sc Scenario, parallelism int) (Run, error) {
+	c, err := buildCluster(sc, parallelism)
+	if err != nil {
+		return Run{}, err
+	}
+	tr := workload.Triangle(0.2, 0.8, float64(sc.DurationS))
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res := c.Run(tr, sc.DurationS)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	sum := sha256.Sum256([]byte(res.Summary()))
+	steps := float64(sc.Nodes * sc.DurationS)
+	r := Run{
+		Scenario:        sc.Name,
+		Nodes:           sc.Nodes,
+		Parallelism:     parallelism,
+		WallSeconds:     wall,
+		NodeStepsPerSec: steps / wall,
+		AllocMiB:        float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		AllocObjects:    after.Mallocs - before.Mallocs,
+		QoSRate:         res.QoSRate,
+		BEThroughputUPS: res.MeanBEThroughputUPS,
+		SummarySHA256:   hex.EncodeToString(sum[:]),
+	}
+	if err := checkInvariants(r); err != nil {
+		return Run{}, err
+	}
+	return r, nil
+}
+
+// measure repeats a cell and keeps the fastest repetition. Simulation
+// output must be identical across repetitions — the same seeded program
+// ran — so any hash drift is reported as a determinism failure.
+func measure(sc Scenario, parallelism, repeats int) (Run, error) {
+	best, err := measureOnce(sc, parallelism)
+	if err != nil {
+		return Run{}, err
+	}
+	for rep := 1; rep < repeats; rep++ {
+		r, err := measureOnce(sc, parallelism)
+		if err != nil {
+			return Run{}, err
+		}
+		if r.SummarySHA256 != best.SummarySHA256 {
+			return Run{}, fmt.Errorf("bench: %s parallelism=%d: repetition %d diverged from repetition 0 (seeded replay broken)",
+				sc.Name, parallelism, rep)
+		}
+		if r.NodeStepsPerSec > best.NodeStepsPerSec {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// checkInvariants rejects physically impossible measurements at the
+// source, so a broken run can never be serialized as a plausible one.
+func checkInvariants(r Run) error {
+	switch {
+	case math.IsNaN(r.NodeStepsPerSec) || math.IsInf(r.NodeStepsPerSec, 0) || r.NodeStepsPerSec <= 0:
+		return fmt.Errorf("bench: %s parallelism=%d: invalid steps/sec %v", r.Scenario, r.Parallelism, r.NodeStepsPerSec)
+	case r.WallSeconds <= 0:
+		return fmt.Errorf("bench: %s parallelism=%d: invalid wall time %v", r.Scenario, r.Parallelism, r.WallSeconds)
+	case math.IsNaN(r.QoSRate) || r.QoSRate < 0 || r.QoSRate > 1:
+		return fmt.Errorf("bench: %s parallelism=%d: QoS rate %v outside [0,1]", r.Scenario, r.Parallelism, r.QoSRate)
+	case math.IsNaN(r.BEThroughputUPS) || r.BEThroughputUPS < 0:
+		return fmt.Errorf("bench: %s parallelism=%d: negative BE throughput %v", r.Scenario, r.Parallelism, r.BEThroughputUPS)
+	}
+	return nil
+}
+
+// Execute runs the full matrix and assembles the report. Each scenario
+// runs once per parallelism level (serial level 1 must be present to
+// anchor speedups; Execute prepends it if missing). A determinism break —
+// differing summary hashes within one scenario — is recorded in the
+// report and returned as an error alongside it, so callers can both fail
+// CI and upload the evidence.
+func Execute(opt Options) (*Report, error) {
+	// The serial run anchors speedups and the determinism check, so it
+	// always runs first; duplicates are dropped.
+	pars := []int{1}
+	seen := map[int]bool{1: true}
+	for _, p := range opt.Parallelisms {
+		if p >= 1 && !seen[p] {
+			seen[p] = true
+			pars = append(pars, p)
+		}
+	}
+	repeats := opt.Repeats
+	if repeats < 1 {
+		repeats = 3
+	}
+	rep := &Report{
+		Schema:        Schema,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Repeats:       repeats,
+		Deterministic: true,
+	}
+	var detErr error
+	for _, sc := range Matrix(opt) {
+		serialSteps := 0.0
+		baseHash := ""
+		for _, p := range pars {
+			r, err := measure(sc, p, repeats)
+			if err != nil {
+				return nil, err
+			}
+			if p == 1 {
+				serialSteps = r.NodeStepsPerSec
+				baseHash = r.SummarySHA256
+			}
+			if serialSteps > 0 {
+				r.SpeedupVsSerial = r.NodeStepsPerSec / serialSteps
+			}
+			if baseHash != "" && r.SummarySHA256 != baseHash {
+				rep.Deterministic = false
+				detErr = fmt.Errorf("bench: %s: parallelism=%d summary diverged from serial run (seeded replay broken)",
+					sc.Name, p)
+			}
+			rep.Runs = append(rep.Runs, r)
+		}
+	}
+	return rep, detErr
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps the matrix small enough for unit tests while still
+// covering serial vs pooled, chaos on/off and both policies.
+func tinyOptions() Options {
+	return Options{
+		FleetSizes:   []int{3},
+		Parallelisms: []int{1, 4},
+		DurationS:    12,
+		Policies:     []string{"round-robin", "least-loaded"},
+		FaultSpecs:   []string{"clean", "default"},
+		Seed:         7,
+	}
+}
+
+func TestExecuteDeterministicAndValid(t *testing.T) {
+	rep, err := Execute(tinyOptions())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("seeded replay diverged across parallelism levels")
+	}
+	// 1 fleet size × 2 fault specs × 2 policies × 2 parallelism levels.
+	if len(rep.Runs) != 8 {
+		t.Fatalf("got %d runs, want 8", len(rep.Runs))
+	}
+	if err := Validate(rep); err != nil {
+		t.Fatalf("fresh report fails validation: %v", err)
+	}
+	for _, r := range rep.Runs {
+		if r.Parallelism == 1 && r.SpeedupVsSerial != 1 {
+			t.Errorf("%s: serial speedup %v, want 1", r.Scenario, r.SpeedupVsSerial)
+		}
+	}
+}
+
+func TestReportRoundTripsThroughJSON(t *testing.T) {
+	rep, err := Execute(Options{
+		FleetSizes:   []int{2},
+		Parallelisms: []int{2},
+		DurationS:    8,
+		Policies:     []string{"round-robin"},
+		FaultSpecs:   []string{"clean"},
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("report did not round-trip:\nwrote %+v\nread  %+v", rep, got)
+	}
+}
+
+// validReport builds a minimal report that passes Validate, for the
+// rejection table to corrupt one field at a time.
+func validReport() *Report {
+	return &Report{
+		Schema:     Schema,
+		GoVersion:  "go1.22",
+		GOMAXPROCS: 2,
+		NumCPU:     2,
+		Repeats:    1,
+		Runs: []Run{{
+			Scenario:        "fleet3-round-robin-clean",
+			Nodes:           3,
+			Parallelism:     1,
+			WallSeconds:     0.5,
+			NodeStepsPerSec: 72,
+			AllocMiB:        1.5,
+			AllocObjects:    1000,
+			QoSRate:         0.99,
+			BEThroughputUPS: 40,
+			SummarySHA256:   strings.Repeat("ab", 32),
+			SpeedupVsSerial: 1,
+		}},
+		Deterministic: true,
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Report)
+		wantErr string
+	}{
+		{"nan steps per sec", func(r *Report) { r.Runs[0].NodeStepsPerSec = math.NaN() }, "steps/sec"},
+		{"negative steps per sec", func(r *Report) { r.Runs[0].NodeStepsPerSec = -12 }, "steps/sec"},
+		{"zero steps per sec", func(r *Report) { r.Runs[0].NodeStepsPerSec = 0 }, "steps/sec"},
+		{"inf steps per sec", func(r *Report) { r.Runs[0].NodeStepsPerSec = math.Inf(1) }, "steps/sec"},
+		{"negative wall", func(r *Report) { r.Runs[0].WallSeconds = -1 }, "wall time"},
+		{"qos above one", func(r *Report) { r.Runs[0].QoSRate = 1.2 }, "QoS"},
+		{"nan qos", func(r *Report) { r.Runs[0].QoSRate = math.NaN() }, "QoS"},
+		{"negative throughput", func(r *Report) { r.Runs[0].BEThroughputUPS = -4 }, "throughput"},
+		{"negative speedup", func(r *Report) { r.Runs[0].SpeedupVsSerial = -1 }, "speedup"},
+		{"wrong schema", func(r *Report) { r.Schema = "bogus/v0" }, "schema"},
+		{"no runs", func(r *Report) { r.Runs = nil }, "no runs"},
+		{"zero nodes", func(r *Report) { r.Runs[0].Nodes = 0 }, "out of range"},
+		{"zero parallelism", func(r *Report) { r.Runs[0].Parallelism = 0 }, "out of range"},
+		{"bad hash", func(r *Report) { r.Runs[0].SummarySHA256 = "abc" }, "hash"},
+		{"empty scenario", func(r *Report) { r.Runs[0].Scenario = "" }, "scenario"},
+		{"implausible host", func(r *Report) { r.GOMAXPROCS = 0 }, "host"},
+		{"zero repeats", func(r *Report) { r.Repeats = 0 }, "repeats"},
+	}
+	if err := Validate(validReport()); err != nil {
+		t.Fatalf("baseline report must validate: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := validReport()
+			tc.corrupt(rep)
+			err := Validate(rep)
+			if err == nil {
+				t.Fatalf("corruption %q passed validation", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestWriteFileRefusesInvalid ensures a poisoned report can never reach
+// disk — the writer runs the same gate as the reader.
+func TestWriteFileRefusesInvalid(t *testing.T) {
+	rep := validReport()
+	rep.Runs[0].NodeStepsPerSec = math.NaN()
+	if err := WriteFile(filepath.Join(t.TempDir(), "x.json"), rep); err == nil {
+		t.Fatal("WriteFile accepted NaN steps/sec")
+	}
+}
+
+func TestMatrixSeedsAreDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, sc := range Matrix(DefaultOptions()) {
+		if prev, dup := seen[sc.Seed]; dup {
+			t.Fatalf("scenarios %s and %s share seed %d", prev, sc.Name, sc.Seed)
+		}
+		seen[sc.Seed] = sc.Name
+	}
+}

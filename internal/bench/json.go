@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// WriteFile serializes the report to path (indented JSON, trailing
+// newline) after validating it — an invalid report is never written.
+func WriteFile(path string, rep *Report) error {
+	if err := Validate(rep); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses and validates a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if err := Validate(&rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Validate checks a report against the schema's invariants: the schema
+// tag, host metadata, and for every run finite positive throughput and
+// wall time, in-range QoS, non-negative allocation and best-effort
+// figures, and a well-formed summary hash. It is the same gate for
+// freshly measured reports (WriteFile) and for consumers of checked-in
+// ones (ReadFile), so NaN or negative steps-per-second can neither enter
+// nor leave the JSON.
+func Validate(rep *Report) error {
+	if rep == nil {
+		return fmt.Errorf("nil report")
+	}
+	if rep.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 {
+		return fmt.Errorf("implausible host: GOMAXPROCS %d, NumCPU %d", rep.GOMAXPROCS, rep.NumCPU)
+	}
+	if rep.Repeats < 1 {
+		return fmt.Errorf("repeats %d, want >= 1", rep.Repeats)
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	for i, r := range rep.Runs {
+		if r.Scenario == "" {
+			return fmt.Errorf("run %d: empty scenario name", i)
+		}
+		if r.Nodes < 1 || r.Parallelism < 1 {
+			return fmt.Errorf("run %d (%s): nodes %d / parallelism %d out of range",
+				i, r.Scenario, r.Nodes, r.Parallelism)
+		}
+		if err := checkInvariants(r); err != nil {
+			return fmt.Errorf("run %d: %w", i, err)
+		}
+		if math.IsNaN(r.SpeedupVsSerial) || r.SpeedupVsSerial < 0 {
+			return fmt.Errorf("run %d (%s): invalid speedup %v", i, r.Scenario, r.SpeedupVsSerial)
+		}
+		if len(r.SummarySHA256) != 64 {
+			return fmt.Errorf("run %d (%s): malformed summary hash %q", i, r.Scenario, r.SummarySHA256)
+		}
+		if r.AllocMiB < 0 {
+			return fmt.Errorf("run %d (%s): negative allocation %v MiB", i, r.Scenario, r.AllocMiB)
+		}
+	}
+	return nil
+}

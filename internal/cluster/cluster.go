@@ -16,6 +16,7 @@ import (
 	"sturgeon/internal/control"
 	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
+	"sturgeon/internal/pool"
 	"sturgeon/internal/power"
 	"sturgeon/internal/sim"
 	"sturgeon/internal/workload"
@@ -141,6 +142,14 @@ type Cluster struct {
 	// entries run that node clean). Install with InjectFaults or
 	// SetFaultPlans.
 	Injectors []*faults.Injector
+	// Parallelism is the per-interval node-stepping fan-out: 0 (the
+	// default) uses GOMAXPROCS workers, 1 steps the fleet serially, n > 1
+	// caps the pool at n. Each node owns its simulator, controller and
+	// injector state, shares are computed before the fan-out and all
+	// cross-node aggregation happens serially in node-index order
+	// afterwards, so the setting changes wall-clock time only — seeded
+	// runs are byte-identical at every worker count (see DESIGN.md §9).
+	Parallelism int
 
 	// rng is the fleet's sole randomness source, injected via the New
 	// seed — no package-level math/rand is consulted anywhere, so two
@@ -263,11 +272,70 @@ func (r Result) Summary() string {
 	return b.String()
 }
 
+// stepOutcome is what one node's fan-out task hands back to the serial
+// merge: the dispatched share, whether the node was down, and the
+// (possibly perturbed) interval telemetry.
+type stepOutcome struct {
+	q       float64
+	crashed bool
+	st      sim.IntervalStats
+}
+
+// stepNode advances node i through simulated second step with dispatched
+// load q. It touches exclusively node-i state — the node's simulator,
+// its controller and its injector — which is what makes the per-interval
+// fan-out in Run safe: no two tasks share any mutable state, and all
+// fleet-level reductions happen in Run's serial merge.
+func (c *Cluster) stepNode(i, step int, t, q float64) stepOutcome {
+	node := c.Nodes[i]
+	inj := c.injector(i)
+
+	if inj.Crashed(step) {
+		// The node is down: its dispatched share is lost and its
+		// telemetry goes dark (the 0 W reading is what the failure
+		// detector keys on).
+		return stepOutcome{q: q, crashed: true,
+			st: sim.IntervalStats{Time: t, QPS: q, Faults: inj.Flags(step)}}
+	}
+	if step > 0 && inj.CrashedAt(step-1) {
+		// Reboot: drained queue, boot configuration.
+		node.ResetQueue()
+		_ = node.Apply(hw.SoloLS(node.Spec))
+	}
+
+	st := node.Step(t, q)
+	if inj != nil {
+		st.Power = inj.PerturbPower(step, st.Power)
+		st.P95 = inj.PerturbP95(step, st.P95)
+		st.Faults = inj.Flags(step)
+	}
+	obs := control.Observation{
+		Time: t, QPS: st.QPS, P95: st.P95,
+		Target: c.LS.QoSTargetS,
+		Power:  st.Power, Budget: c.Budget,
+		BEThroughput: st.BEThroughputUPS, Config: st.Config,
+	}
+	next := c.Ctrls[i].Decide(obs)
+	if next != st.Config {
+		inj.Actuate(step, st.Config, next, node.Apply)
+	}
+	return stepOutcome{q: q, st: st}
+}
+
 // Run drives the fleet for duration seconds under a cluster-wide load
 // trace (fraction of n×PeakQPS). Crashed nodes drop their dispatched
 // share (those queries count as violated) until the failure detector
 // evicts them and the dispatch policies renormalize the survivors'
 // shares; recovered nodes re-admit after a backoff probation.
+//
+// Each simulated second the fleet is stepped on Parallelism workers:
+// shares are computed up front from the previous interval's states, the
+// per-node work (simulator physics, telemetry perturbation, controller
+// decision, actuation) fans out, and the failure detector plus every
+// fleet-level accumulator then runs serially in node-index order over
+// the collected outcomes — floating-point reductions see operands in
+// exactly the serial program's order, so the result is byte-identical
+// at any worker count.
 func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 	n := len(c.Nodes)
 	opt := c.Health.withDefaults()
@@ -276,6 +344,7 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 	for i := range states {
 		states[i].Healthy = true
 	}
+	outs := make([]stepOutcome, n)
 
 	var res Result
 	var wOK, wQ, sumBE, sumPW float64
@@ -288,39 +357,31 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 		for _, s := range shares {
 			norm += s
 		}
-		rep := IntervalReport{Time: t, TotalQPS: total}
-		var okQ float64
-		for i, node := range c.Nodes {
-			inj := c.injector(i)
+
+		// Fan out: one task per node, results into index-i slots.
+		pool.ForEach(c.Parallelism, n, func(i int) {
 			q := 0.0
 			if norm > 0 {
 				q = total * shares[i] / norm
 			}
+			outs[i] = c.stepNode(i, step, t, q)
+		})
 
-			if inj.Crashed(step) {
-				// The node is down: its dispatched share is lost and its
-				// telemetry goes dark (the 0 W reading is what the
-				// failure detector keys on).
-				res.LostQueries += q
-				states[i].Last = sim.IntervalStats{Time: t, QPS: q, Faults: inj.Flags(step)}
+		// Merge: serial, in node-index order.
+		rep := IntervalReport{Time: t, TotalQPS: total}
+		var okQ float64
+		for i := range outs {
+			o := &outs[i]
+			if o.crashed {
+				res.LostQueries += o.q
+				states[i].Last = o.st
 				states[i].Healthy = health[i].observe(true, opt, &res.Health)
 				if !states[i].Healthy {
 					res.Health.UnhealthyNodeIntervals++
 				}
 				continue
 			}
-			if step > 0 && inj.CrashedAt(step-1) {
-				// Reboot: drained queue, boot configuration.
-				node.ResetQueue()
-				_ = node.Apply(hw.SoloLS(node.Spec))
-			}
-
-			st := node.Step(t, q)
-			if inj != nil {
-				st.Power = inj.PerturbPower(step, st.Power)
-				st.P95 = inj.PerturbP95(step, st.P95)
-				st.Faults = inj.Flags(step)
-			}
+			st := o.st
 			states[i].Last = st
 			states[i].Healthy = health[i].observe(st.Power <= 0, opt, &res.Health)
 			if !states[i].Healthy {
@@ -331,16 +392,6 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 			rep.PowerW += float64(st.TruePower)
 			if st.TruePower > c.Budget {
 				rep.OverloadedNodes++
-			}
-			obs := control.Observation{
-				Time: t, QPS: st.QPS, P95: st.P95,
-				Target: c.LS.QoSTargetS,
-				Power:  st.Power, Budget: c.Budget,
-				BEThroughput: st.BEThroughputUPS, Config: st.Config,
-			}
-			next := c.Ctrls[i].Decide(obs)
-			if next != st.Config {
-				inj.Actuate(step, st.Config, next, node.Apply)
 			}
 		}
 		if total > 0 {
@@ -373,11 +424,4 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 		res.WorkPerKJ = sumBE / res.EnergyKJ
 	}
 	return res
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

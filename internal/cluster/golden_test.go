@@ -24,6 +24,13 @@ var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
 // ./internal/cluster -run Golden -update`).
 func goldenScenario(t *testing.T) Result {
 	t.Helper()
+	return goldenScenarioAt(t, 0) // 0 = the default pooled stepping
+}
+
+// goldenScenarioAt runs the golden scenario with an explicit node-stepping
+// parallelism, so the determinism battery can byte-compare worker counts.
+func goldenScenarioAt(t *testing.T, parallelism int) Result {
+	t.Helper()
 	const duration = 80
 	ls, be := workload.Memcached(), workload.Raytrace()
 	node := sim.QuietNode(ls, be, 1)
@@ -38,6 +45,7 @@ func goldenScenario(t *testing.T) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.Parallelism = parallelism
 	for _, n := range c.Nodes {
 		if err := n.Apply(split); err != nil {
 			t.Fatal(err)

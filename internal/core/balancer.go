@@ -72,10 +72,10 @@ func (b *Balancer) Reset() {
 func (b *Balancer) begin(cfg hw.Config) {
 	b.active = true
 	b.harvested = false
-	b.gCores = maxInt(1, cfg.BE.Cores/2)
-	b.gWays = maxInt(1, cfg.BE.LLCWays/2)
+	b.gCores = max(1, cfg.BE.Cores/2)
+	b.gWays = max(1, cfg.BE.LLCWays/2)
 	span := b.Spec.LevelOfFreq(cfg.BE.Freq) // levels above the floor
-	b.gFreq = maxInt(1, span/2)
+	b.gFreq = max(1, span/2)
 }
 
 // ShedPower responds to a *measured* power overload: the predictor is
@@ -94,14 +94,14 @@ func (b *Balancer) ShedPower(cfg hw.Config) hw.Config {
 	if b.shedStreak < 4 {
 		b.shedStreak++
 	}
-	amount := maxInt(2, b.gFreq<<b.shedStreak) // eager: first shed already doubles
+	amount := max(2, b.gFreq<<b.shedStreak) // eager: first shed already doubles
 	beLvl := b.Spec.LevelOfFreq(cfg.BE.Freq)
-	throttle := minInt(amount, beLvl)
+	throttle := min(amount, beLvl)
 	park := 0
 	if throttle < amount && cfg.BE.Cores > 1 {
 		// Frequency alone cannot absorb the escalation: park BE cores
 		// outright (they leave both partitions, drawing nothing).
-		park = minInt(amount-throttle, cfg.BE.Cores-1)
+		park = min(amount-throttle, cfg.BE.Cores-1)
 	}
 	next := cfg
 	if throttle > 0 {
@@ -205,26 +205,26 @@ func (b *Balancer) Revert(cfg hw.Config, qps float64) hw.Config {
 	if !b.harvested || b.lastAmount == 0 {
 		return cfg
 	}
-	half := maxInt(1, abs(b.lastAmount)/2)
+	half := max(1, abs(b.lastAmount)/2)
 	var next hw.Config
 	switch b.lastTarget {
 	case harvestCores:
 		next, _ = moveCores(b.Spec, cfg, -half)
-		b.gCores = maxInt(1, b.gCores/2)
+		b.gCores = max(1, b.gCores/2)
 	case harvestCache:
 		next, _ = moveWays(b.Spec, cfg, -half)
-		b.gWays = maxInt(1, b.gWays/2)
+		b.gWays = max(1, b.gWays/2)
 	case harvestParked:
 		next = cfg
 		next.BE.Cores += half
-		b.gCores = maxInt(1, b.gCores/2)
+		b.gCores = max(1, b.gCores/2)
 	default:
 		if b.lastAmount < 0 { // plain BE throttle: raise BE freq back
 			next, _ = shiftBEFreq(b.Spec, cfg, half)
 		} else {
 			next, _ = shiftFreqPair(b.Spec, cfg, -half)
 		}
-		b.gFreq = maxInt(1, b.gFreq/2)
+		b.gFreq = max(1, b.gFreq/2)
 	}
 	if next.Validate(b.Spec) != nil {
 		return cfg
@@ -239,12 +239,12 @@ func (b *Balancer) Revert(cfg hw.Config, qps float64) hw.Config {
 
 // harvestCores moves up to n cores from BE to LS.
 func (b *Balancer) harvestCores(cfg hw.Config, n int) (hw.Config, int) {
-	return moveCores(b.Spec, cfg, minInt(n, cfg.BE.Cores-1))
+	return moveCores(b.Spec, cfg, min(n, cfg.BE.Cores-1))
 }
 
 // harvestCache moves up to n ways from BE to LS.
 func (b *Balancer) harvestCache(cfg hw.Config, n int) (hw.Config, int) {
-	return moveWays(b.Spec, cfg, minInt(n, cfg.BE.LLCWays-1))
+	return moveWays(b.Spec, cfg, min(n, cfg.BE.LLCWays-1))
 }
 
 // harvestPower lowers BE frequency by n levels and raises LS frequency by
@@ -261,9 +261,9 @@ func (b *Balancer) throttleBE(cfg hw.Config, n int) (hw.Config, int) {
 // moveCores transfers n cores BE→LS (negative: LS→BE).
 func moveCores(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
 	if n > 0 {
-		n = minInt(n, cfg.BE.Cores-1)
+		n = min(n, cfg.BE.Cores-1)
 	} else {
-		n = -minInt(-n, cfg.LS.Cores-1)
+		n = -min(-n, cfg.LS.Cores-1)
 	}
 	if n == 0 {
 		return cfg, 0
@@ -279,9 +279,9 @@ func moveCores(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
 // moveWays transfers n LLC ways BE→LS (negative: LS→BE).
 func moveWays(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
 	if n > 0 {
-		n = minInt(n, cfg.BE.LLCWays-1)
+		n = min(n, cfg.BE.LLCWays-1)
 	} else {
-		n = -minInt(-n, cfg.LS.LLCWays-1)
+		n = -min(-n, cfg.LS.LLCWays-1)
 	}
 	if n == 0 {
 		return cfg, 0
@@ -302,9 +302,9 @@ func shiftFreqPair(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
 	beLvl := spec.LevelOfFreq(cfg.BE.Freq)
 	maxLvl := spec.NumFreqLevels() - 1
 	if n > 0 {
-		n = minInt(n, minInt(beLvl, maxLvl-lsLvl))
+		n = min(n, min(beLvl, maxLvl-lsLvl))
 	} else {
-		n = -minInt(-n, minInt(lsLvl, maxLvl-beLvl))
+		n = -min(-n, min(lsLvl, maxLvl-beLvl))
 	}
 	if n == 0 {
 		return cfg, 0
@@ -330,20 +330,6 @@ func shiftBEFreq(spec hw.Spec, cfg hw.Config, n int) (hw.Config, int) {
 	}
 	cfg.BE.Freq = spec.FreqAtLevel(to)
 	return cfg, to - beLvl
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func abs(n int) int {

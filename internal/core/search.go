@@ -9,6 +9,7 @@ package core
 
 import (
 	"sturgeon/internal/hw"
+	"sturgeon/internal/pool"
 	"sturgeon/internal/power"
 )
 
@@ -46,6 +47,16 @@ type Searcher struct {
 	// peak-power modelling: predicted power must stay a guard band below
 	// the cap so that model error cannot tip the node over it.
 	PowerGuardFrac float64
+	// Parallelism fans the per-core-count candidate evaluations of the
+	// §V-B sweep across a worker pool (the per-c1 rows only read the
+	// predictor, so they are independent). ≤ 1 — the default — keeps the
+	// serial sweep with its early exit; > 1 evaluates every row
+	// speculatively and merges in c1 order, reproducing the serial
+	// result bit-for-bit at the cost of the rows past the cutoff. The
+	// Predictor must be safe for concurrent reads (models.Predictor is).
+	// The default stays serial because controllers usually run inside
+	// the cluster pool's fan-out, where nesting would oversubscribe.
+	Parallelism int
 }
 
 func (s *Searcher) headroomWays() int {
@@ -100,10 +111,42 @@ func (s *Searcher) BestConfig(qps float64) (hw.Config, bool) {
 	return best.Config, true
 }
 
+// candidateRow is the outcome of evaluating one LS core count: its
+// candidates plus whether the sweep may stop once any candidate exists
+// (every BE frequency already at maximum).
+type candidateRow struct {
+	cands []Candidate
+	stop  bool
+}
+
+// candidatesAt evaluates the §V-B sweep at a fixed LS core count. It
+// only reads s and the predictor, so rows for different core counts can
+// be evaluated concurrently.
+func (s *Searcher) candidatesAt(qps float64, c1, maxLvl int) candidateRow {
+	row := candidateRow{stop: true}
+	for _, ls := range s.justEnough(qps, c1) {
+		f2lvl, ok := s.maxBEFreqLevel(ls, qps)
+		if !ok {
+			// Even the lowest BE frequency overloads the budget with
+			// this LS allocation.
+			continue
+		}
+		cfg := hw.Complement(s.Spec, ls, s.Spec.FreqAtLevel(f2lvl))
+		row.cands = append(row.cands, Candidate{Config: cfg, Throughput: s.Pred.Throughput(cfg.BE)})
+		if f2lvl < maxLvl {
+			row.stop = false
+		}
+	}
+	return row
+}
+
 // Candidates enumerates the just-enough candidates of the §V-B sweep in
 // increasing LS-core order. It stops once the BE application reaches
 // maximum frequency — granting the LS service further cores past that
 // point can only shrink the BE allocation without any frequency gain.
+// With Parallelism > 1 the per-core-count rows are evaluated on a worker
+// pool and merged in c1 order, so the cutoff — and the returned slice —
+// are identical to the serial sweep's.
 func (s *Searcher) Candidates(qps float64) []Candidate {
 	spec := s.Spec
 	maxLvl := spec.NumFreqLevels() - 1
@@ -113,22 +156,22 @@ func (s *Searcher) Candidates(qps float64) []Candidate {
 		return nil
 	}
 	var out []Candidate
-	for c1 := c1min; c1 < spec.Cores; c1++ {
-		stop := true
-		for _, ls := range s.justEnough(qps, c1) {
-			f2lvl, ok := s.maxBEFreqLevel(ls, qps)
-			if !ok {
-				// Even the lowest BE frequency overloads the budget with
-				// this LS allocation.
-				continue
-			}
-			cfg := hw.Complement(spec, ls, spec.FreqAtLevel(f2lvl))
-			out = append(out, Candidate{Config: cfg, Throughput: s.Pred.Throughput(cfg.BE)})
-			if f2lvl < maxLvl {
-				stop = false
+	if s.Parallelism > 1 {
+		rows := pool.Map(s.Parallelism, spec.Cores-c1min, func(j int) candidateRow {
+			return s.candidatesAt(qps, c1min+j, maxLvl)
+		})
+		for _, row := range rows {
+			out = append(out, row.cands...)
+			if len(out) > 0 && row.stop {
+				break
 			}
 		}
-		if len(out) > 0 && stop {
+		return out
+	}
+	for c1 := c1min; c1 < spec.Cores; c1++ {
+		row := s.candidatesAt(qps, c1, maxLvl)
+		out = append(out, row.cands...)
+		if len(out) > 0 && row.stop {
 			break
 		}
 	}
@@ -154,17 +197,17 @@ func (s *Searcher) justEnough(qps float64, c1 int) []hw.Alloc {
 
 	// Ways-lean corner.
 	if l1 := s.minWays(qps, c1, maxLvl); l1 >= 0 {
-		l1 = minInt(l1+s.headroomWays(), spec.LLCWays-1)
+		l1 = min(l1+s.headroomWays(), spec.LLCWays-1)
 		if f1 := s.minFreqLevel(qps, c1, l1); f1 >= 0 {
-			f1 = minInt(f1+s.headroomFreq(), maxLvl)
+			f1 = min(f1+s.headroomFreq(), maxLvl)
 			out = append(out, hw.Alloc{Cores: c1, Freq: spec.FreqAtLevel(f1), LLCWays: l1})
 		}
 	}
 	// Power-lean corner.
 	if f1 := s.minFreqLevel(qps, c1, spec.LLCWays-1); f1 >= 0 {
-		f1 = minInt(f1+s.headroomFreq(), maxLvl)
+		f1 = min(f1+s.headroomFreq(), maxLvl)
 		if l1 := s.minWays(qps, c1, f1); l1 >= 0 {
-			l1 = minInt(l1+s.headroomWays(), spec.LLCWays-1)
+			l1 = min(l1+s.headroomWays(), spec.LLCWays-1)
 			alt := hw.Alloc{Cores: c1, Freq: spec.FreqAtLevel(f1), LLCWays: l1}
 			if len(out) == 0 || out[0] != alt {
 				out = append(out, alt)

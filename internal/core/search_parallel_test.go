@@ -1,0 +1,65 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+	"sturgeon/internal/workload"
+)
+
+// gridOracle is a deterministic synthetic predictor: QoS feasibility and
+// power are smooth monotone functions of the allocation, so the binary
+// searches exercise their full range without the cost of model training.
+type gridOracle struct {
+	spec hw.Spec
+}
+
+func (o gridOracle) capacity(a hw.Alloc) float64 {
+	return float64(a.Cores)*float64(a.Freq) + 0.35*float64(a.LLCWays)
+}
+
+func (o gridOracle) QoSOK(a hw.Alloc, qps float64) bool {
+	// Peak load needs roughly the whole machine; scale linearly below.
+	full := hw.Alloc{Cores: o.spec.Cores - 1, Freq: o.spec.FreqMax, LLCWays: o.spec.LLCWays - 1}
+	return o.capacity(a) >= qps/20000*o.capacity(full)
+}
+
+func (o gridOracle) Throughput(a hw.Alloc) float64 {
+	return o.capacity(a)
+}
+
+func (o gridOracle) PowerW(cfg hw.Config, qps float64) power.Watts {
+	return power.Watts(40 + 2.2*o.capacity(cfg.LS) + 2.0*o.capacity(cfg.BE))
+}
+
+// TestCandidatesParallelMatchesSerial sweeps load levels and compares the
+// serial §V-B sweep against the pooled one at several worker counts. The
+// slices must be deeply equal — same candidates, same order, same early
+// cutoff.
+func TestCandidatesParallelMatchesSerial(t *testing.T) {
+	spec := hw.DefaultSpec()
+	ls := workload.Memcached()
+	for _, budget := range []power.Watts{120, 160, 220} {
+		serial := &Searcher{Spec: spec, Pred: gridOracle{spec}, Budget: budget}
+		for _, frac := range []float64{0.1, 0.2, 0.4, 0.6, 0.8, 0.95} {
+			qps := frac * ls.PeakQPS
+			want := serial.Candidates(qps)
+			for _, par := range []int{2, 4, 8} {
+				pooled := &Searcher{Spec: spec, Pred: gridOracle{spec}, Budget: budget, Parallelism: par}
+				got := pooled.Candidates(qps)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("budget %v load %.0f%% parallelism %d: pooled sweep diverged\nserial: %+v\npooled: %+v",
+						budget, frac*100, par, want, got)
+				}
+			}
+			wantCfg, wantOK := serial.BestConfig(qps)
+			pooled := &Searcher{Spec: spec, Pred: gridOracle{spec}, Budget: budget, Parallelism: 4}
+			if gotCfg, gotOK := pooled.BestConfig(qps); gotCfg != wantCfg || gotOK != wantOK {
+				t.Fatalf("budget %v load %.0f%%: BestConfig diverged: serial (%v,%v) pooled (%v,%v)",
+					budget, frac*100, wantCfg, wantOK, gotCfg, gotOK)
+			}
+		}
+	}
+}

@@ -30,6 +30,13 @@ type Config struct {
 	// PairLimit caps how many of the 18 co-location pairs the Fig. 9/10
 	// evaluation runs (0 = all) — benchmarks use a subset.
 	PairLimit int
+	// Parallelism fans the independent per-(pair, controller) evaluation
+	// runs across a worker pool: 0 (default) uses GOMAXPROCS, 1 runs
+	// serially. Results are merged in figure order, and each run derives
+	// its seed from the pair alone, so the tables are identical at any
+	// worker count. Model training stays serialized behind the Env cache
+	// lock either way.
+	Parallelism int
 	// Quick shrinks everything for smoke tests and benchmarks.
 	Quick bool
 }

@@ -9,6 +9,7 @@ import (
 	"sturgeon/internal/heracles"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/parties"
+	"sturgeon/internal/pool"
 	"sturgeon/internal/sim"
 	"sturgeon/internal/trace"
 	"sturgeon/internal/workload"
@@ -100,11 +101,18 @@ func Fig9And10(env *Env, withHeracles bool) ([]EvalRow, *trace.Table, *trace.Tab
 	if n := env.Cfg.PairLimit; n > 0 && n < len(pairs) {
 		pairs = pairs[:n]
 	}
-	for _, pair := range pairs {
+	// Fan the independent (pair, controller) runs across the pool; the
+	// table/summary merge below stays serial in figure order, so the
+	// output is identical at any worker count.
+	results := pool.Map(env.Cfg.Parallelism, len(pairs)*len(ctrls), func(k int) sim.Result {
+		pair := pairs[k/len(ctrls)]
+		return env.RunPair(ctrls[k%len(ctrls)], pair.LS, pair.BE)
+	})
+	for pi, pair := range pairs {
 		qosCells := []interface{}{pair.LS.Name + "+" + pair.BE.Name}
 		thptCells := []interface{}{pair.LS.Name + "+" + pair.BE.Name}
-		for _, c := range ctrls {
-			res := env.RunPair(c, pair.LS, pair.BE)
+		for ci, c := range ctrls {
+			res := results[pi*len(ctrls)+ci]
 			row := EvalRow{
 				LS: pair.LS.Name, BE: pair.BE.Name, Controller: c,
 				QoSRate: res.QoSRate, NormBE: res.NormBEThroughput,

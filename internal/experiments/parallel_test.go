@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFig9And10ParallelMatchesSerial reruns the quick evaluation matrix
+// serially and on a 4-worker pool (trained predictors are shared via the
+// Env cache, so only the simulation runs repeat) and requires identical
+// rows and rendered tables — the per-pair fan-out must be invisible in
+// the output.
+func TestFig9And10ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation runs are slow")
+	}
+	env := quickEnv()
+	defer func(p int) { env.Cfg.Parallelism = p }(env.Cfg.Parallelism)
+
+	env.Cfg.Parallelism = 1
+	serialRows, serialQoS, serialThpt, serialSum := Fig9And10(env, false)
+	env.Cfg.Parallelism = 4
+	pooledRows, pooledQoS, pooledThpt, pooledSum := Fig9And10(env, false)
+
+	if !reflect.DeepEqual(serialRows, pooledRows) {
+		t.Fatalf("rows diverged between serial and pooled evaluation:\nserial: %+v\npooled: %+v",
+			serialRows, pooledRows)
+	}
+	for _, pair := range [][2]string{
+		{serialQoS.String(), pooledQoS.String()},
+		{serialThpt.String(), pooledThpt.String()},
+		{serialSum.String(), pooledSum.String()},
+	} {
+		if pair[0] != pair[1] {
+			t.Fatalf("table diverged between serial and pooled evaluation:\n--- serial ---\n%s--- pooled ---\n%s",
+				pair[0], pair[1])
+		}
+	}
+}

@@ -47,7 +47,7 @@ func (c *Controller) Decide(obs control.Observation) hw.Config {
 
 	// Fast power controller: overload throttles BE hard (two levels).
 	if obs.Overloaded() {
-		cfg.BE.Freq = c.Spec.FreqAtLevel(maxInt(0, beLvl-2))
+		cfg.BE.Freq = c.Spec.FreqAtLevel(max(0, beLvl-2))
 		return cfg
 	}
 
@@ -65,16 +65,16 @@ func (c *Controller) Decide(obs control.Observation) hw.Config {
 		// growth is strictly subordinate to LS latency.
 		next := cfg
 		if next.BE.Cores > 1 {
-			take := minInt(2, next.BE.Cores-1)
+			take := min(2, next.BE.Cores-1)
 			next.BE.Cores -= take
 			next.LS.Cores += take
 		}
 		if next.BE.LLCWays > 1 {
-			take := minInt(2, next.BE.LLCWays-1)
+			take := min(2, next.BE.LLCWays-1)
 			next.BE.LLCWays -= take
 			next.LS.LLCWays += take
 		}
-		next.BE.Freq = c.Spec.FreqAtLevel(maxInt(0, beLvl-1))
+		next.BE.Freq = c.Spec.FreqAtLevel(max(0, beLvl-1))
 		if next.Validate(c.Spec) != nil {
 			return cfg
 		}
@@ -112,18 +112,4 @@ func (c *Controller) Decide(obs control.Observation) hw.Config {
 	default:
 		return cfg
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -118,7 +118,7 @@ func (c *Controller) Decide(st IntervalStats, qps []float64) Partition {
 	if worstIdx >= 0 && worst < c.Alpha {
 		units := 1
 		if worst < 0 {
-			units += minInt(4, int(-worst*2))
+			units += min(4, int(-worst*2))
 		}
 		next := p
 		did := false

@@ -99,7 +99,7 @@ func (s *Searcher) Best(qps []float64) (Partition, bool) {
 		// best-effort side inherits a balanced remainder.
 		bestC, bestL := -1, -1
 		bestCost := 1e18
-		for cc := c; cc <= minInt(c+6, freeCores); cc++ {
+		for cc := c; cc <= min(c+6, freeCores); cc++ {
 			l := s.minWays(m, q, cc, maxLvl, freeWays)
 			if l < 0 {
 				continue
@@ -113,12 +113,12 @@ func (s *Searcher) Best(qps []float64) (Partition, bool) {
 			bestC, bestL = freeCores, freeWays
 		}
 		c = bestC
-		l := minInt(bestL+s.headroom(), freeWays)
+		l := min(bestL+s.headroom(), freeWays)
 		f := s.minFreq(m, q, c, l)
 		if f < 0 {
 			f = maxLvl
 		}
-		f = minInt(f+s.headroom(), maxLvl)
+		f = min(f+s.headroom(), maxLvl)
 		p[i] = hw.Alloc{Cores: c, Freq: spec.FreqAtLevel(f), LLCWays: l}
 		freeCores -= c
 		freeWays -= l
@@ -274,11 +274,4 @@ func (s *Searcher) minFreq(m *models.LSModels, qps float64, c, l int) int {
 		}
 	}
 	return hi
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -119,7 +119,7 @@ func (c *Controller) Decide(obs control.Observation) hw.Config {
 		}
 		units := 1
 		if slack < 0 {
-			units = 1 + minInt(3, int(-slack*2))
+			units = 1 + min(3, int(-slack*2))
 		}
 		next := cfg
 		applied := 0
@@ -213,13 +213,6 @@ func apply(spec hw.Spec, cfg hw.Config, r resType, dir int) (hw.Config, bool) {
 		return cfg, false
 	}
 	return cfg, true
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // shiftBE moves the BE frequency by n levels.

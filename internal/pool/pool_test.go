@@ -1,0 +1,165 @@
+package pool
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// step mimics a deterministic per-index computation whose result depends
+// only on the index, never on scheduling.
+func step(i int) int { return i*i + 7 }
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	cases := []struct {
+		name        string
+		parallelism int
+		n           int
+	}{
+		{"serial", 1, 100},
+		{"negative-means-gomaxprocs", -1, 100},
+		{"zero-means-gomaxprocs", 0, 100},
+		{"two-workers", 2, 100},
+		{"more-workers-than-tasks", 64, 5},
+		{"single-task", 8, 1},
+		{"empty", 8, 0},
+		{"wide", 8, 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := make([]int, tc.n)
+			var calls atomic.Int64
+			ForEach(tc.parallelism, tc.n, func(i int) {
+				calls.Add(1)
+				out[i] = step(i)
+			})
+			if got := int(calls.Load()); got != tc.n {
+				t.Fatalf("fn invoked %d times, want %d", got, tc.n)
+			}
+			for i, v := range out {
+				if v != step(i) {
+					t.Fatalf("slot %d holds %d, want %d — index mixup", i, v, step(i))
+				}
+			}
+		})
+	}
+}
+
+// TestMapPreservesOrder forces late indices to finish first; the output
+// must still be in index order.
+func TestMapPreservesOrder(t *testing.T) {
+	const n = 16
+	got := Map(8, n, func(i int) int {
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return step(i)
+	})
+	want := make([]int, n)
+	for i := range want {
+		want[i] = step(i)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Map returned %v, want %v", got, want)
+	}
+}
+
+// TestParallelismOneEquivalence runs the same task set serially and at
+// several worker counts; every configuration must produce identical
+// results.
+func TestParallelismOneEquivalence(t *testing.T) {
+	const n = 257
+	serial := Map(1, n, step)
+	for _, p := range []int{2, 3, 8, n + 1} {
+		if got := Map(p, n, step); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("parallelism=%d diverged from serial", p)
+		}
+	}
+}
+
+// TestPanicPropagatesLowestIndex checks that the propagated panic is the
+// lowest-index one regardless of worker count, and that every healthy
+// task still ran.
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		out := make([]int, 10)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("parallelism=%d: expected a panic", p)
+				}
+				pp, ok := r.(Panic)
+				if !ok {
+					t.Fatalf("parallelism=%d: recovered %T, want pool.Panic", p, r)
+				}
+				if pp.Index != 3 || pp.Value != "boom-3" {
+					t.Fatalf("parallelism=%d: propagated %+v, want index 3 / boom-3", p, pp)
+				}
+				if pp.Error() == "" {
+					t.Fatalf("Panic.Error must render")
+				}
+			}()
+			ForEach(p, len(out), func(i int) {
+				if i == 3 || i == 7 {
+					panic("boom-" + string(rune('0'+i)))
+				}
+				out[i] = step(i)
+			})
+		}()
+		for i, v := range out {
+			if i == 3 || i == 7 {
+				continue
+			}
+			if v != step(i) {
+				t.Fatalf("parallelism=%d: healthy task %d skipped after panic", p, i)
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	if maxp > 1 {
+		if got := Workers(maxp); got != maxp {
+			t.Fatalf("Workers(%d) = %d", maxp, got)
+		}
+	}
+	if got := Workers(0); got != maxp {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != maxp {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	// CPU-bound pool: requests beyond the runtime's parallel capacity
+	// are clamped, never amplified.
+	if got := Workers(maxp * 16); got != maxp {
+		t.Fatalf("Workers(%d) = %d, want clamp to GOMAXPROCS %d", maxp*16, got, maxp)
+	}
+}
+
+// TestForEachActuallyRunsConcurrently guards against a regression that
+// silently serializes the pool: with w mutually waiting tasks and w
+// workers, completion requires genuine concurrency.
+func TestForEachActuallyRunsConcurrently(t *testing.T) {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		t.Skip("needs GOMAXPROCS >= 2")
+	}
+	var entered atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		ForEach(w, w, func(i int) {
+			entered.Add(1)
+			for int(entered.Load()) < w {
+				time.Sleep(time.Millisecond)
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool serialized: tasks never overlapped")
+	}
+}

@@ -147,10 +147,3 @@ func (r *Runner) Run() Result {
 	}
 	return res
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -210,10 +210,3 @@ func Sparkline(v []float64, width int) string {
 func (s *Series) Spark(width int) string {
 	return Sparkline(s.V, width)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
