@@ -22,6 +22,8 @@ import (
 	"strings"
 
 	"sturgeon/internal/bench"
+	"sturgeon/internal/cmdutil"
+	"sturgeon/internal/jsonio"
 	"sturgeon/internal/trace"
 )
 
@@ -64,10 +66,12 @@ func main() {
 		"comma-separated dispatch policies (round-robin, least-loaded)")
 	faultSpecs := flag.String("faults", strings.Join(def.FaultSpecs, ","),
 		"comma-separated fault plans (clean, default)")
-	seed := flag.Int64("seed", def.Seed, "base seed; every scenario derives its own from it")
 	repeat := flag.Int("repeat", def.Repeats, "best-of count per matrix cell")
+	coordination := flag.Bool("coordination", def.Coordination,
+		"run the pinned even-split vs coordinated-caps pair and enforce the win gate")
 	out := flag.String("out", "BENCH_fleet.json", "report path ('' skips writing)")
-	flag.Parse()
+	common := cmdutil.Register(def.Seed)
+	common.Parse()
 
 	fleetSizes, err := parseInts(*nodes, "nodes")
 	if err != nil {
@@ -83,18 +87,27 @@ func main() {
 		DurationS:    *duration,
 		Policies:     parseNames(*policies),
 		FaultSpecs:   parseNames(*faultSpecs),
-		Seed:         *seed,
+		Seed:         common.Seed,
 		Repeats:      *repeat,
+		Coordination: *coordination,
 	}
 
 	rep, err := bench.Execute(opt)
 	if rep != nil {
-		printReport(rep)
+		if common.JSON {
+			if jerr := jsonio.Encode(os.Stdout, rep); jerr != nil {
+				fatal(jerr)
+			}
+		} else {
+			printReport(rep)
+		}
 		if *out != "" {
 			if werr := bench.WriteFile(*out, rep); werr != nil {
 				fatal(werr)
 			}
-			fmt.Printf("wrote %s\n", *out)
+			if !common.JSON {
+				fmt.Printf("wrote %s\n", *out)
+			}
 		}
 	}
 	if err != nil {

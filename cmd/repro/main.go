@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	repro [-exp all|fig2|fig3|fig6|fig7|fig9|fig10|fig11|table1|overhead|ablations]
+//	repro [-exp all|fig2|fig3|fig6|fig7|fig9|fig10|fig11|table1|overhead|ablations|coord]
 //	      [-quick] [-seed N] [-samples N] [-duration N] [-heracles] [-out DIR]
+//	      [-json] [-version]
 //
-// Text tables go to stdout; -out additionally writes CSV/TSV files for
-// plotting.
+// Text tables go to stdout (-json switches them to JSON documents);
+// -out additionally writes CSV/TSV files for plotting.
 package main
 
 import (
@@ -16,28 +17,36 @@ import (
 	"os"
 	"path/filepath"
 
+	"sturgeon/internal/cmdutil"
 	"sturgeon/internal/experiments"
 	"sturgeon/internal/trace"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig6, fig7, fig9, fig10, fig11, table1, overhead, ablations, multi, energy, rapl)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig6, fig7, fig9, fig10, fig11, table1, overhead, ablations, multi, energy, rapl, coord)")
 		quick    = flag.Bool("quick", false, "shrink sweeps and run lengths for a fast smoke run")
-		seed     = flag.Int64("seed", 42, "random seed")
 		samples  = flag.Int("samples", 0, "profiling sweep size (0 = default)")
 		duration = flag.Int("duration", 0, "evaluation run length in seconds (0 = default 800)")
 		heracles = flag.Bool("heracles", false, "include the Heracles-style baseline in fig9/fig10")
 		outDir   = flag.String("out", "", "directory for CSV/TSV output (optional)")
 	)
-	flag.Parse()
+	common := cmdutil.Register(42)
+	common.Parse()
 
 	env := experiments.NewEnv(experiments.Config{
-		Seed: *seed, Samples: *samples, DurationS: *duration, Quick: *quick,
+		Seed: common.Seed, Samples: *samples, DurationS: *duration, Quick: *quick,
 	})
 
 	emit := func(name string, tbl *trace.Table) {
-		fmt.Println(tbl)
+		if common.JSON {
+			if err := tbl.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(tbl)
+		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -81,7 +90,7 @@ func main() {
 		return false
 	}
 
-	if want("table1") {
+	if want("table1") && !common.JSON {
 		fmt.Println(experiments.Table1())
 	}
 	if want("fig2") {
@@ -110,18 +119,20 @@ func main() {
 	}
 	if want("fig11") {
 		res := experiments.Fig11Trace(env)
-		fmt.Println(res.Summary)
-		spark := func(label string, ss *trace.SeriesSet) {
-			fmt.Println(ss.Title)
-			for _, s := range ss.Series {
-				fmt.Printf("  %-14s %s\n", s.Name, s.Spark(72))
+		if !common.JSON {
+			fmt.Println(res.Summary)
+			spark := func(ss *trace.SeriesSet) {
+				fmt.Println(ss.Title)
+				for _, s := range ss.Series {
+					fmt.Printf("  %-14s %s\n", s.Name, s.Spark(72))
+				}
 			}
+			spark(res.Sturgeon)
+			spark(res.Parties)
 		}
-		spark("sturgeon", res.Sturgeon)
-		spark("parties", res.Parties)
 		emitSeries("fig11_sturgeon", res.Sturgeon)
 		emitSeries("fig11_parties", res.Parties)
-		if *outDir == "" {
+		if *outDir == "" && !common.JSON {
 			fmt.Println("(use -out DIR to write the Fig. 11 time series as TSV)")
 		}
 	}
@@ -145,5 +156,8 @@ func main() {
 	}
 	if want("rapl") {
 		emit("extension_rapl", experiments.RAPLBaseline(env))
+	}
+	if want("coord") {
+		emit("extension_coordinator", experiments.CoordinatedFleet(env))
 	}
 }

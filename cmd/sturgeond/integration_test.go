@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sturgeon/internal/coordinator"
+)
+
+// TestSturgeondIntegration builds the real daemon binary, starts it on a
+// loopback port, and drives a 4-node fleet through the HTTP client: one
+// node pinned against its cap, one stranding watts, two in band. The
+// coordinator must move watts from the donor to the starved node within
+// a few epochs while conserving the 400 W budget — the CI convergence
+// gate for the service as actually shipped, flags and all.
+func TestSturgeondIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sturgeond")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building sturgeond: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	daemon := exec.CommandContext(ctx, bin,
+		"-addr", "127.0.0.1:0",
+		"-budget", "400", "-nodes", "4",
+		"-min-cap", "60", "-max-cap", "140",
+		"-json")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting sturgeond: %v", err)
+	}
+	defer func() {
+		_ = daemon.Process.Kill()
+		_ = daemon.Wait()
+	}()
+
+	// The -json banner names the bound address (we asked for port 0).
+	// Plain json.Decoder, not jsonio.Decode: the latter reads to EOF to
+	// reject trailing data, which blocks forever on a live pipe.
+	var b struct {
+		Addr    string  `json:"addr"`
+		BudgetW float64 `json:"budget_w"`
+	}
+	if err := json.NewDecoder(stdout).Decode(&b); err != nil {
+		t.Fatalf("reading startup banner: %v", err)
+	}
+	if b.BudgetW != 400 {
+		t.Fatalf("banner budget %.0f, want 400", b.BudgetW)
+	}
+
+	cl := coordinator.NewClient("http://"+b.Addr, 1)
+	cl.BackoffBase = 10 * time.Millisecond
+	cl.Retries = 5 // ride out the listener warming up
+
+	ids := []string{"n0", "n1", "n2", "n3"}
+	caps := map[string]float64{}
+	for epoch := 0; epoch <= 12; epoch++ {
+		for _, id := range ids {
+			slack, pw := 0.15, 90.0
+			if epoch > 0 {
+				switch id {
+				case "n0": // starved: pinned against its cap
+					slack, pw = 0.05, caps[id]-0.5
+				case "n1": // donor: saturated well below its cap
+					slack, pw = 0.6, 70
+				}
+			}
+			capW := 100.0
+			if epoch > 0 {
+				capW = caps[id]
+			}
+			g, err := cl.Report(ctx, coordinator.NodeReport{
+				Schema: coordinator.Schema, NodeID: id, Epoch: epoch,
+				Slack: slack, P95S: 0.004, PowerW: pw, CapW: capW,
+				BEThroughputUPS: 1000, Healthy: true,
+			})
+			if err != nil {
+				t.Fatalf("epoch %d node %s: %v", epoch, id, err)
+			}
+			caps[id] = g.CapW
+		}
+	}
+
+	if !(caps["n0"] > 100) {
+		t.Errorf("starved node never grew past the even split: %.1f W", caps["n0"])
+	}
+	if !(caps["n1"] < 100) {
+		t.Errorf("donor never shrank below the even split: %.1f W", caps["n1"])
+	}
+
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatalf("/fleet/status: %v", err)
+	}
+	sum := st.PoolW
+	for _, n := range st.Nodes {
+		sum += n.CapW
+	}
+	if math.Abs(sum-400) > 1e-6 {
+		t.Errorf("budget not conserved: caps+pool %.3f W", sum)
+	}
+	if len(st.Nodes) != 4 {
+		t.Errorf("status lists %d nodes, want 4", len(st.Nodes))
+	}
+}

@@ -1,0 +1,82 @@
+// Command sturgeond runs the fleet power-budget coordinator as an HTTP
+// control-plane service. Nodes POST slack telemetry to /v1/report each
+// epoch and apply the cap granted back; operators read /fleet/status.
+//
+// Usage:
+//
+//	sturgeond [-addr HOST:PORT] [-budget W] [-nodes N]
+//	          [-min-cap W] [-max-cap W] [-alpha F] [-beta F]
+//	          [-seed N] [-json] [-version]
+//
+// The daemon is stateless across restarts by design: nodes keep running
+// on their last-granted caps while it is down and re-adopt on the first
+// report after it returns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"sturgeon/internal/cmdutil"
+	"sturgeon/internal/coordinator"
+	"sturgeon/internal/jsonio"
+)
+
+type config struct {
+	addr string
+	opt  coordinator.Options
+}
+
+// banner is the startup document: the effective arbitration parameters,
+// printed as text or (with -json) as a schema-less JSON object.
+type banner struct {
+	Addr    string  `json:"addr"`
+	BudgetW float64 `json:"budget_w"`
+	Nodes   int     `json:"nodes"`
+	MinCapW float64 `json:"min_cap_w"`
+	MaxCapW float64 `json:"max_cap_w"`
+	Alpha   float64 `json:"alpha"`
+	Beta    float64 `json:"beta"`
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7015", "listen address")
+	flag.Float64Var(&cfg.opt.BudgetW, "budget", 800, "total fleet power budget in watts")
+	flag.IntVar(&cfg.opt.FleetSize, "nodes", 8, "expected fleet size (epochs close when all have reported)")
+	flag.Float64Var(&cfg.opt.MinCapW, "min-cap", 0, "per-node cap floor in watts (0 = default)")
+	flag.Float64Var(&cfg.opt.MaxCapW, "max-cap", 0, "per-node cap ceiling in watts (0 = default)")
+	flag.Float64Var(&cfg.opt.Alpha, "alpha", 0, "lower slack band bound (0 = default 0.10)")
+	flag.Float64Var(&cfg.opt.Beta, "beta", 0, "upper slack band bound (0 = default 0.20)")
+	common := cmdutil.Register(42)
+	common.Parse()
+
+	c, err := coordinator.New(cfg.opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sturgeond:", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sturgeond:", err)
+		os.Exit(2)
+	}
+	eff := c.Options()
+	b := banner{
+		Addr: ln.Addr().String(), BudgetW: eff.BudgetW, Nodes: eff.FleetSize,
+		MinCapW: eff.MinCapW, MaxCapW: eff.MaxCapW, Alpha: eff.Alpha, Beta: eff.Beta,
+	}
+	if common.JSON {
+		_ = jsonio.Encode(os.Stdout, b)
+	} else {
+		fmt.Printf("sturgeond listening on %s: budget %.0f W over %d nodes, caps [%.0f, %.0f] W, band [%.2f, %.2f]\n",
+			b.Addr, b.BudgetW, b.Nodes, b.MinCapW, b.MaxCapW, b.Alpha, b.Beta)
+	}
+	if err := http.Serve(ln, coordinator.NewServer(c).Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "sturgeond:", err)
+		os.Exit(1)
+	}
+}

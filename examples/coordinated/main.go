@@ -1,0 +1,70 @@
+// Coordinated: the fleet power-budget coordinator head-to-head. The same
+// 8-node diurnal fleet — rotating skewed dispatch, every node under a
+// Sturgeon governor — runs twice on the same total watt budget: once with
+// a static even per-node split, once with the caps arbitrated each epoch
+// by an in-process coordinator (internal/coordinator, DESIGN.md §10).
+// The skew strands watts on cold nodes while hot nodes throttle their
+// best-effort tier; arbitration moves the stranded watts, buying more
+// best-effort work at better QoS. Both runs are seeded and byte-for-byte
+// reproducible.
+//
+//	go run ./examples/coordinated
+//	go run ./examples/coordinated -seed 7 -chaos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sturgeon/internal/cluster"
+	"sturgeon/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "scenario seed")
+	chaos := flag.Bool("chaos", false, "drop reports and schedule coordinator outages")
+	flag.Parse()
+
+	run := func(coordinated bool) cluster.Result {
+		o := cluster.DefaultCoordFleet(*seed)
+		o.Coordinated = coordinated
+		o.Chaos = coordinated && *chaos
+		c, err := cluster.BuildCoordFleet(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c.Run(o.Trace(), o.DurationS)
+	}
+
+	even := run(false)
+	coord := run(true)
+
+	o := cluster.DefaultCoordFleet(*seed)
+	fmt.Printf("fleet: %d nodes, %.0f W budget (%.0f W even split), %d s diurnal+skew\n\n",
+		o.Nodes, o.EvenCapW*float64(o.Nodes), o.EvenCapW, o.DurationS)
+
+	tbl := trace.NewTable("even split vs coordinated caps",
+		"caps", "qos_rate", "be_ups", "mean_power_w", "work_per_kj")
+	tbl.Addf("even-split", even.QoSRate, even.MeanBEThroughputUPS,
+		even.MeanPowerW, even.WorkPerKJ)
+	tbl.Addf("coordinated", coord.QoSRate, coord.MeanBEThroughputUPS,
+		coord.MeanPowerW, coord.WorkPerKJ)
+	fmt.Println(tbl)
+
+	fmt.Printf("coordination: %d epochs, %.0f W moved, %d report drops, %d outage epochs, %d fallbacks\n",
+		coord.Coord.Epochs, coord.Coord.MovedW,
+		coord.Coord.DroppedReports, coord.Coord.OutageEpochs, coord.Coord.Fallbacks)
+
+	spread := make([]float64, len(coord.Intervals))
+	for i, iv := range coord.Intervals {
+		spread[i] = iv.CapSpreadW
+	}
+	fmt.Printf("cap spread (max-min W)   %s\n", trace.Sparkline(spread, 72))
+
+	be := make([]float64, len(coord.Intervals))
+	for i, iv := range coord.Intervals {
+		be[i] = iv.BEThroughputUPS - even.Intervals[i].BEThroughputUPS
+	}
+	fmt.Printf("BE gain vs even (ups)    %s\n", trace.Sparkline(be, 72))
+}

@@ -42,6 +42,13 @@ type Scenario struct {
 	// faults.DefaultSpec applied to every node).
 	Faults string `json:"faults"`
 	Seed   int64  `json:"seed"`
+	// Coord selects the pinned coordinated diurnal fleet scenario
+	// (cluster.DefaultCoordFleet) instead of the triangle-load matrix
+	// cell: "even" runs its static even-split baseline, "granted" the
+	// coordinator-arbitrated fleet under the coordinator chaos plan.
+	// Empty for ordinary matrix cells. Policy and Faults are implied
+	// ("skewed" dispatch; coordinator-path chaos on "granted").
+	Coord string `json:"coord,omitempty"`
 }
 
 // Run is one measured execution of a scenario at a parallelism level.
@@ -99,6 +106,11 @@ type Options struct {
 	Seed         int64
 	// Repeats is the best-of count per matrix cell (default 3).
 	Repeats int
+	// Coordination appends the pinned even-split vs coordinated-caps
+	// scenario pair and makes Execute enforce the coordination win gate:
+	// the coordinated fleet must deliver strictly more best-effort
+	// throughput at an equal-or-better QoS rate than the even split.
+	Coordination bool
 }
 
 // DefaultOptions is the CI matrix: small enough to finish in seconds,
@@ -113,7 +125,28 @@ func DefaultOptions() Options {
 		FaultSpecs:   []string{"clean", "default"},
 		Seed:         20260806,
 		Repeats:      3,
+		Coordination: true,
 	}
+}
+
+// CoordPair returns the pinned coordination comparison scenarios: the
+// same fleet, seed and diurnal workload, once with static even-split
+// caps and once arbitrated by the coordinator (with the coordinator
+// chaos plan active, so the win must survive dropped reports and
+// outages). Both run at the duration the scenario pins, not the matrix
+// DurationS — the arbitration loop needs the full rotation to play out.
+func CoordPair(seed int64) (even, granted Scenario) {
+	o := cluster.DefaultCoordFleet(seed)
+	base := Scenario{
+		Nodes:     o.Nodes,
+		DurationS: o.DurationS,
+		Policy:    "skewed",
+		Seed:      seed,
+	}
+	even, granted = base, base
+	even.Name, even.Coord, even.Faults = "coord-diurnal8-even", "even", "clean"
+	granted.Name, granted.Coord, granted.Faults = "coord-diurnal8-granted", "granted", "coord-chaos"
+	return even, granted
 }
 
 // Matrix expands opt into the scenario list (fleet sizes × fault specs ×
@@ -134,6 +167,10 @@ func Matrix(opt Options) []Scenario {
 			}
 		}
 	}
+	if opt.Coordination {
+		even, granted := CoordPair(opt.Seed)
+		out = append(out, even, granted)
+	}
 	return out
 }
 
@@ -142,6 +179,17 @@ func Matrix(opt Options) []Scenario {
 // the measurement isolates the stepping fan-out) with the scenario's
 // dispatch policy and fault plan.
 func buildCluster(sc Scenario, parallelism int) (*cluster.Cluster, error) {
+	if sc.Coord != "" {
+		o := cluster.DefaultCoordFleet(sc.Seed)
+		o.Coordinated = sc.Coord == "granted"
+		o.Chaos = o.Coordinated
+		c, err := cluster.BuildCoordFleet(o)
+		if err != nil {
+			return nil, err
+		}
+		c.Parallelism = parallelism
+		return c, nil
+	}
 	ls, be := workload.Memcached(), workload.Raytrace()
 	probe := sim.QuietNode(ls, be, 1)
 	budget := sim.LSPeakPower(probe.Spec, probe.PowerParams, probe.Bus, ls)
@@ -187,6 +235,9 @@ func measureOnce(sc Scenario, parallelism int) (Run, error) {
 		return Run{}, err
 	}
 	tr := workload.Triangle(0.2, 0.8, float64(sc.DurationS))
+	if sc.Coord != "" {
+		tr = cluster.DefaultCoordFleet(sc.Seed).Trace()
+	}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -309,5 +360,48 @@ func Execute(opt Options) (*Report, error) {
 			rep.Runs = append(rep.Runs, r)
 		}
 	}
-	return rep, detErr
+	if detErr != nil {
+		return rep, detErr
+	}
+	if opt.Coordination {
+		if err := checkCoordinationWin(rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// checkCoordinationWin enforces the coordination acceptance gate on the
+// pinned scenario pair: arbitrated caps must buy strictly more
+// best-effort throughput at an equal-or-better QoS rate than the static
+// even split of the same budget — even though the coordinated run also
+// suffers the coordinator chaos plan. The serial (parallelism 1) runs
+// anchor the comparison; determinism ties every other level to them.
+func checkCoordinationWin(rep *Report) error {
+	even, granted := CoordPair(0) // names only; seed irrelevant
+	var e, g *Run
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		if r.Parallelism != 1 {
+			continue
+		}
+		switch r.Scenario {
+		case even.Name:
+			e = r
+		case granted.Name:
+			g = r
+		}
+	}
+	if e == nil || g == nil {
+		return fmt.Errorf("bench: coordination pair missing from report (have even=%v granted=%v)", e != nil, g != nil)
+	}
+	if g.BEThroughputUPS <= e.BEThroughputUPS {
+		return fmt.Errorf("bench: coordination win gate failed: granted BE %.2f ups <= even %.2f ups",
+			g.BEThroughputUPS, e.BEThroughputUPS)
+	}
+	if g.QoSRate < e.QoSRate {
+		return fmt.Errorf("bench: coordination win gate failed: granted QoS rate %.6f < even %.6f",
+			g.QoSRate, e.QoSRate)
+	}
+	return nil
 }

@@ -149,9 +149,59 @@ func TestWriteFileRefusesInvalid(t *testing.T) {
 func TestMatrixSeedsAreDistinct(t *testing.T) {
 	seen := map[int64]string{}
 	for _, sc := range Matrix(DefaultOptions()) {
+		if sc.Coord != "" {
+			// The coordination pair deliberately shares one seed: identical
+			// fleet physics, differing only in who sets the caps.
+			continue
+		}
 		if prev, dup := seen[sc.Seed]; dup {
 			t.Fatalf("scenarios %s and %s share seed %d", prev, sc.Name, sc.Seed)
 		}
 		seen[sc.Seed] = sc.Name
+	}
+}
+
+// TestCoordinationWinGate runs the pinned even-split vs coordinated pair
+// end to end (serial plus one pooled level) and requires Execute to
+// enforce the acceptance gate: the coordinated fleet — chaos plan and
+// all — must beat the even split on best-effort throughput without
+// giving up QoS.
+func TestCoordinationWinGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("480 s coordination pair is not a -short test")
+	}
+	rep, err := Execute(Options{
+		Parallelisms: []int{1, 4},
+		Seed:         DefaultOptions().Seed,
+		Repeats:      1,
+		Coordination: true,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("coordinated replay diverged across parallelism levels")
+	}
+	even, granted := CoordPair(0)
+	var e, g *Run
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		if r.Parallelism != 1 {
+			continue
+		}
+		switch r.Scenario {
+		case even.Name:
+			e = r
+		case granted.Name:
+			g = r
+		}
+	}
+	if e == nil || g == nil {
+		t.Fatalf("pair missing from report: %+v", rep.Runs)
+	}
+	t.Logf("even: qos %.6f be %.2f | granted: qos %.6f be %.2f",
+		e.QoSRate, e.BEThroughputUPS, g.QoSRate, g.BEThroughputUPS)
+	if g.BEThroughputUPS <= e.BEThroughputUPS || g.QoSRate < e.QoSRate {
+		t.Fatal("coordination win gate should have failed Execute, but Execute returned nil error")
 	}
 }

@@ -1,49 +1,39 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
+
+	"sturgeon/internal/jsonio"
 )
 
-// WriteFile serializes the report to path (indented JSON, trailing
-// newline) after validating it — an invalid report is never written.
+// WriteFile serializes the report to path through the shared
+// schema-validating JSON layer (indented, newline-terminated) — an
+// invalid report is never written.
 func WriteFile(path string, rep *Report) error {
-	if err := Validate(rep); err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return jsonio.WriteFile(path, rep)
 }
 
 // ReadFile parses and validates a report written by WriteFile.
 func ReadFile(path string) (*Report, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	var rep Report
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
-	}
-	if err := Validate(&rep); err != nil {
-		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	if err := jsonio.ReadFile(path, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
 	}
 	return &rep, nil
 }
 
-// Validate checks a report against the schema's invariants: the schema
-// tag, host metadata, and for every run finite positive throughput and
-// wall time, in-range QoS, non-negative allocation and best-effort
-// figures, and a well-formed summary hash. It is the same gate for
-// freshly measured reports (WriteFile) and for consumers of checked-in
-// ones (ReadFile), so NaN or negative steps-per-second can neither enter
-// nor leave the JSON.
-func Validate(rep *Report) error {
+// Validate checks a report against the schema's invariants; kept as the
+// package-level spelling callers already use.
+func Validate(rep *Report) error { return rep.Validate() }
+
+// Validate implements jsonio.Validator: the schema tag, host metadata,
+// and for every run finite positive throughput and wall time, in-range
+// QoS, non-negative allocation and best-effort figures, and a
+// well-formed summary hash. The same gate guards freshly measured
+// reports (WriteFile) and consumers of checked-in ones (ReadFile), so
+// NaN or negative steps-per-second can neither enter nor leave the JSON.
+func (rep *Report) Validate() error {
 	if rep == nil {
 		return fmt.Errorf("nil report")
 	}

@@ -9,11 +9,14 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
 	"sturgeon/internal/control"
+	"sturgeon/internal/coordinator"
 	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/pool"
@@ -127,6 +130,90 @@ func (p *LeastLoaded) Shares(nodes []NodeState) []float64 {
 	return out
 }
 
+// Skewed spreads load unevenly and deterministically: node i's weight
+// follows a phase-shifted sinusoid around 1, so at any instant some
+// nodes run hot while others idle, and the roles rotate over a period.
+// It models sharded or geo-affine services whose per-node load is never
+// uniform — exactly the imbalance that makes fleet-level power-budget
+// arbitration (internal/coordinator) worth having: an even watt split
+// strands headroom on the cold nodes while the hot ones throttle.
+type Skewed struct {
+	// Amp is the weight swing around 1 (default 0.5, clamped to [0, 0.95]);
+	// PeriodS the rotation period in intervals (default 120).
+	Amp, PeriodS float64
+
+	step int
+}
+
+// Name implements DispatchPolicy.
+func (*Skewed) Name() string { return "skewed" }
+
+// Shares implements DispatchPolicy. It keys the phase off an internal
+// interval counter — Shares is called exactly once per simulated second,
+// serially — so the schedule is a pure function of the call sequence.
+func (p *Skewed) Shares(nodes []NodeState) []float64 {
+	amp := p.Amp
+	if amp <= 0 {
+		amp = 0.5
+	}
+	if amp > 0.95 {
+		amp = 0.95
+	}
+	period := p.PeriodS
+	if period <= 0 {
+		period = 120
+	}
+	t := float64(p.step)
+	p.step++
+	out := make([]float64, len(nodes))
+	for i, n := range nodes {
+		if !n.Healthy {
+			continue
+		}
+		phase := 2 * math.Pi * (t/period + float64(i)/float64(len(nodes)))
+		out[i] = 1 + amp*math.Sin(phase)
+	}
+	return out
+}
+
+// Coordination wires the fleet to a power-budget coordinator
+// (internal/coordinator): every EpochS intervals each node reports its
+// slack telemetry through the Transport and applies whatever cap comes
+// back. Reports are submitted serially in node-index order inside Run's
+// merge phase, so with the deterministic in-process transport the whole
+// grant schedule — and therefore the run — stays byte-identical at any
+// stepping Parallelism.
+type Coordination struct {
+	// Transport carries the reports (coordinator.Local for seeded
+	// simulation, coordinator.Client for a remote sturgeond).
+	Transport coordinator.Transport
+	// EpochS is the reporting period in intervals (default 10).
+	EpochS int
+	// Chaos optionally schedules dropped reports and coordinator outage
+	// windows, exercising the last-granted-cap fallback.
+	Chaos *coordinator.ChaosPlan
+}
+
+func (c *Coordination) epochS() int {
+	if c.EpochS <= 0 {
+		return 10
+	}
+	return c.EpochS
+}
+
+// CoordStats tallies the grant loop's activity over a run.
+type CoordStats struct {
+	// Epochs counts reporting rounds attempted; OutageEpochs those lost
+	// whole to a coordinator outage.
+	Epochs, OutageEpochs int
+	// DroppedReports counts per-node submissions lost in transit;
+	// Fallbacks counts node-epochs that kept the last-granted cap
+	// because no fresh grant arrived (drop, outage or transport error).
+	DroppedReports, Fallbacks int
+	// MovedW is the cumulative |Δcap| the fleet applied.
+	MovedW float64
+}
+
 // Cluster is a fleet of identical Sturgeon-managed nodes serving one LS
 // service, each co-located with a BE application.
 type Cluster struct {
@@ -142,6 +229,10 @@ type Cluster struct {
 	// entries run that node clean). Install with InjectFaults or
 	// SetFaultPlans.
 	Injectors []*faults.Injector
+	// Coord, when non-nil, subjects the fleet to coordinated per-node
+	// power caps (see Coordination). Nil fleets run every node at the
+	// static Budget, exactly as before.
+	Coord *Coordination
 	// Parallelism is the per-interval node-stepping fan-out: 0 (the
 	// default) uses GOMAXPROCS workers, 1 steps the fleet serially, n > 1
 	// caps the pool at n. Each node owns its simulator, controller and
@@ -156,6 +247,9 @@ type Cluster struct {
 	// clusters built with the same seed behave identically (including
 	// under `go test -count=2` and the chaos harness).
 	rng *rand.Rand
+	// caps is each node's power cap currently in force: Budget
+	// everywhere until a coordinator grant moves it.
+	caps []power.Watts
 }
 
 // New builds a fleet of n nodes. mkCtrl builds one controller per node
@@ -173,8 +267,14 @@ func New(n int, ls, be workload.Profile, budget power.Watts,
 		}
 		c.Nodes = append(c.Nodes, node)
 		c.Ctrls = append(c.Ctrls, mkCtrl(i))
+		c.caps = append(c.caps, budget)
 	}
 	return c, nil
+}
+
+// Caps returns a copy of the per-node power caps currently in force.
+func (c *Cluster) Caps() []power.Watts {
+	return append([]power.Watts(nil), c.caps...)
 }
 
 // InjectFaults materializes one deterministic fault plan per node from
@@ -222,6 +322,9 @@ type IntervalReport struct {
 	// above their budget this interval.
 	PowerW          float64
 	OverloadedNodes int
+	// CapSpreadW is max − min of the per-node caps in force (0 unless a
+	// coordinator has moved watts between nodes).
+	CapSpreadW float64
 }
 
 // Result aggregates a cluster run.
@@ -243,6 +346,10 @@ type Result struct {
 	// injected faults across the fleet (both zero on clean runs).
 	Health HealthStats
 	Faults faults.Counters
+	// Coordinated marks runs stepped under a power-budget coordinator;
+	// Coord tallies the grant loop (zero otherwise).
+	Coordinated bool
+	Coord       CoordStats
 }
 
 // Summary renders a stable fixed-precision digest of the run for
@@ -262,12 +369,21 @@ func (r Result) Summary() string {
 	fmt.Fprintf(&b, "health evictions %d readmissions %d unhealthy_intervals %d\n",
 		r.Health.Evictions, r.Health.Readmissions, r.Health.UnhealthyNodeIntervals)
 	fmt.Fprintf(&b, "faults %s\n", r.Faults)
+	if r.Coordinated {
+		fmt.Fprintf(&b, "coord epochs %d drops %d outages %d fallbacks %d moved_w %.2f\n",
+			r.Coord.Epochs, r.Coord.DroppedReports, r.Coord.OutageEpochs,
+			r.Coord.Fallbacks, r.Coord.MovedW)
+	}
 	for i, iv := range r.Intervals {
 		if i%10 != 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "t=%04.0f qps %.1f qos %.4f be %.2f pw %.2f over %d\n",
+		fmt.Fprintf(&b, "t=%04.0f qps %.1f qos %.4f be %.2f pw %.2f over %d",
 			iv.Time, iv.TotalQPS, iv.QoSFrac, iv.BEThroughputUPS, iv.PowerW, iv.OverloadedNodes)
+		if r.Coordinated {
+			fmt.Fprintf(&b, " cap %.1f", iv.CapSpreadW)
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	return b.String()
 }
@@ -312,7 +428,7 @@ func (c *Cluster) stepNode(i, step int, t, q float64) stepOutcome {
 	obs := control.Observation{
 		Time: t, QPS: st.QPS, P95: st.P95,
 		Target: c.LS.QoSTargetS,
-		Power:  st.Power, Budget: c.Budget,
+		Power:  st.Power, Budget: c.caps[i],
 		BEThroughput: st.BEThroughputUPS, Config: st.Config,
 	}
 	next := c.Ctrls[i].Decide(obs)
@@ -390,7 +506,7 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 			okQ += st.QPS * st.QoSFrac
 			rep.BEThroughputUPS += st.BEThroughputUPS
 			rep.PowerW += float64(st.TruePower)
-			if st.TruePower > c.Budget {
+			if st.TruePower > c.caps[i] {
 				rep.OverloadedNodes++
 			}
 		}
@@ -399,6 +515,24 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 		} else {
 			rep.QoSFrac = 1
 		}
+
+		// Fleet coordination: at epoch boundaries every node reports its
+		// slack telemetry and applies the cap granted back. This runs in
+		// the serial section, in node-index order, so the grant schedule
+		// is identical at every stepping parallelism.
+		if c.Coord != nil && c.Coord.Transport != nil {
+			epochS := c.Coord.epochS()
+			if (step+1)%epochS == 0 {
+				c.exchangeGrants((step+1)/epochS, states, &res)
+			}
+			lo, hi := c.caps[0], c.caps[0]
+			for _, w := range c.caps {
+				lo = min(lo, w)
+				hi = max(hi, w)
+			}
+			rep.CapSpreadW = float64(hi - lo)
+		}
+
 		wOK += okQ
 		wQ += total
 		sumBE += rep.BEThroughputUPS
@@ -424,4 +558,58 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 		res.WorkPerKJ = sumBE / res.EnergyKJ
 	}
 	return res
+}
+
+// exchangeGrants runs one coordination epoch: build each node's report
+// from its latest interval, submit through the transport, and apply the
+// granted caps. Any node whose report is lost (chaos drop), whose epoch
+// falls in a coordinator outage window, or whose submission errors keeps
+// its last-granted cap — the degradation contract of DESIGN.md §10.
+func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
+	res.Coordinated = true
+	res.Coord.Epochs++
+	cd := c.Coord
+	if cd.Chaos.Outage(epoch) {
+		res.Coord.OutageEpochs++
+		res.Coord.Fallbacks += len(c.Nodes)
+		return
+	}
+	target := c.LS.QoSTargetS
+	for i := range c.Nodes {
+		if cd.Chaos.Dropped(epoch, i) {
+			res.Coord.DroppedReports++
+			res.Coord.Fallbacks++
+			continue
+		}
+		last := states[i].Last
+		p95 := last.P95
+		if math.IsNaN(p95) || math.IsInf(p95, 0) || target <= 0 {
+			// Blind latency telemetry: nothing arbitration-worthy to say.
+			res.Coord.Fallbacks++
+			continue
+		}
+		r := coordinator.NodeReport{
+			Schema:          coordinator.Schema,
+			NodeID:          fmt.Sprintf("node-%03d", i),
+			Epoch:           epoch,
+			Slack:           (target - p95) / target,
+			P95S:            p95,
+			PowerW:          float64(last.Power),
+			CapW:            float64(c.caps[i]),
+			BEThroughputUPS: last.BEThroughputUPS,
+			Healthy:         states[i].Healthy,
+		}
+		g, err := cd.Transport.Report(context.Background(), r)
+		if err != nil {
+			res.Coord.Fallbacks++
+			continue
+		}
+		if next := power.Watts(g.CapW); g.CapW > 0 && next != c.caps[i] {
+			res.Coord.MovedW += math.Abs(g.CapW - float64(c.caps[i]))
+			c.caps[i] = next
+			if cs, ok := c.Ctrls[i].(control.CapSetter); ok {
+				cs.SetBudget(next)
+			}
+		}
+	}
 }

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/coordinator"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+	"sturgeon/internal/workload"
+)
+
+// CoordFleetOptions pins the coordinated diurnal fleet scenario: the
+// workload where fleet-level cap arbitration beats a static even split.
+// A rotating skewed dispatch (phase-shifted across the ring) rides on a
+// diurnal swell, so at any moment some nodes are power-starved — their
+// governor pinned against the cap with best-effort throttled — while
+// others strand watts their workload cannot spend. The coordinator moves
+// the stranded watts to the starved nodes; because the simulator's power
+// curve is convex in frequency, a watt buys more best-effort progress on
+// a throttled node than it bought on a saturated one, so the fleet gains
+// both throughput and QoS at the same total budget. bench, experiments
+// and the golden battery all build the scenario through here, so they
+// compare and pin exactly the same physics.
+type CoordFleetOptions struct {
+	// Nodes is the fleet size; EvenCapW the per-node static cap the
+	// budget is carved from (BudgetW = Nodes × EvenCapW).
+	Nodes    int
+	EvenCapW float64
+	// MinCapW and MaxCapW clamp coordinated grants.
+	MinCapW, MaxCapW float64
+	// EpochS is the reporting period in simulated seconds.
+	EpochS int
+	// SkewAmp and PeriodS shape the rotating skew; LoadLo and LoadHi the
+	// diurnal swell (fractions of fleet peak QPS); DurationS the horizon.
+	SkewAmp   float64
+	PeriodS   float64
+	LoadLo    float64
+	LoadHi    float64
+	DurationS int
+	// Seed drives node physics (and the chaos plan, when enabled).
+	Seed int64
+	// Coordinated arbitrates caps through an in-process coordinator;
+	// false runs the even-split baseline (same fleet, static caps).
+	Coordinated bool
+	// Chaos adds the coordinator-path fault plan (dropped reports and
+	// coordinator outages, coordinator.DefaultChaosSpec).
+	Chaos bool
+}
+
+// DefaultCoordFleet is the pinned comparison point: 8 nodes at a 98 W
+// even cap — between the fleet's idle floor (~80 W/node) and its
+// saturated draw (~105 W/node), so caps genuinely bind — under a
+// 0.28–0.52 diurnal swell with a ±70 % skew rotating once over the
+// 480 s horizon.
+func DefaultCoordFleet(seed int64) CoordFleetOptions {
+	return CoordFleetOptions{
+		Nodes:    8,
+		EvenCapW: 98,
+		MinCapW:  80,
+		MaxCapW:  112,
+		EpochS:   5,
+		SkewAmp:  0.7, PeriodS: 480,
+		LoadLo: 0.28, LoadHi: 0.52,
+		DurationS: 480,
+		Seed:      seed,
+	}
+}
+
+// Trace returns the scenario's diurnal load trace.
+func (o CoordFleetOptions) Trace() workload.Trace {
+	return workload.Diurnal(o.LoadLo, o.LoadHi, float64(o.DurationS))
+}
+
+// BuildCoordFleet materializes the scenario: a memcached+raytrace fleet
+// of governor-managed nodes on the skewed dispatch, optionally wired to
+// an in-process coordinator (with its chaos plan). Run it with
+// c.Run(o.Trace(), o.DurationS).
+func BuildCoordFleet(o CoordFleetOptions) (*Cluster, error) {
+	if o.Nodes <= 0 || o.EvenCapW <= 0 || o.DurationS <= 0 || o.EpochS <= 0 {
+		return nil, fmt.Errorf("cluster: coord fleet needs positive nodes, cap, duration and epoch")
+	}
+	ls, be := workload.Memcached(), workload.Raytrace()
+	c, err := New(o.Nodes, ls, be, power.Watts(o.EvenCapW),
+		&Skewed{Amp: o.SkewAmp, PeriodS: o.PeriodS}, o.Seed,
+		func(int) control.Controller {
+			return control.NewGovernor(hw.DefaultSpec(), power.Watts(o.EvenCapW))
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Boot configuration: an LS-heavy split at the BE frequency floor, so
+	// every node starts under its cap and the governors climb instead of
+	// shedding.
+	split := hw.Config{
+		LS: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
+		BE: hw.Alloc{Cores: 8, Freq: 1.2, LLCWays: 8},
+	}
+	for _, n := range c.Nodes {
+		if err := n.Apply(split); err != nil {
+			return nil, err
+		}
+	}
+	if !o.Coordinated {
+		return c, nil
+	}
+	co, err := coordinator.New(coordinator.Options{
+		BudgetW:   o.EvenCapW * float64(o.Nodes),
+		MinCapW:   o.MinCapW,
+		MaxCapW:   o.MaxCapW,
+		FleetSize: o.Nodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cd := &Coordination{Transport: &coordinator.Local{C: co}, EpochS: o.EpochS}
+	if o.Chaos {
+		cd.Chaos = coordinator.NewChaos(coordinator.DefaultChaosSpec(), o.Seed+1,
+			o.DurationS/o.EpochS, o.Nodes)
+	}
+	c.Coord = cd
+	return c, nil
+}

@@ -1,0 +1,55 @@
+package cmdutil
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// withFreshFlags swaps in an empty default flag set and scripted args,
+// restoring both afterwards — Register installs onto flag.CommandLine.
+func withFreshFlags(t *testing.T, args []string, fn func()) {
+	t.Helper()
+	oldFS, oldArgs := flag.CommandLine, os.Args
+	defer func() { flag.CommandLine, os.Args = oldFS, oldArgs }()
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ContinueOnError)
+	os.Args = args
+	fn()
+}
+
+func TestCommonFlagDefaults(t *testing.T) {
+	withFreshFlags(t, []string{"bin"}, func() {
+		c := Register(42)
+		c.Parse()
+		if c.Seed != 42 {
+			t.Errorf("default seed %d, want 42", c.Seed)
+		}
+		if c.JSON {
+			t.Error("JSON defaulted on")
+		}
+	})
+}
+
+func TestCommonFlagParsing(t *testing.T) {
+	withFreshFlags(t, []string{"bin", "-seed", "7", "-json"}, func() {
+		c := Register(42)
+		c.Parse()
+		if c.Seed != 7 {
+			t.Errorf("seed %d, want 7", c.Seed)
+		}
+		if !c.JSON {
+			t.Error("-json not parsed")
+		}
+	})
+}
+
+func TestCommonComposesWithLocalFlags(t *testing.T) {
+	withFreshFlags(t, []string{"bin", "-extra", "x", "-seed", "9"}, func() {
+		extra := flag.String("extra", "", "binary-specific flag")
+		c := Register(1)
+		c.Parse()
+		if *extra != "x" || c.Seed != 9 {
+			t.Errorf("extra %q seed %d, want x and 9", *extra, c.Seed)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package control
+
+import (
+	"math"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+)
+
+// CapSetter is implemented by controllers whose power budget can be
+// re-granted at runtime — the node-side half of the fleet coordinator's
+// contract (internal/coordinator). The cluster runtime calls SetBudget
+// when a new grant lands; controllers that do not implement it simply
+// keep their construction-time budget.
+type CapSetter interface {
+	SetBudget(w power.Watts)
+}
+
+// Governor is a model-free cap-tracking controller: a DVFS hill-climber
+// that spends whatever watt headroom its cap leaves on best-effort
+// frequency and converts QoS pressure into LS frequency, one step per
+// interval. It exists for the fleet-coordination scenarios — unlike
+// Static it responds to a re-granted cap within a few intervals, and
+// unlike the full Sturgeon controller it needs no trained predictor, so
+// seeded fleet tests stay cheap. Alpha/Beta reuse the Algorithm 1 slack
+// band semantics.
+type Governor struct {
+	Spec hw.Spec
+	// Cap is the node power cap currently granted.
+	Cap power.Watts
+	// Alpha and Beta bound the slack hysteresis band (defaults 0.10 and
+	// 0.20). Headroom is the target draw as a fraction of Cap (default
+	// 0.97): the governor stops raising frequency above it so meter noise
+	// cannot tip the node over its cap. It is deliberately tighter than
+	// the coordinator's ReserveFrac (0.05): a node pinned against its cap
+	// settles inside the coordinator's reserve band and reads as a
+	// requester, while a node whose workload saturates below the cap
+	// leaves more than the reserve free and reads as a donor.
+	Alpha, Beta, Headroom float64
+}
+
+// NewGovernor builds a governor for the given spec and initial cap.
+func NewGovernor(spec hw.Spec, cap power.Watts) *Governor {
+	return &Governor{Spec: spec, Cap: cap}
+}
+
+// SetBudget implements CapSetter.
+func (g *Governor) SetBudget(w power.Watts) { g.Cap = w }
+
+// Name implements Controller.
+func (g *Governor) Name() string { return "governor" }
+
+// Decide implements Controller: one frequency step per interval.
+//
+//	over cap            -> shed BE frequency hard (two levels)
+//	slack < Alpha       -> raise LS frequency if headroom allows,
+//	                       otherwise take the watts from BE
+//	slack > Beta        -> spend headroom on BE frequency; with BE
+//	                       already flat out, give LS's surplus back
+//	in band             -> hold
+func (g *Governor) Decide(obs Observation) hw.Config {
+	alpha, beta := g.Alpha, g.Beta
+	if alpha == 0 {
+		alpha = 0.10
+	}
+	if beta == 0 {
+		beta = 0.20
+	}
+	headroom := g.Headroom
+	if headroom == 0 {
+		headroom = 0.97
+	}
+	cfg := obs.Config
+	draw := float64(obs.Power)
+	cap := float64(g.Cap)
+	slack := obs.Slack()
+	if math.IsNaN(slack) || math.IsInf(slack, 0) {
+		// Blind latency telemetry: only the power guard may act.
+		slack = (alpha + beta) / 2
+	}
+
+	switch {
+	case draw > cap:
+		// Overload: BE frequency is the one actuator guaranteed to cut
+		// power without touching the LS service.
+		cfg.BE.Freq = g.step(cfg.BE.Freq, -2)
+	case slack < alpha:
+		if draw < headroom*cap {
+			cfg.LS.Freq = g.step(cfg.LS.Freq, +1)
+		} else {
+			// No watt headroom: shift it from the BE side.
+			cfg.BE.Freq = g.step(cfg.BE.Freq, -1)
+		}
+	case slack > beta:
+		if draw < headroom*cap && cfg.BE.Freq < g.Spec.FreqMax {
+			cfg.BE.Freq = g.step(cfg.BE.Freq, +1)
+		} else if draw >= headroom*cap && cfg.LS.Freq > g.Spec.FreqMin {
+			// Cap-constrained with surplus LS speed: harvest a level so the
+			// watts can go to BE instead. With headroom to spare and BE
+			// already flat out, hold — the unused watts are the coordinator's
+			// to re-grant, not worth a QoS gamble here.
+			cfg.LS.Freq = g.step(cfg.LS.Freq, -1)
+		}
+	}
+	return cfg
+}
+
+// step moves a frequency n grid levels, clamped to the spec's range.
+func (g *Governor) step(f hw.GHz, n int) hw.GHz {
+	lvl := g.Spec.LevelOfFreq(f) + n
+	if lvl < 0 {
+		lvl = 0
+	}
+	if maxLvl := g.Spec.NumFreqLevels() - 1; lvl > maxLvl {
+		lvl = maxLvl
+	}
+	return g.Spec.FreqAtLevel(lvl)
+}

@@ -1,0 +1,78 @@
+package coordinator
+
+import "math/rand"
+
+// ChaosSpec parameterizes the coordinator-path fault plan: lost report
+// submissions and whole-coordinator outage windows. It deliberately
+// attacks the control plane only — node-level telemetry and actuator
+// faults live in internal/faults — so the degradation path under test is
+// exactly the grant loop's: a node that cannot report (or a fleet whose
+// coordinator is down) keeps running on its last-granted cap.
+type ChaosSpec struct {
+	// DropRate is the per-(node, epoch) probability that a report
+	// submission is lost before it reaches the coordinator.
+	DropRate float64
+	// Outages is how many coordinator outage windows to schedule across
+	// the horizon; OutageEpochs is the length of each in epochs.
+	Outages      int
+	OutageEpochs int
+}
+
+// DefaultChaosSpec is the degradation profile of the chaos battery: a
+// 10 % report loss rate and two 3-epoch coordinator outages.
+func DefaultChaosSpec() ChaosSpec {
+	return ChaosSpec{DropRate: 0.1, Outages: 2, OutageEpochs: 3}
+}
+
+// ChaosPlan is a materialized, fully deterministic schedule: a pure
+// function of (spec, seed, epochs, nodes), like faults.Plan. Building
+// the same plan twice yields identical drop and outage schedules, so a
+// failing chaos run replays exactly from its seed.
+type ChaosPlan struct {
+	drops   map[int]map[int]bool // epoch -> node -> dropped
+	outage  map[int]bool
+	dropped int
+	outages int
+}
+
+// NewChaos materializes a plan over `epochs` arbitration epochs and
+// `nodes` nodes.
+func NewChaos(spec ChaosSpec, seed int64, epochs, nodes int) *ChaosPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &ChaosPlan{drops: map[int]map[int]bool{}, outage: map[int]bool{}}
+	for e := 1; e <= epochs; e++ {
+		for n := 0; n < nodes; n++ {
+			if spec.DropRate > 0 && rng.Float64() < spec.DropRate {
+				if p.drops[e] == nil {
+					p.drops[e] = map[int]bool{}
+				}
+				p.drops[e][n] = true
+			}
+		}
+	}
+	for i := 0; i < spec.Outages && epochs > 1; i++ {
+		start := 1 + rng.Intn(epochs)
+		for e := start; e < start+spec.OutageEpochs && e <= epochs; e++ {
+			p.outage[e] = true
+		}
+	}
+	return p
+}
+
+// Dropped reports whether node n's epoch-e report is lost. Nil plans run
+// clean.
+func (p *ChaosPlan) Dropped(epoch, node int) bool {
+	if p == nil {
+		return false
+	}
+	return p.drops[epoch][node]
+}
+
+// Outage reports whether the coordinator is unreachable for the whole
+// epoch. Nil plans run clean.
+func (p *ChaosPlan) Outage(epoch int) bool {
+	if p == nil {
+		return false
+	}
+	return p.outage[epoch]
+}

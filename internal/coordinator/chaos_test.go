@@ -1,0 +1,66 @@
+package coordinator
+
+import "testing"
+
+func TestChaosPlanIsDeterministic(t *testing.T) {
+	spec := DefaultChaosSpec()
+	a := NewChaos(spec, 42, 96, 8)
+	b := NewChaos(spec, 42, 96, 8)
+	for e := 1; e <= 96; e++ {
+		if a.Outage(e) != b.Outage(e) {
+			t.Fatalf("outage schedules diverge at epoch %d", e)
+		}
+		for n := 0; n < 8; n++ {
+			if a.Dropped(e, n) != b.Dropped(e, n) {
+				t.Fatalf("drop plans diverge at epoch %d node %d", e, n)
+			}
+		}
+	}
+	// A different seed must yield a different plan (overwhelmingly likely
+	// at 10% drops over 96x8 slots).
+	c := NewChaos(spec, 43, 96, 8)
+	same := true
+	for e := 1; e <= 96 && same; e++ {
+		for n := 0; n < 8; n++ {
+			if a.Dropped(e, n) != c.Dropped(e, n) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical drop plans")
+	}
+}
+
+func TestChaosPlanShape(t *testing.T) {
+	spec := DefaultChaosSpec()
+	ch := NewChaos(spec, 7, 96, 8)
+	outages, drops := 0, 0
+	for e := 1; e <= 96; e++ {
+		if ch.Outage(e) {
+			outages++
+		}
+		for n := 0; n < 8; n++ {
+			if ch.Dropped(e, n) {
+				drops++
+			}
+		}
+	}
+	// Windows can truncate at the horizon or overlap, so the epoch count
+	// is bounded, not exact.
+	if outages < 1 || outages > spec.Outages*spec.OutageEpochs {
+		t.Errorf("outage epochs %d outside [1, %d]", outages, spec.Outages*spec.OutageEpochs)
+	}
+	// 10% of 96*8 = ~77 expected drops; allow a wide deterministic band.
+	if drops < 30 || drops > 150 {
+		t.Errorf("drop count %d outside plausible band for rate %.2f", drops, spec.DropRate)
+	}
+}
+
+func TestChaosNilIsQuiet(t *testing.T) {
+	var ch *ChaosPlan
+	if ch.Outage(3) || ch.Dropped(3, 0) {
+		t.Error("nil chaos injected faults")
+	}
+}

@@ -1,0 +1,548 @@
+// Package coordinator is the fleet power-budget arbitration subsystem:
+// the datacenter-level control plane the paper's single-node runtime
+// (§IV) leaves open. Each node's controller treats its power cap as a
+// fixed input; this package makes that cap a *grant*. Nodes periodically
+// report the slack signal Sturgeon already computes — (target − p95)/
+// target — together with their measured draw, and a coordinator
+// redistributes a fixed cluster-wide watt budget across them each epoch:
+// watts move from slack-rich nodes with stranded headroom to nodes that
+// are throttled or QoS-threatened.
+//
+// The arbitration loop deliberately mirrors the node-level algorithms:
+//   - the slack hysteresis band reuses Algorithm 1's [α, β] semantics —
+//     a node whose slack sits inside the band keeps its cap untouched;
+//   - borrow/return moves use per-node binary-halving granularity
+//     mirroring Algorithm 2 — a node's first donation is half its margin,
+//     and a donor that flips straight back to requester gets half its
+//     last donation returned while its granularity halves;
+//   - every cap is clamped to [MinCapW, MaxCapW] and the sum of caps
+//     plus the undistributed pool is conserved at exactly BudgetW.
+//
+// Degradation is first-class: a node whose reports go stale keeps its
+// last grant reserved (the coordinator never re-allocates watts it can
+// no longer verify are free), and nodes that cannot reach the
+// coordinator run on their last-granted cap — a partitioned fleet
+// degrades to the paper's static-cap behaviour, never to an unsafe one.
+package coordinator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Schema tags the coordinator's wire documents (reports, grants, fleet
+// status); bump on breaking change.
+const Schema = "sturgeon/coordinator/v1"
+
+// NodeReport is one node's per-epoch telemetry submission.
+type NodeReport struct {
+	Schema string `json:"schema"`
+	NodeID string `json:"node_id"`
+	Epoch  int    `json:"epoch"`
+	// Slack is the paper's control signal (target − p95)/target over the
+	// node's last interval; negative means the QoS target is violated.
+	Slack float64 `json:"slack"`
+	// P95S is the measured tail latency in seconds.
+	P95S float64 `json:"p95_s"`
+	// PowerW is the node's measured draw; CapW the cap currently in
+	// force on the node (its last applied grant).
+	PowerW float64 `json:"power_w"`
+	CapW   float64 `json:"cap_w"`
+	// BEThroughputUPS is the node's best-effort progress.
+	BEThroughputUPS float64 `json:"be_throughput_ups"`
+	// Healthy is false while the node considers itself out of rotation
+	// (rebooting, draining); the coordinator reclaims its watts.
+	Healthy bool `json:"healthy"`
+}
+
+// Validate implements jsonio.Validator.
+func (r *NodeReport) Validate() error {
+	switch {
+	case r.Schema != Schema:
+		return fmt.Errorf("coordinator: report schema %q, want %q", r.Schema, Schema)
+	case r.NodeID == "":
+		return fmt.Errorf("coordinator: report with empty node id")
+	case r.Epoch < 0:
+		return fmt.Errorf("coordinator: report epoch %d < 0", r.Epoch)
+	case !finite(r.Slack) || !finite(r.P95S) || !finite(r.PowerW) ||
+		!finite(r.CapW) || !finite(r.BEThroughputUPS):
+		return fmt.Errorf("coordinator: report %s/%d carries non-finite telemetry", r.NodeID, r.Epoch)
+	case r.PowerW < 0 || r.CapW < 0 || r.P95S < 0 || r.BEThroughputUPS < 0:
+		return fmt.Errorf("coordinator: report %s/%d carries negative telemetry", r.NodeID, r.Epoch)
+	}
+	return nil
+}
+
+// Grant is the coordinator's answer: the watt cap a node must apply.
+type Grant struct {
+	Schema string `json:"schema"`
+	NodeID string `json:"node_id"`
+	// Epoch is the arbitration epoch the grant was computed in (0 before
+	// the first arbitration has run).
+	Epoch int `json:"epoch"`
+	// CapW is the granted node power cap in watts.
+	CapW float64 `json:"cap_w"`
+}
+
+// Validate implements jsonio.Validator.
+func (g *Grant) Validate() error {
+	switch {
+	case g.Schema != Schema:
+		return fmt.Errorf("coordinator: grant schema %q, want %q", g.Schema, Schema)
+	case g.NodeID == "":
+		return fmt.Errorf("coordinator: grant with empty node id")
+	case !finite(g.CapW) || g.CapW < 0:
+		return fmt.Errorf("coordinator: grant for %s carries invalid cap %v", g.NodeID, g.CapW)
+	}
+	return nil
+}
+
+// NodeStatus is one node's row in the fleet status document.
+type NodeStatus struct {
+	NodeID string  `json:"node_id"`
+	CapW   float64 `json:"cap_w"`
+	Slack  float64 `json:"slack"`
+	PowerW float64 `json:"power_w"`
+	// LastEpoch is the newest epoch the node has reported; Stale marks
+	// nodes the staleness fallback has frozen.
+	LastEpoch int  `json:"last_epoch"`
+	Stale     bool `json:"stale"`
+	Healthy   bool `json:"healthy"`
+}
+
+// Stats counts coordinator activity since start.
+type Stats struct {
+	Reports      int `json:"reports"`
+	Arbitrations int `json:"arbitrations"`
+	// Donations and GrantsUp count caps moved down and up; StaleFreezes
+	// counts node-epochs spent under the staleness fallback.
+	Donations    int `json:"donations"`
+	GrantsUp     int `json:"grants_up"`
+	StaleFreezes int `json:"stale_freezes"`
+	// MovedW is the cumulative watt volume re-arbitrated.
+	MovedW float64 `json:"moved_w"`
+}
+
+// FleetStatus is the /fleet/status document: the coordinator's full
+// visible state.
+type FleetStatus struct {
+	Schema  string       `json:"schema"`
+	Epoch   int          `json:"epoch"`
+	BudgetW float64      `json:"budget_w"`
+	PoolW   float64      `json:"pool_w"`
+	Nodes   []NodeStatus `json:"nodes"`
+	Stats   Stats        `json:"stats"`
+}
+
+// Validate implements jsonio.Validator.
+func (s *FleetStatus) Validate() error {
+	switch {
+	case s.Schema != Schema:
+		return fmt.Errorf("coordinator: status schema %q, want %q", s.Schema, Schema)
+	case !finite(s.BudgetW) || s.BudgetW <= 0:
+		return fmt.Errorf("coordinator: status budget %v not positive", s.BudgetW)
+	case !finite(s.PoolW) || s.PoolW < -1e-6:
+		return fmt.Errorf("coordinator: status pool %v negative", s.PoolW)
+	}
+	sum := s.PoolW
+	for _, n := range s.Nodes {
+		if n.NodeID == "" {
+			return fmt.Errorf("coordinator: status row with empty node id")
+		}
+		if !finite(n.CapW) || n.CapW < 0 {
+			return fmt.Errorf("coordinator: status row %s carries invalid cap %v", n.NodeID, n.CapW)
+		}
+		sum += n.CapW
+	}
+	if len(s.Nodes) > 0 && sum > s.BudgetW*(1+1e-9)+1e-6 {
+		return fmt.Errorf("coordinator: status over-allocates budget: caps+pool %.3f W > %.3f W", sum, s.BudgetW)
+	}
+	return nil
+}
+
+// Options configure the arbiter.
+type Options struct {
+	// BudgetW is the fixed cluster-wide watt budget the caps are carved
+	// from (required, > 0).
+	BudgetW float64
+	// MinCapW and MaxCapW clamp every per-node cap. MinCapW defaults to
+	// 10 % of BudgetW/FleetSize (or 1 W without a fleet size); MaxCapW
+	// defaults to BudgetW.
+	MinCapW, MaxCapW float64
+	// Alpha and Beta bound the slack hysteresis band, reusing the
+	// Algorithm 1 semantics (defaults 0.10 and 0.20): a node below Alpha
+	// requests watts, a node above Beta with stranded headroom donates,
+	// and a node inside the band holds.
+	Alpha, Beta float64
+	// ReserveFrac is the fraction of its cap a donor must keep as
+	// headroom above its measured draw (default 0.03), so a donation can
+	// never push a node straight into overload. It is calibrated against
+	// the node governor's fill target (control.Governor stops upgrading
+	// at 97 % of cap): a node pinned against its cap settles inside the
+	// reserve band and reads as a requester, while one whose workload
+	// saturates below the cap strands more than the reserve and reads as
+	// a donor.
+	ReserveFrac float64
+	// QuantumW is the smallest watt move (default 1); moves below it are
+	// suppressed, which is what makes the hysteresis band sticky.
+	QuantumW float64
+	// StaleEpochs is how many epochs a node may go unreported before the
+	// staleness fallback freezes it (default 3).
+	StaleEpochs int
+	// FleetSize, when set, lets the coordinator close an epoch as soon
+	// as every expected node has reported instead of waiting for the
+	// first report of the next epoch.
+	FleetSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.10
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.20
+	}
+	if o.ReserveFrac == 0 {
+		o.ReserveFrac = 0.03
+	}
+	if o.QuantumW == 0 {
+		o.QuantumW = 1
+	}
+	if o.StaleEpochs <= 0 {
+		o.StaleEpochs = 3
+	}
+	if o.MaxCapW == 0 {
+		o.MaxCapW = o.BudgetW
+	}
+	if o.MinCapW == 0 {
+		if o.FleetSize > 0 {
+			o.MinCapW = 0.1 * o.BudgetW / float64(o.FleetSize)
+		} else {
+			o.MinCapW = 1
+		}
+	}
+	return o
+}
+
+// nodeState is the coordinator's per-node book-keeping.
+type nodeState struct {
+	id     string
+	report NodeReport
+	// lastEpoch is the newest epoch reported; capW the node's current
+	// grant.
+	lastEpoch int
+	capW      float64
+	// stepW is the node's binary-halving move granularity (0 between
+	// episodes: re-initialized to half the relevant margin when the node
+	// next leaves the hysteresis band, mirroring Alg. 2 lines 1–2).
+	stepW float64
+	// lastDonatedW remembers the previous epoch's donation so a
+	// donor→requester flip can revert half of it (Alg. 2 lines 11–14).
+	lastDonatedW float64
+	granted      bool // node has received its initial grant
+}
+
+// Coordinator arbitrates per-node power caps from slack telemetry. It is
+// a pure state machine with no locking and no clock: epochs advance only
+// through Submit, so seeded simulations drive it deterministically. Wrap
+// it in a Server (http.go) for concurrent network use.
+type Coordinator struct {
+	opt   Options
+	nodes map[string]*nodeState
+	order []string // sorted ids: deterministic arbitration order
+	// epoch is the newest epoch any report has mentioned; arbEpoch the
+	// last epoch arbitrated.
+	epoch      int
+	arbEpoch   int
+	arbitrated bool // the current epoch has already been closed
+	poolW      float64
+	stats      Stats
+}
+
+// New builds a coordinator. BudgetW must be positive.
+func New(opt Options) (*Coordinator, error) {
+	if !(opt.BudgetW > 0) {
+		return nil, fmt.Errorf("coordinator: budget %v W must be positive", opt.BudgetW)
+	}
+	opt = opt.withDefaults()
+	if opt.MinCapW < 0 || opt.MaxCapW < opt.MinCapW {
+		return nil, fmt.Errorf("coordinator: cap clamp [%v, %v] is inverted", opt.MinCapW, opt.MaxCapW)
+	}
+	if opt.Alpha >= opt.Beta {
+		return nil, fmt.Errorf("coordinator: hysteresis band [%v, %v] is inverted", opt.Alpha, opt.Beta)
+	}
+	return &Coordinator{
+		opt:   opt,
+		nodes: map[string]*nodeState{},
+		poolW: opt.BudgetW,
+	}, nil
+}
+
+// Submit records one node report and returns the node's current grant.
+// Arbitration runs when the epoch closes: either every expected node has
+// reported it (Options.FleetSize) or a report for a newer epoch arrives.
+func (c *Coordinator) Submit(r NodeReport) (Grant, error) {
+	if err := r.Validate(); err != nil {
+		return Grant{}, err
+	}
+	c.stats.Reports++
+
+	if r.Epoch > c.epoch {
+		// First report of a newer epoch closes the previous one with
+		// whatever arrived — dropped reports must not stall the fleet.
+		if !c.arbitrated {
+			c.arbitrate(c.epoch)
+		}
+		c.epoch = r.Epoch
+		c.arbitrated = false
+	}
+
+	ns := c.adopt(r)
+	if r.Epoch >= ns.lastEpoch {
+		ns.lastEpoch = r.Epoch
+		ns.report = r
+	}
+
+	if c.opt.FleetSize > 0 && !c.arbitrated && c.freshCount(c.epoch) >= c.opt.FleetSize {
+		c.arbitrate(c.epoch)
+		c.arbitrated = true
+	}
+	return c.grant(ns), nil
+}
+
+// GrantFor returns the current grant for a node without submitting a
+// report (a node re-syncing after an outage), or an error for an unknown
+// node.
+func (c *Coordinator) GrantFor(nodeID string) (Grant, error) {
+	ns, ok := c.nodes[nodeID]
+	if !ok {
+		return Grant{}, fmt.Errorf("coordinator: unknown node %q", nodeID)
+	}
+	return c.grant(ns), nil
+}
+
+func (c *Coordinator) grant(ns *nodeState) Grant {
+	return Grant{Schema: Schema, NodeID: ns.id, Epoch: c.arbEpoch, CapW: ns.capW}
+}
+
+// adopt registers a node on first contact. The node's self-reported cap
+// seeds its grant so joining a running fleet never yanks its budget; the
+// cap is clamped, and a newcomer to an exhausted budget takes only what
+// the pool still holds (possibly below MinCapW, even zero) — Σcaps +
+// pool ≤ BudgetW is never violated, and the requester path pulls the
+// latecomer up as incumbents donate.
+func (c *Coordinator) adopt(r NodeReport) *nodeState {
+	if ns, ok := c.nodes[r.NodeID]; ok {
+		return ns
+	}
+	cap := clamp(r.CapW, c.opt.MinCapW, c.opt.MaxCapW)
+	if cap > c.poolW {
+		cap = c.poolW
+	}
+	c.poolW -= cap
+	ns := &nodeState{id: r.NodeID, capW: cap, lastEpoch: r.Epoch, report: r}
+	c.nodes[r.NodeID] = ns
+	c.order = append(c.order, r.NodeID)
+	sort.Strings(c.order)
+	return ns
+}
+
+// freshCount counts nodes that have reported the given epoch.
+func (c *Coordinator) freshCount(epoch int) int {
+	n := 0
+	for _, id := range c.order {
+		if c.nodes[id].lastEpoch >= epoch {
+			n++
+		}
+	}
+	return n
+}
+
+// arbitrate redistributes the budget over the known fleet using the
+// reports of the given epoch. All iteration is in sorted node-id order
+// and all moves are quantized, so the outcome is a pure function of the
+// submitted reports.
+func (c *Coordinator) arbitrate(epoch int) {
+	if len(c.order) == 0 {
+		return
+	}
+	c.stats.Arbitrations++
+	c.arbEpoch = epoch
+
+	type request struct {
+		ns     *nodeState
+		weight float64
+		askW   float64
+	}
+	var requests []request
+	var totalWeight float64
+
+	for _, id := range c.order {
+		ns := c.nodes[id]
+		r := ns.report
+		stale := epoch-ns.lastEpoch >= c.opt.StaleEpochs
+		if stale {
+			// Staleness fallback: freeze the grant. Its watts stay
+			// reserved — the coordinator cannot verify they are free.
+			c.stats.StaleFreezes++
+			ns.stepW, ns.lastDonatedW = 0, 0
+			continue
+		}
+		if !r.Healthy {
+			// A node that declared itself out of rotation draws nothing
+			// worth protecting: shrink to the floor, reclaim the rest.
+			if ns.capW > c.opt.MinCapW {
+				c.moveCap(ns, c.opt.MinCapW-ns.capW)
+			}
+			ns.stepW, ns.lastDonatedW = 0, 0
+			continue
+		}
+
+		headroom := ns.capW - r.PowerW
+		reserve := c.opt.ReserveFrac * ns.capW
+		switch {
+		case r.Slack > c.opt.Beta && headroom > reserve+c.opt.QuantumW:
+			// Slack-rich with stranded headroom: donate. First move of an
+			// episode is half the margin (Alg. 2 lines 1–2).
+			if ns.stepW < c.opt.QuantumW {
+				ns.stepW = (ns.capW - c.opt.MinCapW) / 2
+			}
+			give := math.Min(ns.stepW, headroom-reserve)
+			give = math.Min(give, ns.capW-c.opt.MinCapW)
+			give = c.quantize(give)
+			if give > 0 {
+				c.moveCap(ns, -give)
+				ns.lastDonatedW = give
+				c.stats.Donations++
+			} else {
+				ns.lastDonatedW = 0
+			}
+		case r.Slack < c.opt.Alpha || headroom < reserve:
+			// Throttled or power-capped: request watts.
+			if ns.lastDonatedW > 0 {
+				// Donor→requester flip: the last donation overshot. Return
+				// half of it and halve the granularity (Alg. 2 lines 11–14).
+				back := c.quantize(math.Min(ns.lastDonatedW/2, c.poolW))
+				back = math.Min(back, c.opt.MaxCapW-ns.capW)
+				if back > 0 {
+					c.moveCap(ns, back)
+					c.stats.GrantsUp++
+				}
+				ns.stepW = math.Max(c.opt.QuantumW, ns.stepW/2)
+				ns.lastDonatedW = 0
+				continue
+			}
+			if ns.stepW < c.opt.QuantumW {
+				ns.stepW = (c.opt.MaxCapW - ns.capW) / 2
+			}
+			ask := c.quantize(math.Min(ns.stepW, c.opt.MaxCapW-ns.capW))
+			if ask <= 0 {
+				continue
+			}
+			// Preference-aware weight: deficit depth first (how far below
+			// Alpha the slack sits), plus a term for nodes pinned against
+			// their cap, so the neediest node wins a contended pool.
+			w := math.Max(c.opt.Alpha-r.Slack, 0)
+			if headroom < reserve {
+				w += 0.5 * (reserve - headroom) / math.Max(reserve, 1e-9)
+			}
+			if w <= 0 {
+				w = 0.01
+			}
+			requests = append(requests, request{ns: ns, weight: w, askW: ask})
+			totalWeight += w
+		default:
+			// In the hysteresis band: hold, and end any episode.
+			ns.stepW, ns.lastDonatedW = 0, 0
+		}
+	}
+
+	// Distribute the pool proportionally to weight, clamped by each
+	// node's ask. A single proportional pass (no waterfilling): leftover
+	// watts stay pooled for the next epoch, which is the conservative
+	// side of the hysteresis.
+	if len(requests) > 0 && c.poolW >= c.opt.QuantumW && totalWeight > 0 {
+		pool := c.poolW
+		for _, req := range requests {
+			share := c.quantize(math.Min(pool*req.weight/totalWeight, req.askW))
+			share = math.Min(share, c.poolW)
+			if share <= 0 {
+				continue
+			}
+			c.moveCap(req.ns, share)
+			c.stats.GrantsUp++
+		}
+	}
+}
+
+// moveCap applies a cap delta (clamped to the node's bounds and the
+// pool), keeping Σcaps + pool = Budget exact. A node sitting below
+// MinCapW (adopted against an exhausted budget) is never snapped to the
+// floor — the lower clamp follows it until grants lift it back.
+func (c *Coordinator) moveCap(ns *nodeState, deltaW float64) {
+	next := clamp(ns.capW+deltaW, math.Min(ns.capW, c.opt.MinCapW), c.opt.MaxCapW)
+	deltaW = next - ns.capW
+	if deltaW > c.poolW {
+		deltaW = c.poolW
+		next = ns.capW + deltaW
+	}
+	if deltaW == 0 {
+		return
+	}
+	c.poolW -= deltaW
+	ns.capW = next
+	c.stats.MovedW += math.Abs(deltaW)
+	ns.granted = true
+}
+
+// quantize rounds a watt amount down to the quantum grid (0 below it).
+func (c *Coordinator) quantize(w float64) float64 {
+	if w < c.opt.QuantumW {
+		return 0
+	}
+	return math.Floor(w/c.opt.QuantumW) * c.opt.QuantumW
+}
+
+// Status renders the coordinator's visible state.
+func (c *Coordinator) Status() *FleetStatus {
+	st := &FleetStatus{
+		Schema:  Schema,
+		Epoch:   c.epoch,
+		BudgetW: c.opt.BudgetW,
+		PoolW:   c.poolW,
+		Stats:   c.stats,
+	}
+	for _, id := range c.order {
+		ns := c.nodes[id]
+		st.Nodes = append(st.Nodes, NodeStatus{
+			NodeID:    ns.id,
+			CapW:      ns.capW,
+			Slack:     ns.report.Slack,
+			PowerW:    ns.report.PowerW,
+			LastEpoch: ns.lastEpoch,
+			Stale:     c.epoch-ns.lastEpoch >= c.opt.StaleEpochs,
+			Healthy:   ns.report.Healthy,
+		})
+	}
+	return st
+}
+
+// Epoch returns the newest epoch any report has mentioned.
+func (c *Coordinator) Epoch() int { return c.epoch }
+
+// Options returns the effective arbitration parameters (defaults
+// applied) — what cmd/sturgeond prints in its startup banner.
+func (c *Coordinator) Options() Options { return c.opt }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,359 @@
+package coordinator
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func newTest(t *testing.T, opt Options) *Coordinator {
+	t.Helper()
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func report(id string, epoch int, slack, powerW, capW float64) NodeReport {
+	return NodeReport{
+		Schema: Schema, NodeID: id, Epoch: epoch,
+		Slack: slack, P95S: 0.005, PowerW: powerW, CapW: capW,
+		BEThroughputUPS: 100, Healthy: true,
+	}
+}
+
+// submit pushes one full epoch of reports (all nodes, same telemetry
+// shape via fn) and returns the grants by node.
+func submitEpoch(t *testing.T, c *Coordinator, epoch int, ids []string,
+	fn func(id string) (slack, powerW float64)) map[string]Grant {
+	t.Helper()
+	out := map[string]Grant{}
+	for _, id := range ids {
+		slack, pw := fn(id)
+		g, err := c.Submit(report(id, epoch, slack, pw, 0))
+		if err != nil {
+			t.Fatalf("submit %s/%d: %v", id, epoch, err)
+		}
+		out[id] = g
+	}
+	return out
+}
+
+func budgetConserved(t *testing.T, c *Coordinator) {
+	t.Helper()
+	st := c.Status()
+	sum := st.PoolW
+	for _, n := range st.Nodes {
+		sum += n.CapW
+	}
+	if math.Abs(sum-st.BudgetW) > 1e-6 {
+		t.Fatalf("budget leaked: caps+pool %.6f, budget %.6f", sum, st.BudgetW)
+	}
+}
+
+func TestArbitrationMovesWattsFromDonorToRequester(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 200, MinCapW: 50, MaxCapW: 150, FleetSize: 2})
+	ids := []string{"a", "b"}
+	// Adopt both at an even 100 W split.
+	for _, id := range ids {
+		if _, err := c.Submit(report(id, 0, 0.15, 95, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a: slack-rich, drawing 60 of its 100 W (stranded headroom — donor).
+	// b: pinned at its cap (headroom below the reserve — requester).
+	for e := 1; e <= 6; e++ {
+		submitEpoch(t, c, e, ids, func(id string) (float64, float64) {
+			if id == "a" {
+				return 0.5, 60
+			}
+			return 0.15, c.nodes["b"].capW - 1
+		})
+	}
+	ga, _ := c.GrantFor("a")
+	gb, _ := c.GrantFor("b")
+	if !(ga.CapW < 100) || !(gb.CapW > 100) {
+		t.Fatalf("watts did not move: a=%.1f b=%.1f", ga.CapW, gb.CapW)
+	}
+	budgetConserved(t, c)
+	if st := c.Status(); st.Stats.Donations == 0 || st.Stats.GrantsUp == 0 || st.Stats.MovedW == 0 {
+		t.Fatalf("stats do not reflect the moves: %+v", st.Stats)
+	}
+}
+
+func TestHysteresisBandHolds(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 200, FleetSize: 2})
+	ids := []string{"a", "b"}
+	for _, id := range ids {
+		if _, err := c.Submit(report(id, 0, 0.15, 90, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both nodes inside [alpha, beta] with comfortable headroom in
+	// reserve terms but slack in band: no watts may move.
+	for e := 1; e <= 5; e++ {
+		submitEpoch(t, c, e, ids, func(string) (float64, float64) { return 0.15, 90 })
+	}
+	for _, id := range ids {
+		if g, _ := c.GrantFor(id); g.CapW != 100 {
+			t.Fatalf("in-band node %s moved to %.1f W", id, g.CapW)
+		}
+	}
+	if st := c.Status(); st.Stats.MovedW != 0 {
+		t.Fatalf("in-band fleet moved %.1f W", st.Stats.MovedW)
+	}
+}
+
+func TestBinaryHalvingOnFlip(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 200, MinCapW: 40, MaxCapW: 160, FleetSize: 2})
+	ids := []string{"a", "b"}
+	for _, id := range ids {
+		if _, err := c.Submit(report(id, 0, 0.15, 95, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 1: a donates (first move = half its cap margin, quantized);
+	// b holds in-band so the donation stays pooled for the flip return.
+	submitEpoch(t, c, 1, ids, func(id string) (float64, float64) {
+		if id == "a" {
+			return 0.5, 50
+		}
+		return 0.15, 90
+	})
+	capAfterDonate := c.nodes["a"].capW
+	firstGive := 100 - capAfterDonate
+	if firstGive <= 0 {
+		t.Fatalf("no initial donation")
+	}
+	wantFirst := math.Floor((100 - 40) / 2)
+	if firstGive != wantFirst {
+		t.Fatalf("first donation %.1f W, want half the margin %.1f W", firstGive, wantFirst)
+	}
+	// Epoch 2: a flips to requester — half the donation must come back
+	// and its step granularity must halve.
+	stepBefore := c.nodes["a"].stepW
+	submitEpoch(t, c, 2, ids, func(id string) (float64, float64) {
+		if id == "a" {
+			return 0.02, capAfterDonate - 0.5
+		}
+		return 0.15, 90
+	})
+	back := c.nodes["a"].capW - capAfterDonate
+	if want := math.Floor(firstGive / 2); back != want {
+		t.Fatalf("flip returned %.1f W, want %.1f W (half of %.1f)", back, want, firstGive)
+	}
+	if got := c.nodes["a"].stepW; got != math.Max(1, stepBefore/2) {
+		t.Fatalf("step did not halve on flip: %.2f -> %.2f", stepBefore, got)
+	}
+	budgetConserved(t, c)
+}
+
+func TestStaleNodeFrozenNotReallocated(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 300, MinCapW: 50, MaxCapW: 200, FleetSize: 3, StaleEpochs: 2})
+	ids := []string{"a", "b", "c"}
+	for _, id := range ids {
+		if _, err := c.Submit(report(id, 0, 0.15, 95, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capBefore := c.nodes["c"].capW
+	// c goes silent; a and b keep reporting with b hungry. Epochs close
+	// via FleetSize being unreachable -> newer-epoch reports.
+	for e := 1; e <= 6; e++ {
+		submitEpoch(t, c, e, []string{"a", "b"}, func(id string) (float64, float64) {
+			if id == "a" {
+				return 0.5, 50
+			}
+			return 0.02, c.nodes["b"].capW - 0.5
+		})
+	}
+	if got := c.nodes["c"].capW; got != capBefore {
+		t.Fatalf("stale node's grant moved: %.1f -> %.1f W", capBefore, got)
+	}
+	st := c.Status()
+	if st.Stats.StaleFreezes == 0 {
+		t.Fatal("staleness fallback never engaged")
+	}
+	var rowC *NodeStatus
+	for i := range st.Nodes {
+		if st.Nodes[i].NodeID == "c" {
+			rowC = &st.Nodes[i]
+		}
+	}
+	if rowC == nil || !rowC.Stale {
+		t.Fatalf("status does not mark c stale: %+v", rowC)
+	}
+	budgetConserved(t, c)
+}
+
+func TestUnhealthyNodeShrinksToFloor(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 200, MinCapW: 40, MaxCapW: 160, FleetSize: 2})
+	ids := []string{"a", "b"}
+	for _, id := range ids {
+		if _, err := c.Submit(report(id, 0, 0.15, 95, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 1; e <= 2; e++ {
+		for _, id := range ids {
+			r := report(id, e, 0.15, 90, 0)
+			if id == "b" {
+				r.Healthy = false
+			}
+			if _, err := c.Submit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if g, _ := c.GrantFor("b"); g.CapW != 40 {
+		t.Fatalf("unhealthy node kept %.1f W, want the 40 W floor", g.CapW)
+	}
+	budgetConserved(t, c)
+}
+
+func TestCapsRespectClampsAndConservation(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 200, MinCapW: 80, MaxCapW: 110, FleetSize: 2})
+	ids := []string{"a", "b"}
+	for _, id := range ids {
+		if _, err := c.Submit(report(id, 0, 0.15, 95, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drive hard in one direction for many epochs; clamps must hold.
+	for e := 1; e <= 20; e++ {
+		submitEpoch(t, c, e, ids, func(id string) (float64, float64) {
+			if id == "a" {
+				return 0.9, 40
+			}
+			return -0.5, c.nodes["b"].capW
+		})
+		for _, id := range ids {
+			g, _ := c.GrantFor(id)
+			if g.CapW < 80-1e-9 || g.CapW > 110+1e-9 {
+				t.Fatalf("epoch %d: %s cap %.2f outside [80, 110]", e, id, g.CapW)
+			}
+		}
+		budgetConserved(t, c)
+	}
+	if got := c.nodes["a"].capW; got != 80 {
+		t.Fatalf("persistent donor should sit at the floor, has %.1f W", got)
+	}
+	if got := c.nodes["b"].capW; got != 110 {
+		t.Fatalf("persistent requester should sit at the ceiling, has %.1f W", got)
+	}
+}
+
+func TestEpochClosesOnNewerReportDespiteDrops(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 200, MinCapW: 50, MaxCapW: 150, FleetSize: 2})
+	for _, id := range []string{"a", "b"} {
+		if _, err := c.Submit(report(id, 0, 0.15, 95, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := c.stats.Arbitrations // adoption already closed epoch 0
+	// Epoch 1: only a reports (b's report dropped). Nothing arbitrates
+	// yet — the fleet count is short.
+	if _, err := c.Submit(report("a", 1, 0.5, 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if c.stats.Arbitrations != base {
+		t.Fatal("arbitrated a short epoch")
+	}
+	// Epoch 2 arrives: epoch 1 must close with what it has.
+	if _, err := c.Submit(report("a", 2, 0.5, 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if c.stats.Arbitrations != base+1 {
+		t.Fatalf("stalled fleet: %d arbitrations after newer-epoch report (base %d)", c.stats.Arbitrations, base)
+	}
+}
+
+func TestSubmitRejectsMalformedReports(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 100})
+	cases := []struct {
+		name string
+		mut  func(*NodeReport)
+		want string
+	}{
+		{"wrong schema", func(r *NodeReport) { r.Schema = "bogus" }, "schema"},
+		{"empty id", func(r *NodeReport) { r.NodeID = "" }, "node id"},
+		{"negative epoch", func(r *NodeReport) { r.Epoch = -1 }, "epoch"},
+		{"nan slack", func(r *NodeReport) { r.Slack = math.NaN() }, "non-finite"},
+		{"inf power", func(r *NodeReport) { r.PowerW = math.Inf(1) }, "non-finite"},
+		{"negative power", func(r *NodeReport) { r.PowerW = -1 }, "negative"},
+	}
+	for _, tc := range cases {
+		r := report("a", 1, 0.1, 50, 60)
+		tc.mut(&r)
+		_, err := c.Submit(r)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if c.stats.Arbitrations != 0 || len(c.nodes) != 0 {
+		t.Fatal("malformed reports mutated coordinator state")
+	}
+}
+
+func TestStatusValidatesAndAdoptClamps(t *testing.T) {
+	c := newTest(t, Options{BudgetW: 100, MinCapW: 10, MaxCapW: 90, FleetSize: 3})
+	// Join over-subscribed: three nodes each asking 60 of a 100 W budget.
+	for i, id := range []string{"a", "b", "c"} {
+		if _, err := c.Submit(report(id, 0, 0.15, 50, 60)); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	st := c.Status()
+	if err := st.Validate(); err != nil {
+		t.Fatalf("status of over-subscribed join invalid: %v", err)
+	}
+	sum := st.PoolW
+	for _, n := range st.Nodes {
+		sum += n.CapW
+	}
+	if sum > 100+1e-6 {
+		t.Fatalf("over-subscribed join allocated %.1f W of a 100 W budget", sum)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := New(Options{BudgetW: 100, MinCapW: 50, MaxCapW: 20}); err == nil {
+		t.Error("inverted clamp accepted")
+	}
+	if _, err := New(Options{BudgetW: 100, Alpha: 0.3, Beta: 0.2}); err == nil {
+		t.Error("inverted hysteresis band accepted")
+	}
+}
+
+// TestDeterministicGrantSequence pins that the same report sequence
+// yields byte-identical grants — the property the cluster simulator's
+// replay battery builds on.
+func TestDeterministicGrantSequence(t *testing.T) {
+	run := func() []float64 {
+		c := newTest(t, Options{BudgetW: 400, MinCapW: 60, MaxCapW: 140, FleetSize: 4})
+		ids := []string{"n0", "n1", "n2", "n3"}
+		var caps []float64
+		for e := 0; e <= 10; e++ {
+			for i, id := range ids {
+				slack := 0.5 - float64((e+i)%4)*0.2
+				pw := 70 + float64((e*7+i*13)%30)
+				g, err := c.Submit(report(id, e, slack, pw, 100))
+				if err != nil {
+					t.Fatal(err)
+				}
+				caps = append(caps, g.CapW)
+			}
+		}
+		return caps
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"sturgeon/internal/jsonio"
+)
+
+// HTTP/JSON transport: Server exposes a Coordinator as a small
+// control-plane service (cmd/sturgeond) and Client is the node-side
+// library. All documents on the wire are the schema-validated JSON forms
+// of coordinator.go, encoded through the shared jsonio helpers, so a
+// malformed report is rejected at the door with a 400 rather than
+// corrupting arbitration state.
+
+// Server wraps a Coordinator with an HTTP handler and the mutex the pure
+// state machine deliberately lacks.
+type Server struct {
+	mu sync.Mutex
+	c  *Coordinator
+}
+
+// NewServer builds the handler around an existing coordinator.
+func NewServer(c *Coordinator) *Server { return &Server{c: c} }
+
+// Handler returns the service mux:
+//
+//	POST /v1/report   NodeReport -> Grant
+//	GET  /v1/grant    ?node=ID   -> Grant (re-sync after an outage)
+//	GET  /fleet/status            -> FleetStatus
+//	GET  /healthz                 -> 200 "ok"
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/grant", s.handleGrant)
+	mux.HandleFunc("/fleet/status", s.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var r NodeReport
+	if err := jsonio.Decode(io.LimitReader(req.Body, 1<<20), &r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	g, err := s.c.Submit(r)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeDoc(w, &g)
+}
+
+func (s *Server) handleGrant(w http.ResponseWriter, req *http.Request) {
+	node := req.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	g, err := s.c.GrantFor(node)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeDoc(w, &g)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := s.c.Status()
+	s.mu.Unlock()
+	writeDoc(w, st)
+}
+
+func writeDoc(w http.ResponseWriter, v interface{}) {
+	data, err := jsonio.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// Client is the node-side HTTP transport: request timeouts, bounded
+// retry with jittered exponential backoff, and schema validation on
+// every response. On persistent failure it returns an error and the
+// caller falls back to its last-granted cap.
+type Client struct {
+	// BaseURL is the coordinator root, e.g. "http://10.0.0.1:7015".
+	BaseURL string
+	// HTTP is the underlying client (default: 2 s timeout).
+	HTTP *http.Client
+	// Retries is how many times a failed request is retried (default 2,
+	// i.e. at most 3 attempts).
+	Retries int
+	// BackoffBase is the first retry delay (default 50 ms); attempt k
+	// sleeps BackoffBase·2^k plus up to 50 % seeded jitter.
+	BackoffBase time.Duration
+
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// NewClient builds a client with defaults. The seed drives backoff
+// jitter only — it exists so tests and seeded simulations stay
+// deterministic even through their retry schedules.
+func NewClient(baseURL string, seed int64) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		HTTP:        &http.Client{Timeout: 2 * time.Second},
+		Retries:     2,
+		BackoffBase: 50 * time.Millisecond,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Report implements Transport.
+func (c *Client) Report(ctx context.Context, r NodeReport) (Grant, error) {
+	body, err := jsonio.Marshal(&r)
+	if err != nil {
+		return Grant{}, err
+	}
+	var g Grant
+	err = c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/report", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return c.do(req, &g)
+	})
+	return g, err
+}
+
+// Status implements Transport.
+func (c *Client) Status(ctx context.Context) (*FleetStatus, error) {
+	var st FleetStatus
+	err := c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.BaseURL+"/fleet/status", nil)
+		if err != nil {
+			return err
+		}
+		return c.do(req, &st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Grant fetches the node's standing grant without submitting telemetry —
+// the re-sync path after a coordinator outage.
+func (c *Client) Grant(ctx context.Context, nodeID string) (Grant, error) {
+	var g Grant
+	err := c.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.BaseURL+"/v1/grant?node="+nodeID, nil)
+		if err != nil {
+			return err
+		}
+		return c.do(req, &g)
+	})
+	return g, err
+}
+
+// permanentError marks HTTP failures retrying cannot fix (4xx).
+type permanentError struct{ error }
+
+func (c *Client) do(req *http.Request, out interface{}) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 2 * time.Second}
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		err := fmt.Errorf("coordinator: %s: %s (%s)",
+			req.URL.Path, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return permanentError{err}
+		}
+		return err
+	}
+	return jsonio.Decode(io.LimitReader(resp.Body, 1<<20), out)
+}
+
+// retry runs fn with bounded retries and jittered exponential backoff,
+// giving up early on permanent (4xx) errors or a done context.
+func (c *Client) retry(ctx context.Context, fn func() error) error {
+	retries := c.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	base := c.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if _, permanent := err.(permanentError); permanent || attempt >= retries {
+			return err
+		}
+		delay := base << uint(attempt)
+		c.mu.Lock()
+		if c.rng != nil {
+			delay += time.Duration(c.rng.Int63n(int64(delay)/2 + 1))
+		}
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package coordinator
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newHTTPFixture(t *testing.T, opt Options) (*httptest.Server, *Client) {
+	t.Helper()
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c).Handler())
+	t.Cleanup(srv.Close)
+	cl := NewClient(srv.URL, 1)
+	cl.BackoffBase = time.Millisecond
+	return srv, cl
+}
+
+func TestHTTPReportGrantRoundTrip(t *testing.T) {
+	_, cl := newHTTPFixture(t, Options{BudgetW: 200, MinCapW: 50, MaxCapW: 150, FleetSize: 2})
+	ctx := context.Background()
+	g, err := cl.Report(ctx, report("a", 0, 0.15, 95, 100))
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if g.Schema != Schema || g.NodeID != "a" || g.CapW != 100 {
+		t.Fatalf("unexpected grant: %+v", g)
+	}
+	if _, err := cl.Report(ctx, report("b", 0, 0.15, 95, 100)); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := cl.Grant(ctx, "a")
+	if err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	if g2.CapW != g.CapW {
+		t.Fatalf("re-sync grant %.1f differs from reported grant %.1f", g2.CapW, g.CapW)
+	}
+}
+
+func TestHTTPStatusDocument(t *testing.T) {
+	_, cl := newHTTPFixture(t, Options{BudgetW: 200, FleetSize: 2})
+	ctx := context.Background()
+	for _, id := range []string{"a", "b"} {
+		if _, err := cl.Report(ctx, report(id, 0, 0.15, 90, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.BudgetW != 200 || len(st.Nodes) != 2 || st.Stats.Reports != 2 {
+		t.Fatalf("unexpected status: %+v", st)
+	}
+}
+
+func TestHTTPRejectsMalformedReport(t *testing.T) {
+	srv, cl := newHTTPFixture(t, Options{BudgetW: 200})
+	// Client-side: validation fires before anything hits the wire.
+	r := report("a", 0, 0.15, 90, 100)
+	r.Slack = math.NaN()
+	_, err := cl.Report(context.Background(), r)
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("NaN slack not rejected at the client: %v", err)
+	}
+	// Server-side: raw garbage that bypasses the client gets a 400.
+	resp, err := http.Post(srv.URL+"/v1/report", "application/json",
+		strings.NewReader(`{"schema":"bogus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed report got %s, want 400", resp.Status)
+	}
+}
+
+func TestHTTPClientRetriesTransientFailures(t *testing.T) {
+	c, err := New(Options{BudgetW: 200, FleetSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(c).Handler()
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "backend hiccup", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, req)
+	}))
+	defer srv.Close()
+	cl := NewClient(srv.URL, 7)
+	cl.BackoffBase = time.Millisecond
+	g, err := cl.Report(context.Background(), report("a", 0, 0.15, 90, 100))
+	if err != nil {
+		t.Fatalf("retries exhausted: %v (calls %d)", err, calls.Load())
+	}
+	if g.CapW != 100 || calls.Load() != 3 {
+		t.Fatalf("grant %+v after %d calls, want success on the 3rd", g, calls.Load())
+	}
+}
+
+func TestHTTPClientGivesUpOnPermanentErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such fleet", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	cl := NewClient(srv.URL, 7)
+	cl.BackoffBase = time.Millisecond
+	if _, err := cl.Grant(context.Background(), "ghost"); err == nil {
+		t.Fatal("404 reported as success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("client retried a permanent 4xx %d times", calls.Load())
+	}
+}
+
+func TestHTTPClientHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "always down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	cl := NewClient(srv.URL, 7)
+	cl.Retries = 50
+	cl.BackoffBase = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Status(ctx)
+	if err == nil {
+		t.Fatal("expected an error from a downed coordinator")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("client ignored context deadline, took %v", time.Since(start))
+	}
+}
+
+// TestHTTPMultiNodeConvergence drives a 4-node fleet over the real
+// HTTP transport: one node pinned against its cap, one with stranded
+// headroom, two in band. Watts must flow from the donor to the starved
+// node within a few epochs, conserving the budget throughout.
+func TestHTTPMultiNodeConvergence(t *testing.T) {
+	_, cl := newHTTPFixture(t, Options{BudgetW: 400, MinCapW: 60, MaxCapW: 140, FleetSize: 4})
+	ctx := context.Background()
+	ids := []string{"n0", "n1", "n2", "n3"}
+	caps := map[string]float64{}
+	for _, id := range ids {
+		g, err := cl.Report(ctx, report(id, 0, 0.15, 95, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps[id] = g.CapW
+	}
+	for e := 1; e <= 10; e++ {
+		for _, id := range ids {
+			var slack, pw float64
+			switch id {
+			case "n0": // starved: pinned against its cap
+				slack, pw = 0.05, caps[id]-0.5
+			case "n1": // donor: saturated well below its cap
+				slack, pw = 0.6, 70
+			default: // in band
+				slack, pw = 0.15, 90
+			}
+			g, err := cl.Report(ctx, report(id, e, slack, pw, caps[id]))
+			if err != nil {
+				t.Fatalf("epoch %d node %s: %v", e, id, err)
+			}
+			caps[id] = g.CapW
+		}
+	}
+	if !(caps["n0"] > 100) {
+		t.Fatalf("starved node never grew: %.1f W", caps["n0"])
+	}
+	if !(caps["n1"] < 100) {
+		t.Fatalf("donor never shrank: %.1f W", caps["n1"])
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := st.PoolW
+	for _, n := range st.Nodes {
+		sum += n.CapW
+	}
+	if math.Abs(sum-400) > 1e-6 {
+		t.Fatalf("budget not conserved over HTTP: caps+pool %.3f W", sum)
+	}
+}

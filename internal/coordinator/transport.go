@@ -1,0 +1,37 @@
+package coordinator
+
+import "context"
+
+// Transport is how a node talks to the coordinator. Two implementations
+// ship: Local, a deterministic in-process transport the cluster
+// simulator steps synchronously, and Client (http.go), the networked
+// HTTP/JSON transport behind cmd/sturgeond. A node that gets an error
+// from either must keep running on its last-granted cap — the
+// degradation contract every caller shares.
+type Transport interface {
+	// Report submits one epoch report and returns the node's current
+	// grant (computed from the newest closed epoch, so grants propagate
+	// with at most one epoch of lag).
+	Report(ctx context.Context, r NodeReport) (Grant, error)
+	// Status fetches the coordinator's fleet-wide view.
+	Status(ctx context.Context) (*FleetStatus, error)
+}
+
+// Local is the in-process transport: direct synchronous calls into a
+// Coordinator, no goroutines, no clock, no locks. Submitting reports in
+// a fixed node order therefore yields a byte-identical grant sequence on
+// every run — the property the cluster simulator's seeded-replay
+// battery pins (internal/cluster, DESIGN.md §10).
+type Local struct {
+	C *Coordinator
+}
+
+// Report implements Transport.
+func (l *Local) Report(_ context.Context, r NodeReport) (Grant, error) {
+	return l.C.Submit(r)
+}
+
+// Status implements Transport.
+func (l *Local) Status(context.Context) (*FleetStatus, error) {
+	return l.C.Status(), nil
+}

@@ -1,0 +1,92 @@
+package jsonio
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// doc is a minimal validating document for the round-trip tests.
+type doc struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func (d *doc) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("doc without name")
+	}
+	if d.Count < 0 {
+		return fmt.Errorf("doc count %d < 0", d.Count)
+	}
+	return nil
+}
+
+func TestMarshalValidatesAndTerminates(t *testing.T) {
+	data, err := Marshal(&doc{Name: "a", Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Error("output not newline-terminated")
+	}
+	if !bytes.Contains(data, []byte("  \"name\"")) {
+		t.Error("output not indented")
+	}
+	if _, err := Marshal(&doc{Count: 2}); err == nil {
+		t.Error("invalid document marshalled")
+	}
+}
+
+func TestUnmarshalValidates(t *testing.T) {
+	var d doc
+	if err := Unmarshal([]byte(`{"name":"x","count":-1}`), &d); err == nil {
+		t.Error("invalid document accepted")
+	}
+	if err := Unmarshal([]byte(`{"name":"x","count":1}`), &d); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	var d doc
+	err := Decode(strings.NewReader(`{"name":"x","count":1}{"again":true}`), &d)
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing garbage not rejected: %v", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := WriteFile(path, &doc{Name: "fleet", Count: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var back doc
+	if err := ReadFile(path, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "fleet" || back.Count != 8 {
+		t.Errorf("round trip mutated document: %+v", back)
+	}
+	var wrongType struct {
+		Name []int `json:"name"`
+	}
+	if err := ReadFile(path, &wrongType); err == nil || !strings.Contains(err.Error(), path) {
+		t.Errorf("parse error does not name the file: %v", err)
+	}
+}
+
+// TestNonValidatorPassesThrough pins that plain structs still encode —
+// validation is opt-in via the Validator interface.
+func TestNonValidatorPassesThrough(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, struct{ A int }{1}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct{ A int }
+	if err := Decode(&buf, &out); err != nil || out.A != 1 {
+		t.Fatalf("plain struct round trip: %v %+v", err, out)
+	}
+}

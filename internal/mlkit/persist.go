@@ -5,13 +5,16 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"sturgeon/internal/jsonio"
 )
 
 // Model persistence: §V-A trains the models offline on dedicated-cluster
 // telemetry and §V-C stores every trained model on the server so the most
 // suitable one can be deployed. Save/Load (de)serialize any of the kit's
-// models through exported snapshot structs and encoding/gob, with a type
-// tag so a reader can restore the right implementation.
+// models through exported snapshot structs and encoding/gob, wrapped in
+// a schema-validated JSON envelope (internal/jsonio) whose type tag lets
+// a reader restore the right implementation.
 
 // snapshot types — the exported wire form of each model's fitted state.
 
@@ -140,10 +143,29 @@ type forestSnap struct {
 	Masks [][]int
 }
 
-// envelope tags the payload with the concrete model kind.
+// EnvelopeSchema tags the model envelope documents on disk.
+const EnvelopeSchema = "sturgeon/mlkit-model/v1"
+
+// envelope tags the gob payload with the concrete model kind. The JSON
+// form base64-encodes Blob, so the stored document is diffable metadata
+// around an opaque snapshot.
 type envelope struct {
-	Kind string
-	Blob []byte
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"`
+	Blob   []byte `json:"blob"`
+}
+
+// Validate implements jsonio.Validator.
+func (e *envelope) Validate() error {
+	switch {
+	case e.Schema != EnvelopeSchema:
+		return fmt.Errorf("mlkit: envelope schema %q, want %q", e.Schema, EnvelopeSchema)
+	case e.Kind == "":
+		return fmt.Errorf("mlkit: envelope without model kind")
+	case len(e.Blob) == 0:
+		return fmt.Errorf("mlkit: envelope %q with empty payload", e.Kind)
+	}
+	return nil
 }
 
 func encodePayload(v interface{}) ([]byte, error) {
@@ -161,7 +183,7 @@ func decodePayload(blob []byte, v interface{}) error {
 // Save serializes a fitted model (any Regressor or Classifier from this
 // package) to w.
 func Save(w io.Writer, model interface{}) error {
-	var env envelope
+	env := envelope{Schema: EnvelopeSchema}
 	var payload interface{}
 	switch m := model.(type) {
 	case *TreeRegressor:
@@ -219,14 +241,14 @@ func Save(w io.Writer, model interface{}) error {
 		return err
 	}
 	env.Blob = blob
-	return gob.NewEncoder(w).Encode(env)
+	return jsonio.Encode(w, &env)
 }
 
 // Load deserializes a model previously written by Save, returning the
 // concrete model as interface{} (assert to Regressor or Classifier).
 func Load(r io.Reader) (interface{}, error) {
 	var env envelope
-	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+	if err := jsonio.Decode(r, &env); err != nil {
 		return nil, err
 	}
 	switch env.Kind {

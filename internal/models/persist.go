@@ -1,11 +1,11 @@
 package models
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"sturgeon/internal/jsonio"
 	"sturgeon/internal/mlkit"
 	"sturgeon/internal/workload"
 )
@@ -13,15 +13,36 @@ import (
 // Predictor persistence: §V-A trains the models offline and §V-C stores
 // them on the server. Save writes the five fitted models plus a metadata
 // manifest into a directory; LoadPredictor restores a ready-to-serve
-// predictor without re-running the profiling sweeps.
+// predictor without re-running the profiling sweeps. The manifest goes
+// through the shared schema-validating JSON layer (internal/jsonio), so
+// a truncated or foreign document is rejected before any model loads.
 
 const manifestName = "predictor.json"
 
+// ManifestSchema tags the predictor manifest document.
+const ManifestSchema = "sturgeon/predictor-manifest/v1"
+
 type manifest struct {
+	Schema        string  `json:"schema"`
 	LSName        string  `json:"ls"`
 	BEName        string  `json:"be"`
 	InputLevel    int     `json:"input_level"`
 	LatencyMargin float64 `json:"latency_margin"`
+}
+
+// Validate implements jsonio.Validator.
+func (m *manifest) Validate() error {
+	switch {
+	case m.Schema != ManifestSchema:
+		return fmt.Errorf("models: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	case m.LSName == "" || m.BEName == "":
+		return fmt.Errorf("models: manifest without application names")
+	case m.InputLevel < 0:
+		return fmt.Errorf("models: manifest input level %d < 0", m.InputLevel)
+	case m.LatencyMargin < 0:
+		return fmt.Errorf("models: manifest latency margin %v < 0", m.LatencyMargin)
+	}
+	return nil
 }
 
 var modelFiles = []string{"ls_feasible", "ls_latency", "ls_power", "be_thpt", "be_power"}
@@ -55,26 +76,19 @@ func (p *Predictor) Save(dir string) error {
 		}
 	}
 	mf := manifest{
+		Schema: ManifestSchema,
 		LSName: p.LS.Name, BEName: p.BE.Name,
 		InputLevel: p.InputLevel, LatencyMargin: p.LatencyMargin,
 	}
-	b, err := json.MarshalIndent(mf, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(filepath.Join(dir, manifestName), b, 0o644)
+	return jsonio.WriteFile(filepath.Join(dir, manifestName), &mf)
 }
 
 // LoadPredictor restores a predictor saved with Save. The manifest's
 // application names must resolve in the workload registry (custom
 // profiles can be patched onto the returned predictor afterwards).
 func LoadPredictor(dir string) (*Predictor, error) {
-	b, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if err != nil {
-		return nil, err
-	}
 	var mf manifest
-	if err := json.Unmarshal(b, &mf); err != nil {
+	if err := jsonio.ReadFile(filepath.Join(dir, manifestName), &mf); err != nil {
 		return nil, fmt.Errorf("models: manifest: %w", err)
 	}
 	ls, ok := workload.ByName(mf.LSName)

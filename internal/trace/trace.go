@@ -5,6 +5,7 @@ package trace
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -104,6 +105,19 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON emits the table as one JSON document ({title, headers,
+// rows}) — the machine-readable form behind the binaries' -json flag.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.Rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // Series is one named time series.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -45,6 +46,26 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\n1,\"x,y\"\n"
 	if sb.String() != want {
 		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.Add("1", "2")
+	var sb strings.Builder
+	if err := tbl.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.Title != "t" || len(doc.Headers) != 2 || len(doc.Rows) != 1 || doc.Rows[0][1] != "2" {
+		t.Errorf("round trip mangled the table: %+v", doc)
 	}
 }
 
