@@ -70,6 +70,8 @@ func main() {
 	coordination := flag.Bool("coordination", def.Coordination,
 		"run the pinned even-split vs coordinated-caps pair and enforce the win gate")
 	out := flag.String("out", "BENCH_fleet.json", "report path ('' skips writing)")
+	events := flag.String("events", "",
+		"replay the granted coordination scenario with journaling and write the sturgeon/events/v1 dump to PATH")
 	common := cmdutil.Register(def.Seed)
 	common.Parse()
 
@@ -112,6 +114,18 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *events != "" {
+		doc, err := bench.EventsRun(common.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := jsonio.WriteFile(*events, doc); err != nil {
+			fatal(err)
+		}
+		if !common.JSON {
+			fmt.Printf("wrote %s\n", *events)
+		}
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 
 	"sturgeon/internal/cmdutil"
 	"sturgeon/internal/experiments"
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/trace"
 )
 
@@ -30,12 +32,18 @@ func main() {
 		duration = flag.Int("duration", 0, "evaluation run length in seconds (0 = default 800)")
 		heracles = flag.Bool("heracles", false, "include the Heracles-style baseline in fig9/fig10")
 		outDir   = flag.String("out", "", "directory for CSV/TSV output (optional)")
+		events   = flag.String("events", "", "write the decision-event journal (sturgeon/events/v1 JSON) to PATH")
 	)
 	common := cmdutil.Register(42)
 	common.Parse()
 
+	var sink *obs.Sink
+	if *events != "" {
+		sink = obs.New(0)
+	}
 	env := experiments.NewEnv(experiments.Config{
 		Seed: common.Seed, Samples: *samples, DurationS: *duration, Quick: *quick,
+		Obs: sink,
 	})
 
 	emit := func(name string, tbl *trace.Table) {
@@ -159,5 +167,11 @@ func main() {
 	}
 	if want("coord") {
 		emit("extension_coordinator", experiments.CoordinatedFleet(env))
+	}
+	if *events != "" {
+		if err := jsonio.WriteFile(*events, sink.Journal.Doc()); err != nil {
+			fmt.Fprintln(os.Stderr, "repro: writing events:", err)
+			os.Exit(1)
+		}
 	}
 }

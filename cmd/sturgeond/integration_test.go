@@ -3,15 +3,39 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"sturgeon/internal/coordinator"
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
 )
+
+// promValue extracts the value of one un-labelled metric family from a
+// Prometheus text scrape.
+func promValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s has unparseable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s absent from scrape:\n%s", name, text)
+	return 0
+}
 
 // TestSturgeondIntegration builds the real daemon binary, starts it on a
 // loopback port, and drives a 4-node fleet through the HTTP client: one
@@ -117,5 +141,83 @@ func TestSturgeondIntegration(t *testing.T) {
 	}
 	if len(st.Nodes) != 4 {
 		t.Errorf("status lists %d nodes, want 4", len(st.Nodes))
+	}
+
+	// The decision trail must agree with the run we just drove: the
+	// /metrics counters mirror the status stats, and the /v1/events
+	// journal carries the cap movements behind the convergence.
+	resp, err := http.Get("http://" + b.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	text := string(scrape)
+	if got := promValue(t, text, "coordinator_reports_total"); got != float64(st.Stats.Reports) {
+		t.Errorf("coordinator_reports_total %v, status says %d", got, st.Stats.Reports)
+	}
+	if got := promValue(t, text, "coordinator_donations_total"); got != float64(st.Stats.Donations) {
+		t.Errorf("coordinator_donations_total %v, status says %d", got, st.Stats.Donations)
+	}
+	if got := promValue(t, text, "coordinator_epoch"); got != float64(st.Epoch) {
+		t.Errorf("coordinator_epoch %v, status says %d", got, st.Epoch)
+	}
+
+	resp, err = http.Get("http://" + b.Addr + "/v1/events")
+	if err != nil {
+		t.Fatalf("/v1/events: %v", err)
+	}
+	var events obs.EventsDoc
+	decodeErr := jsonio.Decode(resp.Body, &events)
+	resp.Body.Close()
+	if decodeErr != nil {
+		t.Fatalf("/v1/events: %v", decodeErr)
+	}
+	var grantEvents int
+	for _, ev := range events.Events {
+		if ev.Type == obs.EventCapGranted {
+			grantEvents++
+		}
+	}
+	if grantEvents < st.Stats.Donations+st.Stats.GrantsUp {
+		t.Errorf("journal has %d cap_granted events, below the %d moves the stats report",
+			grantEvents, st.Stats.Donations+st.Stats.GrantsUp)
+	}
+	if st.Stats.Donations == 0 {
+		t.Error("convergence loop recorded no donations; event assertions are vacuous")
+	}
+
+	// Pagination: the cursor one short of the end yields exactly the last
+	// event; the end cursor yields none.
+	last := events.Events[len(events.Events)-1].Seq
+	resp, err = http.Get("http://" + b.Addr + "/v1/events?since=" + strconv.FormatInt(last-1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail obs.EventsDoc
+	decodeErr = jsonio.Decode(resp.Body, &tail)
+	resp.Body.Close()
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if len(tail.Events) != 1 || tail.Events[0].Seq != last {
+		t.Errorf("since=%d returned %d events, want exactly seq %d", last-1, len(tail.Events), last)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit zero well inside the
+	// daemon's 5 s deadline. (The deferred Kill then hits a dead process
+	// and is ignored; ctx still bounds a hung Wait.)
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := daemon.Wait(); err != nil {
+		t.Errorf("daemon exited uncleanly on SIGTERM after %v: %v", time.Since(start), err)
 	}
 }

@@ -1,33 +1,45 @@
 // Command sturgeond runs the fleet power-budget coordinator as an HTTP
 // control-plane service. Nodes POST slack telemetry to /v1/report each
-// epoch and apply the cap granted back; operators read /fleet/status.
+// epoch and apply the cap granted back; operators read /fleet/status,
+// scrape /metrics (Prometheus text exposition) and tail the decision
+// journal at /v1/events?since=SEQ.
 //
 // Usage:
 //
 //	sturgeond [-addr HOST:PORT] [-budget W] [-nodes N]
 //	          [-min-cap W] [-max-cap W] [-alpha F] [-beta F]
-//	          [-seed N] [-json] [-version]
+//	          [-journal N] [-pprof] [-seed N] [-json] [-version]
 //
 // The daemon is stateless across restarts by design: nodes keep running
 // on their last-granted caps while it is down and re-adopt on the first
-// report after it returns.
+// report after it returns. SIGINT/SIGTERM drain in-flight requests
+// through http.Server.Shutdown with a 5 s deadline.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sturgeon/internal/cmdutil"
 	"sturgeon/internal/coordinator"
 	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
 )
 
 type config struct {
-	addr string
-	opt  coordinator.Options
+	addr       string
+	journalCap int
+	pprof      bool
+	opt        coordinator.Options
 }
 
 // banner is the startup document: the effective arbitration parameters,
@@ -42,6 +54,9 @@ type banner struct {
 	Beta    float64 `json:"beta"`
 }
 
+// shutdownTimeout bounds the graceful drain after SIGINT/SIGTERM.
+const shutdownTimeout = 5 * time.Second
+
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7015", "listen address")
@@ -51,6 +66,8 @@ func main() {
 	flag.Float64Var(&cfg.opt.MaxCapW, "max-cap", 0, "per-node cap ceiling in watts (0 = default)")
 	flag.Float64Var(&cfg.opt.Alpha, "alpha", 0, "lower slack band bound (0 = default 0.10)")
 	flag.Float64Var(&cfg.opt.Beta, "beta", 0, "upper slack band bound (0 = default 0.20)")
+	flag.IntVar(&cfg.journalCap, "journal", 0, "decision-journal ring capacity (0 = default)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	common := cmdutil.Register(42)
 	common.Parse()
 
@@ -59,6 +76,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sturgeond:", err)
 		os.Exit(2)
 	}
+	srv := coordinator.NewServer(c)
+	srv.SetObs(obs.New(cfg.journalCap))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sturgeond:", err)
@@ -75,8 +105,25 @@ func main() {
 		fmt.Printf("sturgeond listening on %s: budget %.0f W over %d nodes, caps [%.0f, %.0f] W, band [%.2f, %.2f]\n",
 			b.Addr, b.BudgetW, b.Nodes, b.MinCapW, b.MaxCapW, b.Alpha, b.Beta)
 	}
-	if err := http.Serve(ln, coordinator.NewServer(c).Handler()); err != nil {
+
+	httpSrv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "sturgeond: %s: draining (max %s)\n", sig, shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sturgeond: shutdown:", err)
+		}
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "sturgeond:", err)
 		os.Exit(1)
 	}
+	<-done
 }

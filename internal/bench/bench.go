@@ -22,6 +22,7 @@ import (
 	"sturgeon/internal/control"
 	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/sim"
 	"sturgeon/internal/workload"
 )
@@ -369,6 +370,25 @@ func Execute(opt Options) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// EventsRun replays the pinned coordinated (granted) scenario once,
+// serially, with a decision-trail sink attached, and returns the
+// resulting journal document. Measured benchmark runs stay
+// uninstrumented — the report's wall-clock numbers never include
+// journaling cost — so cmd/bench's -events flag pays for its dump with
+// one extra run. The replay is seeded and serial, so two calls with the
+// same seed return byte-identical documents.
+func EventsRun(seed int64) (*obs.EventsDoc, error) {
+	_, granted := CoordPair(seed)
+	c, err := buildCluster(granted, 1)
+	if err != nil {
+		return nil, err
+	}
+	sink := obs.New(0)
+	c.SetObs(sink)
+	c.Run(cluster.DefaultCoordFleet(seed).Trace(), granted.DurationS)
+	return sink.Journal.Doc(), nil
 }
 
 // checkCoordinationWin enforces the coordination acceptance gate on the

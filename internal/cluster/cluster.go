@@ -19,6 +19,7 @@ import (
 	"sturgeon/internal/coordinator"
 	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/pool"
 	"sturgeon/internal/power"
 	"sturgeon/internal/sim"
@@ -250,6 +251,65 @@ type Cluster struct {
 	// caps is each node's power cap currently in force: Budget
 	// everywhere until a coordinator grant moves it.
 	caps []power.Watts
+
+	// Observability (nil = uninstrumented; see SetObs). nodeSinks holds
+	// one staging child per node, drained serially by drainNode; drained
+	// remembers each staging journal's last merged sequence number.
+	obs        *obs.Sink
+	nodeSinks  []*obs.Sink
+	drained    []int64
+	capGauges  []*obs.Gauge
+	evictCtr   *obs.Counter
+	readmitCtr *obs.Counter
+	grantCtr   *obs.Counter
+	faultCtr   *obs.Counter
+}
+
+// stagingJournalCap bounds each node's staging journal. A node emits at
+// most a handful of events per interval and the staging ring is drained
+// every interval, so a small ring can never drop.
+const stagingJournalCap = 64
+
+// NodeID renders the canonical node identity used in coordinator
+// reports, journal events and per-node metric labels.
+func NodeID(i int) string { return fmt.Sprintf("node-%03d", i) }
+
+// SetObs attaches a decision-trail sink to the fleet (nil detaches).
+// Every controller that implements obs.Instrumentable receives a
+// per-node child sink — same metrics registry, own staging journal — so
+// journal appends never race across the parallel node stepping. The
+// staging journals are drained onto sink's journal serially in
+// node-index order each interval (see drainNode), which keeps the
+// global event sequence byte-identical at any stepping Parallelism.
+func (c *Cluster) SetObs(sink *obs.Sink) {
+	c.obs = sink
+	c.nodeSinks, c.drained, c.capGauges = nil, nil, nil
+	c.evictCtr, c.readmitCtr, c.grantCtr, c.faultCtr = nil, nil, nil, nil
+	if sink == nil {
+		for _, ctrl := range c.Ctrls {
+			if in, ok := ctrl.(obs.Instrumentable); ok {
+				in.SetObs(nil)
+			}
+		}
+		return
+	}
+	n := len(c.Nodes)
+	c.nodeSinks = make([]*obs.Sink, n)
+	c.drained = make([]int64, n)
+	c.capGauges = make([]*obs.Gauge, n)
+	for i := 0; i < n; i++ {
+		ns := sink.ForNode(NodeID(i), stagingJournalCap)
+		c.nodeSinks[i] = ns
+		c.capGauges[i] = ns.NodeGauge("fleet_node_cap_watts")
+		c.capGauges[i].Set(float64(c.caps[i]))
+		if in, ok := c.Ctrls[i].(obs.Instrumentable); ok {
+			in.SetObs(ns)
+		}
+	}
+	c.evictCtr = sink.Counter("fleet_evictions_total")
+	c.readmitCtr = sink.Counter("fleet_readmissions_total")
+	c.grantCtr = sink.Counter("fleet_cap_grants_total")
+	c.faultCtr = sink.Counter("fleet_faults_injected_total")
 }
 
 // New builds a fleet of n nodes. mkCtrl builds one controller per node
@@ -425,13 +485,13 @@ func (c *Cluster) stepNode(i, step int, t, q float64) stepOutcome {
 		st.P95 = inj.PerturbP95(step, st.P95)
 		st.Faults = inj.Flags(step)
 	}
-	obs := control.Observation{
+	ob := control.Observation{
 		Time: t, QPS: st.QPS, P95: st.P95,
 		Target: c.LS.QoSTargetS,
 		Power:  st.Power, Budget: c.caps[i],
 		BEThroughput: st.BEThroughputUPS, Config: st.Config,
 	}
-	next := c.Ctrls[i].Decide(obs)
+	next := c.Ctrls[i].Decide(ob)
 	if next != st.Config {
 		inj.Actuate(step, st.Config, next, node.Apply)
 	}
@@ -491,18 +551,22 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 			if o.crashed {
 				res.LostQueries += o.q
 				states[i].Last = o.st
+				wasHealthy := states[i].Healthy
 				states[i].Healthy = health[i].observe(true, opt, &res.Health)
 				if !states[i].Healthy {
 					res.Health.UnhealthyNodeIntervals++
 				}
+				c.drainNode(i, t, wasHealthy, states[i].Healthy)
 				continue
 			}
 			st := o.st
 			states[i].Last = st
+			wasHealthy := states[i].Healthy
 			states[i].Healthy = health[i].observe(st.Power <= 0, opt, &res.Health)
 			if !states[i].Healthy {
 				res.Health.UnhealthyNodeIntervals++
 			}
+			c.drainNode(i, t, wasHealthy, states[i].Healthy)
 			okQ += st.QPS * st.QoSFrac
 			rep.BEThroughputUPS += st.BEThroughputUPS
 			rep.PowerW += float64(st.TruePower)
@@ -544,6 +608,9 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 			res.Faults.Add(c.Injectors[i].C)
 		}
 	}
+	if total := res.Faults.Total(); total > 0 {
+		c.faultCtr.Add(int64(total))
+	}
 
 	if wQ > 0 {
 		res.QoSRate = wOK / wQ
@@ -558,6 +625,30 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 		res.WorkPerKJ = sumBE / res.EnergyKJ
 	}
 	return res
+}
+
+// drainNode moves node i's staged decision events onto the fleet
+// journal and journals failure-detector transitions. It runs only from
+// Run's serial merge, in node-index order, so the fleet journal's
+// sequence numbers are a pure function of the seeded decision sequence —
+// independent of the stepping Parallelism.
+func (c *Cluster) drainNode(i int, t float64, wasHealthy, healthy bool) {
+	if c.obs == nil {
+		return
+	}
+	ns := c.nodeSinks[i]
+	for _, ev := range ns.Journal.Since(c.drained[i]) {
+		c.obs.Journal.Append(ev)
+	}
+	c.drained[i] = ns.Journal.LastSeq()
+	switch {
+	case wasHealthy && !healthy:
+		c.evictCtr.Inc()
+		c.obs.Emit(obs.Event{T: t, Node: ns.Node, Type: obs.EventNodeEvicted})
+	case !wasHealthy && healthy:
+		c.readmitCtr.Inc()
+		c.obs.Emit(obs.Event{T: t, Node: ns.Node, Type: obs.EventNodeReadmitted})
+	}
 }
 
 // exchangeGrants runs one coordination epoch: build each node's report
@@ -590,7 +681,7 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 		}
 		r := coordinator.NodeReport{
 			Schema:          coordinator.Schema,
-			NodeID:          fmt.Sprintf("node-%03d", i),
+			NodeID:          NodeID(i),
 			Epoch:           epoch,
 			Slack:           (target - p95) / target,
 			P95S:            p95,
@@ -609,6 +700,12 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 			c.caps[i] = next
 			if cs, ok := c.Ctrls[i].(control.CapSetter); ok {
 				cs.SetBudget(next)
+			}
+			if c.obs != nil {
+				c.grantCtr.Inc()
+				c.capGauges[i].Set(g.CapW)
+				c.obs.Emit(obs.Event{T: float64(epoch * cd.epochS()), Node: r.NodeID,
+					Type: obs.EventCapGranted, Epoch: epoch, Value: g.CapW})
 			}
 		}
 	}

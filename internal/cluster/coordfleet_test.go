@@ -10,6 +10,7 @@ import (
 	"sturgeon/internal/control"
 	"sturgeon/internal/coordinator"
 	"sturgeon/internal/hw"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/power"
 	"sturgeon/internal/workload"
 )
@@ -44,9 +45,9 @@ type capRecorder struct {
 	budgets []power.Watts
 }
 
-func (c *capRecorder) Decide(obs control.Observation) hw.Config { return obs.Config }
-func (c *capRecorder) Name() string                             { return "cap-recorder" }
-func (c *capRecorder) SetBudget(w power.Watts)                  { c.budgets = append(c.budgets, w) }
+func (c *capRecorder) Decide(ob control.Observation) hw.Config { return ob.Config }
+func (c *capRecorder) Name() string                            { return "cap-recorder" }
+func (c *capRecorder) SetBudget(w power.Watts)                 { c.budgets = append(c.budgets, w) }
 
 func coordTestFleet(t *testing.T, tr coordinator.Transport) (*Cluster, []*capRecorder) {
 	t.Helper()
@@ -165,6 +166,13 @@ func TestCoordinationChaosAccounting(t *testing.T) {
 // included) whose summary lives in testdata/coord_summary.golden.
 func coordGoldenScenario(t *testing.T, parallelism int) Result {
 	t.Helper()
+	return coordGoldenScenarioObs(t, parallelism, nil)
+}
+
+// coordGoldenScenarioObs additionally attaches a decision-trail sink
+// (nil = uninstrumented) for the observability battery.
+func coordGoldenScenarioObs(t *testing.T, parallelism int, sink *obs.Sink) Result {
+	t.Helper()
 	o := DefaultCoordFleet(20260806)
 	o.Coordinated = true
 	o.Chaos = true
@@ -173,6 +181,7 @@ func coordGoldenScenario(t *testing.T, parallelism int) Result {
 		t.Fatal(err)
 	}
 	c.Parallelism = parallelism
+	c.SetObs(sink)
 	return c.Run(o.Trace(), o.DurationS)
 }
 

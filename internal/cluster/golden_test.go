@@ -9,6 +9,7 @@ import (
 	"sturgeon/internal/control"
 	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/sim"
 	"sturgeon/internal/workload"
 )
@@ -30,6 +31,14 @@ func goldenScenario(t *testing.T) Result {
 // goldenScenarioAt runs the golden scenario with an explicit node-stepping
 // parallelism, so the determinism battery can byte-compare worker counts.
 func goldenScenarioAt(t *testing.T, parallelism int) Result {
+	t.Helper()
+	return goldenScenarioObs(t, parallelism, nil)
+}
+
+// goldenScenarioObs additionally attaches a decision-trail sink (nil =
+// uninstrumented), so the observability battery can prove the journal
+// changes neither the summary nor its parallelism independence.
+func goldenScenarioObs(t *testing.T, parallelism int, sink *obs.Sink) Result {
 	t.Helper()
 	const duration = 80
 	ls, be := workload.Memcached(), workload.Raytrace()
@@ -61,6 +70,7 @@ func goldenScenarioAt(t *testing.T, parallelism int) Result {
 			faults.Episode{Kind: faults.LatencyStale, Start: 55, End: 65},
 		),
 	)
+	c.SetObs(sink)
 	return c.Run(workload.Triangle(0.2, 0.7, duration), duration)
 }
 

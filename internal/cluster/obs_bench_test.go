@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"sturgeon/internal/obs"
+)
+
+// benchCoordRun steps a fresh coordinated 8-node fleet for 60 simulated
+// seconds per iteration, with fleet construction kept off the timer so
+// the measurement isolates the node-stepping hot path the observability
+// layer instruments.
+func benchCoordRun(b *testing.B, instrument bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		o := DefaultCoordFleet(7)
+		o.DurationS = 60
+		o.Coordinated = true
+		c, err := BuildCoordFleet(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Parallelism = 1
+		if instrument {
+			c.SetObs(obs.New(0))
+		}
+		tr := o.Trace()
+		b.StartTimer()
+		c.Run(tr, o.DurationS)
+	}
+}
+
+// BenchmarkInstrumentedStep compares fleet stepping with the full
+// observability layer attached against the nil-sink baseline — the
+// numbers behind the <5 % overhead budget of DESIGN.md §11. Run the CI
+// gate with:
+//
+//	OBS_OVERHEAD_GATE=1 go test ./internal/cluster -run ObsOverheadGate -v
+func BenchmarkInstrumentedStep(b *testing.B) {
+	b.Run("nil-sink", func(b *testing.B) { benchCoordRun(b, false) })
+	b.Run("instrumented", func(b *testing.B) { benchCoordRun(b, true) })
+}
+
+// TestObsOverheadGate enforces the overhead budget: instrumented
+// stepping must stay within 5 % of the nil-sink baseline. It is gated
+// behind OBS_OVERHEAD_GATE=1 because wall-clock ratios on loaded
+// machines are too noisy for the always-on tier-1 battery; the CI
+// obs-overhead job sets the variable on a dedicated runner. Each arm
+// keeps its best of three testing.Benchmark measurements, which filters
+// scheduler noise the same way the bench harness's best-of repeats do.
+func TestObsOverheadGate(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") == "" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 to run the instrumented-stepping overhead gate")
+	}
+	best := func(instrument bool) float64 {
+		bestNs := 0.0
+		for rep := 0; rep < 3; rep++ {
+			r := testing.Benchmark(func(b *testing.B) { benchCoordRun(b, instrument) })
+			if ns := float64(r.NsPerOp()); bestNs == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	base := best(false)
+	inst := best(true)
+	overhead := inst/base - 1
+	t.Logf("nil-sink %.2f ms/run, instrumented %.2f ms/run, overhead %+.2f%%",
+		base/1e6, inst/1e6, 100*overhead)
+	if overhead > 0.05 {
+		t.Errorf("observability overhead %.2f%% exceeds the 5%% budget (%s)",
+			100*overhead, fmt.Sprintf("baseline %.2f ms, instrumented %.2f ms", base/1e6, inst/1e6))
+	}
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+)
+
+// journalDump runs the coordinated golden scenario with a sink attached
+// and returns the run summary plus the canonical JSON encoding of the
+// journal — the byte string the determinism criteria are stated over.
+func journalDump(t *testing.T, parallelism int) (string, []byte) {
+	t.Helper()
+	sink := obs.New(0)
+	res := coordGoldenScenarioObs(t, parallelism, sink)
+	doc := sink.Journal.Doc()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("journal doc invalid: %v", err)
+	}
+	data, err := jsonio.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Summary(), data
+}
+
+// TestObsDoesNotPerturbGoldenSummaries pins the zero-interference
+// contract: attaching the full observability layer must not move either
+// golden fixture by a byte. Instrumentation reads the decision sequence;
+// it never participates in it.
+func TestObsDoesNotPerturbGoldenSummaries(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden fixtures being rewritten")
+	}
+	coordWant, err := os.ReadFile(filepath.Join("testdata", "coord_summary.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coordGoldenScenarioObs(t, 1, obs.New(0)).Summary(); got != string(coordWant) {
+		t.Errorf("journal-enabled coordinated run drifted from golden fixture.\n--- got ---\n%s--- want ---\n%s",
+			got, coordWant)
+	}
+	fleetWant, err := os.ReadFile(filepath.Join("testdata", "fleet_summary.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenScenarioObs(t, 0, obs.New(0)).Summary(); got != string(fleetWant) {
+		t.Errorf("journal-enabled fleet run drifted from golden fixture.\n--- got ---\n%s--- want ---\n%s",
+			got, fleetWant)
+	}
+}
+
+// TestObsJournalByteIdenticalAcrossParallelism is the observability
+// determinism criterion: with the journal enabled, both the run summary
+// and the serialized events document must be byte-identical at stepping
+// parallelism 1, 2, 4 and 8 — the staging-journal drain in Run's serial
+// merge is what makes the global sequence numbers worker-count-free.
+func TestObsJournalByteIdenticalAcrossParallelism(t *testing.T) {
+	refSum, refDump := journalDump(t, 1)
+	if len(refDump) == 0 {
+		t.Fatal("empty journal dump")
+	}
+	for _, par := range []int{2, 4, 8} {
+		sum, dump := journalDump(t, par)
+		if sum != refSum {
+			t.Fatalf("summary diverges at parallelism %d with journal enabled", par)
+		}
+		if !bytes.Equal(dump, refDump) {
+			t.Fatalf("events dump diverges at parallelism %d (len %d vs %d)", par, len(dump), len(refDump))
+		}
+	}
+}
+
+// TestObsMetricsMatchRun cross-checks the registry against the run's own
+// accounting: every applied grant counts once, the cap-granted events
+// agree with the counter, and each node's cap gauge ends on the cap the
+// cluster reports in force.
+func TestObsMetricsMatchRun(t *testing.T) {
+	o := DefaultCoordFleet(20260806)
+	o.Coordinated = true
+	o.Chaos = true
+	c, err := BuildCoordFleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Parallelism = 1
+	sink := obs.New(0)
+	c.SetObs(sink)
+	res := c.Run(o.Trace(), o.DurationS)
+
+	grants := sink.Metrics.Counter("fleet_cap_grants_total").Value()
+	if grants == 0 {
+		t.Fatal("coordinated chaos run applied no grants")
+	}
+	var granted, adjusts int64
+	for _, ev := range sink.Journal.Since(0) {
+		switch ev.Type {
+		case obs.EventCapGranted:
+			granted++
+			if ev.Epoch <= 0 || ev.Value <= 0 {
+				t.Fatalf("cap_granted event missing epoch/value: %+v", ev)
+			}
+		case obs.EventGovernorAdjust:
+			adjusts++
+		}
+	}
+	if granted != grants {
+		t.Errorf("cap_granted events %d != fleet_cap_grants_total %d", granted, grants)
+	}
+	if adjusts == 0 {
+		t.Error("governors journaled no adjustments over a 480 s diurnal run")
+	}
+	for i, w := range c.Caps() {
+		g := sink.Metrics.Gauge(obs.Labeled("fleet_node_cap_watts", "node", NodeID(i)))
+		if g.Value() != float64(w) {
+			t.Errorf("node %d cap gauge %.1f, want %.1f", i, g.Value(), float64(w))
+		}
+	}
+	// The same scrape must render as valid Prometheus text.
+	var buf bytes.Buffer
+	if err := sink.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("# TYPE fleet_cap_grants_total counter")) {
+		t.Error("prometheus output missing fleet counter family")
+	}
+	_ = res
+}
+
+// TestObsEvictionEvents drives the scripted-crash golden fleet and
+// requires the journal to carry the eviction and readmission the health
+// battery already pins in the summary fixture.
+func TestObsEvictionEvents(t *testing.T) {
+	sink := obs.New(0)
+	res := goldenScenarioObs(t, 1, sink)
+	if res.Health.Evictions == 0 {
+		t.Fatal("golden scenario no longer evicts; eviction events untestable")
+	}
+	var evicted, readmitted int
+	for _, ev := range sink.Journal.Since(0) {
+		switch ev.Type {
+		case obs.EventNodeEvicted:
+			evicted++
+			if ev.Node == "" {
+				t.Error("eviction event missing node label")
+			}
+		case obs.EventNodeReadmitted:
+			readmitted++
+		}
+	}
+	if evicted != res.Health.Evictions || readmitted != res.Health.Readmissions {
+		t.Errorf("journal evictions/readmissions %d/%d, run counted %d/%d",
+			evicted, readmitted, res.Health.Evictions, res.Health.Readmissions)
+	}
+	if got := sink.Metrics.Counter("fleet_evictions_total").Value(); got != int64(res.Health.Evictions) {
+		t.Errorf("fleet_evictions_total %d, want %d", got, res.Health.Evictions)
+	}
+	if got := sink.Metrics.Counter("fleet_faults_injected_total").Value(); got != int64(res.Faults.Total()) {
+		t.Errorf("fleet_faults_injected_total %d, want %d", got, res.Faults.Total())
+	}
+}
+
+// TestNodeID pins the identity format shared by coordinator reports,
+// metric labels and journal events.
+func TestNodeID(t *testing.T) {
+	for i, want := range map[int]string{0: "node-000", 7: "node-007", 123: "node-123"} {
+		if got := NodeID(i); got != want {
+			t.Errorf("NodeID(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if NodeID(3) != fmt.Sprintf("node-%03d", 3) {
+		t.Error("NodeID format drifted")
+	}
+}

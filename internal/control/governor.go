@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"sturgeon/internal/hw"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/power"
 )
 
@@ -37,6 +38,13 @@ type Governor struct {
 	// requester, while a node whose workload saturates below the cap
 	// leaves more than the reserve free and reads as a donor.
 	Alpha, Beta, Headroom float64
+
+	// Observability (nil = uninstrumented; see SetObs).
+	obs       *obs.Sink
+	adjustCtr *obs.Counter
+	capGauge  *obs.Gauge
+	slackGage *obs.Gauge
+	powerGage *obs.Gauge
 }
 
 // NewGovernor builds a governor for the given spec and initial cap.
@@ -45,7 +53,21 @@ func NewGovernor(spec hw.Spec, cap power.Watts) *Governor {
 }
 
 // SetBudget implements CapSetter.
-func (g *Governor) SetBudget(w power.Watts) { g.Cap = w }
+func (g *Governor) SetBudget(w power.Watts) {
+	g.Cap = w
+	g.capGauge.Set(float64(w))
+}
+
+// SetObs implements obs.Instrumentable. The per-node gauges resolve here
+// once, so Decide pays only nil checks and atomic stores.
+func (g *Governor) SetObs(sink *obs.Sink) {
+	g.obs = sink
+	g.adjustCtr = sink.NodeCounter("governor_adjustments_total")
+	g.capGauge = sink.NodeGauge("node_cap_watts")
+	g.slackGage = sink.NodeGauge("node_latency_slack")
+	g.powerGage = sink.NodeGauge("node_power_watts")
+	g.capGauge.Set(float64(g.Cap))
+}
 
 // Name implements Controller.
 func (g *Governor) Name() string { return "governor" }
@@ -58,7 +80,7 @@ func (g *Governor) Name() string { return "governor" }
 //	slack > Beta        -> spend headroom on BE frequency; with BE
 //	                       already flat out, give LS's surplus back
 //	in band             -> hold
-func (g *Governor) Decide(obs Observation) hw.Config {
+func (g *Governor) Decide(ob Observation) hw.Config {
 	alpha, beta := g.Alpha, g.Beta
 	if alpha == 0 {
 		alpha = 0.10
@@ -70,36 +92,50 @@ func (g *Governor) Decide(obs Observation) hw.Config {
 	if headroom == 0 {
 		headroom = 0.97
 	}
-	cfg := obs.Config
-	draw := float64(obs.Power)
+	cfg := ob.Config
+	draw := float64(ob.Power)
 	cap := float64(g.Cap)
-	slack := obs.Slack()
+	slack := ob.Slack()
 	if math.IsNaN(slack) || math.IsInf(slack, 0) {
 		// Blind latency telemetry: only the power guard may act.
 		slack = (alpha + beta) / 2
 	}
+	g.slackGage.Set(slack)
+	g.powerGage.Set(draw)
 
+	reason := ""
 	switch {
 	case draw > cap:
 		// Overload: BE frequency is the one actuator guaranteed to cut
 		// power without touching the LS service.
 		cfg.BE.Freq = g.step(cfg.BE.Freq, -2)
+		reason = "shed"
 	case slack < alpha:
 		if draw < headroom*cap {
 			cfg.LS.Freq = g.step(cfg.LS.Freq, +1)
+			reason = "ls_up"
 		} else {
 			// No watt headroom: shift it from the BE side.
 			cfg.BE.Freq = g.step(cfg.BE.Freq, -1)
+			reason = "be_down"
 		}
 	case slack > beta:
 		if draw < headroom*cap && cfg.BE.Freq < g.Spec.FreqMax {
 			cfg.BE.Freq = g.step(cfg.BE.Freq, +1)
+			reason = "be_up"
 		} else if draw >= headroom*cap && cfg.LS.Freq > g.Spec.FreqMin {
 			// Cap-constrained with surplus LS speed: harvest a level so the
 			// watts can go to BE instead. With headroom to spare and BE
 			// already flat out, hold — the unused watts are the coordinator's
 			// to re-grant, not worth a QoS gamble here.
 			cfg.LS.Freq = g.step(cfg.LS.Freq, -1)
+			reason = "ls_harvest"
+		}
+	}
+	if cfg != ob.Config {
+		g.adjustCtr.Inc()
+		if g.obs.Active() {
+			g.obs.Emit(obs.Event{T: ob.Time, Type: obs.EventGovernorAdjust, Reason: reason})
 		}
 	}
 	return cfg

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"sturgeon/internal/obs"
 )
 
 // Schema tags the coordinator's wire documents (reports, grants, fleet
@@ -258,6 +260,34 @@ type Coordinator struct {
 	arbitrated bool // the current epoch has already been closed
 	poolW      float64
 	stats      Stats
+
+	// Observability (nil = uninstrumented; see SetObs). The coordinator
+	// has no clock, so journal events carry the arbitration epoch as
+	// their time axis.
+	obs        *obs.Sink
+	reportCtr  *obs.Counter
+	arbCtr     *obs.Counter
+	donateCtr  *obs.Counter
+	grantUpCtr *obs.Counter
+	staleCtr   *obs.Counter
+	poolGauge  *obs.Gauge
+	epochGauge *obs.Gauge
+}
+
+// SetObs implements obs.Instrumentable: attach a decision-trail sink
+// (nil detaches). Like every other method, calls are serialized by the
+// owner (Server's mutex or the simulation's serial merge).
+func (c *Coordinator) SetObs(sink *obs.Sink) {
+	c.obs = sink
+	c.reportCtr = sink.Counter("coordinator_reports_total")
+	c.arbCtr = sink.Counter("coordinator_arbitrations_total")
+	c.donateCtr = sink.Counter("coordinator_donations_total")
+	c.grantUpCtr = sink.Counter("coordinator_grants_up_total")
+	c.staleCtr = sink.Counter("coordinator_stale_freezes_total")
+	c.poolGauge = sink.Gauge("coordinator_pool_watts")
+	c.epochGauge = sink.Gauge("coordinator_epoch")
+	c.poolGauge.Set(c.poolW)
+	c.epochGauge.Set(float64(c.epoch))
 }
 
 // New builds a coordinator. BudgetW must be positive.
@@ -287,6 +317,7 @@ func (c *Coordinator) Submit(r NodeReport) (Grant, error) {
 		return Grant{}, err
 	}
 	c.stats.Reports++
+	c.reportCtr.Inc()
 
 	if r.Epoch > c.epoch {
 		// First report of a newer epoch closes the previous one with
@@ -296,6 +327,7 @@ func (c *Coordinator) Submit(r NodeReport) (Grant, error) {
 		}
 		c.epoch = r.Epoch
 		c.arbitrated = false
+		c.epochGauge.Set(float64(c.epoch))
 	}
 
 	ns := c.adopt(r)
@@ -368,6 +400,7 @@ func (c *Coordinator) arbitrate(epoch int) {
 		return
 	}
 	c.stats.Arbitrations++
+	c.arbCtr.Inc()
 	c.arbEpoch = epoch
 
 	type request struct {
@@ -386,6 +419,11 @@ func (c *Coordinator) arbitrate(epoch int) {
 			// Staleness fallback: freeze the grant. Its watts stay
 			// reserved — the coordinator cannot verify they are free.
 			c.stats.StaleFreezes++
+			c.staleCtr.Inc()
+			if c.obs.Active() {
+				c.obs.Emit(obs.Event{T: float64(epoch), Node: ns.id,
+					Type: obs.EventStaleFreeze, Epoch: epoch})
+			}
 			ns.stepW, ns.lastDonatedW = 0, 0
 			continue
 		}
@@ -415,6 +453,7 @@ func (c *Coordinator) arbitrate(epoch int) {
 				c.moveCap(ns, -give)
 				ns.lastDonatedW = give
 				c.stats.Donations++
+				c.donateCtr.Inc()
 			} else {
 				ns.lastDonatedW = 0
 			}
@@ -428,6 +467,7 @@ func (c *Coordinator) arbitrate(epoch int) {
 				if back > 0 {
 					c.moveCap(ns, back)
 					c.stats.GrantsUp++
+					c.grantUpCtr.Inc()
 				}
 				ns.stepW = math.Max(c.opt.QuantumW, ns.stepW/2)
 				ns.lastDonatedW = 0
@@ -472,6 +512,7 @@ func (c *Coordinator) arbitrate(epoch int) {
 			}
 			c.moveCap(req.ns, share)
 			c.stats.GrantsUp++
+			c.grantUpCtr.Inc()
 		}
 	}
 }
@@ -494,6 +535,11 @@ func (c *Coordinator) moveCap(ns *nodeState, deltaW float64) {
 	ns.capW = next
 	c.stats.MovedW += math.Abs(deltaW)
 	ns.granted = true
+	c.poolGauge.Set(c.poolW)
+	if c.obs.Active() {
+		c.obs.Emit(obs.Event{T: float64(c.arbEpoch), Node: ns.id,
+			Type: obs.EventCapGranted, Epoch: c.arbEpoch, Value: ns.capW})
+	}
 }
 
 // quantize rounds a watt amount down to the quantum grid (0 below it).

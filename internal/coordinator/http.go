@@ -7,10 +7,12 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
 )
 
 // HTTP/JSON transport: Server exposes a Coordinator as a small
@@ -23,24 +25,39 @@ import (
 // Server wraps a Coordinator with an HTTP handler and the mutex the pure
 // state machine deliberately lacks.
 type Server struct {
-	mu sync.Mutex
-	c  *Coordinator
+	mu  sync.Mutex
+	c   *Coordinator
+	snk *obs.Sink
 }
 
 // NewServer builds the handler around an existing coordinator.
 func NewServer(c *Coordinator) *Server { return &Server{c: c} }
+
+// SetObs attaches a decision-trail sink to the server and its
+// coordinator; /metrics and /v1/events serve from it. Without one (or
+// with nil) those endpoints answer with empty documents.
+func (s *Server) SetObs(sink *obs.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snk = sink
+	s.c.SetObs(sink)
+}
 
 // Handler returns the service mux:
 //
 //	POST /v1/report   NodeReport -> Grant
 //	GET  /v1/grant    ?node=ID   -> Grant (re-sync after an outage)
 //	GET  /fleet/status            -> FleetStatus
+//	GET  /metrics                 -> Prometheus text exposition
+//	GET  /v1/events   ?since=SEQ -> EventsDoc tail (events with seq > SEQ)
 //	GET  /healthz                 -> 200 "ok"
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/grant", s.handleGrant)
 	mux.HandleFunc("/fleet/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/events", s.handleEvents)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -88,6 +105,39 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	st := s.c.Status()
 	s.mu.Unlock()
 	writeDoc(w, st)
+}
+
+// handleMetrics renders the registry in Prometheus text exposition
+// format. Metric reads are atomic snapshots, so the server mutex is not
+// taken — a scrape never stalls arbitration.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var reg *obs.Registry
+	if s.snk != nil {
+		reg = s.snk.Metrics
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
+}
+
+// handleEvents serves the journal tail as a sturgeon/events/v1 document.
+// ?since=SEQ returns only events with a newer sequence number, so a
+// poller can page the journal without re-reading what it has seen.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	var since int64
+	if raw := req.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	var j *obs.Journal
+	if s.snk != nil {
+		j = s.snk.Journal
+	}
+	doc := &obs.EventsDoc{Schema: obs.EventsSchema, Dropped: j.Dropped(), Events: j.Since(since)}
+	writeDoc(w, doc)
 }
 
 func writeDoc(w http.ResponseWriter, v interface{}) {

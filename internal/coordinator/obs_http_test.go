@@ -1,0 +1,263 @@
+package coordinator
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+)
+
+// newObsFixture is newHTTPFixture plus an attached decision-trail sink,
+// for the /metrics and /v1/events endpoint tests.
+func newObsFixture(t *testing.T, opt Options) (*httptest.Server, *Client, *obs.Sink) {
+	t.Helper()
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(c)
+	sink := obs.New(0)
+	s.SetObs(sink)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	cl := NewClient(srv.URL, 1)
+	cl.BackoffBase = time.Millisecond
+	return srv, cl, sink
+}
+
+// TestHTTPClientSurfacesErrorBody pins the client's 4xx error contract:
+// the server's response body must appear verbatim in the returned error
+// (alongside path and status) and the failure must be treated as
+// permanent — one request, no retries. Operators debug rejected reports
+// from this one string, so its shape is a regression surface.
+func TestHTTPClientSurfacesErrorBody(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "report schema \"bogus\" rejected", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	cl := NewClient(srv.URL, 7)
+	cl.BackoffBase = time.Millisecond
+
+	_, err := cl.Report(context.Background(), report("a", 0, 0.15, 90, 100))
+	if err == nil {
+		t.Fatal("400 reported as success")
+	}
+	const want = `coordinator: /v1/report: 400 Bad Request (report schema "bogus" rejected)`
+	if err.Error() != want {
+		t.Errorf("error message drifted:\n got %q\nwant %q", err.Error(), want)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("client retried a permanent 4xx %d times", calls.Load())
+	}
+
+	// The same contract against the real handler: an unknown-node grant
+	// surfaces the coordinator's own message through the 404 body.
+	_, cl2 := newHTTPFixture(t, Options{BudgetW: 200})
+	_, err = cl2.Grant(context.Background(), "ghost")
+	if err == nil {
+		t.Fatal("unknown node reported as success")
+	}
+	for _, frag := range []string{"/v1/grant", "404", `unknown node "ghost"`} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("grant error %q missing %q", err.Error(), frag)
+		}
+	}
+}
+
+// TestHTTPStatusFieldCompleteness decodes /fleet/status as raw JSON and
+// requires every documented field to be present on the wire — a rename
+// or omitted tag breaks dashboards silently, so the keys are pinned.
+func TestHTTPStatusFieldCompleteness(t *testing.T) {
+	srv, cl, _ := newObsFixture(t, Options{BudgetW: 200, FleetSize: 2})
+	ctx := context.Background()
+	for _, id := range []string{"a", "b"} {
+		if _, err := cl.Report(ctx, report(id, 1, 0.15, 90, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/fleet/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "epoch", "budget_w", "pool_w", "nodes", "stats"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("/fleet/status missing top-level field %q", key)
+		}
+	}
+	var nodes []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["nodes"], &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("expected 2 node rows, got %d", len(nodes))
+	}
+	for _, key := range []string{"node_id", "cap_w", "slack", "power_w", "last_epoch", "stale", "healthy"} {
+		if _, ok := nodes[0][key]; !ok {
+			t.Errorf("/fleet/status node row missing field %q", key)
+		}
+	}
+	var stats map[string]json.RawMessage
+	if err := json.Unmarshal(doc["stats"], &stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"reports", "arbitrations", "donations", "grants_up", "stale_freezes", "moved_w"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/fleet/status stats missing field %q", key)
+		}
+	}
+}
+
+// TestHTTPMetricsEndpoint scrapes /metrics and cross-checks the
+// coordinator counters against the stats the status document reports.
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	srv, cl, _ := newObsFixture(t, Options{BudgetW: 200, FleetSize: 2})
+	ctx := context.Background()
+	for e := 0; e <= 2; e++ {
+		for _, id := range []string{"a", "b"} {
+			if _, err := cl.Report(ctx, report(id, e, 0.15, 90, 100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE coordinator_reports_total counter",
+		"coordinator_reports_total 6",
+		"# TYPE coordinator_pool_watts gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+	if st.Stats.Reports != 6 {
+		t.Fatalf("status reports %d, want 6 (fixture drifted)", st.Stats.Reports)
+	}
+}
+
+// eventsAt fetches /v1/events?since=N and validates the document.
+func eventsAt(t *testing.T, base string, since string) *obs.EventsDoc {
+	t.Helper()
+	url := base + "/v1/events"
+	if since != "" {
+		url += "?since=" + since
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var doc obs.EventsDoc
+	if err := jsonio.Decode(resp.Body, &doc); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return &doc
+}
+
+// TestHTTPEventsPagination drives enough arbitration to journal events,
+// then pages the journal with ?since=SEQ: the tail after a cursor must
+// contain exactly the events newer than it, the end cursor must return
+// an empty document, and a malformed cursor must be a 400.
+func TestHTTPEventsPagination(t *testing.T) {
+	srv, cl, sink := newObsFixture(t, Options{BudgetW: 400, MinCapW: 60, MaxCapW: 140, FleetSize: 4})
+	ctx := context.Background()
+	ids := []string{"n0", "n1", "n2", "n3"}
+	caps := map[string]float64{"n0": 100, "n1": 100, "n2": 100, "n3": 100}
+	for e := 0; e <= 6; e++ {
+		for _, id := range ids {
+			slack, pw := 0.15, 90.0
+			switch id {
+			case "n0":
+				slack, pw = 0.05, caps[id]-0.5
+			case "n1":
+				slack, pw = 0.6, 70
+			}
+			g, err := cl.Report(ctx, report(id, e, slack, pw, caps[id]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps[id] = g.CapW
+		}
+	}
+
+	all := eventsAt(t, srv.URL, "")
+	if len(all.Events) == 0 {
+		t.Fatal("no events journaled by a converging fleet")
+	}
+	hasGrant := false
+	for _, ev := range all.Events {
+		if ev.Type == obs.EventCapGranted {
+			hasGrant = true
+			break
+		}
+	}
+	if !hasGrant {
+		t.Fatal("journal carries no cap_granted events")
+	}
+
+	mid := all.Events[len(all.Events)/2].Seq
+	tail := eventsAt(t, srv.URL, strconv.FormatInt(mid, 10))
+	wantTail := 0
+	for _, ev := range all.Events {
+		if ev.Seq > mid {
+			wantTail++
+		}
+	}
+	if len(tail.Events) != wantTail {
+		t.Fatalf("since=%d returned %d events, want %d", mid, len(tail.Events), wantTail)
+	}
+	for _, ev := range tail.Events {
+		if ev.Seq <= mid {
+			t.Fatalf("since=%d leaked event seq %d", mid, ev.Seq)
+		}
+	}
+
+	last := sink.Journal.LastSeq()
+	empty := eventsAt(t, srv.URL, strconv.FormatInt(last, 10))
+	if len(empty.Events) != 0 {
+		t.Fatalf("since=last returned %d events, want 0", len(empty.Events))
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/events?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage cursor got %s, want 400", resp.Status)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sturgeon/internal/control"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/models"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/power"
 )
 
@@ -69,6 +70,17 @@ type Sturgeon struct {
 	Searches int
 	// BalancerSteps counts balancer interventions.
 	BalancerSteps int
+
+	// Observability (nil = uninstrumented; see SetObs). The residual
+	// fields remember the prediction made for the last-installed search
+	// answer so the next interval's measurement can be compared to it.
+	obs          *obs.Sink
+	searchCtr    *obs.Counter
+	balanceCtr   *obs.Counter
+	residualHist *obs.Histogram
+	residCfg     hw.Config
+	residPredW   float64
+	residPending bool
 }
 
 // New builds a Sturgeon controller for one co-location pair.
@@ -97,18 +109,55 @@ func (s *Sturgeon) Name() string {
 	return "sturgeon"
 }
 
+// SetObs implements obs.Instrumentable: install a decision-trail sink
+// (nil detaches). Counters and the residual histogram are resolved once
+// here so Decide never touches the registry map on the hot path.
+func (s *Sturgeon) SetObs(sink *obs.Sink) {
+	s.obs = sink
+	s.searchCtr = sink.Counter("sturgeon_searches_total")
+	s.balanceCtr = sink.Counter("sturgeon_balancer_steps_total")
+	s.residualHist = sink.Histogram("sturgeon_power_residual_watts",
+		-8, -4, -2, -1, 0, 1, 2, 4, 8)
+	s.residPending = false
+}
+
+// observeResidual compares the power the predictor promised for the
+// last-installed search answer against the measurement that followed —
+// the drift signal of DESIGN.md §11. It runs only while a sink is
+// attached and only on the first interval the searched configuration is
+// actually in force, so instrumentation never perturbs the decision
+// sequence and costs nothing when disabled.
+func (s *Sturgeon) observeResidual(ob control.Observation, slack float64) {
+	if !s.residPending || ob.Config != s.residCfg {
+		return
+	}
+	s.residPending = false
+	resid := float64(ob.Power) - s.residPredW
+	s.residualHist.Observe(resid)
+	s.obs.Emit(obs.Event{T: ob.Time, Type: obs.EventResidual, Resource: "power", Value: resid})
+	if slack < 0 {
+		// The search installed this configuration believing it feasible;
+		// the measured slack says otherwise. Journal the miss.
+		s.obs.Emit(obs.Event{T: ob.Time, Type: obs.EventResidual, Resource: "latency", Value: slack})
+	}
+}
+
 // Decide implements Algorithm 1 for one interval.
-func (s *Sturgeon) Decide(obs control.Observation) hw.Config {
-	slack := obs.Slack()
+func (s *Sturgeon) Decide(ob control.Observation) hw.Config {
+	slack := ob.Slack()
 	// Shed slightly below the cap: RAPL-class meters carry ~1 W of read
 	// noise, and a reading that hides a marginal overload for one
 	// interval is enough to let a sustained excursion ride through.
-	overload := float64(obs.Power) > 0.99*float64(s.Budget)
+	overload := float64(ob.Power) > 0.99*float64(s.Budget)
+
+	if s.obs != nil {
+		s.observeResidual(ob, slack)
+	}
 
 	inBand := slack >= s.Opt.Alpha && slack <= s.Opt.Beta
 	if inBand && !overload {
 		s.balancer.Reset()
-		return obs.Config
+		return ob.Config
 	}
 
 	// Out of band. A fresh load level warrants a predictor search; the
@@ -123,19 +172,30 @@ func (s *Sturgeon) Decide(obs control.Observation) hw.Config {
 		delta *= 5
 	}
 	loadMoved := !s.searched ||
-		math.Abs(obs.QPS-s.lastSearchQPS) > delta*peak
+		math.Abs(ob.QPS-s.lastSearchQPS) > delta*peak
 	if loadMoved {
-		cfg, _ := s.searcher.BestConfig(obs.QPS)
+		first := !s.searched
+		cfg, _ := s.searcher.BestConfig(ob.QPS)
 		s.searched = true
-		s.lastSearchQPS = obs.QPS
+		s.lastSearchQPS = ob.QPS
 		s.Searches++
+		s.searchCtr.Inc()
 		// Never hand the LS service less capacity than the balancer
 		// established at a comparable load: feedback evidence outranks
 		// the offline model.
-		if s.balancer.Active() && lsCapacity(cfg) < lsCapacity(obs.Config) {
-			cfg = obs.Config
+		if s.balancer.Active() && lsCapacity(cfg) < lsCapacity(ob.Config) {
+			cfg = ob.Config
 		} else {
 			s.balancer.Reset()
+		}
+		if s.obs.Active() {
+			reason := searchReason(first, slack, overload)
+			s.obs.Emit(obs.Event{T: ob.Time, Type: obs.EventSearch, Reason: reason})
+			// Remember what the predictor promised for the installed
+			// configuration so the next measured interval can score it.
+			s.residCfg = cfg
+			s.residPredW = float64(s.Pred.PowerW(cfg, ob.QPS))
+			s.residPending = true
 		}
 		return cfg
 	}
@@ -143,9 +203,25 @@ func (s *Sturgeon) Decide(obs control.Observation) hw.Config {
 	// The predictor already answered for this load; the residual is
 	// interference (or its aftermath).
 	if s.Opt.DisableBalancer {
-		return obs.Config
+		return ob.Config
 	}
-	return s.balance(obs, slack, overload)
+	return s.balance(ob, slack, overload)
+}
+
+// searchReason names what pushed Algorithm 1 into a re-search: the very
+// first interval, or the band violation that co-occurred with the load
+// move.
+func searchReason(first bool, slack float64, overload bool) string {
+	switch {
+	case first:
+		return "initial"
+	case overload:
+		return "overload"
+	case slack < 0:
+		return "qos_violation"
+	default:
+		return "load_moved"
+	}
 }
 
 // lsCapacity scores an LS allocation in core·GHz, the controller's
@@ -155,20 +231,29 @@ func lsCapacity(cfg hw.Config) float64 {
 }
 
 // balance routes one interval to the Algorithm 2 feedback loop.
-func (s *Sturgeon) balance(obs control.Observation, slack float64, overload bool) hw.Config {
+func (s *Sturgeon) balance(ob control.Observation, slack float64, overload bool) hw.Config {
 	switch {
 	case overload:
 		s.BalancerSteps++
-		return s.balancer.ShedPower(obs.Config)
+		s.balanceCtr.Inc()
+		next := s.balancer.ShedPower(ob.Config)
+		s.emitMove(ob, next, obs.EventHarvest, "overload")
+		return next
 	case slack < s.Opt.Alpha:
 		s.BalancerSteps++
-		nearCap := obs.Power > s.searcher.guardedBudget()
+		s.balanceCtr.Inc()
+		nearCap := ob.Power > s.searcher.guardedBudget()
 		deep := slack < -0.5
-		return s.balancer.Harvest(obs.Config, obs.QPS, nearCap, deep)
+		next := s.balancer.Harvest(ob.Config, ob.QPS, nearCap, deep)
+		s.emitMove(ob, next, obs.EventHarvest, "slack_low")
+		return next
 	case slack > s.Opt.Beta && s.balancer.Active() && s.balancer.Harvested():
 		// Latency suddenly very low after a harvest: give half back.
 		s.BalancerSteps++
-		return s.balancer.Revert(obs.Config, obs.QPS)
+		s.balanceCtr.Inc()
+		next := s.balancer.Revert(ob.Config, ob.QPS)
+		s.emitMove(ob, next, obs.EventRevert, "slack_high")
+		return next
 	default:
 		// Ample slack with nothing left to revert: the interference
 		// episode is over. Drop the search memo so the predictor's
@@ -179,6 +264,22 @@ func (s *Sturgeon) balance(obs control.Observation, slack float64, overload bool
 			s.searched = false
 		}
 		s.balancer.Reset()
-		return obs.Config
+		return ob.Config
 	}
+}
+
+// emitMove journals one balancer move (harvest, shed or revert) with the
+// resource and granularity the balancer recorded for its revert path. A
+// move that changed nothing journals nothing.
+func (s *Sturgeon) emitMove(ob control.Observation, next hw.Config, typ, reason string) {
+	if !s.obs.Active() || next == ob.Config {
+		return
+	}
+	s.obs.Emit(obs.Event{
+		T:        ob.Time,
+		Type:     typ,
+		Reason:   reason,
+		Resource: s.balancer.lastTarget.String(),
+		Amount:   s.balancer.lastAmount,
+	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"sturgeon/internal/control"
 	"sturgeon/internal/hw"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/power"
 )
 
@@ -50,6 +51,12 @@ type Guarded struct {
 	pending    hw.Config
 	hasPending bool
 	retries    int
+
+	// Observability (nil = uninstrumented; see SetObs).
+	obs      *obs.Sink
+	holdCtr  *obs.Counter
+	substCtr *obs.Counter
+	retryCtr *obs.Counter
 }
 
 // Guard wraps inner with default floor and retry settings.
@@ -64,6 +71,18 @@ func Guard(inner control.Controller, spec hw.Spec) *Guarded {
 // Name identifies the guarded variant in reports.
 func (g *Guarded) Name() string { return g.Inner.Name() + "+guard" }
 
+// SetObs implements obs.Instrumentable, forwarding the sink to the
+// wrapped controller when it is instrumentable too.
+func (g *Guarded) SetObs(sink *obs.Sink) {
+	g.obs = sink
+	g.holdCtr = sink.Counter("guard_holds_total")
+	g.substCtr = sink.Counter("guard_substitutions_total")
+	g.retryCtr = sink.Counter("guard_retries_total")
+	if in, ok := g.Inner.(obs.Instrumentable); ok {
+		in.SetObs(sink)
+	}
+}
+
 func (g *Guarded) maxRetries() int {
 	if g.MaxRetries <= 0 {
 		return 2
@@ -73,51 +92,55 @@ func (g *Guarded) maxRetries() int {
 
 // Decide sanitizes the observation, handles actuation retry, and routes
 // the repaired telemetry to the wrapped controller.
-func (g *Guarded) Decide(obs control.Observation) hw.Config {
-	raw := obs
+func (g *Guarded) Decide(ob control.Observation) hw.Config {
+	raw := ob
 
-	latencyBad := math.IsNaN(obs.P95) || math.IsInf(obs.P95, 0) || obs.P95 < 0
+	latencyBad := math.IsNaN(ob.P95) || math.IsInf(ob.P95, 0) || ob.P95 < 0
 	if latencyBad {
 		if g.haveGood {
-			obs.P95 = g.lastGood.P95
+			ob.P95 = g.lastGood.P95
 		} else {
 			// No history: assume the target is exactly met, which makes
 			// slack 0 — out of band on the cautious side.
-			obs.P95 = obs.Target
+			ob.P95 = ob.Target
 		}
 		g.Substitutions++
+		g.substCtr.Inc()
 	}
 
-	qpsBad := math.IsNaN(obs.QPS) || math.IsInf(obs.QPS, 0) || obs.QPS < 0
+	qpsBad := math.IsNaN(ob.QPS) || math.IsInf(ob.QPS, 0) || ob.QPS < 0
 	if qpsBad {
 		if g.haveGood {
-			obs.QPS = g.lastGood.QPS
+			ob.QPS = g.lastGood.QPS
 		} else {
-			obs.QPS = 0
+			ob.QPS = 0
 		}
 		g.Substitutions++
+		g.substCtr.Inc()
 	}
 
-	powerBad := math.IsNaN(float64(obs.Power)) || math.IsInf(float64(obs.Power), 0) ||
-		obs.Power <= 0 || (g.FloorW > 0 && obs.Power < g.FloorW)
+	powerBad := math.IsNaN(float64(ob.Power)) || math.IsInf(float64(ob.Power), 0) ||
+		ob.Power <= 0 || (g.FloorW > 0 && ob.Power < g.FloorW)
 	if powerBad {
 		if g.haveGood {
-			obs.Power = g.lastGood.Power
+			ob.Power = g.lastGood.Power
 		} else {
-			obs.Power = g.FloorW
+			ob.Power = g.FloorW
 		}
 		g.Substitutions++
+		g.substCtr.Inc()
 	}
 
 	// Actuation audit: if the last decision never landed, re-issue it a
 	// bounded number of times before replanning from reality.
 	if g.hasPending {
 		switch {
-		case obs.Config == g.pending:
+		case ob.Config == g.pending:
 			g.hasPending, g.retries = false, 0
 		case g.retries < g.maxRetries():
 			g.retries++
 			g.Retries++
+			g.retryCtr.Inc()
 			return g.pending
 		default:
 			g.hasPending, g.retries = false, 0
@@ -127,11 +150,15 @@ func (g *Guarded) Decide(obs control.Observation) hw.Config {
 	if latencyBad && powerBad {
 		// Both control signals are garbage: hold last-known-good.
 		g.Holds++
-		return obs.Config
+		g.holdCtr.Inc()
+		if g.obs.Active() {
+			g.obs.Emit(obs.Event{T: ob.Time, Type: obs.EventGuardHold, Reason: "blind_telemetry"})
+		}
+		return ob.Config
 	}
 
-	out := g.clamp(g.Inner.Decide(obs), obs.Config)
-	if out != obs.Config {
+	out := g.clamp(g.Inner.Decide(ob), ob.Config)
+	if out != ob.Config {
 		g.pending, g.hasPending, g.retries = out, true, 0
 	}
 	if !latencyBad && !qpsBad && !powerBad {

@@ -38,6 +38,7 @@ func CoordinatedFleet(env *Env) *trace.Table {
 			panic(fmt.Sprintf("experiments: coordinated fleet: %v", err))
 		}
 		c.Parallelism = env.Cfg.Parallelism
+		c.SetObs(env.Cfg.Obs)
 		res := c.Run(o.Trace(), o.DurationS)
 		tbl.Addf(row.name, res.QoSRate, res.MeanBEThroughputUPS,
 			res.MeanPowerW, res.WorkPerKJ,

@@ -13,6 +13,7 @@ import (
 	"sturgeon/internal/cache"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/models"
+	"sturgeon/internal/obs"
 	"sturgeon/internal/power"
 	"sturgeon/internal/sim"
 	"sturgeon/internal/workload"
@@ -39,6 +40,13 @@ type Config struct {
 	Parallelism int
 	// Quick shrinks everything for smoke tests and benchmarks.
 	Quick bool
+	// Obs, when non-nil, receives the decision trail of the experiments
+	// that support it (currently the coordinated-fleet scenario): metrics
+	// land in Obs.Metrics and journal events drain onto Obs.Journal in
+	// deterministic order. Experiments that fan out whole runs in
+	// parallel ignore it — interleaving journals across concurrent
+	// fleets would break the byte-identical dump guarantee.
+	Obs *obs.Sink
 }
 
 func (c Config) withDefaults() Config {

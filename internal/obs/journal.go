@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// EventsSchema tags the JSON events document; bump on breaking change.
+const EventsSchema = "sturgeon/events/v1"
+
+// Event types of the decision trail. The set is open — packages may
+// journal additional types — but these are the taxonomy the runtime
+// emits (DESIGN.md §11 documents each one's fields and meaning).
+const (
+	// EventSearch marks an Algorithm 1 predictor re-search
+	// (Reason: "initial", "load_moved").
+	EventSearch = "search_triggered"
+	// EventHarvest marks an Algorithm 2 harvest or power shed
+	// (Resource: cores/cache/power/parked; Amount: the granularity moved,
+	// negative for pure BE throttles).
+	EventHarvest = "harvest"
+	// EventRevert marks an over-harvest give-back (Resource, Amount as
+	// for EventHarvest).
+	EventRevert = "revert"
+	// EventGuardHold marks an interval the telemetry guard held the
+	// configuration because both control signals were unusable.
+	EventGuardHold = "guard_hold"
+	// EventGovernorAdjust marks a model-free governor frequency move
+	// (Reason: shed/ls_up/be_down/be_up/ls_harvest).
+	EventGovernorAdjust = "governor_adjust"
+	// EventCapGranted marks a coordinator cap change landing on a node
+	// (Epoch: arbitration epoch; Value: the new cap in watts).
+	EventCapGranted = "cap_granted"
+	// EventStaleFreeze marks a node frozen by the coordinator's
+	// staleness fallback (Epoch: the arbitration epoch).
+	EventStaleFreeze = "stale_freeze"
+	// EventNodeEvicted and EventNodeReadmitted mark failure-detector
+	// rotation changes.
+	EventNodeEvicted    = "node_evicted"
+	EventNodeReadmitted = "node_readmitted"
+	// EventResidual samples predictor drift: Value is observed minus
+	// predicted for the Resource ("power" in watts; "latency" carries the
+	// observed slack of a configuration the predictor deemed feasible).
+	EventResidual = "residual"
+)
+
+// Event is one entry of the decision journal. T is simulated seconds
+// (never wall clock — replays must be byte-identical), Seq the per-run
+// sequence number assigned at append.
+type Event struct {
+	Seq  int64   `json:"seq"`
+	T    float64 `json:"t"`
+	Node string  `json:"node,omitempty"`
+	Type string  `json:"type"`
+	// Reason qualifies the type (search trigger, governor direction);
+	// Resource names the harvested/measured resource.
+	Reason   string `json:"reason,omitempty"`
+	Resource string `json:"resource,omitempty"`
+	// Amount is a discrete move size (cores, ways, frequency levels);
+	// Epoch a coordination epoch; Value a continuous payload (watts,
+	// residuals).
+	Amount int     `json:"amount,omitempty"`
+	Epoch  int     `json:"epoch,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// Journal is a bounded ring of events with monotonically increasing
+// sequence numbers. Appends past capacity overwrite the oldest entries
+// (counted in Dropped), so a long run keeps a recent decision tail at a
+// fixed memory cost. All methods are nil-safe.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // ring index of the oldest retained event
+	n       int // retained count
+	seq     int64
+	dropped int64
+}
+
+// DefaultJournalCap is the ring capacity NewJournal uses for cap <= 0.
+const DefaultJournalCap = 16384
+
+// NewJournal builds a journal retaining up to cap events.
+func NewJournal(cap int) *Journal {
+	if cap <= 0 {
+		cap = DefaultJournalCap
+	}
+	return &Journal{buf: make([]Event, cap)}
+}
+
+// Append stamps ev with the next sequence number and stores it,
+// returning the assigned sequence (0 through a nil journal).
+func (j *Journal) Append(ev Event) int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	ev.Seq = j.seq
+	if j.n == len(j.buf) {
+		j.buf[j.start] = ev
+		j.start = (j.start + 1) % len(j.buf)
+		j.dropped++
+	} else {
+		j.buf[(j.start+j.n)%len(j.buf)] = ev
+		j.n++
+	}
+	return ev.Seq
+}
+
+// Since returns the retained events with Seq > seq, oldest first. A nil
+// journal returns nil; Since(0) returns the full retained tail.
+func (j *Journal) Since(seq int64) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	for i := 0; i < j.n; i++ {
+		ev := j.buf[(j.start+i)%len(j.buf)]
+		if ev.Seq > seq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// LastSeq returns the newest assigned sequence number (0 before the
+// first append or through nil).
+func (j *Journal) LastSeq() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// EventsDoc is the persisted journal ("sturgeon/events/v1"): the
+// retained tail plus the count of events the ring dropped before it.
+type EventsDoc struct {
+	Schema  string  `json:"schema"`
+	Dropped int64   `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// Validate implements jsonio.Validator.
+func (d *EventsDoc) Validate() error {
+	if d.Schema != EventsSchema {
+		return fmt.Errorf("obs: events schema %q, want %q", d.Schema, EventsSchema)
+	}
+	if d.Dropped < 0 {
+		return fmt.Errorf("obs: negative dropped count %d", d.Dropped)
+	}
+	var last int64
+	for i, ev := range d.Events {
+		switch {
+		case ev.Type == "":
+			return fmt.Errorf("obs: event %d has empty type", i)
+		case ev.Seq <= last:
+			return fmt.Errorf("obs: event %d seq %d not increasing (after %d)", i, ev.Seq, last)
+		case math.IsNaN(ev.T) || math.IsInf(ev.T, 0) || ev.T < 0:
+			return fmt.Errorf("obs: event %d carries invalid time %v", i, ev.T)
+		case math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0):
+			return fmt.Errorf("obs: event %d carries non-finite value", i)
+		}
+		last = ev.Seq
+	}
+	return nil
+}
+
+// Doc snapshots the journal as the persistable events document. A nil
+// journal yields an empty (but valid) document.
+func (j *Journal) Doc() *EventsDoc {
+	return &EventsDoc{
+		Schema:  EventsSchema,
+		Dropped: j.Dropped(),
+		Events:  j.Since(0),
+	}
+}

@@ -1,0 +1,410 @@
+// Package obs is the decision-trail observability layer: a low-overhead
+// metrics registry (counters, gauges, fixed-bucket histograms) plus a
+// structured decision-event journal, both designed around two hard
+// constraints of this codebase:
+//
+//   - Nil safety. Every type is a no-op through a nil receiver, so hot
+//     paths (node stepping, controller decisions) instrument
+//     unconditionally — an uninstrumented run pays one nil check, not a
+//     branch forest. BenchmarkInstrumentedStep pins the cost of the live
+//     path below 5 % of an uninstrumented step.
+//   - Determinism. Nothing here consults a clock or a random source.
+//     Events carry simulated time and a per-run sequence number assigned
+//     at append; in the parallel fleet stepping each node journals into
+//     its own staging ring and the cluster drains them serially in
+//     node-index order, so two same-seed runs dump byte-identical
+//     journals (see DESIGN.md §11).
+//
+// Exposition is dual: Prometheus text format (WritePrometheus, served by
+// cmd/sturgeond at GET /metrics) and a schema-validated JSON document
+// (Doc, schema "sturgeon/metrics/v1") for fixtures and tooling.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricsSchema tags the JSON metrics document; bump on breaking change.
+const MetricsSchema = "sturgeon/metrics/v1"
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe on a nil receiver and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 through nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value float metric, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last value set (0 through nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: cumulative counts over sorted
+// upper bounds plus an implicit +Inf bucket, with an atomically
+// accumulated sum. Buckets are fixed at registration so concurrent
+// Observe never allocates or locks.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf excluded
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	n       atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.n.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed (0 through nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the accumulated sample sum (0 through nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram)
+// takes a mutex; the returned handles update lock-free, so hot paths
+// resolve their metrics once at wiring time and never look them up
+// again. A nil *Registry hands back nil handles, which no-op.
+//
+// Names follow Prometheus exposition syntax and may carry a label block:
+// "fleet_node_cap_watts{node=\"node-003\"}". The registry treats the
+// full string as the identity; WritePrometheus groups names sharing a
+// family (the part before '{') under one # TYPE header.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (registering on first use) the named counter, or nil
+// through a nil registry or a name already claimed by another kind.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil || name == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.gauges[name] != nil || r.hists[name] != nil {
+		return nil
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge, or nil
+// through a nil registry or a cross-kind name collision.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil || name == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if r.counters[name] != nil || r.hists[name] != nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given bucket upper bounds (sorted, +Inf implicit). Re-registration
+// returns the existing histogram regardless of the bounds passed; a nil
+// registry, an empty bound list or a cross-kind collision yields nil.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil || name == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if r.counters[name] != nil || r.gauges[name] != nil || len(bounds) == 0 {
+		return nil
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
+	r.hists[name] = h
+	return h
+}
+
+// CounterPoint is one counter in the JSON metrics document.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge in the JSON metrics document.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram in the JSON metrics document. Buckets
+// are cumulative counts aligned with Bounds; an implicit +Inf bucket
+// brings the last cumulative count to Count.
+type HistogramPoint struct {
+	Name    string    `json:"name"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	Sum     float64   `json:"sum"`
+	Count   int64     `json:"count"`
+}
+
+// MetricsDoc is the JSON exposition ("sturgeon/metrics/v1"): every
+// metric in stable (sorted-name) order.
+type MetricsDoc struct {
+	Schema     string           `json:"schema"`
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Validate implements jsonio.Validator.
+func (d *MetricsDoc) Validate() error {
+	if d.Schema != MetricsSchema {
+		return fmt.Errorf("obs: metrics schema %q, want %q", d.Schema, MetricsSchema)
+	}
+	for i, c := range d.Counters {
+		if c.Name == "" {
+			return fmt.Errorf("obs: counter %d has empty name", i)
+		}
+		if c.Value < 0 {
+			return fmt.Errorf("obs: counter %s negative (%d)", c.Name, c.Value)
+		}
+		if i > 0 && d.Counters[i-1].Name >= c.Name {
+			return fmt.Errorf("obs: counters not in strict name order at %s", c.Name)
+		}
+	}
+	for i, g := range d.Gauges {
+		if g.Name == "" {
+			return fmt.Errorf("obs: gauge %d has empty name", i)
+		}
+		if math.IsNaN(g.Value) || math.IsInf(g.Value, 0) {
+			return fmt.Errorf("obs: gauge %s carries non-finite value", g.Name)
+		}
+		if i > 0 && d.Gauges[i-1].Name >= g.Name {
+			return fmt.Errorf("obs: gauges not in strict name order at %s", g.Name)
+		}
+	}
+	for i, h := range d.Histograms {
+		if h.Name == "" {
+			return fmt.Errorf("obs: histogram %d has empty name", i)
+		}
+		if len(h.Buckets) != len(h.Bounds) {
+			return fmt.Errorf("obs: histogram %s has %d buckets for %d bounds", h.Name, len(h.Buckets), len(h.Bounds))
+		}
+		var last int64
+		for j, c := range h.Buckets {
+			if c < last {
+				return fmt.Errorf("obs: histogram %s bucket %d not cumulative", h.Name, j)
+			}
+			last = c
+		}
+		if last > h.Count {
+			return fmt.Errorf("obs: histogram %s buckets exceed count", h.Name)
+		}
+		if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+			return fmt.Errorf("obs: histogram %s carries non-finite sum", h.Name)
+		}
+		if i > 0 && d.Histograms[i-1].Name >= h.Name {
+			return fmt.Errorf("obs: histograms not in strict name order at %s", h.Name)
+		}
+	}
+	return nil
+}
+
+// Doc snapshots the registry as the JSON metrics document, iterating in
+// sorted name order so two snapshots of identical state are identical
+// bytes. Nil registries yield an empty (but valid) document.
+func (r *Registry) Doc() *MetricsDoc {
+	d := &MetricsDoc{Schema: MetricsSchema}
+	if r == nil {
+		return d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counters) {
+		d.Counters = append(d.Counters, CounterPoint{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		d.Gauges = append(d.Gauges, GaugePoint{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		hp := HistogramPoint{Name: name, Bounds: append([]float64(nil), h.bounds...)}
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			hp.Buckets = append(hp.Buckets, cum)
+		}
+		hp.Count = h.Count()
+		hp.Sum = h.Sum()
+		d.Histograms = append(d.Histograms, hp)
+	}
+	return d
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// splitName separates a full metric name into its family and label
+// block: "x{a=\"b\"}" -> ("x", "a=\"b\""); "x" -> ("x", "").
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a # TYPE header per metric family, then one
+// sample line per metric, in sorted name order. Histograms expand to the
+// conventional _bucket{le=...}/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	doc := r.Doc()
+	var b strings.Builder
+	lastFamily := ""
+	header := func(name, kind string) string {
+		fam, _ := splitName(name)
+		if fam == lastFamily {
+			return fam
+		}
+		lastFamily = fam
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, kind)
+		return fam
+	}
+	for _, c := range doc.Counters {
+		header(c.Name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range doc.Gauges {
+		header(g.Name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range doc.Histograms {
+		fam := header(h.Name, "histogram")
+		_, labels := splitName(h.Name)
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(&b, "%s_bucket{%s%sle=%q} %d\n", fam, labels, sep, formatFloat(bound), h.Buckets[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", fam, labels, sep, h.Count)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", fam, suffix, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", fam, suffix, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

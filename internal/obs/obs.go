@@ -1,0 +1,112 @@
+package obs
+
+import "fmt"
+
+// Sink bundles the two halves of the observability layer plus the node
+// identity to stamp on everything emitted through it. Components accept
+// a *Sink and instrument unconditionally: a nil sink — or a sink with a
+// nil half — compiles to no-ops on every path.
+type Sink struct {
+	Metrics *Registry
+	Journal *Journal
+	// Node labels every event (Event.Node) and every node-scoped metric
+	// (NodeGauge/NodeCounter) emitted through this sink.
+	Node string
+}
+
+// New builds a sink with a fresh registry and a journal of the given
+// capacity (<= 0 selects DefaultJournalCap).
+func New(journalCap int) *Sink {
+	return &Sink{Metrics: NewRegistry(), Journal: NewJournal(journalCap)}
+}
+
+// ForNode derives a per-node child sink: same metrics registry, own
+// staging journal (of the given capacity) and the node label. The
+// parallel fleet stepping gives each node such a child so journal
+// appends never contend or race across nodes; the cluster drains the
+// staging journals serially in node-index order (cluster.Run's merge),
+// which is what keeps the fleet journal deterministic at any stepping
+// parallelism.
+func (s *Sink) ForNode(node string, journalCap int) *Sink {
+	if s == nil {
+		return nil
+	}
+	return &Sink{Metrics: s.Metrics, Journal: NewJournal(journalCap), Node: node}
+}
+
+// Counter resolves a counter from the sink's registry (nil-safe).
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge from the sink's registry (nil-safe).
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Histogram resolves a histogram from the sink's registry (nil-safe).
+func (s *Sink) Histogram(name string, bounds ...float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, bounds...)
+}
+
+// Labeled renders a metric name with one label: Labeled("x", "node",
+// "n3") -> `x{node="n3"}`.
+func Labeled(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// NodeGauge resolves a gauge labeled with the sink's node identity
+// (plain name when the sink carries none).
+func (s *Sink) NodeGauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	if s.Node != "" {
+		name = Labeled(name, "node", s.Node)
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// NodeCounter resolves a counter labeled with the sink's node identity.
+func (s *Sink) NodeCounter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	if s.Node != "" {
+		name = Labeled(name, "node", s.Node)
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Emit journals one event, stamping the sink's node label when the
+// event carries none. No-op through a nil sink or nil journal.
+func (s *Sink) Emit(ev Event) {
+	if s == nil || s.Journal == nil {
+		return
+	}
+	if ev.Node == "" {
+		ev.Node = s.Node
+	}
+	s.Journal.Append(ev)
+}
+
+// Active reports whether the sink journals events — components use it to
+// skip building events that would be discarded anyway.
+func (s *Sink) Active() bool { return s != nil && s.Journal != nil }
+
+// Instrumentable is implemented by components that accept an
+// observability sink after construction (controllers, guards,
+// coordinators). The cluster runtime uses it to wire per-node sinks
+// without knowing concrete controller types.
+type Instrumentable interface {
+	SetObs(*Sink)
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"sturgeon/internal/jsonio"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every path through nil receivers must be a no-op, not a panic —
+	// this is the contract that lets hot paths instrument unconditionally.
+	var r *Registry
+	var s *Sink
+	var j *Journal
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", 1, 2).Observe(1)
+	if d := r.Doc(); d == nil || d.Validate() != nil {
+		t.Fatal("nil registry must yield a valid empty doc")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Counter("x").Add(2)
+	s.NodeGauge("x").Set(3)
+	s.NodeCounter("x").Inc()
+	s.Histogram("x", 1).Observe(1)
+	s.Emit(Event{Type: EventSearch})
+	if s.Active() {
+		t.Fatal("nil sink must not be active")
+	}
+	if s.ForNode("n", 8) != nil {
+		t.Fatal("nil sink ForNode must stay nil")
+	}
+	j.Append(Event{Type: "x"})
+	if j.Since(0) != nil || j.LastSeq() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal must read as empty")
+	}
+	if d := j.Doc(); d == nil || d.Validate() != nil {
+		t.Fatal("nil journal must yield a valid empty doc")
+	}
+}
+
+func TestRegistryStableOrderAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(3)
+	r.Counter("a_total").Inc()
+	r.Gauge("z_gauge").Set(2.5)
+	r.Gauge("m_gauge").Set(-1)
+	h := r.Histogram("lat_seconds", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	d := r.Doc()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("doc invalid: %v", err)
+	}
+	if d.Counters[0].Name != "a_total" || d.Counters[1].Name != "b_total" {
+		t.Fatalf("counters not sorted: %+v", d.Counters)
+	}
+	if d.Counters[0].Value != 1 || d.Counters[1].Value != 3 {
+		t.Fatalf("counter values wrong: %+v", d.Counters)
+	}
+	if d.Gauges[0].Name != "m_gauge" || d.Gauges[1].Name != "z_gauge" {
+		t.Fatalf("gauges not sorted: %+v", d.Gauges)
+	}
+	hp := d.Histograms[0]
+	if hp.Count != 3 || hp.Buckets[0] != 1 || hp.Buckets[1] != 2 {
+		t.Fatalf("histogram cumulative buckets wrong: %+v", hp)
+	}
+	if math.Abs(hp.Sum-5.55) > 1e-9 {
+		t.Fatalf("histogram sum %v, want 5.55", hp.Sum)
+	}
+
+	// The JSON doc must round-trip through the schema-validating layer.
+	data, err := jsonio.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsDoc
+	if err := jsonio.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryKindCollision(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") == nil {
+		t.Fatal("first registration failed")
+	}
+	if r.Gauge("x") != nil || r.Histogram("x", 1) != nil {
+		t.Fatal("cross-kind collision must yield nil (a no-op handle)")
+	}
+	if r.Counter("x") == nil {
+		t.Fatal("same-kind re-registration must return the handle")
+	}
+}
+
+// promLine matches the sample-line grammar of the Prometheus text
+// exposition format (metric name with optional label block, then a
+// float/int value).
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)$`)
+
+// checkPromText asserts text parses as Prometheus exposition format and
+// returns the sample lines. Shared with the daemon integration test via
+// duplication — it is deliberately strict about TYPE headers.
+func checkPromText(t *testing.T, text string) []string {
+	t.Helper()
+	typed := map[string]bool{}
+	var samples []string
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			if typed[f[2]] {
+				t.Fatalf("duplicate TYPE for family %s", f[2])
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line does not parse as a Prometheus sample: %q", line)
+		}
+		samples = append(samples, line)
+	}
+	return samples
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sturgeon_searches_total").Add(7)
+	r.Gauge(Labeled("fleet_node_cap_watts", "node", "node-003")).Set(98)
+	h := r.Histogram("sturgeon_power_residual_watts", -2, 0, 2)
+	h.Observe(-5)
+	h.Observe(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	samples := checkPromText(t, out)
+	if len(samples) == 0 {
+		t.Fatal("no samples rendered")
+	}
+	for _, want := range []string{
+		"# TYPE sturgeon_searches_total counter",
+		"sturgeon_searches_total 7",
+		`fleet_node_cap_watts{node="node-003"} 98`,
+		`sturgeon_power_residual_watts_bucket{le="-2"} 1`,
+		`sturgeon_power_residual_watts_bucket{le="+Inf"} 2`,
+		"sturgeon_power_residual_watts_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJournalRingAndSince(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Append(Event{T: float64(i), Type: EventHarvest})
+	}
+	if j.LastSeq() != 6 {
+		t.Fatalf("LastSeq %d, want 6", j.LastSeq())
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("Dropped %d, want 2", j.Dropped())
+	}
+	all := j.Since(0)
+	if len(all) != 4 || all[0].Seq != 3 || all[3].Seq != 6 {
+		t.Fatalf("ring tail wrong: %+v", all)
+	}
+	tail := j.Since(4)
+	if len(tail) != 2 || tail[0].Seq != 5 {
+		t.Fatalf("Since(4) wrong: %+v", tail)
+	}
+	if got := j.Since(6); len(got) != 0 {
+		t.Fatalf("Since(last) must be empty, got %+v", got)
+	}
+	doc := j.Doc()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("doc invalid: %v", err)
+	}
+	if doc.Dropped != 2 || len(doc.Events) != 4 {
+		t.Fatalf("doc wrong: %+v", doc)
+	}
+}
+
+func TestEventsDocValidate(t *testing.T) {
+	bad := []EventsDoc{
+		{Schema: "nope"},
+		{Schema: EventsSchema, Events: []Event{{Seq: 1}}},                                     // empty type
+		{Schema: EventsSchema, Events: []Event{{Seq: 2, Type: "a"}, {Seq: 2, Type: "b"}}},     // seq not increasing
+		{Schema: EventsSchema, Events: []Event{{Seq: 1, Type: "a", T: math.NaN()}}},           // bad time
+		{Schema: EventsSchema, Events: []Event{{Seq: 1, Type: "a", Value: math.Inf(1)}}},      // bad value
+		{Schema: EventsSchema, Dropped: -1, Events: []Event{{Seq: 1, Type: "a", Value: 0.5}}}, // bad dropped
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid doc accepted", i)
+		}
+	}
+	good := EventsDoc{Schema: EventsSchema, Events: []Event{
+		{Seq: 1, T: 1, Type: EventSearch, Reason: "initial"},
+		{Seq: 5, T: 2, Type: EventResidual, Resource: "power", Value: -3.25},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+}
+
+func TestSinkEmitStampsNode(t *testing.T) {
+	s := New(16)
+	child := s.ForNode("node-001", 8)
+	child.Emit(Event{T: 1, Type: EventGuardHold})
+	evs := child.Journal.Since(0)
+	if len(evs) != 1 || evs[0].Node != "node-001" {
+		t.Fatalf("node label not stamped: %+v", evs)
+	}
+	// The parent journal is untouched: children stage independently.
+	if s.Journal.LastSeq() != 0 {
+		t.Fatal("child emit leaked into parent journal")
+	}
+	if child.Metrics != s.Metrics {
+		t.Fatal("child must share the parent registry")
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	h := r.Histogram("h", 1, 2, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count %d, want 8000", h.Count())
+	}
+}

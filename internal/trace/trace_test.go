@@ -2,8 +2,11 @@ package trace
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+
+	"sturgeon/internal/jsonio"
 )
 
 func TestTableStringAlignment(t *testing.T) {
@@ -66,6 +69,41 @@ func TestTableWriteJSON(t *testing.T) {
 	}
 	if doc.Title != "t" || len(doc.Headers) != 2 || len(doc.Rows) != 1 || doc.Rows[0][1] != "2" {
 		t.Errorf("round trip mangled the table: %+v", doc)
+	}
+}
+
+// TestTableWriteJSONRoundTripJSONIO pushes WriteJSON's output through the
+// shared jsonio decode path the binaries' -json consumers use: headers and
+// rows must survive untouched, and trailing garbage after the document
+// must be rejected rather than silently ignored.
+func TestTableWriteJSONRoundTripJSONIO(t *testing.T) {
+	tbl := NewTable("exp:coord", "node", "cap_w", "slack")
+	tbl.Addf("node-000", 98.0, 0.1234567)
+	tbl.Add("node-001", "104.5", "0.2000")
+	var sb strings.Builder
+	if err := tbl.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := jsonio.Decode(strings.NewReader(sb.String()), &doc); err != nil {
+		t.Fatalf("jsonio rejected WriteJSON output: %v", err)
+	}
+	if doc.Title != tbl.Title {
+		t.Errorf("title %q, want %q", doc.Title, tbl.Title)
+	}
+	if !reflect.DeepEqual(doc.Headers, tbl.Headers) {
+		t.Errorf("headers %v, want %v", doc.Headers, tbl.Headers)
+	}
+	if !reflect.DeepEqual(doc.Rows, tbl.Rows) {
+		t.Errorf("rows %v, want %v", doc.Rows, tbl.Rows)
+	}
+	// A second document after the first is trailing data, not a feature.
+	if err := jsonio.Decode(strings.NewReader(sb.String()+`{"title":"x"}`), &doc); err == nil {
+		t.Error("jsonio accepted trailing data after the table document")
 	}
 }
 
