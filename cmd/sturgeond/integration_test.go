@@ -16,9 +16,22 @@ import (
 	"time"
 
 	"sturgeon/internal/coordinator"
+	"sturgeon/internal/durable"
 	"sturgeon/internal/jsonio"
 	"sturgeon/internal/obs"
 )
+
+// buildSturgeond compiles the daemon binary into a test temp dir.
+func buildSturgeond(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sturgeond")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building sturgeond: %v", err)
+	}
+	return bin
+}
 
 // promValue extracts the value of one un-labelled metric family from a
 // Prometheus text scrape.
@@ -47,12 +60,7 @@ func TestSturgeondIntegration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and execs the daemon binary")
 	}
-	bin := filepath.Join(t.TempDir(), "sturgeond")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	build.Stdout, build.Stderr = os.Stderr, os.Stderr
-	if err := build.Run(); err != nil {
-		t.Fatalf("building sturgeond: %v", err)
-	}
+	bin := buildSturgeond(t)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -219,5 +227,193 @@ func TestSturgeondIntegration(t *testing.T) {
 	start := time.Now()
 	if err := daemon.Wait(); err != nil {
 		t.Errorf("daemon exited uncleanly on SIGTERM after %v: %v", time.Since(start), err)
+	}
+}
+
+// startSturgeond launches the built binary on a loopback port with the
+// shared 4-node/400 W arbitration flags plus extras, and decodes the
+// -json banner for the bound address and the recovery path taken.
+func startSturgeond(t *testing.T, ctx context.Context, bin string, extra ...string) (*exec.Cmd, string, string) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-budget", "400", "-nodes", "4",
+		"-min-cap", "60", "-max-cap", "140",
+		"-json"}, extra...)
+	daemon := exec.CommandContext(ctx, bin, args...)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting sturgeond: %v", err)
+	}
+	var b struct {
+		Addr     string `json:"addr"`
+		Recovery string `json:"recovery"`
+	}
+	if err := json.NewDecoder(stdout).Decode(&b); err != nil {
+		_ = daemon.Process.Kill()
+		_ = daemon.Wait()
+		t.Fatalf("reading startup banner: %v", err)
+	}
+	return daemon, b.Addr, b.Recovery
+}
+
+// driveConvergence pushes the canonical starved/donor fleet through the
+// daemon for the given epoch count and returns the final caps.
+func driveConvergence(t *testing.T, ctx context.Context, addr string, epochs int) map[string]float64 {
+	t.Helper()
+	cl := coordinator.NewClient("http://"+addr, 1)
+	cl.BackoffBase = 10 * time.Millisecond
+	cl.Retries = 5
+	caps := map[string]float64{}
+	for epoch := 0; epoch <= epochs; epoch++ {
+		for _, id := range []string{"n0", "n1", "n2", "n3"} {
+			slack, pw := 0.15, 90.0
+			if epoch > 0 {
+				switch id {
+				case "n0":
+					slack, pw = 0.05, caps[id]-0.5
+				case "n1":
+					slack, pw = 0.6, 70
+				}
+			}
+			capW := 100.0
+			if epoch > 0 {
+				capW = caps[id]
+			}
+			g, err := cl.Report(ctx, coordinator.NodeReport{
+				Schema: coordinator.Schema, NodeID: id, Epoch: epoch,
+				Slack: slack, P95S: 0.004, PowerW: pw, CapW: capW,
+				BEThroughputUPS: 1000, Healthy: true,
+			})
+			if err != nil {
+				t.Fatalf("epoch %d node %s: %v", epoch, id, err)
+			}
+			caps[id] = g.CapW
+		}
+	}
+	return caps
+}
+
+func httpGetBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestSturgeondRecovery is the end-to-end crash-recovery gate for the
+// daemon as shipped: run with -state, drive arbitration, SIGKILL
+// mid-flight, restart against the same state dir, and require the
+// recovered /fleet/status to be byte-identical to the pre-kill capture.
+// Then SIGTERM the survivor and verify the drain cut a final snapshot
+// that a cold Recover loads with zero log replay.
+func TestSturgeondRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := buildSturgeond(t)
+	stateDir := t.TempDir()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	d1, addr1, rec1 := startSturgeond(t, ctx, bin,
+		"-state", stateDir, "-snapshot-every", "100ms")
+	defer func() {
+		_ = d1.Process.Kill()
+		_ = d1.Wait()
+	}()
+	if rec1 != "no_snapshot" {
+		t.Errorf("first boot on an empty state dir recovered via %q, want no_snapshot", rec1)
+	}
+
+	caps := driveConvergence(t, ctx, addr1, 10)
+	if !(caps["n0"] > 100 && caps["n1"] < 100) {
+		t.Fatalf("fleet did not converge before the kill: n0 %.1f W, n1 %.1f W", caps["n0"], caps["n1"])
+	}
+	preKill := httpGetBody(t, "http://"+addr1+"/fleet/status")
+
+	// SIGKILL: no drain, no final snapshot — recovery must come from the
+	// write-ahead log (plus whatever the background ticker snapshotted).
+	if err := d1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d1.Wait()
+
+	d2, addr2, rec2 := startSturgeond(t, ctx, bin, "-state", stateDir)
+	defer func() {
+		_ = d2.Process.Kill()
+		_ = d2.Wait()
+	}()
+	switch rec2 {
+	case "clean", "no_snapshot", "torn_log":
+		// Healthy-store recovery paths; which one depends on whether the
+		// ticker cut a snapshot before the kill.
+	default:
+		t.Errorf("restart degraded on a healthy state dir: recovery %q", rec2)
+	}
+
+	postRecovery := httpGetBody(t, "http://"+addr2+"/fleet/status")
+	if string(postRecovery) != string(preKill) {
+		t.Errorf("recovered /fleet/status differs from pre-kill capture.\n--- pre-kill ---\n%s\n--- recovered ---\n%s",
+			preKill, postRecovery)
+	}
+
+	scrape := string(httpGetBody(t, "http://"+addr2+"/metrics"))
+	if got := promValue(t, scrape, "coordinator_recoveries_total"); got != 1 {
+		t.Errorf("coordinator_recoveries_total = %v, want 1", got)
+	}
+
+	// A couple more epochs must arbitrate from where the fleet left off:
+	// the recovered coordinator serves fresher epochs, never rewinds.
+	cl := coordinator.NewClient("http://"+addr2, 1)
+	cl.BackoffBase = 10 * time.Millisecond
+	g, err := cl.Report(ctx, coordinator.NodeReport{
+		Schema: coordinator.Schema, NodeID: "n0", Epoch: 11,
+		Slack: 0.05, P95S: 0.004, PowerW: caps["n0"] - 0.5, CapW: caps["n0"],
+		BEThroughputUPS: 1000, Healthy: true,
+	})
+	if err != nil {
+		t.Fatalf("post-recovery report: %v", err)
+	}
+	if g.CapW < caps["n0"]-1e-9 {
+		t.Errorf("post-recovery grant %.1f W rewound below the pre-kill cap %.1f W", g.CapW, caps["n0"])
+	}
+
+	// SIGTERM drains and cuts a final snapshot: a cold Recover on the
+	// state dir must load it cleanly with nothing left to replay.
+	if err := d2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly on SIGTERM: %v", err)
+	}
+	store, err := durable.Open(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	_, info, err := coordinator.Recover(store, coordinator.Options{
+		BudgetW: 400, MinCapW: 60, MaxCapW: 140, FleetSize: 4,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SnapshotLoaded || info.Reason != "clean" {
+		t.Errorf("SIGTERM did not leave a loadable snapshot: %+v", info)
+	}
+	if info.ReplayedReports != 0 {
+		t.Errorf("final snapshot left %d reports to replay, want 0", info.ReplayedReports)
 	}
 }

@@ -8,12 +8,19 @@
 //
 //	sturgeond [-addr HOST:PORT] [-budget W] [-nodes N]
 //	          [-min-cap W] [-max-cap W] [-alpha F] [-beta F]
+//	          [-state DIR] [-snapshot-every D]
 //	          [-journal N] [-pprof] [-seed N] [-json] [-version]
 //
-// The daemon is stateless across restarts by design: nodes keep running
-// on their last-granted caps while it is down and re-adopt on the first
-// report after it returns. SIGINT/SIGTERM drain in-flight requests
-// through http.Server.Shutdown with a 5 s deadline.
+// Without -state the daemon is stateless across restarts: nodes keep
+// running on their last-granted caps while it is down and re-adopt on
+// the first report after it returns. With -state DIR every applied
+// report is write-ahead logged and the arbitration state is snapshotted
+// periodically (and on SIGTERM), so a restarted daemon recovers the
+// exact pre-crash grant schedule — a corrupt snapshot or torn log
+// degrades to the stateless behaviour, never to over-subscription
+// (see internal/coordinator.Recover). SIGINT/SIGTERM drain in-flight
+// requests through http.Server.Shutdown with a 5 s deadline, then cut a
+// final snapshot.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 
 	"sturgeon/internal/cmdutil"
 	"sturgeon/internal/coordinator"
+	"sturgeon/internal/durable"
 	"sturgeon/internal/jsonio"
 	"sturgeon/internal/obs"
 )
@@ -39,6 +47,8 @@ type config struct {
 	addr       string
 	journalCap int
 	pprof      bool
+	stateDir   string
+	snapEvery  time.Duration
 	opt        coordinator.Options
 }
 
@@ -52,6 +62,10 @@ type banner struct {
 	MaxCapW float64 `json:"max_cap_w"`
 	Alpha   float64 `json:"alpha"`
 	Beta    float64 `json:"beta"`
+	// StateDir is the durable state directory ("" = stateless);
+	// Recovery the recovery path taken when state was loaded.
+	StateDir string `json:"state_dir,omitempty"`
+	Recovery string `json:"recovery,omitempty"`
 }
 
 // shutdownTimeout bounds the graceful drain after SIGINT/SIGTERM.
@@ -66,18 +80,46 @@ func main() {
 	flag.Float64Var(&cfg.opt.MaxCapW, "max-cap", 0, "per-node cap ceiling in watts (0 = default)")
 	flag.Float64Var(&cfg.opt.Alpha, "alpha", 0, "lower slack band bound (0 = default 0.10)")
 	flag.Float64Var(&cfg.opt.Beta, "beta", 0, "upper slack band bound (0 = default 0.20)")
+	flag.StringVar(&cfg.stateDir, "state", "", "durable state directory (empty = stateless across restarts)")
+	flag.DurationVar(&cfg.snapEvery, "snapshot-every", 30*time.Second,
+		"background snapshot period with -state (0 disables the ticker; SIGTERM still snapshots)")
 	flag.IntVar(&cfg.journalCap, "journal", 0, "decision-journal ring capacity (0 = default)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	common := cmdutil.Register(42)
 	common.Parse()
 
-	c, err := coordinator.New(cfg.opt)
+	snk := obs.New(cfg.journalCap)
+
+	// With a state dir the coordinator boots through the recovery ladder;
+	// without one it starts fresh, exactly as before.
+	var (
+		c     *coordinator.Coordinator
+		store *durable.FileStore
+		info  coordinator.RecoveryInfo
+		err   error
+	)
+	if cfg.stateDir != "" {
+		store, err = durable.Open(cfg.stateDir)
+		if err == nil {
+			c, info, err = coordinator.Recover(store, cfg.opt, snk)
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr,
+				"sturgeond: state %s: recovery %s (snapshot %v, %d reports replayed, epoch %d)\n",
+				cfg.stateDir, info.Reason, info.SnapshotLoaded, info.ReplayedReports, info.Epoch)
+		}
+	} else {
+		c, err = coordinator.New(cfg.opt)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sturgeond:", err)
 		os.Exit(2)
 	}
 	srv := coordinator.NewServer(c)
-	srv.SetObs(obs.New(cfg.journalCap))
+	srv.SetObs(snk)
+	if store != nil {
+		srv.SetPersist(&coordinator.Persist{Store: store})
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -98,6 +140,10 @@ func main() {
 	b := banner{
 		Addr: ln.Addr().String(), BudgetW: eff.BudgetW, Nodes: eff.FleetSize,
 		MinCapW: eff.MinCapW, MaxCapW: eff.MaxCapW, Alpha: eff.Alpha, Beta: eff.Beta,
+		StateDir: cfg.stateDir,
+	}
+	if cfg.stateDir != "" {
+		b.Recovery = info.Reason
 	}
 	if common.JSON {
 		_ = jsonio.Encode(os.Stdout, b)
@@ -106,7 +152,27 @@ func main() {
 			b.Addr, b.BudgetW, b.Nodes, b.MinCapW, b.MaxCapW, b.Alpha, b.Beta)
 	}
 
-	httpSrv := &http.Server{Handler: mux}
+	// Background snapshot ticker: bounds the log replay a crash recovery
+	// has to do. The SIGTERM path below cuts a final snapshot regardless.
+	snapStop := make(chan struct{})
+	if store != nil && cfg.snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := srv.Snapshot(); err != nil {
+						fmt.Fprintln(os.Stderr, "sturgeond: snapshot:", err)
+					}
+				case <-snapStop:
+					return
+				}
+			}
+		}()
+	}
+
+	httpSrv := coordinator.NewHTTPServer(cfg.addr, mux)
 	done := make(chan struct{})
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -126,4 +192,13 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+	close(snapStop)
+	if store != nil {
+		if err := srv.Snapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "sturgeond: final snapshot:", err)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sturgeond: state close:", err)
+		}
+	}
 }

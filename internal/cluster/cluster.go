@@ -193,6 +193,18 @@ type Coordination struct {
 	// Chaos optionally schedules dropped reports and coordinator outage
 	// windows, exercising the last-granted-cap fallback.
 	Chaos *coordinator.ChaosPlan
+	// Kill optionally schedules deterministic coordinator crash windows:
+	// every epoch inside a window is lost whole (nodes keep their
+	// last-granted caps), and at the first epoch past a window Restart is
+	// invoked to stand a recovered coordinator back up before grants
+	// resume. Unlike a Chaos outage, a kill destroys the coordinator's
+	// in-memory state — what survives is whatever Restart can recover.
+	Kill *faults.CoordKillPlan
+	// Restart builds the replacement transport when a kill window ends —
+	// the simulated restart-from-state-dir (coordinator.Recover against
+	// the store the dead coordinator was persisting into). Nil, or an
+	// erroring Restart, keeps the coordinator down for the epoch.
+	Restart func() (coordinator.Transport, coordinator.RecoveryInfo, error)
 }
 
 func (c *Coordination) epochS() int {
@@ -209,8 +221,12 @@ type CoordStats struct {
 	Epochs, OutageEpochs int
 	// DroppedReports counts per-node submissions lost in transit;
 	// Fallbacks counts node-epochs that kept the last-granted cap
-	// because no fresh grant arrived (drop, outage or transport error).
+	// because no fresh grant arrived (drop, outage, crash or transport
+	// error).
 	DroppedReports, Fallbacks int
+	// CrashEpochs counts epochs lost to a coordinator kill window;
+	// Recoveries counts successful restarts from durable state.
+	CrashEpochs, Recoveries int
 	// MovedW is the cumulative |Δcap| the fleet applied.
 	MovedW float64
 }
@@ -255,14 +271,15 @@ type Cluster struct {
 	// Observability (nil = uninstrumented; see SetObs). nodeSinks holds
 	// one staging child per node, drained serially by drainNode; drained
 	// remembers each staging journal's last merged sequence number.
-	obs        *obs.Sink
-	nodeSinks  []*obs.Sink
-	drained    []int64
-	capGauges  []*obs.Gauge
-	evictCtr   *obs.Counter
-	readmitCtr *obs.Counter
-	grantCtr   *obs.Counter
-	faultCtr   *obs.Counter
+	obs         *obs.Sink
+	nodeSinks   []*obs.Sink
+	drained     []int64
+	capGauges   []*obs.Gauge
+	evictCtr    *obs.Counter
+	readmitCtr  *obs.Counter
+	grantCtr    *obs.Counter
+	faultCtr    *obs.Counter
+	recoveryCtr *obs.Counter
 }
 
 // stagingJournalCap bounds each node's staging journal. A node emits at
@@ -284,7 +301,7 @@ func NodeID(i int) string { return fmt.Sprintf("node-%03d", i) }
 func (c *Cluster) SetObs(sink *obs.Sink) {
 	c.obs = sink
 	c.nodeSinks, c.drained, c.capGauges = nil, nil, nil
-	c.evictCtr, c.readmitCtr, c.grantCtr, c.faultCtr = nil, nil, nil, nil
+	c.evictCtr, c.readmitCtr, c.grantCtr, c.faultCtr, c.recoveryCtr = nil, nil, nil, nil, nil
 	if sink == nil {
 		for _, ctrl := range c.Ctrls {
 			if in, ok := ctrl.(obs.Instrumentable); ok {
@@ -310,6 +327,7 @@ func (c *Cluster) SetObs(sink *obs.Sink) {
 	c.readmitCtr = sink.Counter("fleet_readmissions_total")
 	c.grantCtr = sink.Counter("fleet_cap_grants_total")
 	c.faultCtr = sink.Counter("fleet_faults_injected_total")
+	c.recoveryCtr = sink.Counter("fleet_coord_recoveries_total")
 }
 
 // New builds a fleet of n nodes. mkCtrl builds one controller per node
@@ -433,6 +451,10 @@ func (r Result) Summary() string {
 		fmt.Fprintf(&b, "coord epochs %d drops %d outages %d fallbacks %d moved_w %.2f\n",
 			r.Coord.Epochs, r.Coord.DroppedReports, r.Coord.OutageEpochs,
 			r.Coord.Fallbacks, r.Coord.MovedW)
+		if r.Coord.CrashEpochs+r.Coord.Recoveries > 0 {
+			fmt.Fprintf(&b, "coord_crash epochs %d recoveries %d\n",
+				r.Coord.CrashEpochs, r.Coord.Recoveries)
+		}
 	}
 	for i, iv := range r.Intervals {
 		if i%10 != 0 {
@@ -627,6 +649,23 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 	return res
 }
 
+// restartCoordinator runs the Coordination's Restart hook, normalizing
+// a nil hook or a nil transport into an error so exchangeGrants has one
+// failure path.
+func restartCoordinator(cd *Coordination) (coordinator.Transport, coordinator.RecoveryInfo, error) {
+	if cd.Restart == nil {
+		return nil, coordinator.RecoveryInfo{}, fmt.Errorf("cluster: coordinator kill scheduled without a Restart hook")
+	}
+	tr, info, err := cd.Restart()
+	if err != nil {
+		return nil, info, err
+	}
+	if tr == nil {
+		return nil, info, fmt.Errorf("cluster: Restart returned no transport")
+	}
+	return tr, info, nil
+}
+
 // drainNode moves node i's staged decision events onto the fleet
 // journal and journals failure-detector transitions. It runs only from
 // Run's serial merge, in node-index order, so the fleet journal's
@@ -660,6 +699,36 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 	res.Coordinated = true
 	res.Coord.Epochs++
 	cd := c.Coord
+	// Coordinator kill windows come before everything else: a crashed
+	// coordinator can neither serve grants nor suffer a mere network
+	// outage. Restart fires on the first epoch past a window, standing a
+	// recovered coordinator up *before* this epoch's reports go out — the
+	// restarted control plane serves the same epoch it recovered in.
+	if cd.Kill != nil {
+		if cd.Kill.DownAt(epoch) {
+			res.Coord.CrashEpochs++
+			res.Coord.Fallbacks += len(c.Nodes)
+			return
+		}
+		if cd.Kill.RestartAt(epoch) {
+			tr, info, err := restartCoordinator(cd)
+			if err != nil {
+				// Recovery failed (or no Restart wired): the coordinator
+				// stays down this epoch; nodes keep their last-granted caps.
+				res.Coord.CrashEpochs++
+				res.Coord.Fallbacks += len(c.Nodes)
+				return
+			}
+			cd.Transport = tr
+			res.Coord.Recoveries++
+			if c.obs != nil {
+				c.recoveryCtr.Inc()
+				c.obs.Emit(obs.Event{T: float64(epoch * cd.epochS()),
+					Type: obs.EventRecoveryCompleted, Reason: info.Reason,
+					Epoch: epoch, Value: float64(info.ReplayedReports)})
+			}
+		}
+	}
 	if cd.Chaos.Outage(epoch) {
 		res.Coord.OutageEpochs++
 		res.Coord.Fallbacks += len(c.Nodes)

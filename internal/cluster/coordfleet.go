@@ -5,6 +5,8 @@ import (
 
 	"sturgeon/internal/control"
 	"sturgeon/internal/coordinator"
+	"sturgeon/internal/durable"
+	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/power"
 	"sturgeon/internal/workload"
@@ -46,6 +48,13 @@ type CoordFleetOptions struct {
 	// Chaos adds the coordinator-path fault plan (dropped reports and
 	// coordinator outages, coordinator.DefaultChaosSpec).
 	Chaos bool
+	// CrashRestart kills the coordinator for a six-epoch window centered
+	// mid-run and restarts it from its durable state: the coordinator
+	// runs behind write-ahead persistence (durable.MemStore — the
+	// byte-faithful in-memory twin of the daemon's state dir), the kill
+	// destroys the in-memory arbiter, and coordinator.Recover stands the
+	// replacement up from snapshot + record log. Requires Coordinated.
+	CrashRestart bool
 }
 
 // DefaultCoordFleet is the pinned comparison point: 8 nodes at a 98 W
@@ -104,12 +113,13 @@ func BuildCoordFleet(o CoordFleetOptions) (*Cluster, error) {
 	if !o.Coordinated {
 		return c, nil
 	}
-	co, err := coordinator.New(coordinator.Options{
+	copt := coordinator.Options{
 		BudgetW:   o.EvenCapW * float64(o.Nodes),
 		MinCapW:   o.MinCapW,
 		MaxCapW:   o.MaxCapW,
 		FleetSize: o.Nodes,
-	})
+	}
+	co, err := coordinator.New(copt)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +127,27 @@ func BuildCoordFleet(o CoordFleetOptions) (*Cluster, error) {
 	if o.Chaos {
 		cd.Chaos = coordinator.NewChaos(coordinator.DefaultChaosSpec(), o.Seed+1,
 			o.DurationS/o.EpochS, o.Nodes)
+	}
+	if o.CrashRestart {
+		// Snapshot cadence of ~3 fleet rounds: the kill lands between
+		// snapshots, so recovery exercises snapshot + log replay, not just
+		// a fresh snapshot.
+		store := durable.NewMemStore()
+		snapEvery := 3 * o.Nodes
+		cd.Transport = &coordinator.DurableLocal{C: co,
+			P: &coordinator.Persist{Store: store, SnapshotEvery: snapEvery}}
+		epochs := o.DurationS / o.EpochS
+		mid := epochs / 2
+		cd.Kill = faults.ManualCoordKill(epochs,
+			faults.CoordKillWindow{Start: mid, End: mid + 6})
+		cd.Restart = func() (coordinator.Transport, coordinator.RecoveryInfo, error) {
+			rc, info, err := coordinator.Recover(store, copt, nil)
+			if err != nil {
+				return nil, info, err
+			}
+			return &coordinator.DurableLocal{C: rc,
+				P: &coordinator.Persist{Store: store, SnapshotEvery: snapEvery}}, info, nil
+		}
 	}
 	c.Coord = cd
 	return c, nil

@@ -3,6 +3,7 @@ package coordinator
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -22,12 +23,35 @@ import (
 // malformed report is rejected at the door with a 400 rather than
 // corrupting arbitration state.
 
+// maxReportBytes bounds the body of a POST /v1/report. A NodeReport is
+// a few hundred bytes; 1 MiB leaves generous slack while keeping a
+// misbehaving (or malicious) client from streaming an unbounded body
+// into the decoder.
+const maxReportBytes = 1 << 20
+
+// NewHTTPServer wraps a handler in an http.Server with the service's
+// standard protection timeouts, so every binding of the control plane
+// to a real listener gets slowloris and stuck-peer protection for free.
+// WriteTimeout is sized to keep the default 30 s pprof CPU profile
+// servable when the debug mux shares the server.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
 // Server wraps a Coordinator with an HTTP handler and the mutex the pure
 // state machine deliberately lacks.
 type Server struct {
 	mu  sync.Mutex
 	c   *Coordinator
 	snk *obs.Sink
+	p   *Persist
 }
 
 // NewServer builds the handler around an existing coordinator.
@@ -41,6 +65,28 @@ func (s *Server) SetObs(sink *obs.Sink) {
 	defer s.mu.Unlock()
 	s.snk = sink
 	s.c.SetObs(sink)
+	s.p.SetObs(sink)
+}
+
+// SetPersist binds a write-ahead persistence layer: every report the
+// server applies is durably logged before the grant is returned, and
+// Snapshot cuts snapshots on demand (the daemon's ticker and SIGTERM
+// path). Nil detaches.
+func (s *Server) SetPersist(p *Persist) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p = p
+	if s.snk != nil {
+		s.p.SetObs(s.snk)
+	}
+}
+
+// Snapshot cuts a durable snapshot of the coordinator now (a no-op
+// without a persistence layer attached).
+func (s *Server) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Snapshot(s.c)
 }
 
 // Handler returns the service mux:
@@ -69,13 +115,27 @@ func (s *Server) handleReport(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// MaxBytesReader (unlike a bare LimitReader) closes the connection
+	// on overrun and lets us answer 413 instead of a misleading 400.
+	req.Body = http.MaxBytesReader(w, req.Body, maxReportBytes)
 	var r NodeReport
-	if err := jsonio.Decode(io.LimitReader(req.Body, 1<<20), &r); err != nil {
+	if err := jsonio.Decode(req.Body, &r); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("report body exceeds %d bytes", maxReportBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.mu.Lock()
 	g, err := s.c.Submit(r)
+	if err == nil {
+		// Write-ahead log the applied report; a persistence failure
+		// degrades recovery fidelity, never the grant (persist.go).
+		_ = s.p.LogReport(s.c, r)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -272,6 +332,12 @@ func (c *Client) retry(ctx context.Context, fn func() error) error {
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
+		// A cancelled context aborts before the next attempt: without this
+		// check a caller that gave up mid-backoff would still fire one more
+		// request at the coordinator.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		if err = fn(); err == nil {
 			return nil
 		}

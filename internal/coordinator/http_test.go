@@ -2,13 +2,17 @@ package coordinator
 
 import (
 	"context"
+	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"sturgeon/internal/durable"
 )
 
 func newHTTPFixture(t *testing.T, opt Options) (*httptest.Server, *Client) {
@@ -144,6 +148,150 @@ func TestHTTPClientHonorsContext(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatalf("client ignored context deadline, took %v", time.Since(start))
+	}
+}
+
+// TestHTTPOversizedReportRejected413: a body past maxReportBytes must
+// be refused with 413, not mis-reported as malformed JSON — and must
+// not disturb arbitration state.
+func TestHTTPOversizedReportRejected413(t *testing.T) {
+	srv, cl := newHTTPFixture(t, Options{BudgetW: 200, FleetSize: 1})
+	ctx := context.Background()
+	if _, err := cl.Report(ctx, report("a", 0, 0.15, 90, 100)); err != nil {
+		t.Fatal(err)
+	}
+	huge := strings.NewReader(`{"schema":"` + strings.Repeat("x", maxReportBytes) + `"}`)
+	resp, err := http.Post(srv.URL+"/v1/report", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized report got %s, want 413", resp.Status)
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Reports != 1 {
+		t.Fatalf("oversized body reached Submit: %d reports", st.Stats.Reports)
+	}
+	// A body at the limit must still be readable: the limit protects the
+	// decoder, it does not shrink the accepted document space.
+	if _, err := cl.Report(ctx, report("a", 1, 0.15, 90, 100)); err != nil {
+		t.Fatalf("normal report after the oversized one: %v", err)
+	}
+}
+
+// TestNewHTTPServerTimeouts pins the protection timeouts every listener
+// binding must carry (satellite of the crash-recovery PR: a coordinator
+// that survives SIGKILL should not be hung by a slowloris peer).
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	hs := NewHTTPServer("127.0.0.1:0", http.NewServeMux())
+	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 ||
+		hs.WriteTimeout <= 0 || hs.IdleTimeout <= 0 {
+		t.Fatalf("NewHTTPServer leaves a protection timeout unset: %+v", hs)
+	}
+	if hs.WriteTimeout < 35*time.Second {
+		t.Fatalf("WriteTimeout %v would cut off the default 30 s pprof profile", hs.WriteTimeout)
+	}
+}
+
+// TestHTTPClientAbortsCancelledContext: a context cancelled before (or
+// during) backoff must stop the retry loop without firing another
+// request at the coordinator.
+func TestHTTPClientAbortsCancelledContext(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "always down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	cl := NewClient(srv.URL, 7)
+	cl.Retries = 50
+	cl.BackoffBase = time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first attempt
+	if _, err := cl.Status(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context returned %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("client fired %d requests on a dead context, want 0", calls.Load())
+	}
+
+	// Cancelled mid-backoff: the in-flight schedule must abort without
+	// one more attempt sneaking out after the cancellation.
+	cl.BackoffBase = 50 * time.Millisecond
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond) // inside the first backoff sleep
+		cancel2()
+	}()
+	if _, err := cl.Status(ctx2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-backoff cancel returned %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("mid-backoff cancel let %d requests out, want exactly 1", got)
+	}
+}
+
+// TestHTTPServerPersistsReports wires the write-ahead persistence into
+// the HTTP server and checks a recovered coordinator answers
+// /fleet/status with the exact pre-crash document.
+func TestHTTPServerPersistsReports(t *testing.T) {
+	opt := Options{BudgetW: 200, MinCapW: 50, MaxCapW: 150, FleetSize: 2}
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := durable.NewMemStore()
+	s := NewServer(c)
+	s.SetPersist(&Persist{Store: store, SnapshotEvery: 3})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	cl := NewClient(srv.URL, 1)
+	ctx := context.Background()
+	caps := map[string]float64{"a": 100, "b": 100}
+	for e := 0; e < 4; e++ {
+		for _, id := range []string{"a", "b"} {
+			slack, pw := 0.05, caps[id]-0.5
+			if id == "b" {
+				slack, pw = 0.6, 60
+			}
+			g, err := cl.Report(ctx, report(id, e, slack, pw, caps[id]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps[id] = g.CapW
+		}
+	}
+	want, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, info, err := Recover(store, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Degraded {
+		t.Fatalf("clean server store recovered degraded (%s)", info.Reason)
+	}
+	if !reflect.DeepEqual(want, rec.Status()) {
+		t.Fatal("recovered coordinator renders a different /fleet/status document")
+	}
+	// An explicit snapshot (the daemon's SIGTERM path) must leave the
+	// store recoverable to the same state.
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, _, err := Recover(store, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, rec2.Status()) {
+		t.Fatal("post-snapshot recovery diverges")
 	}
 }
 

@@ -1,0 +1,381 @@
+package coordinator
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"sturgeon/internal/durable"
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+)
+
+// Crash-safe persistence for the arbitration state machine. The
+// coordinator is a pure function of its submitted reports, which makes
+// its durability model unusually simple: a State snapshot pins the
+// machine at a point in time, and replaying the NodeReports applied
+// after that snapshot — logged durably before each grant is considered
+// acknowledged — reconstructs the pre-crash state *exactly*, stats and
+// all. internal/durable supplies the two primitives (atomic snapshots,
+// CRC-framed record log with torn-tail truncation); this file supplies
+// the coordinator-shaped glue: the coordstate/v1 document,
+// Snapshot/Restore, the report record codec, the Persist binder used by
+// both the HTTP server and the simulator's DurableLocal transport, and
+// Recover, the boot path with its corruption-degradation ladder.
+
+// StateSchema tags the durable coordinator snapshot; bump on breaking
+// change.
+const StateSchema = "sturgeon/coordstate/v1"
+
+// SavedNode is one node's row in the snapshot: the full per-node
+// book-keeping arbitration needs, including the binary-halving episode
+// state and the last report (arbitration of a not-yet-closed epoch
+// reads it).
+type SavedNode struct {
+	NodeID       string     `json:"node_id"`
+	LastEpoch    int        `json:"last_epoch"`
+	CapW         float64    `json:"cap_w"`
+	StepW        float64    `json:"step_w"`
+	LastDonatedW float64    `json:"last_donated_w"`
+	Granted      bool       `json:"granted"`
+	Report       NodeReport `json:"report"`
+}
+
+// State is the coordstate/v1 snapshot document: everything Restore
+// needs to stand a coordinator back up mid-arbitration.
+type State struct {
+	Schema  string  `json:"schema"`
+	BudgetW float64 `json:"budget_w"`
+	// Epoch is the newest epoch any report has mentioned; ArbEpoch the
+	// last epoch arbitrated; Arbitrated whether Epoch is already closed.
+	Epoch      int         `json:"epoch"`
+	ArbEpoch   int         `json:"arb_epoch"`
+	Arbitrated bool        `json:"arbitrated"`
+	PoolW      float64     `json:"pool_w"`
+	Stats      Stats       `json:"stats"`
+	Nodes      []SavedNode `json:"nodes"`
+}
+
+// Validate implements jsonio.Validator. Beyond field sanity it enforces
+// the two invariants a restore must never weaken: epoch bookkeeping is
+// monotone (arb_epoch ≤ epoch, every node's last_epoch ≤ epoch) and the
+// budget is conserved *exactly* — Σcaps + pool ≡ budget within float
+// tolerance, rejecting under- as well as over-subscribed documents.
+func (s *State) Validate() error {
+	switch {
+	case s.Schema != StateSchema:
+		return fmt.Errorf("coordinator: state schema %q, want %q", s.Schema, StateSchema)
+	case !finite(s.BudgetW) || s.BudgetW <= 0:
+		return fmt.Errorf("coordinator: state budget %v not positive", s.BudgetW)
+	case !finite(s.PoolW) || s.PoolW < -1e-6:
+		return fmt.Errorf("coordinator: state pool %v negative", s.PoolW)
+	case s.Epoch < 0 || s.ArbEpoch < 0 || s.ArbEpoch > s.Epoch:
+		return fmt.Errorf("coordinator: state epochs inverted (epoch %d, arb %d)", s.Epoch, s.ArbEpoch)
+	case s.Stats.Reports < 0 || s.Stats.Arbitrations < 0 || s.Stats.Donations < 0 ||
+		s.Stats.GrantsUp < 0 || s.Stats.StaleFreezes < 0 ||
+		!finite(s.Stats.MovedW) || s.Stats.MovedW < 0:
+		return fmt.Errorf("coordinator: state stats carry negative tallies")
+	}
+	sum := s.PoolW
+	prev := ""
+	for i, n := range s.Nodes {
+		switch {
+		case n.NodeID == "":
+			return fmt.Errorf("coordinator: state node %d has empty id", i)
+		case n.NodeID <= prev:
+			return fmt.Errorf("coordinator: state nodes not strictly sorted at %q", n.NodeID)
+		case !finite(n.CapW) || n.CapW < 0:
+			return fmt.Errorf("coordinator: state node %s carries invalid cap %v", n.NodeID, n.CapW)
+		case !finite(n.StepW) || n.StepW < 0 || !finite(n.LastDonatedW) || n.LastDonatedW < 0:
+			return fmt.Errorf("coordinator: state node %s carries invalid episode state", n.NodeID)
+		case n.LastEpoch < 0 || n.LastEpoch > s.Epoch:
+			return fmt.Errorf("coordinator: state node %s last epoch %d outside [0, %d]", n.NodeID, n.LastEpoch, s.Epoch)
+		case n.Report.NodeID != n.NodeID:
+			return fmt.Errorf("coordinator: state node %s carries report for %q", n.NodeID, n.Report.NodeID)
+		}
+		if err := n.Report.Validate(); err != nil {
+			return err
+		}
+		prev = n.NodeID
+		sum += n.CapW
+	}
+	if tol := 1e-6 * math.Max(1, s.BudgetW); math.Abs(sum-s.BudgetW) > tol {
+		return fmt.Errorf("coordinator: state does not conserve the budget: caps+pool %.6f W vs %.6f W", sum, s.BudgetW)
+	}
+	return nil
+}
+
+// Snapshot renders the coordinator's full arbitration state as a
+// coordstate/v1 document. Like every Coordinator method it must be
+// serialized by the owner (Server mutex or the simulation's serial
+// merge).
+func (c *Coordinator) Snapshot() *State {
+	st := &State{
+		Schema:     StateSchema,
+		BudgetW:    c.opt.BudgetW,
+		Epoch:      c.epoch,
+		ArbEpoch:   c.arbEpoch,
+		Arbitrated: c.arbitrated,
+		PoolW:      c.poolW,
+		Stats:      c.stats,
+	}
+	for _, id := range c.order {
+		ns := c.nodes[id]
+		st.Nodes = append(st.Nodes, SavedNode{
+			NodeID:       ns.id,
+			LastEpoch:    ns.lastEpoch,
+			CapW:         ns.capW,
+			StepW:        ns.stepW,
+			LastDonatedW: ns.lastDonatedW,
+			Granted:      ns.granted,
+			Report:       ns.report,
+		})
+	}
+	return st
+}
+
+// Restore replaces the coordinator's state with a validated snapshot.
+// The document is fully validated — including exact budget conservation
+// — before a single field is touched, and the snapshot's budget must
+// match the coordinator's own: on any error the coordinator is left
+// exactly as it was, which is what lets Recover fall back to fresh
+// adoption without rebuilding anything.
+func (c *Coordinator) Restore(st *State) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	if math.Abs(st.BudgetW-c.opt.BudgetW) > 1e-9*math.Max(1, c.opt.BudgetW) {
+		return fmt.Errorf("coordinator: state budget %.3f W does not match configured %.3f W",
+			st.BudgetW, c.opt.BudgetW)
+	}
+	c.nodes = make(map[string]*nodeState, len(st.Nodes))
+	c.order = c.order[:0]
+	for _, n := range st.Nodes {
+		c.nodes[n.NodeID] = &nodeState{
+			id:           n.NodeID,
+			report:       n.Report,
+			lastEpoch:    n.LastEpoch,
+			capW:         n.CapW,
+			stepW:        n.StepW,
+			lastDonatedW: n.LastDonatedW,
+			granted:      n.Granted,
+		}
+		c.order = append(c.order, n.NodeID)
+	}
+	sort.Strings(c.order)
+	c.epoch = st.Epoch
+	c.arbEpoch = st.ArbEpoch
+	c.arbitrated = st.Arbitrated
+	c.poolW = st.PoolW
+	c.stats = st.Stats
+	c.poolGauge.Set(c.poolW)
+	c.epochGauge.Set(float64(c.epoch))
+	return nil
+}
+
+// EncodeReportRecord frames one applied NodeReport as a record-log
+// payload (compact JSON; the CRC framing is durable's).
+func EncodeReportRecord(r NodeReport) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(&r)
+}
+
+// DecodeReportRecord parses and validates one record-log payload.
+func DecodeReportRecord(payload []byte) (NodeReport, error) {
+	var r NodeReport
+	if err := jsonio.Unmarshal(payload, &r); err != nil {
+		return NodeReport{}, err
+	}
+	return r, nil
+}
+
+// Persist binds a coordinator to a durable store: every applied report
+// is logged before the grant is considered acknowledged, and a snapshot
+// is cut every SnapshotEvery logged reports (0 = only explicit
+// Snapshot calls — the daemon's ticker and SIGTERM path). Calls must be
+// serialized by the coordinator's owner, like the coordinator itself.
+type Persist struct {
+	Store durable.Store
+	// SnapshotEvery cuts an automatic snapshot after this many logged
+	// reports (0 disables count-based snapshots).
+	SnapshotEvery int
+
+	sinceSnapshot int
+	writeCtr      *obs.Counter
+	recordCtr     *obs.Counter
+	errCtr        *obs.Counter
+}
+
+// SetObs attaches persistence counters to a sink (nil detaches; like
+// the other Persist methods it is nil-receiver-safe).
+func (p *Persist) SetObs(sink *obs.Sink) {
+	if p == nil {
+		return
+	}
+	p.writeCtr = sink.Counter("coordinator_snapshot_writes_total")
+	p.recordCtr = sink.Counter("coordinator_report_records_total")
+	p.errCtr = sink.Counter("coordinator_persist_errors_total")
+}
+
+// LogReport durably appends one applied report and cuts a count-based
+// snapshot when due. Persistence failures are returned (and counted)
+// but must not fail the grant: the in-memory arbitration already
+// happened and the node-side degradation contract — run on the
+// last-granted cap — covers a coordinator that later proves forgetful.
+func (p *Persist) LogReport(c *Coordinator, r NodeReport) error {
+	if p == nil || p.Store == nil {
+		return nil
+	}
+	payload, err := EncodeReportRecord(r)
+	if err != nil {
+		p.errCtr.Inc()
+		return err
+	}
+	if err := p.Store.Append(payload); err != nil {
+		p.errCtr.Inc()
+		return err
+	}
+	p.recordCtr.Inc()
+	p.sinceSnapshot++
+	if p.SnapshotEvery > 0 && p.sinceSnapshot >= p.SnapshotEvery {
+		return p.Snapshot(c)
+	}
+	return nil
+}
+
+// Snapshot cuts a snapshot of c now, resetting the record log.
+func (p *Persist) Snapshot(c *Coordinator) error {
+	if p == nil || p.Store == nil {
+		return nil
+	}
+	if err := p.Store.SaveSnapshot(c.Snapshot()); err != nil {
+		p.errCtr.Inc()
+		return err
+	}
+	p.sinceSnapshot = 0
+	p.writeCtr.Inc()
+	return nil
+}
+
+// RecoveryInfo describes what Recover managed to reconstruct.
+type RecoveryInfo struct {
+	// SnapshotLoaded is true when a snapshot anchored the recovery;
+	// ReplayedReports counts log records re-applied on top of it.
+	SnapshotLoaded  bool
+	ReplayedReports int
+	// Degraded is true when corruption forced the fresh-adoption rung of
+	// the ladder; Reason names the path taken ("clean", "no_snapshot",
+	// "torn_log", "corrupt_snapshot", "restore_rejected").
+	Degraded bool
+	Reason   string
+	// Epoch is the recovered arbitration epoch.
+	Epoch int
+}
+
+// Recover stands a coordinator back up from a durable store, walking
+// the corruption-degradation ladder:
+//
+//  1. Snapshot loads and validates, log replays → the exact pre-crash
+//     state (the coordinator is a pure state machine, so snapshot +
+//     reports ≡ the original run, stats included).
+//  2. Log tail torn or a record undecodable → the intact prefix
+//     replays; the coordinator resumes from the last durably applied
+//     report (Reason "torn_log").
+//  3. No snapshot yet → fresh coordinator plus full log replay
+//     (Reason "no_snapshot") — the pre-first-snapshot crash.
+//  4. Snapshot corrupt or inconsistent (conservation violated, budget
+//     mismatch) → fresh coordinator, log ignored: nodes re-adopt from
+//     their first reports, under-granting a latecomer at worst, never
+//     over-subscribing the budget (Reason "corrupt_snapshot" /
+//     "restore_rejected", Degraded).
+//
+// Recovery is instrumented through sink (nil = uninstrumented):
+// coordinator_recoveries_total / _snapshot_loads_total /
+// _replayed_reports_total counters and a recovery_completed event.
+func Recover(store durable.Store, opt Options, sink *obs.Sink) (*Coordinator, RecoveryInfo, error) {
+	c, err := New(opt)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	info := RecoveryInfo{Reason: "clean"}
+
+	st := new(State)
+	switch lerr := store.LoadSnapshot(st); {
+	case lerr == durable.ErrNoSnapshot:
+		info.Reason = "no_snapshot"
+	case lerr != nil:
+		info.Degraded = true
+		info.Reason = "corrupt_snapshot"
+	default:
+		if rerr := c.Restore(st); rerr != nil {
+			info.Degraded = true
+			info.Reason = "restore_rejected"
+		} else {
+			info.SnapshotLoaded = true
+			sink.Counter("coordinator_snapshot_loads_total").Inc()
+		}
+	}
+
+	if !info.Degraded {
+		recs, rerr := store.Records()
+		if rerr != nil {
+			info.Reason = "torn_log"
+			recs = nil
+		}
+		for _, payload := range recs {
+			r, derr := DecodeReportRecord(payload)
+			if derr != nil {
+				// An undecodable record means everything after it is the
+				// torn tail; stop exactly where the durable prefix ends.
+				info.Reason = "torn_log"
+				break
+			}
+			if _, serr := c.Submit(r); serr != nil {
+				info.Reason = "torn_log"
+				break
+			}
+			info.ReplayedReports++
+		}
+	}
+
+	info.Epoch = c.Epoch()
+	sink.Counter("coordinator_recoveries_total").Inc()
+	sink.Counter("coordinator_recovery_replayed_reports_total").Add(int64(info.ReplayedReports))
+	if sink.Active() {
+		sink.Emit(obs.Event{
+			T: float64(info.Epoch), Type: obs.EventRecoveryCompleted,
+			Reason: info.Reason, Epoch: info.Epoch, Value: float64(info.ReplayedReports),
+		})
+	}
+	return c, info, nil
+}
+
+// DurableLocal is the in-process transport of a crash-survivable
+// coordinator: Local's synchronous Submit plus write-ahead persistence
+// of every applied report. The fleet simulator pairs it with a
+// durable.MemStore to rehearse coordinator SIGKILL/restart inside a
+// seeded run; Recover against the same store is the restart.
+type DurableLocal struct {
+	C *Coordinator
+	P *Persist
+}
+
+// Report implements Transport. The grant stands even when persistence
+// fails — a write error degrades recovery fidelity, not arbitration
+// safety (see Persist.LogReport).
+func (d *DurableLocal) Report(_ context.Context, r NodeReport) (Grant, error) {
+	g, err := d.C.Submit(r)
+	if err == nil {
+		_ = d.P.LogReport(d.C, r)
+	}
+	return g, err
+}
+
+// Status implements Transport.
+func (d *DurableLocal) Status(context.Context) (*FleetStatus, error) {
+	return d.C.Status(), nil
+}

@@ -1,0 +1,425 @@
+package coordinator
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"sturgeon/internal/durable"
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+)
+
+// persistOpt is the arbitration config of the persistence battery: a
+// 300 W budget over three nodes with room to move watts in both
+// directions.
+func persistOpt() Options {
+	return Options{BudgetW: 300, MinCapW: 50, MaxCapW: 150, FleetSize: 3}
+}
+
+// scriptedReports drives a donor/requester/in-band fleet over epochs
+// [from, to): node a is pinned against its cap, node b strands watts,
+// node c holds. Caps in each report echo the previous grant, exactly as
+// a live node would. When c is non-nil the run is required to actually
+// move watts, so recovery assertions are never vacuous.
+func scriptedReports(t *testing.T, c *Coordinator, tr Transport, from, to int) {
+	t.Helper()
+	caps := map[string]float64{"a": 100, "b": 100, "c": 100}
+	for e := from; e < to; e++ {
+		for _, id := range []string{"a", "b", "c"} {
+			slack, pw := 0.15, 80.0
+			switch id {
+			case "a":
+				slack, pw = 0.04, caps[id]-0.5
+			case "b":
+				slack, pw = 0.55, 62
+			}
+			g, err := tr.Report(context.Background(), NodeReport{
+				Schema: Schema, NodeID: id, Epoch: e,
+				Slack: slack, P95S: 0.004, PowerW: pw, CapW: caps[id],
+				BEThroughputUPS: 900, Healthy: true,
+			})
+			if err != nil {
+				t.Fatalf("epoch %d node %s: %v", e, id, err)
+			}
+			caps[id] = g.CapW
+		}
+	}
+	if c != nil && c.stats.Donations == 0 {
+		t.Fatal("scripted fleet moved no watts; recovery assertions would be vacuous")
+	}
+}
+
+// assertConserved checks Σcaps + pool ≡ budget exactly (float
+// tolerance) — the invariant no recovery path may weaken.
+func assertConserved(t *testing.T, c *Coordinator) {
+	t.Helper()
+	st := c.Status()
+	sum := st.PoolW
+	for _, n := range st.Nodes {
+		sum += n.CapW
+	}
+	if math.Abs(sum-st.BudgetW) > 1e-6 {
+		t.Fatalf("budget not conserved: caps+pool %.6f W vs %.6f W", sum, st.BudgetW)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	c, err := New(persistOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scriptedReports(t, c, &Local{C: c}, 0, 6)
+
+	st := c.Snapshot()
+	if err := st.Validate(); err != nil {
+		t.Fatalf("live snapshot invalid: %v", err)
+	}
+	// The document must survive its own JSON form.
+	data, err := jsonio.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := jsonio.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(persistOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Restore(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Snapshot(), c2.Snapshot()) {
+		t.Fatal("restore does not reproduce the snapshotted state")
+	}
+	if !reflect.DeepEqual(c.Status(), c2.Status()) {
+		t.Fatal("restored coordinator renders a different fleet status")
+	}
+	// The two machines must stay in lockstep when driven onward.
+	scriptedReports(t, nil, &Local{C: c}, 6, 10)
+	scriptedReports(t, nil, &Local{C: c2}, 6, 10)
+	if !reflect.DeepEqual(c.Status(), c2.Status()) {
+		t.Fatal("restored coordinator diverges when driven past the snapshot")
+	}
+}
+
+// TestRecoverExactAtEveryCut kills the coordinator after every prefix
+// of the report stream — including mid-epoch, between two nodes'
+// submissions — and requires Recover to reconstruct the exact live
+// state from whatever mix of snapshot and log records the store holds.
+func TestRecoverExactAtEveryCut(t *testing.T) {
+	const epochs = 5
+	reportCount := epochs * 3
+	for cut := 1; cut <= reportCount; cut++ {
+		store := durable.NewMemStore()
+		live, err := New(persistOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &DurableLocal{C: live, P: &Persist{Store: store, SnapshotEvery: 4}}
+		caps := map[string]float64{"a": 100, "b": 100, "c": 100}
+		submitted := 0
+	drive:
+		for e := 0; e < epochs; e++ {
+			for _, id := range []string{"a", "b", "c"} {
+				slack, pw := 0.15, 80.0
+				switch id {
+				case "a":
+					slack, pw = 0.04, caps[id]-0.5
+				case "b":
+					slack, pw = 0.55, 62
+				}
+				g, err := tr.Report(context.Background(), NodeReport{
+					Schema: Schema, NodeID: id, Epoch: e,
+					Slack: slack, P95S: 0.004, PowerW: pw, CapW: caps[id],
+					BEThroughputUPS: 900, Healthy: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				caps[id] = g.CapW
+				submitted++
+				if submitted == cut {
+					break drive
+				}
+			}
+		}
+
+		rec, info, err := Recover(store, persistOpt(), nil)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if info.Degraded {
+			t.Fatalf("cut %d: clean store recovered degraded (%s)", cut, info.Reason)
+		}
+		if !reflect.DeepEqual(live.Snapshot(), rec.Snapshot()) {
+			t.Fatalf("cut %d: recovered state differs from the live coordinator", cut)
+		}
+		assertConserved(t, rec)
+	}
+}
+
+// TestRecoverDegradesOnCorruptSnapshot pins the bottom rung of the
+// ladder: a damaged snapshot yields a fresh coordinator — no panic, no
+// partial state, full budget back in the pool — and the record log is
+// ignored (its baseline is unknowable).
+func TestRecoverDegradesOnCorruptSnapshot(t *testing.T) {
+	store := durable.NewMemStore()
+	live, err := New(persistOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &DurableLocal{C: live, P: &Persist{Store: store, SnapshotEvery: 4}}
+	scriptedReports(t, live, tr, 0, 4)
+
+	for _, raw := range []string{"{truncated", `{"schema":"wrong/v1"}`} {
+		store.CorruptSnapshot([]byte(raw))
+		sink := obs.New(0)
+		rec, info, err := Recover(store, persistOpt(), sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Degraded || info.Reason != "corrupt_snapshot" {
+			t.Fatalf("corrupt snapshot %q recovered as %q (degraded=%v)", raw, info.Reason, info.Degraded)
+		}
+		if info.ReplayedReports != 0 {
+			t.Errorf("replayed %d records on top of an unknown baseline", info.ReplayedReports)
+		}
+		st := rec.Status()
+		if len(st.Nodes) != 0 || st.PoolW != 300 {
+			t.Errorf("degraded recovery not fresh: %d nodes, pool %.1f W", len(st.Nodes), st.PoolW)
+		}
+		assertConserved(t, rec)
+		if got := sink.Metrics.Counter("coordinator_recoveries_total").Value(); got != 1 {
+			t.Errorf("coordinator_recoveries_total = %d, want 1", got)
+		}
+		evs := sink.Journal.Since(0)
+		if len(evs) != 1 || evs[0].Type != obs.EventRecoveryCompleted || evs[0].Reason != info.Reason {
+			t.Errorf("recovery event missing or wrong: %+v", evs)
+		}
+	}
+}
+
+// TestRecoverTruncatesTornLog pins the middle rung: a record
+// half-written at SIGKILL time cuts the replay at the last intact
+// record; the recovered state equals a coordinator that only ever saw
+// the intact prefix.
+func TestRecoverTruncatesTornLog(t *testing.T) {
+	store := durable.NewMemStore()
+	live, err := New(persistOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SnapshotEvery 0: the whole run lives in the record log.
+	tr := &DurableLocal{C: live, P: &Persist{Store: store}}
+	scriptedReports(t, live, tr, 0, 4)
+
+	store.TearLog(store.LogLen() - 3)
+	rec, info, err := Recover(store, persistOpt(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Degraded {
+		t.Fatalf("torn tail degraded to fresh (%s); it should replay the prefix", info.Reason)
+	}
+	if info.ReplayedReports != 11 {
+		t.Errorf("replayed %d reports, want the 11 intact", info.ReplayedReports)
+	}
+	assertConserved(t, rec)
+
+	// Cross-check against a coordinator driven with exactly the prefix.
+	ref, err := New(persistOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range recs {
+		r, err := DecodeReportRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(ref.Snapshot(), rec.Snapshot()) {
+		t.Fatal("torn-log recovery differs from an intact-prefix replay")
+	}
+}
+
+// TestRecoverBudgetMismatchDegrades: restarting the daemon with a
+// different -budget must not graft old caps onto the new budget.
+func TestRecoverBudgetMismatchDegrades(t *testing.T) {
+	store := durable.NewMemStore()
+	live, err := New(persistOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &DurableLocal{C: live, P: &Persist{Store: store, SnapshotEvery: 3}}
+	scriptedReports(t, live, tr, 0, 3)
+
+	opt := persistOpt()
+	opt.BudgetW = 240
+	rec, info, err := Recover(store, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Degraded || info.Reason != "restore_rejected" {
+		t.Fatalf("budget mismatch recovered as %q (degraded=%v)", info.Reason, info.Degraded)
+	}
+	if st := rec.Status(); st.PoolW != 240 || len(st.Nodes) != 0 {
+		t.Errorf("degraded recovery not fresh under the new budget: %+v", st)
+	}
+}
+
+// TestStaleNodeSurvivesRestart is the satellite scenario: a node goes
+// stale, the coordinator restarts from its snapshot with the stale node
+// still in it, and the freeze must persist — the silent node's watts
+// stay reserved across the crash, its cap thaws only when it reports
+// again, and the budget is conserved at every step on the way back up.
+func TestStaleNodeSurvivesRestart(t *testing.T) {
+	store := durable.NewMemStore()
+	live, err := New(persistOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &DurableLocal{C: live, P: &Persist{Store: store, SnapshotEvery: 2}}
+
+	report := func(tp Transport, id string, epoch int, slack, pw, cap float64) Grant {
+		t.Helper()
+		g, err := tp.Report(context.Background(), NodeReport{
+			Schema: Schema, NodeID: id, Epoch: epoch,
+			Slack: slack, P95S: 0.004, PowerW: pw, CapW: cap,
+			BEThroughputUPS: 900, Healthy: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	// Three epochs with all three nodes, then node c goes silent for
+	// enough epochs to trip the staleness fallback (StaleEpochs = 3).
+	caps := map[string]float64{"a": 100, "b": 100, "c": 100}
+	for e := 0; e < 3; e++ {
+		caps["a"] = report(tr, "a", e, 0.04, caps["a"]-0.5, caps["a"]).CapW
+		caps["b"] = report(tr, "b", e, 0.55, 62, caps["b"]).CapW
+		caps["c"] = report(tr, "c", e, 0.15, 80, caps["c"]).CapW
+	}
+	for e := 3; e < 7; e++ {
+		caps["a"] = report(tr, "a", e, 0.04, caps["a"]-0.5, caps["a"]).CapW
+		caps["b"] = report(tr, "b", e, 0.55, 62, caps["b"]).CapW
+		assertConserved(t, live)
+	}
+	if live.stats.StaleFreezes == 0 {
+		t.Fatal("node c never went stale; the scenario is vacuous")
+	}
+	frozen := live.nodes["c"].capW
+
+	// SIGKILL + restart: the stale node rides along in the snapshot.
+	rec, info, err := Recover(store, persistOpt(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Degraded {
+		t.Fatalf("clean restart degraded: %s", info.Reason)
+	}
+	if got := rec.nodes["c"].capW; got != frozen {
+		t.Fatalf("stale node's cap moved across restart: %.1f -> %.1f W", frozen, got)
+	}
+	preFreezes := rec.stats.StaleFreezes
+
+	// Still silent after restart: the freeze must keep holding.
+	tr2 := &DurableLocal{C: rec, P: &Persist{Store: store, SnapshotEvery: 2}}
+	for e := 7; e < 10; e++ {
+		caps["a"] = report(tr2, "a", e, 0.04, caps["a"]-0.5, caps["a"]).CapW
+		caps["b"] = report(tr2, "b", e, 0.55, 62, caps["b"]).CapW
+		assertConserved(t, rec)
+		if got := rec.nodes["c"].capW; got != frozen {
+			t.Fatalf("epoch %d: frozen cap moved to %.1f W while the node stayed silent", e, got)
+		}
+	}
+	if rec.stats.StaleFreezes <= preFreezes {
+		t.Error("restart lost the staleness fallback: no freezes counted after recovery")
+	}
+
+	// The node returns, starved, while the donor frees watts again (its
+	// draw drops to 52 W): re-admission must follow the binary-halving
+	// grant backoff — each granted step no larger than half the margin to
+	// MaxCapW — with conservation holding at every step on the way up.
+	prev := frozen
+	margin := persistOpt().MaxCapW - frozen
+	for e := 10; e < 16; e++ {
+		caps["a"] = report(tr2, "a", e, 0.04, caps["a"]-0.5, caps["a"]).CapW
+		caps["b"] = report(tr2, "b", e, 0.55, 52, caps["b"]).CapW
+		g := report(tr2, "c", e, 0.02, prev-0.2, prev)
+		assertConserved(t, rec)
+		stepUp := g.CapW - prev
+		if stepUp < 0 {
+			t.Fatalf("epoch %d: returning node shrank to %.1f W", e, g.CapW)
+		}
+		if stepUp > margin/2+1e-9 {
+			t.Fatalf("epoch %d: re-admission step %.1f W exceeds the halving bound %.1f W",
+				e, stepUp, margin/2)
+		}
+		prev = g.CapW
+	}
+	if prev <= frozen {
+		t.Errorf("returning node never re-admitted: cap still %.1f W", prev)
+	}
+}
+
+// FuzzStateDecode hammers the coordstate/v1 decoder: any bytes that
+// decode as a valid State must round-trip losslessly and restore into a
+// budget-matched coordinator whose status still validates (no panic, no
+// conservation break) — or be rejected whole.
+func FuzzStateDecode(f *testing.F) {
+	c, err := New(persistOpt())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		_, _ = c.Submit(NodeReport{Schema: Schema, NodeID: id, Epoch: 0,
+			Slack: 0.3, P95S: 0.004, PowerW: 80, CapW: 100, BEThroughputUPS: 1, Healthy: true})
+	}
+	if seed, err := jsonio.Marshal(c.Snapshot()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"schema":"sturgeon/coordstate/v1","budget_w":10,"pool_w":10,"nodes":[]}`))
+	f.Add([]byte(`{"schema":"sturgeon/coordstate/v1","budget_w":-1}`))
+	f.Add([]byte("]["))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var st State
+		if err := jsonio.Unmarshal(data, &st); err != nil {
+			return // rejected whole: fine
+		}
+		out, err := jsonio.Marshal(&st)
+		if err != nil {
+			t.Fatalf("accepted state fails to re-encode: %v", err)
+		}
+		var again State
+		if err := jsonio.Unmarshal(out, &again); err != nil {
+			t.Fatalf("re-encoded state fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(st, again) {
+			t.Fatal("state round-trip diverges")
+		}
+		rc, err := New(Options{BudgetW: st.BudgetW})
+		if err != nil {
+			return
+		}
+		if err := rc.Restore(&st); err != nil {
+			return // rejected whole: fine
+		}
+		if err := rc.Status().Validate(); err != nil {
+			t.Fatalf("restored state renders an invalid status: %v", err)
+		}
+	})
+}

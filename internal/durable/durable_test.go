@@ -1,0 +1,297 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// doc is a minimal jsonio.Validator document for store tests.
+type doc struct {
+	Schema string `json:"schema"`
+	N      int    `json:"n"`
+}
+
+func (d *doc) Validate() error {
+	if d.Schema != "durable-test/v1" {
+		return fmt.Errorf("bad schema %q", d.Schema)
+	}
+	return nil
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var log []byte
+	var want [][]byte
+	for i := 0; i < 17; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, i*13+1)
+		frame, err := EncodeRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log = append(log, frame...)
+		want = append(want, payload)
+	}
+	got, clean := DecodeRecords(log)
+	if clean != len(log) {
+		t.Fatalf("clean prefix %d, want full %d", clean, len(log))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("decoded records differ from encoded payloads")
+	}
+}
+
+func TestEncodeRecordRejectsEmptyAndOversized(t *testing.T) {
+	if _, err := EncodeRecord(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if _, err := EncodeRecord(make([]byte, MaxRecordLen+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+// TestDecodeRecordsTornTail covers every way an append-only tail can be
+// damaged: short header, short payload, flipped payload byte, flipped
+// CRC byte, zeroed region. In each case the intact prefix must decode
+// and the clean offset must stop exactly before the damage.
+func TestDecodeRecordsTornTail(t *testing.T) {
+	a, _ := EncodeRecord([]byte("alpha"))
+	b, _ := EncodeRecord([]byte("bravo-longer-payload"))
+	base := append(append([]byte(nil), a...), b...)
+
+	mutate := []struct {
+		name string
+		log  []byte
+	}{
+		{"short header", append(append([]byte(nil), base...), 0x05, 0x00)},
+		{"short payload", base[:len(base)-3]},
+		{"flipped payload byte", flip(base, len(base)-1)},
+		{"flipped crc byte", flip(base, len(a)+5)},
+		{"zero fill", append(append([]byte(nil), base...), make([]byte, 16)...)},
+	}
+	for _, tc := range mutate {
+		recs, clean := DecodeRecords(tc.log)
+		switch tc.name {
+		case "short payload", "flipped payload byte", "flipped crc byte":
+			if len(recs) != 1 || string(recs[0]) != "alpha" {
+				t.Errorf("%s: got %d records, want the intact first", tc.name, len(recs))
+			}
+			if clean != len(a) {
+				t.Errorf("%s: clean %d, want %d", tc.name, clean, len(a))
+			}
+		default: // damage strictly after both intact records
+			if len(recs) != 2 {
+				t.Errorf("%s: got %d records, want 2", tc.name, len(recs))
+			}
+			if clean != len(base) {
+				t.Errorf("%s: clean %d, want %d", tc.name, clean, len(base))
+			}
+		}
+	}
+}
+
+func flip(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestFileStoreSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var missing doc
+	if err := s.LoadSnapshot(&missing); err != ErrNoSnapshot {
+		t.Fatalf("fresh store LoadSnapshot err %v, want ErrNoSnapshot", err)
+	}
+	if err := s.SaveSnapshot(&doc{Schema: "durable-test/v1", N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := s.LoadSnapshot(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 7 {
+		t.Fatalf("round-tripped N = %d, want 7", got.N)
+	}
+	// An invalid document must never land on disk.
+	if err := s.SaveSnapshot(&doc{Schema: "wrong", N: 8}); err == nil {
+		t.Fatal("invalid snapshot accepted")
+	}
+	if err := s.LoadSnapshot(&got); err != nil || got.N != 7 {
+		t.Fatalf("failed save disturbed the stored snapshot: %v, N=%d", err, got.N)
+	}
+}
+
+// TestFileStoreSnapshotResetsLog pins the generation contract: records
+// appended before a snapshot never replay on top of it, and old
+// generation files are reaped.
+func TestFileStoreSnapshotResetsLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveSnapshot(&doc{Schema: "durable-test/v1", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("%d records survived the snapshot, want 0", len(recs))
+	}
+	if err := s.Append([]byte("post-0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshot(&doc{Schema: "durable-test/v1", N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := sortedGenerations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0] != 2 {
+		t.Fatalf("generations on disk %v, want just [2]", gens)
+	}
+}
+
+// TestFileStoreRecoveryAcrossReopen is the SIGKILL rehearsal: append,
+// drop the handle without any orderly shutdown, tear the log tail on
+// disk, reopen, and require the intact prefix back — with appends
+// continuing cleanly after the truncation point.
+func TestFileStoreRecoveryAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshot(&doc{Schema: "durable-test/v1", N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // no snapshot: simulate SIGKILL after the last fsynced append
+
+	// Tear the tail mid-record, as a crash during a write would.
+	logPath := filepath.Join(dir, recordsName(1))
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var got doc
+	if err := s2.LoadSnapshot(&got); err != nil || got.N != 3 {
+		t.Fatalf("snapshot lost across reopen: %v, N=%d", err, got.N)
+	}
+	recs, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3 intact (the 4th was torn)", len(recs))
+	}
+	if err := s2.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || string(recs[3]) != "after-recovery" {
+		t.Fatalf("append after truncation broken: %q", recs)
+	}
+}
+
+// TestMemStoreMirrorsFileStore drives both stores through the same
+// sequence and requires identical observable behaviour — the property
+// that makes MemStore a valid stand-in inside the simulator.
+func TestMemStoreMirrorsFileStore(t *testing.T) {
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := NewMemStore()
+
+	for _, s := range []Store{fs, ms} {
+		if err := s.LoadSnapshot(&doc{}); err != ErrNoSnapshot {
+			t.Fatalf("fresh %T LoadSnapshot: %v", s, err)
+		}
+		if err := s.Append([]byte("one")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveSnapshot(&doc{Schema: "durable-test/v1", N: 9}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append([]byte("two")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append([]byte("three")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr, _ := fs.Records()
+	mr, _ := ms.Records()
+	if !reflect.DeepEqual(fr, mr) {
+		t.Fatalf("record divergence: file %q vs mem %q", fr, mr)
+	}
+	var fd, md doc
+	if err := fs.LoadSnapshot(&fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.LoadSnapshot(&md); err != nil {
+		t.Fatal(err)
+	}
+	if fd != md {
+		t.Fatalf("snapshot divergence: %+v vs %+v", fd, md)
+	}
+}
+
+func TestMemStoreDamageHooks(t *testing.T) {
+	ms := NewMemStore()
+	for i := 0; i < 3; i++ {
+		if err := ms.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms.CorruptLog(ms.LogLen() - 1) // inside the last record's payload
+	recs, _ := ms.Records()
+	if len(recs) != 2 {
+		t.Fatalf("corrupted last record still decodes: %d records", len(recs))
+	}
+	ms.TearLog(3)
+	recs, _ = ms.Records()
+	if len(recs) != 0 {
+		t.Fatalf("torn-to-header log still decodes: %d records", len(recs))
+	}
+	ms.CorruptSnapshot([]byte("{not json"))
+	if err := ms.LoadSnapshot(&doc{}); err == nil || err == ErrNoSnapshot {
+		t.Fatalf("corrupt snapshot load err = %v, want a decode error", err)
+	}
+}

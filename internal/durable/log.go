@@ -1,0 +1,88 @@
+// Package durable is the crash-safe state layer of the control plane:
+// periodic JSON snapshots written atomically (temp file + fsync + rename
+// + directory fsync) paired with an append-only, CRC-framed record log
+// of everything applied since the last snapshot. A process that is
+// SIGKILLed mid-write recovers to exactly the state it had durably
+// acknowledged: the snapshot anchors the state machine, the log replays
+// the tail, and a torn final record — the only damage an append-only
+// writer can suffer — is detected by its checksum and truncated away.
+//
+// The layer is deliberately generic: snapshots are any
+// internal/jsonio-validated document and records are opaque byte
+// payloads, so the coordinator's coordstate/v1 documents (or any future
+// subsystem's) persist through the same two primitives. Two stores
+// ship: FileStore, the real fsync-backed implementation behind
+// `sturgeond -state`, and MemStore, a byte-faithful in-memory twin the
+// deterministic fleet simulator uses to rehearse coordinator
+// crash/restart without touching a filesystem.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// MaxRecordLen bounds one record payload (1 MiB). The bound is part of
+// the wire format: a corrupted length field larger than it reads as a
+// torn tail rather than a multi-gigabyte allocation.
+const MaxRecordLen = 1 << 20
+
+// frameHeaderLen is the per-record framing overhead: a little-endian
+// uint32 payload length followed by a uint32 CRC-32C of the payload.
+const frameHeaderLen = 8
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeRecord frames one payload for the record log:
+//
+//	[4B length LE][4B CRC-32C LE][payload]
+//
+// Empty payloads are rejected: a zero length field is indistinguishable
+// from a zero-filled (preallocated or torn) region of the log, so the
+// decoder treats it as tail damage.
+func EncodeRecord(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("durable: empty record")
+	}
+	if len(payload) > MaxRecordLen {
+		return nil, fmt.Errorf("durable: record of %d bytes exceeds the %d byte cap", len(payload), MaxRecordLen)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
+
+// DecodeRecords walks a record log image from the front and returns
+// every intact record plus the byte length of the clean prefix that
+// holds them. Decoding stops — without error — at the first frame that
+// is short, oversized, zero-length or checksum-mismatched: an
+// append-only log can only be damaged at its tail, so everything after
+// the first bad frame is the torn tail a recovering store truncates.
+// Returned payloads are copies, safe to retain after the input is gone.
+func DecodeRecords(data []byte) (records [][]byte, clean int) {
+	off := 0
+	for {
+		if len(data)-off < frameHeaderLen {
+			return records, off
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		if n == 0 || n > MaxRecordLen {
+			return records, off
+		}
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if len(data)-off-frameHeaderLen < int(n) {
+			return records, off
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return records, off
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += frameHeaderLen + int(n)
+	}
+}

@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Coordinator crash scheduling. Node-level faults (faults.go) perturb
+// one node's telemetry and actuators per simulated second; a
+// coordinator kill is a different beast — it takes the fleet's
+// arbitration control plane down for a window of *epochs* and then
+// hands it back, restarted from whatever durable state it managed to
+// keep. The plan lives here, next to the other fault schedules, so the
+// same determinism contract applies: a CoordKillPlan is a pure function
+// of (spec, seed, epochs) and replaying it reproduces the same crash
+// windows exactly.
+
+// CoordKillWindow is one coordinator outage-by-crash: the coordinator
+// is down over the half-open epoch range [Start, End) and restarts —
+// recovering from its durable state — at epoch End.
+type CoordKillWindow struct {
+	Start, End int
+}
+
+// CoordKillSpec holds the seeded crash-model knobs. The zero value
+// kills nothing.
+type CoordKillSpec struct {
+	// KillRate is the per-epoch probability a crash window opens while
+	// the coordinator is up.
+	KillRate float64
+	// MeanDownEpochs is the mean window length in epochs (geometric,
+	// default 3).
+	MeanDownEpochs float64
+}
+
+// CoordKillPlan is a materialized coordinator crash schedule over
+// epochs 1..Epochs. Windows are sorted, non-overlapping and non-empty.
+type CoordKillPlan struct {
+	Epochs  int
+	Windows []CoordKillWindow
+}
+
+// NewCoordKill materializes the schedule implied by spec over epochs
+// 1..epochs — a pure function of (spec, seed, epochs).
+func NewCoordKill(spec CoordKillSpec, seed int64, epochs int) *CoordKillPlan {
+	rate := spec.KillRate
+	if !(rate > 0) {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	dur := spec.MeanDownEpochs
+	if !(dur >= 1) {
+		dur = 3
+	}
+	var ws []CoordKillWindow
+	if rate > 0 {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + 777))
+		for e := 1; e <= epochs; {
+			if rng.Float64() >= rate {
+				e++
+				continue
+			}
+			end := e + 1
+			for end <= epochs && dur > 1 && rng.Float64() > 1/dur {
+				end++
+			}
+			ws = append(ws, CoordKillWindow{Start: e, End: end})
+			// The restart epoch itself stays up; the next window can open
+			// no earlier than the epoch after it.
+			e = end + 1
+		}
+	}
+	return ManualCoordKill(epochs, ws...)
+}
+
+// ManualCoordKill builds a plan from explicit windows — the
+// scripted-scenario entry point. Windows are clamped to [1, epochs+1)
+// (epoch numbering starts at 1 in the fleet's grant loop), empty ones
+// dropped, and overlapping or touching ones merged, so DownAt/RestartAt
+// see a canonical schedule whatever the caller passed.
+func ManualCoordKill(epochs int, windows ...CoordKillWindow) *CoordKillPlan {
+	if epochs < 0 {
+		epochs = 0
+	}
+	p := &CoordKillPlan{Epochs: epochs}
+	var ws []CoordKillWindow
+	for _, w := range windows {
+		if w.Start < 1 {
+			w.Start = 1
+		}
+		if w.End > epochs+1 {
+			w.End = epochs + 1
+		}
+		if w.Start >= w.End {
+			continue
+		}
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	for _, w := range ws {
+		if n := len(p.Windows); n > 0 && w.Start <= p.Windows[n-1].End {
+			if w.End > p.Windows[n-1].End {
+				p.Windows[n-1].End = w.End
+			}
+			continue
+		}
+		p.Windows = append(p.Windows, w)
+	}
+	return p
+}
+
+// DownAt reports whether the coordinator is crashed in epoch e.
+func (p *CoordKillPlan) DownAt(e int) bool {
+	if p == nil {
+		return false
+	}
+	for _, w := range p.Windows {
+		if e >= w.Start && e < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// RestartAt reports whether epoch e is the first epoch after a crash
+// window — the epoch the coordinator stands back up from durable state
+// before serving grants again. A window truncated by the end of the run
+// never restarts inside it.
+func (p *CoordKillPlan) RestartAt(e int) bool {
+	if p == nil || p.DownAt(e) {
+		return false
+	}
+	for _, w := range p.Windows {
+		if w.End == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether the plan schedules no crashes at all.
+func (p *CoordKillPlan) Empty() bool { return p == nil || len(p.Windows) == 0 }

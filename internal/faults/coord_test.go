@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestManualCoordKillCanonicalizes(t *testing.T) {
+	p := ManualCoordKill(20,
+		CoordKillWindow{Start: 12, End: 15},
+		CoordKillWindow{Start: -3, End: 2},  // clamps to [1, 2)
+		CoordKillWindow{Start: 14, End: 17}, // overlaps the first: merges
+		CoordKillWindow{Start: 17, End: 17}, // empty: dropped
+		CoordKillWindow{Start: 19, End: 99}, // clamps to [19, 21)
+	)
+	want := []CoordKillWindow{{1, 2}, {12, 17}, {19, 21}}
+	if !reflect.DeepEqual(p.Windows, want) {
+		t.Fatalf("canonical windows %v, want %v", p.Windows, want)
+	}
+}
+
+func TestCoordKillDownAndRestart(t *testing.T) {
+	p := ManualCoordKill(20, CoordKillWindow{Start: 5, End: 8})
+	for e, wantDown := range map[int]bool{4: false, 5: true, 6: true, 7: true, 8: false} {
+		if p.DownAt(e) != wantDown {
+			t.Errorf("DownAt(%d) = %v, want %v", e, p.DownAt(e), wantDown)
+		}
+	}
+	for e, wantRestart := range map[int]bool{7: false, 8: true, 9: false} {
+		if p.RestartAt(e) != wantRestart {
+			t.Errorf("RestartAt(%d) = %v, want %v", e, p.RestartAt(e), wantRestart)
+		}
+	}
+	// Back-to-back merged windows restart exactly once, after the merge.
+	m := ManualCoordKill(20, CoordKillWindow{Start: 3, End: 5}, CoordKillWindow{Start: 5, End: 7})
+	if len(m.Windows) != 1 {
+		t.Fatalf("touching windows not merged: %v", m.Windows)
+	}
+	if m.RestartAt(5) || !m.RestartAt(7) {
+		t.Fatalf("merged window restarts wrong: RestartAt(5)=%v RestartAt(7)=%v",
+			m.RestartAt(5), m.RestartAt(7))
+	}
+	// A window truncated by the end of the run never restarts in-run.
+	tail := ManualCoordKill(10, CoordKillWindow{Start: 9, End: 50})
+	for e := 1; e <= 10; e++ {
+		if tail.RestartAt(e) {
+			t.Fatalf("run-truncated window restarts at epoch %d", e)
+		}
+	}
+	if !tail.DownAt(10) {
+		t.Fatal("run-truncated window not down through the last epoch")
+	}
+	var nilPlan *CoordKillPlan
+	if nilPlan.DownAt(3) || nilPlan.RestartAt(3) || !nilPlan.Empty() {
+		t.Fatal("nil plan must be inert")
+	}
+}
+
+func TestNewCoordKillDeterministicAndBounded(t *testing.T) {
+	spec := CoordKillSpec{KillRate: 0.05, MeanDownEpochs: 4}
+	a := NewCoordKill(spec, 42, 500)
+	b := NewCoordKill(spec, 42, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (spec, seed, epochs) produced different plans")
+	}
+	if a.Empty() {
+		t.Fatal("5% kill rate over 500 epochs scheduled nothing")
+	}
+	for i, w := range a.Windows {
+		if w.Start < 1 || w.End > 501 || w.Start >= w.End {
+			t.Fatalf("window %d out of bounds: %+v", i, w)
+		}
+		if i > 0 && w.Start <= a.Windows[i-1].End {
+			t.Fatalf("windows %d and %d overlap or touch: %+v %+v",
+				i-1, i, a.Windows[i-1], w)
+		}
+	}
+	if c := NewCoordKill(spec, 43, 500); reflect.DeepEqual(a.Windows, c.Windows) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if !NewCoordKill(CoordKillSpec{}, 42, 500).Empty() {
+		t.Fatal("zero spec scheduled crashes")
+	}
+}

@@ -39,6 +39,11 @@ const (
 	// rotation changes.
 	EventNodeEvicted    = "node_evicted"
 	EventNodeReadmitted = "node_readmitted"
+	// EventRecoveryCompleted marks a coordinator standing back up from
+	// durable state (Reason: the recovery path taken — "clean",
+	// "no_snapshot", "torn_log", "corrupt_snapshot", "restore_rejected";
+	// Epoch: the recovered arbitration epoch; Value: replayed reports).
+	EventRecoveryCompleted = "recovery_completed"
 	// EventResidual samples predictor drift: Value is observed minus
 	// predicted for the Resource ("power" in watts; "latency" carries the
 	// observed slack of a configuration the predictor deemed feasible).
