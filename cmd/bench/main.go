@@ -69,6 +69,10 @@ func main() {
 	repeat := flag.Int("repeat", def.Repeats, "best-of count per matrix cell")
 	coordination := flag.Bool("coordination", def.Coordination,
 		"run the pinned even-split vs coordinated-caps pair and enforce the win gate")
+	fleet10k := flag.Bool("fleet10k", def.Fleet10k,
+		"run the pinned 10k-node diurnal scenario on the event engine")
+	fleet10kBudget := flag.Float64("fleet10k-budget", def.Fleet10kWallBudgetS,
+		"wall-clock seconds the fleet10k scenario may take before the run fails (0 disables the gate)")
 	out := flag.String("out", "BENCH_fleet.json", "report path ('' skips writing)")
 	events := flag.String("events", "",
 		"replay the granted coordination scenario with journaling and write the sturgeon/events/v1 dump to PATH")
@@ -92,6 +96,9 @@ func main() {
 		Seed:         common.Seed,
 		Repeats:      *repeat,
 		Coordination: *coordination,
+		Fleet10k:     *fleet10k,
+
+		Fleet10kWallBudgetS: *fleet10kBudget,
 	}
 
 	rep, err := bench.Execute(opt)

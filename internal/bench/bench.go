@@ -50,6 +50,15 @@ type Scenario struct {
 	// Empty for ordinary matrix cells. Policy and Faults are implied
 	// ("skewed" dispatch; coordinator-path chaos on "granted").
 	Coord string `json:"coord,omitempty"`
+	// Fleet10k selects the pinned datacenter-scale diurnal scenario
+	// (cluster.DefaultFleet10k) on the discrete-event engine — the one
+	// cell whose per-second simulation would take over an hour and which
+	// therefore measures the event engine's skip machinery rather than
+	// the stepping fan-out.
+	Fleet10k bool `json:"fleet10k,omitempty"`
+	// Engine names the cluster stepping engine ("event"; empty =
+	// per-second), recorded so report rows are self-describing.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Run is one measured execution of a scenario at a parallelism level.
@@ -76,6 +85,10 @@ type Run struct {
 	// SpeedupVsSerial is NodeStepsPerSec over the same scenario's
 	// parallelism=1 run (1.0 for the serial run itself).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// ActiveSeconds is how many simulated seconds the event engine
+	// evaluated node-by-node (zero for per-second rows); the gap to
+	// DurationS is the skip machinery's contribution.
+	ActiveSeconds int `json:"active_seconds,omitempty"`
 }
 
 // Report is the root of BENCH_fleet.json.
@@ -112,6 +125,12 @@ type Options struct {
 	// the coordinated fleet must deliver strictly more best-effort
 	// throughput at an equal-or-better QoS rate than the even split.
 	Coordination bool
+	// Fleet10k appends the pinned 10 000-node diurnal scenario on the
+	// event engine; Fleet10kWallBudgetS (0 = no gate) makes Execute fail
+	// when its serial run exceeds the wall-clock budget — the CI fence
+	// for "a simulated datacenter-day completes in seconds".
+	Fleet10k            bool
+	Fleet10kWallBudgetS float64
 }
 
 // DefaultOptions is the CI matrix: small enough to finish in seconds,
@@ -127,6 +146,28 @@ func DefaultOptions() Options {
 		Seed:         20260806,
 		Repeats:      3,
 		Coordination: true,
+		Fleet10k:     true,
+		// Generous against runner noise; the scenario completes in ~1 s on
+		// a development machine and ~75 s would mean skipping broke.
+		Fleet10kWallBudgetS: 75,
+	}
+}
+
+// Fleet10kScenario returns the pinned datacenter-scale cell: the
+// cluster.DefaultFleet10k fleet (10 000 governor-managed quiet nodes,
+// 24-hour staircase diurnal) on the discrete-event engine. The scenario
+// is fully pinned by DefaultFleet10k — the matrix seed does not vary it.
+func Fleet10kScenario() Scenario {
+	o := cluster.DefaultFleet10k()
+	return Scenario{
+		Name:      "fleet10k-diurnal24-event",
+		Nodes:     o.Nodes,
+		DurationS: o.DurationS,
+		Policy:    "round-robin",
+		Faults:    "clean",
+		Seed:      o.Seed,
+		Fleet10k:  true,
+		Engine:    "event",
 	}
 }
 
@@ -172,6 +213,9 @@ func Matrix(opt Options) []Scenario {
 		even, granted := CoordPair(opt.Seed)
 		out = append(out, even, granted)
 	}
+	if opt.Fleet10k {
+		out = append(out, Fleet10kScenario())
+	}
 	return out
 }
 
@@ -180,6 +224,14 @@ func Matrix(opt Options) []Scenario {
 // the measurement isolates the stepping fan-out) with the scenario's
 // dispatch policy and fault plan.
 func buildCluster(sc Scenario, parallelism int) (*cluster.Cluster, error) {
+	if sc.Fleet10k {
+		c, err := cluster.BuildFleet10k(cluster.DefaultFleet10k())
+		if err != nil {
+			return nil, err
+		}
+		c.Parallelism = parallelism
+		return c, nil
+	}
 	if sc.Coord != "" {
 		o := cluster.DefaultCoordFleet(sc.Seed)
 		o.Coordinated = sc.Coord == "granted"
@@ -236,7 +288,10 @@ func measureOnce(sc Scenario, parallelism int) (Run, error) {
 		return Run{}, err
 	}
 	tr := workload.Triangle(0.2, 0.8, float64(sc.DurationS))
-	if sc.Coord != "" {
+	switch {
+	case sc.Fleet10k:
+		tr = cluster.DefaultFleet10k().Trace()
+	case sc.Coord != "":
 		tr = cluster.DefaultCoordFleet(sc.Seed).Trace()
 	}
 
@@ -261,6 +316,7 @@ func measureOnce(sc Scenario, parallelism int) (Run, error) {
 		QoSRate:         res.QoSRate,
 		BEThroughputUPS: res.MeanBEThroughputUPS,
 		SummarySHA256:   hex.EncodeToString(sum[:]),
+		ActiveSeconds:   c.EventActiveSeconds(),
 	}
 	if err := checkInvariants(r); err != nil {
 		return Run{}, err
@@ -349,6 +405,10 @@ func Execute(opt Options) (*Report, error) {
 			if p == 1 {
 				serialSteps = r.NodeStepsPerSec
 				baseHash = r.SummarySHA256
+			}
+			if sc.Fleet10k && opt.Fleet10kWallBudgetS > 0 && r.WallSeconds > opt.Fleet10kWallBudgetS {
+				return nil, fmt.Errorf("bench: %s parallelism=%d took %.1f s, over the %.0f s budget — the event engine's skipping has regressed",
+					sc.Name, p, r.WallSeconds, opt.Fleet10kWallBudgetS)
 			}
 			if serialSteps > 0 {
 				r.SpeedupVsSerial = r.NodeStepsPerSec / serialSteps

@@ -231,6 +231,22 @@ type CoordStats struct {
 	MovedW float64
 }
 
+// Engine selects the fleet stepping strategy.
+type Engine int
+
+const (
+	// EngineStep steps every node every simulated second — the reference
+	// semantics and the default.
+	EngineStep Engine = iota
+	// EngineEvent is the discrete-event engine (DESIGN.md §13): nodes at
+	// a proven fixed point skip ahead to their next scheduled wake-up
+	// (fault edges, coordinator epochs, eviction/backoff timers, trace
+	// breakpoints), and fully quiescent stretches are replicated without
+	// touching the fleet. Seeded runs are byte-identical to EngineStep —
+	// same Summary, same journal — at any Parallelism.
+	EngineEvent
+)
+
 // Cluster is a fleet of identical Sturgeon-managed nodes serving one LS
 // service, each co-located with a BE application.
 type Cluster struct {
@@ -258,6 +274,20 @@ type Cluster struct {
 	// afterwards, so the setting changes wall-clock time only — seeded
 	// runs are byte-identical at every worker count (see DESIGN.md §9).
 	Parallelism int
+	// Engine selects per-second stepping (EngineStep, the default) or the
+	// discrete-event engine (EngineEvent). Both produce byte-identical
+	// results; EngineEvent is orders of magnitude faster on large, mostly
+	// quiescent fleets.
+	Engine Engine
+	// TraceBreaks lists every step index at which the load trace may
+	// change value (workload.Stair.BreakSteps supplies it). Only
+	// EngineEvent reads it: a declared-piecewise-constant trace lets
+	// quiescent stretches be skipped whole, while a nil TraceBreaks makes
+	// the engine conservatively treat every second as a potential
+	// inflection. The contract is one-sided — listing extra steps is
+	// harmless, omitting a step where the trace moves breaks the
+	// cross-engine equivalence.
+	TraceBreaks []int
 
 	// rng is the fleet's sole randomness source, injected via the New
 	// seed — no package-level math/rand is consulted anywhere, so two
@@ -280,7 +310,27 @@ type Cluster struct {
 	grantCtr    *obs.Counter
 	faultCtr    *obs.Counter
 	recoveryCtr *obs.Counter
+
+	// Broken-scheduler stubs for the quiescence regression battery: each
+	// suppresses one wake-up category in runEvent, simulating the
+	// scheduling bug the category exists to prevent. Tests assert the
+	// stubbed engine *diverges* from EngineStep while the real engine
+	// does not. Never set outside tests.
+	testDropFaultWakes  bool
+	testDropEpochWakes  bool
+	testDropTraceWakes  bool
+	testDropHealthWakes bool
+
+	// evActive counts the seconds the last runEvent actually evaluated
+	// (as opposed to replicating); see EventActiveSeconds.
+	evActive int
 }
+
+// EventActiveSeconds reports how many simulated seconds the last
+// EngineEvent run evaluated node-by-node rather than replicating from a
+// fixed point — the engine's work metric. Zero before any event run;
+// equal to the horizon when nothing could be skipped.
+func (c *Cluster) EventActiveSeconds() int { return c.evActive }
 
 // stagingJournalCap bounds each node's staging journal. A node emits at
 // most a handful of events per interval and the staging ring is drained
@@ -477,6 +527,10 @@ type stepOutcome struct {
 	q       float64
 	crashed bool
 	st      sim.IntervalStats
+	// held records that the controller returned the observation's config
+	// unchanged, so no actuation was attempted — one of the event
+	// engine's fixed-point conditions.
+	held bool
 }
 
 // stepNode advances node i through simulated second step with dispatched
@@ -517,7 +571,7 @@ func (c *Cluster) stepNode(i, step int, t, q float64) stepOutcome {
 	if next != st.Config {
 		inj.Actuate(step, st.Config, next, node.Apply)
 	}
-	return stepOutcome{q: q, st: st}
+	return stepOutcome{q: q, st: st, held: next == st.Config}
 }
 
 // Run drives the fleet for duration seconds under a cluster-wide load
@@ -535,6 +589,18 @@ func (c *Cluster) stepNode(i, step int, t, q float64) stepOutcome {
 // exactly the serial program's order, so the result is byte-identical
 // at any worker count.
 func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
+	if c.Engine == EngineEvent {
+		return c.runEvent(tr, durationS)
+	}
+	return c.runStep(tr, durationS)
+}
+
+// runStep is the per-second reference engine: every node is stepped at
+// every simulated second. runEvent (engine.go) must stay byte-identical
+// to it, which is why the serial merge and the run finalization live in
+// mergeSecond and finish, shared by both engines — floating-point
+// reductions see operands in exactly the same order either way.
+func (c *Cluster) runStep(tr workload.Trace, durationS int) Result {
 	n := len(c.Nodes)
 	opt := c.Health.withDefaults()
 	states := make([]NodeState, n)
@@ -565,66 +631,82 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 			outs[i] = c.stepNode(i, step, t, q)
 		})
 
-		// Merge: serial, in node-index order.
-		rep := IntervalReport{Time: t, TotalQPS: total}
-		var okQ float64
-		for i := range outs {
-			o := &outs[i]
-			if o.crashed {
-				res.LostQueries += o.q
-				states[i].Last = o.st
-				wasHealthy := states[i].Healthy
-				states[i].Healthy = health[i].observe(true, opt, &res.Health)
-				if !states[i].Healthy {
-					res.Health.UnhealthyNodeIntervals++
-				}
-				c.drainNode(i, t, wasHealthy, states[i].Healthy)
-				continue
-			}
-			st := o.st
-			states[i].Last = st
-			wasHealthy := states[i].Healthy
-			states[i].Healthy = health[i].observe(st.Power <= 0, opt, &res.Health)
-			if !states[i].Healthy {
-				res.Health.UnhealthyNodeIntervals++
-			}
-			c.drainNode(i, t, wasHealthy, states[i].Healthy)
-			okQ += st.QPS * st.QoSFrac
-			rep.BEThroughputUPS += st.BEThroughputUPS
-			rep.PowerW += float64(st.TruePower)
-			if st.TruePower > c.caps[i] {
-				rep.OverloadedNodes++
-			}
-		}
-		if total > 0 {
-			rep.QoSFrac = okQ / total
-		} else {
-			rep.QoSFrac = 1
-		}
-
-		// Fleet coordination: at epoch boundaries every node reports its
-		// slack telemetry and applies the cap granted back. This runs in
-		// the serial section, in node-index order, so the grant schedule
-		// is identical at every stepping parallelism.
-		if c.Coord != nil && c.Coord.Transport != nil {
-			epochS := c.Coord.epochS()
-			if (step+1)%epochS == 0 {
-				c.exchangeGrants((step+1)/epochS, states, &res)
-			}
-			lo, hi := c.caps[0], c.caps[0]
-			for _, w := range c.caps {
-				lo = min(lo, w)
-				hi = max(hi, w)
-			}
-			rep.CapSpreadW = float64(hi - lo)
-		}
-
+		rep, okQ := c.mergeSecond(step, t, total, outs, states, health, opt, &res)
 		wOK += okQ
 		wQ += total
 		sumBE += rep.BEThroughputUPS
 		sumPW += rep.PowerW
 		res.Intervals = append(res.Intervals, rep)
 	}
+	c.finish(&res, wOK, wQ, sumBE, sumPW, durationS)
+	return res
+}
+
+// mergeSecond is the serial per-interval reduction both engines share:
+// failure detection, journal draining, the fleet accumulators and the
+// coordination epoch, all in node-index order over the collected
+// outcomes. It returns the interval report and the query-weighted
+// in-target load okQ.
+func (c *Cluster) mergeSecond(step int, t, total float64, outs []stepOutcome,
+	states []NodeState, health []nodeHealth, opt HealthOptions, res *Result) (IntervalReport, float64) {
+	rep := IntervalReport{Time: t, TotalQPS: total}
+	var okQ float64
+	for i := range outs {
+		o := &outs[i]
+		if o.crashed {
+			res.LostQueries += o.q
+			states[i].Last = o.st
+			wasHealthy := states[i].Healthy
+			states[i].Healthy = health[i].observe(true, opt, &res.Health)
+			if !states[i].Healthy {
+				res.Health.UnhealthyNodeIntervals++
+			}
+			c.drainNode(i, t, wasHealthy, states[i].Healthy)
+			continue
+		}
+		st := o.st
+		states[i].Last = st
+		wasHealthy := states[i].Healthy
+		states[i].Healthy = health[i].observe(st.Power <= 0, opt, &res.Health)
+		if !states[i].Healthy {
+			res.Health.UnhealthyNodeIntervals++
+		}
+		c.drainNode(i, t, wasHealthy, states[i].Healthy)
+		okQ += st.QPS * st.QoSFrac
+		rep.BEThroughputUPS += st.BEThroughputUPS
+		rep.PowerW += float64(st.TruePower)
+		if st.TruePower > c.caps[i] {
+			rep.OverloadedNodes++
+		}
+	}
+	if total > 0 {
+		rep.QoSFrac = okQ / total
+	} else {
+		rep.QoSFrac = 1
+	}
+
+	// Fleet coordination: at epoch boundaries every node reports its
+	// slack telemetry and applies the cap granted back. This runs in
+	// the serial section, in node-index order, so the grant schedule
+	// is identical at every stepping parallelism.
+	if c.Coord != nil && c.Coord.Transport != nil {
+		epochS := c.Coord.epochS()
+		if (step+1)%epochS == 0 {
+			c.exchangeGrants((step+1)/epochS, states, res)
+		}
+		lo, hi := c.caps[0], c.caps[0]
+		for _, w := range c.caps {
+			lo = min(lo, w)
+			hi = max(hi, w)
+		}
+		rep.CapSpreadW = float64(hi - lo)
+	}
+	return rep, okQ
+}
+
+// finish folds the run accumulators into the Result — shared by both
+// engines so the final divisions see bit-equal operands.
+func (c *Cluster) finish(res *Result, wOK, wQ, sumBE, sumPW float64, durationS int) {
 	for i := range c.Injectors {
 		if c.Injectors[i] != nil {
 			res.Faults.Add(c.Injectors[i].C)
@@ -646,7 +728,6 @@ func (c *Cluster) Run(tr workload.Trace, durationS int) Result {
 	if res.EnergyKJ > 0 {
 		res.WorkPerKJ = sumBE / res.EnergyKJ
 	}
-	return res
 }
 
 // restartCoordinator runs the Coordination's Restart hook, normalizing

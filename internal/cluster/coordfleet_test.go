@@ -173,6 +173,14 @@ func coordGoldenScenario(t *testing.T, parallelism int) Result {
 // (nil = uninstrumented) for the observability battery.
 func coordGoldenScenarioObs(t *testing.T, parallelism int, sink *obs.Sink) Result {
 	t.Helper()
+	c, tr, duration := coordGoldenScenarioCluster(t, parallelism, sink)
+	return c.Run(tr, duration)
+}
+
+// coordGoldenScenarioCluster builds the pinned coordinated fleet
+// without running it (for the cross-engine equivalence battery).
+func coordGoldenScenarioCluster(t *testing.T, parallelism int, sink *obs.Sink) (*Cluster, workload.Trace, int) {
+	t.Helper()
 	o := DefaultCoordFleet(20260806)
 	o.Coordinated = true
 	o.Chaos = true
@@ -182,7 +190,7 @@ func coordGoldenScenarioObs(t *testing.T, parallelism int, sink *obs.Sink) Resul
 	}
 	c.Parallelism = parallelism
 	c.SetObs(sink)
-	return c.Run(o.Trace(), o.DurationS)
+	return c, o.Trace(), o.DurationS
 }
 
 func TestGoldenCoordSummary(t *testing.T) {

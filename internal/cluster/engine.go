@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"sturgeon/internal/cache"
+	"sturgeon/internal/control"
+	"sturgeon/internal/des"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/pool"
+	"sturgeon/internal/power"
+	"sturgeon/internal/workload"
+)
+
+// SteadyShares marks a DispatchPolicy whose Shares is a stateless pure
+// function of the nodes' Healthy flags: calling it once or once per
+// second returns the same weights, and skipping calls loses no internal
+// state. Only such policies allow the event engine to replicate fully
+// quiescent seconds without consulting the dispatcher; stateful
+// policies (Skewed's phase counter, LeastLoaded's EWMA) force every
+// second to be evaluated so their state advances exactly as under
+// per-second stepping.
+type SteadyShares interface {
+	DispatchPolicy
+	// SharesSteady is a marker; implementations must satisfy the purity
+	// contract above.
+	SharesSteady()
+}
+
+// SharesSteady marks RoundRobin: its weights depend only on the
+// Healthy flags and it keeps no state.
+func (RoundRobin) SharesSteady() {}
+
+// nodeClass is the physics-parameter fingerprint behind cross-node
+// memoization: two deterministic nodes of the same class given
+// bit-equal (config, load, cap, controller key) run bit-identical
+// intervals, so one representative step serves the whole class.
+type nodeClass struct {
+	Spec          hw.Spec
+	Power         power.Params
+	Bus           cache.MemBus
+	LS, BE        workload.Profile
+	QoSPercentile float64
+}
+
+// memoKey identifies one group of interchangeable node-steps within a
+// single simulated second.
+type memoKey struct {
+	class int
+	cfg   hw.Config
+	q     float64
+	cap   power.Watts
+	ctrl  any
+}
+
+// nodeRuntime is the event engine's per-node bookkeeping.
+type nodeRuntime struct {
+	// det and steadyCtrl are fixed for the run: whether the node's
+	// physics is replayable (sim.Node.Deterministic) and the controller's
+	// Steady opt-in (nil when it keeps hidden state).
+	det        bool
+	steadyCtrl control.Steady
+	// memoable additionally requires an uninstrumented run (per-node
+	// gauges must track per-node Decide calls) and a fault-free node.
+	memoable bool
+	class    int
+
+	// steady marks a proven fixed point: the last real step held its
+	// config, finished with no backlog on a deterministic node, and
+	// nothing external (fault, cap change) has intervened. A steady node
+	// re-dispatched the same load replays lastOut bit-for-bit.
+	steady     bool
+	lastQ      float64
+	lastCap    power.Watts
+	lastOut    stepOutcome
+	lastDead   bool
+	preBacklog float64
+}
+
+// runEvent is the discrete-event engine (DESIGN.md §13). It maintains a
+// stable-ordered wake-up queue over (step, node, kind); a second with no
+// due events and every node steady is replicated from the previous
+// interval in O(1), and within active seconds steady nodes replay their
+// last outcome while identical nodes share one representative step.
+// Every skip is conservative — taken only when the per-second engine's
+// behavior is provably bit-identical — so seeded runs match runStep
+// byte-for-byte in Summary and journal at any Parallelism.
+func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
+	c.evActive = 0
+	n := len(c.Nodes)
+	opt := c.Health.withDefaults()
+	states := make([]NodeState, n)
+	health := make([]nodeHealth, n)
+	for i := range states {
+		states[i].Healthy = true
+	}
+	outs := make([]stepOutcome, n)
+	rt := make([]nodeRuntime, n)
+
+	classes := make(map[nodeClass]int)
+	for i, node := range c.Nodes {
+		rt[i].det = node.Deterministic()
+		if s, ok := c.Ctrls[i].(control.Steady); ok {
+			if _, kok := s.SteadyKey(); kok {
+				rt[i].steadyCtrl = s
+			}
+		}
+		inj := c.injector(i)
+		rt[i].memoable = c.obs == nil && rt[i].det && rt[i].steadyCtrl != nil &&
+			(inj == nil || inj.Plan.Empty())
+		if rt[i].memoable {
+			k := nodeClass{Spec: node.Spec, Power: node.PowerParams, Bus: node.Bus,
+				LS: node.LSProfile, BE: node.BEProfile, QoSPercentile: node.QoSPercentile}
+			id, ok := classes[k]
+			if !ok {
+				id = len(classes)
+				classes[k] = id
+			}
+			rt[i].class = id
+		}
+	}
+
+	// Replication additionally needs the dispatcher to be skippable and
+	// the trace's inflections declared; otherwise every second must be
+	// evaluated (per-node replay and memoization still apply).
+	_, policySteady := c.Policy.(SteadyShares)
+	everySecond := !policySteady || c.TraceBreaks == nil
+
+	q := des.NewQueue()
+	if !c.testDropTraceWakes {
+		for _, b := range c.TraceBreaks {
+			if b >= 0 && b < durationS {
+				q.Schedule(des.Event{Step: b, Node: des.Global, Kind: des.KindTrace})
+			}
+		}
+	}
+	scheduleEpoch := func(after int) {
+		if c.Coord == nil || c.testDropEpochWakes {
+			return
+		}
+		epochS := c.Coord.epochS()
+		if b := ((after+1)/epochS+1)*epochS - 1; b < durationS {
+			q.Schedule(des.Event{Step: b, Node: des.Global, Kind: des.KindEpoch})
+		}
+	}
+	scheduleEpoch(-1)
+	if !c.testDropFaultWakes {
+		for i := 0; i < n; i++ {
+			if inj := c.injector(i); inj != nil {
+				if na := inj.Plan.NextActive(0); na >= 0 && na < durationS {
+					q.Schedule(des.Event{Step: na, Node: i, Kind: des.KindFault})
+				}
+			}
+		}
+	}
+
+	var res Result
+	var wOK, wQ, sumBE, sumPW float64
+	var lastRep IntervalReport
+	var lastOkQ, lastTotal float64
+	unhealthyNow := 0
+	lastActive := -1
+	var evs []des.Event
+	var tasks []int
+	groups := make(map[memoKey][]int)
+	var groupOrder []memoKey
+
+	for step := 0; step < durationS; {
+		evs = q.PopThrough(step, evs[:0])
+		if step > 0 && len(evs) == 0 && !everySecond {
+			// Quiescent stretch: no wake-ups due, every node at a fixed
+			// point, dispatcher stateless, trace flat until its next
+			// declared break. Replicate the previous interval through the
+			// next event. The accumulators use one addition per second —
+			// never k·x — so the floating-point op sequence matches
+			// runStep's exactly.
+			end := durationS
+			if next, ok := q.NextStep(); ok && next < end {
+				end = next
+			}
+			for ; step < end; step++ {
+				rep := lastRep
+				rep.Time = float64(step + 1)
+				wOK += lastOkQ
+				wQ += lastTotal
+				sumBE += rep.BEThroughputUPS
+				sumPW += rep.PowerW
+				res.Health.UnhealthyNodeIntervals += unhealthyNow
+				res.Intervals = append(res.Intervals, rep)
+			}
+			continue
+		}
+
+		// Active second.
+		c.evActive++
+		t := float64(step + 1)
+		total := tr(t) * c.LS.PeakQPS * float64(n)
+
+		// Catch the failure detector up over the replicated gap: the
+		// liveness signal was constant (each node replayed its last
+		// interval) and flips were precluded by KindHealth wake-ups, so a
+		// closed-form advance is exact.
+		if gap := step - lastActive - 1; gap > 0 {
+			for i := range health {
+				health[i].observeN(rt[i].lastDead, gap, opt, &res.Health)
+			}
+		}
+		lastActive = step
+
+		shares := c.Policy.Shares(states)
+		var norm float64
+		for _, s := range shares {
+			norm += s
+		}
+		share := func(i int) float64 {
+			if norm > 0 {
+				return total * shares[i] / norm
+			}
+			return 0
+		}
+
+		// Classify: replay steady nodes, group interchangeable ones
+		// behind a representative, step the rest. Groups are built in
+		// node-index order so representative choice is deterministic.
+		tasks = tasks[:0]
+		groupOrder = groupOrder[:0]
+		for i := 0; i < n; i++ {
+			qi := share(i)
+			inj := c.injector(i)
+			if rt[i].steady && qi == rt[i].lastQ && c.caps[i] == rt[i].lastCap &&
+				(inj == nil || inj.Flags(step) == 0) {
+				outs[i] = rt[i].lastOut
+				outs[i].st.Time = t
+				continue
+			}
+			rt[i].lastQ = qi
+			rt[i].lastCap = c.caps[i]
+			if rt[i].memoable && c.Nodes[i].Backlog() == 0 {
+				key, _ := rt[i].steadyCtrl.SteadyKey()
+				mk := memoKey{class: rt[i].class, cfg: c.Nodes[i].Config(), q: qi,
+					cap: c.caps[i], ctrl: key}
+				members, seen := groups[mk]
+				groups[mk] = append(members, i)
+				if !seen {
+					groupOrder = append(groupOrder, mk)
+					tasks = append(tasks, i)
+				}
+				continue
+			}
+			tasks = append(tasks, i)
+		}
+
+		pool.ForEach(c.Parallelism, len(tasks), func(k int) {
+			i := tasks[k]
+			rt[i].preBacklog = c.Nodes[i].Backlog()
+			outs[i] = c.stepNode(i, step, t, share(i))
+		})
+
+		// Fan each representative's outcome out to its group. Identical
+		// inputs through identical pure code paths give bit-identical
+		// outputs, so copying is exact; the members' configs advance via
+		// the same Apply the representative's actuation took. A step that
+		// left backlog is not a fixed point — the members' own queues must
+		// carry it — so that (rare, overloaded) group falls back to
+		// stepping every member individually.
+		for _, mk := range groupOrder {
+			members := groups[mk]
+			delete(groups, mk)
+			repIdx := members[0]
+			rest := members[1:]
+			if c.Nodes[repIdx].Backlog() != 0 {
+				pool.ForEach(c.Parallelism, len(rest), func(k int) {
+					i := rest[k]
+					rt[i].preBacklog = c.Nodes[i].Backlog()
+					outs[i] = c.stepNode(i, step, t, share(i))
+				})
+				continue
+			}
+			o := outs[repIdx]
+			cfgAfter := c.Nodes[repIdx].Config()
+			for _, i := range rest {
+				rt[i].preBacklog = 0
+				outs[i] = o
+				if !o.held {
+					_ = c.Nodes[i].Apply(cfgAfter)
+				}
+			}
+		}
+
+		flipsBefore := res.Health.Evictions + res.Health.Readmissions
+		rep, okQ := c.mergeSecond(step, t, total, outs, states, health, opt, &res)
+		wOK += okQ
+		wQ += total
+		sumBE += rep.BEThroughputUPS
+		sumPW += rep.PowerW
+		res.Intervals = append(res.Intervals, rep)
+		lastRep, lastOkQ, lastTotal = rep, okQ, total
+
+		// Probe steadiness and schedule wake-ups. A node is at a fixed
+		// point only when everything a re-step could observe is provably
+		// unchanged: it is up, its controller held a deterministic node's
+		// config, no fault flag fired, no backlog existed on either side
+		// of the step, and its cap survived the coordination epoch.
+		unhealthyNow = 0
+		for i := 0; i < n; i++ {
+			o := &outs[i]
+			dead := o.crashed || o.st.Power <= 0
+			steady := !o.crashed && o.held && rt[i].det && rt[i].steadyCtrl != nil &&
+				o.st.Faults == 0 && rt[i].preBacklog == 0 && c.Nodes[i].Backlog() == 0 &&
+				c.caps[i] == rt[i].lastCap
+			rt[i].steady = steady
+			rt[i].lastOut = *o
+			rt[i].lastDead = dead
+			if !states[i].Healthy {
+				unhealthyNow++
+			}
+			if !steady && step+1 < durationS {
+				q.Schedule(des.Event{Step: step + 1, Node: i, Kind: des.KindSettle})
+			}
+			if inj := c.injector(i); inj != nil && !c.testDropFaultWakes {
+				if na := inj.Plan.NextActive(step + 1); na >= 0 && na < durationS {
+					q.Schedule(des.Event{Step: na, Node: i, Kind: des.KindFault})
+				}
+			}
+			if !c.testDropHealthWakes {
+				if f := health[i].stepsUntilFlip(dead, opt); f > 0 && step+f < durationS {
+					q.Schedule(des.Event{Step: step + f, Node: i, Kind: des.KindHealth})
+				}
+			}
+		}
+		// A rotation change (eviction or readmission) re-weights Shares
+		// from the next second on even though every node's physics is at a
+		// fixed point, so it must break quiescence itself. Evictions are
+		// covered anyway (a dead node is never steady), but a readmission
+		// flips a *steady* node's Healthy bit — the one state change the
+		// per-node probes cannot see.
+		if res.Health.Evictions+res.Health.Readmissions != flipsBefore && step+1 < durationS {
+			q.Schedule(des.Event{Step: step + 1, Node: des.Global, Kind: des.KindSettle})
+		}
+		scheduleEpoch(step)
+		step++
+	}
+	c.finish(&res, wOK, wQ, sumBE, sumPW, durationS)
+	return res
+}

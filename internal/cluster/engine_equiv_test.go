@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"sturgeon/internal/coordinator"
+	"sturgeon/internal/faults"
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+	"sturgeon/internal/workload"
+)
+
+// engineScenario is one pinned fleet the cross-engine battery replays
+// under both engines. The build function must return a fresh,
+// un-run cluster every call (engines and parallelisms must not share
+// rng or coordinator state).
+type engineScenario struct {
+	name  string
+	build func(t *testing.T, parallelism int, sink *obs.Sink) (*Cluster, workload.Trace, int)
+}
+
+// quietFleetCluster is the scenario where the event engine's skip tiers
+// actually engage: a small homogeneous fleet10k variant (deterministic
+// nodes, governors, staircase trace with declared breaks) with two
+// scripted crash windows on one node (eviction, doubling backoff,
+// readmission — all timer wake-ups), a stale-telemetry window on
+// another, and a live in-process coordinator whose epochs puncture the
+// quiescent stretches. The pinned chaos/coord scenarios above it use
+// noisy nodes, so for them the event engine degenerates to per-second
+// evaluation; this one proves equivalence while replication,
+// per-node replay and memoization are all firing.
+func quietFleetCluster(t *testing.T, parallelism int, sink *obs.Sink) (*Cluster, workload.Trace, int) {
+	t.Helper()
+	o := DefaultFleet10k()
+	o.Nodes = 6
+	o.DurationS = 300
+	o.StepDurS = 60
+	o.Levels = []float64{0.25, 0.5, 0.35, 0.45, 0.3}
+	c, err := BuildFleet10k(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Parallelism = parallelism
+	c.SetFaultPlans(
+		nil,
+		faults.Manual(o.DurationS,
+			faults.Episode{Kind: faults.NodeCrash, Start: 70, End: 85},
+			faults.Episode{Kind: faults.NodeCrash, Start: 150, End: 160},
+		),
+		faults.Manual(o.DurationS,
+			faults.Episode{Kind: faults.LatencyStale, Start: 100, End: 130},
+		),
+	)
+	co, err := coordinator.New(coordinator.Options{
+		BudgetW:   o.CapW * float64(o.Nodes),
+		MinCapW:   95,
+		MaxCapW:   130,
+		FleetSize: o.Nodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Coord = &Coordination{Transport: &coordinator.Local{C: co}, EpochS: 45}
+	c.SetObs(sink)
+	return c, o.Trace(), o.DurationS
+}
+
+func engineScenarios() []engineScenario {
+	return []engineScenario{
+		{"chaos-fleet", goldenScenarioCluster},
+		{"coord-fleet", coordGoldenScenarioCluster},
+		{"coord-crash", crashGoldenScenarioCluster},
+		{"quiet-fleet", quietFleetCluster},
+	}
+}
+
+// runEngineScenario builds the scenario fresh, runs it under the given
+// engine, and returns the summary plus (when instrumented) the
+// canonical JSON encoding of the obs journal.
+func runEngineScenario(t *testing.T, sc engineScenario, eng Engine, parallelism int, withObs bool) (string, []byte) {
+	t.Helper()
+	var sink *obs.Sink
+	if withObs {
+		sink = obs.New(0)
+	}
+	c, tr, duration := sc.build(t, parallelism, sink)
+	c.Engine = eng
+	res := c.Run(tr, duration)
+	var dump []byte
+	if withObs {
+		doc := sink.Journal.Doc()
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("journal doc invalid under engine %d: %v", eng, err)
+		}
+		data, err := jsonio.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump = data
+	}
+	return res.Summary(), dump
+}
+
+// TestEngineEquivalenceBattery is the acceptance criterion for the
+// event engine: every pinned scenario, under both engines, at
+// node-stepping parallelism 1/2/4/8, with the decision trail attached,
+// produces a byte-identical summary AND byte-identical journal bytes.
+// Run it under -race (the CI des-equivalence job does) to also prove
+// the engine's fan-out stays data-race-free.
+func TestEngineEquivalenceBattery(t *testing.T) {
+	for _, sc := range engineScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			refSum, refDump := runEngineScenario(t, sc, EngineStep, 1, true)
+			if len(refDump) == 0 {
+				t.Fatal("empty reference journal dump")
+			}
+			for _, eng := range []Engine{EngineStep, EngineEvent} {
+				for _, par := range []int{1, 2, 4, 8} {
+					sum, dump := runEngineScenario(t, sc, eng, par, true)
+					if sum != refSum {
+						t.Fatalf("engine %d parallelism %d: summary diverges.\n--- step/par=1 ---\n%s--- got ---\n%s",
+							eng, par, refSum, sum)
+					}
+					if !bytes.Equal(dump, refDump) {
+						t.Fatalf("engine %d parallelism %d: journal diverges (len %d vs %d)",
+							eng, par, len(dump), len(refDump))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceUninstrumented repeats the battery without a
+// sink. This is not a weaker copy: cross-node memoization only arms on
+// uninstrumented runs (per-node gauges must see per-node Decide calls),
+// so this is the only configuration where representative-sharing is
+// exercised against per-second ground truth.
+func TestEngineEquivalenceUninstrumented(t *testing.T) {
+	for _, sc := range engineScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			refSum, _ := runEngineScenario(t, sc, EngineStep, 1, false)
+			for _, par := range []int{1, 4, 8} {
+				sum, _ := runEngineScenario(t, sc, EngineEvent, par, false)
+				if sum != refSum {
+					t.Fatalf("event engine parallelism %d (memoized): summary diverges.\n--- step ---\n%s--- event ---\n%s",
+						par, refSum, sum)
+				}
+			}
+		})
+	}
+}
+
+// TestEventEngineActuallySkips guards against the silent failure mode
+// where a wake-up leak makes every second active and the equivalence
+// battery passes vacuously: on the quiet fleet the event engine must
+// evaluate well under half of the horizon (the fleet is at a fixed
+// point for most of each staircase tread).
+func TestEventEngineActuallySkips(t *testing.T) {
+	sc := engineScenario{"quiet-fleet", quietFleetCluster}
+	c, tr, duration := sc.build(t, 1, nil)
+	c.Engine = EngineEvent
+	c.Run(tr, duration)
+	if act := c.EventActiveSeconds(); act >= duration/2 {
+		t.Fatalf("event engine evaluated %d of %d seconds on the quiet fleet — skipping is not engaging", act, duration)
+	} else {
+		t.Logf("event engine evaluated %d of %d seconds", act, duration)
+	}
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"sturgeon/internal/faults"
+	"sturgeon/internal/obs"
+	"sturgeon/internal/workload"
+)
+
+// The quiescence regression battery: each wake-up category in runEvent
+// exists to puncture a skip exactly when the per-second engine's
+// behavior would change inside it. For every category we build a fleet
+// where the interesting transition lands deep inside a quiescent
+// stretch, then prove two things: the real event engine still matches
+// per-second stepping byte-for-byte, and an engine with that one
+// wake-up category suppressed (the testDrop* stubs — deliberately
+// broken schedulers) visibly diverges. A test that only asserted the
+// first half could pass vacuously if the scenario never skipped; the
+// divergence half proves the skip was real and the wake-up load-bearing.
+
+// quiesceBase is a small fleet10k variant on a single flat tread: after
+// the governors settle (~a dozen seconds), nothing is active until an
+// explicit wake-up fires, so every scenario below gets a long
+// quiescent stretch to hide its transition in.
+func quiesceBase(t *testing.T, nodes, durationS int) *Cluster {
+	t.Helper()
+	o := DefaultFleet10k()
+	o.Nodes = nodes
+	o.DurationS = durationS
+	o.StepDurS = durationS
+	o.Levels = []float64{0.35}
+	c, err := BuildFleet10k(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Parallelism = 1
+	return c
+}
+
+func quiesceFlatTrace(durationS int) workload.Trace {
+	return workload.Stair{Levels: []float64{0.35}, StepDurS: durationS}.Trace()
+}
+
+// runQuiesce builds the scenario fresh via build, applies the engine
+// selection plus an optional stub, runs it and returns the summary.
+func runQuiesce(t *testing.T, build func(t *testing.T) *Cluster, durationS int, eng Engine, stub func(*Cluster)) string {
+	t.Helper()
+	c := build(t)
+	c.Engine = eng
+	if stub != nil {
+		stub(c)
+	}
+	return c.Run(quiesceFlatTrace(durationS), durationS).Summary()
+}
+
+// checkQuiesce asserts the two-sided property for one wake category.
+func checkQuiesce(t *testing.T, build func(t *testing.T) *Cluster, durationS int, stub func(*Cluster)) {
+	t.Helper()
+	stepSum := runQuiesce(t, build, durationS, EngineStep, nil)
+	eventSum := runQuiesce(t, build, durationS, EngineEvent, nil)
+	if eventSum != stepSum {
+		t.Fatalf("real event engine diverges from per-second stepping.\n--- step ---\n%s--- event ---\n%s",
+			stepSum, eventSum)
+	}
+	brokenSum := runQuiesce(t, build, durationS, EngineEvent, stub)
+	if brokenSum == stepSum {
+		t.Fatalf("suppressing the wake-up category changed nothing — the scenario never exercised it:\n%s", stepSum)
+	}
+}
+
+// TestQuiescenceFaultWake: a crash window opens at t=100, long after
+// the fleet has settled. Without the KindFault wake-up the engine would
+// keep replaying the node's healthy interval straight through its
+// outage — queries that per-second stepping loses are silently served.
+func TestQuiescenceFaultWake(t *testing.T) {
+	const durationS = 200
+	build := func(t *testing.T) *Cluster {
+		c := quiesceBase(t, 4, durationS)
+		c.SetFaultPlans(nil, faults.Manual(durationS,
+			faults.Episode{Kind: faults.NodeCrash, Start: 100, End: 120},
+		))
+		return c
+	}
+	checkQuiesce(t, build, durationS, func(c *Cluster) { c.testDropFaultWakes = true })
+}
+
+// TestQuiescenceEpochWake: a coordinator grant moves one node's cap at
+// an epoch boundary that falls inside a skip. Without the KindEpoch
+// wake-up the exchange never runs — the grant is lost and the epoch
+// count itself drifts.
+func TestQuiescenceEpochWake(t *testing.T) {
+	const durationS = 200
+	build := func(t *testing.T) *Cluster {
+		c := quiesceBase(t, 4, durationS)
+		ft := &fakeTransport{grants: map[string]float64{"node-000": 95}}
+		c.Coord = &Coordination{Transport: ft, EpochS: 60}
+		return c
+	}
+	checkQuiesce(t, build, durationS, func(c *Cluster) { c.testDropEpochWakes = true })
+}
+
+// TestQuiescenceTraceWake: the staircase steps to a higher level
+// mid-run. Without the KindTrace wake-up the engine replicates the old
+// tread's intervals across the inflection — the exact bug the declared
+// TraceBreaks contract exists to prevent.
+func TestQuiescenceTraceWake(t *testing.T) {
+	const durationS = 200
+	build := func(t *testing.T) *Cluster {
+		o := DefaultFleet10k()
+		o.Nodes = 4
+		o.DurationS = durationS
+		o.StepDurS = 100
+		o.Levels = []float64{0.3, 0.5}
+		c, err := BuildFleet10k(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Parallelism = 1
+		return c
+	}
+	stair := workload.Stair{Levels: []float64{0.3, 0.5}, StepDurS: 100}
+	stepRun := func(eng Engine, stub func(*Cluster)) string {
+		c := build(t)
+		c.Engine = eng
+		if stub != nil {
+			stub(c)
+		}
+		return c.Run(stair.Trace(), durationS).Summary()
+	}
+	stepSum := stepRun(EngineStep, nil)
+	if got := stepRun(EngineEvent, nil); got != stepSum {
+		t.Fatalf("real event engine diverges across the tread edge.\n--- step ---\n%s--- event ---\n%s", stepSum, got)
+	}
+	if got := stepRun(EngineEvent, func(c *Cluster) { c.testDropTraceWakes = true }); got == stepSum {
+		t.Fatal("dropping trace wakes changed nothing — the tread edge was never inside a skip")
+	}
+}
+
+// TestQuiescenceHealthWake: an evicted node recovers, settles at zero
+// share, and then has to sit out a long healthy streak before
+// re-admission — so the readmission flip lands deep inside a quiescent
+// stretch where only the KindHealth timer can schedule it. Without the
+// wake-up the node is readmitted late (at the next unrelated active
+// second) and the unhealthy-interval tally drifts.
+func TestQuiescenceHealthWake(t *testing.T) {
+	const durationS = 400
+	build := func(t *testing.T) *Cluster {
+		c := quiesceBase(t, 4, durationS)
+		c.Health = HealthOptions{ReadmitAfter: 60}
+		c.SetFaultPlans(nil, faults.Manual(durationS,
+			faults.Episode{Kind: faults.NodeCrash, Start: 100, End: 115},
+		))
+		return c
+	}
+	checkQuiesce(t, build, durationS, func(c *Cluster) { c.testDropHealthWakes = true })
+}
+
+// TestReadmissionTimingEngineIndependent pins the eviction/readmission
+// timeline itself (not just the aggregate summary): the journal's
+// evict/readmit events must fire at identical simulation times under
+// both engines, including the doubled backoff after a repeat eviction.
+// This is the regression fence for the old per-second assumption in the
+// failure detector's timers.
+func TestReadmissionTimingEngineIndependent(t *testing.T) {
+	const durationS = 600
+	build := func(t *testing.T, sink *obs.Sink) *Cluster {
+		c := quiesceBase(t, 4, durationS)
+		c.Health = HealthOptions{ReadmitAfter: 30}
+		c.SetFaultPlans(nil, faults.Manual(durationS,
+			faults.Episode{Kind: faults.NodeCrash, Start: 100, End: 115},
+			faults.Episode{Kind: faults.NodeCrash, Start: 300, End: 315},
+		))
+		c.SetObs(sink)
+		return c
+	}
+	timeline := func(eng Engine) []obs.Event {
+		sink := obs.New(0)
+		c := build(t, sink)
+		c.Engine = eng
+		c.Run(quiesceFlatTrace(durationS), durationS)
+		var evs []obs.Event
+		for _, ev := range sink.Journal.Since(0) {
+			if ev.Type == obs.EventNodeEvicted || ev.Type == obs.EventNodeReadmitted {
+				evs = append(evs, ev)
+			}
+		}
+		return evs
+	}
+	stepEvs := timeline(EngineStep)
+	eventEvs := timeline(EngineEvent)
+	if len(stepEvs) != 4 {
+		t.Fatalf("expected evict/readmit/evict/readmit, got %d health events", len(stepEvs))
+	}
+	if len(eventEvs) != len(stepEvs) {
+		t.Fatalf("engines disagree on health event count: %d vs %d", len(stepEvs), len(eventEvs))
+	}
+	for i := range stepEvs {
+		s, e := stepEvs[i], eventEvs[i]
+		if s.T != e.T || s.Type != e.Type || s.Node != e.Node {
+			t.Fatalf("health event %d differs: step %s %s t=%.0f vs event %s %s t=%.0f",
+				i, s.Type, s.Node, s.T, e.Type, e.Node, e.T)
+		}
+	}
+	// The second readmission must carry the doubled backoff: the healthy
+	// streak required after the repeat eviction is 2×ReadmitAfter.
+	gap1 := stepEvs[1].T - 116 // first recovery second
+	gap2 := stepEvs[3].T - 316
+	if gap2 < 2*gap1-1 || !strings.HasPrefix(stepEvs[1].Type, "node_readmit") {
+		t.Fatalf("backoff not doubled: first readmit %.0f s after recovery, second %.0f s", gap1, gap2)
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sturgeon/internal/control"
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+	"sturgeon/internal/sim"
+	"sturgeon/internal/workload"
+)
+
+// Fleet10kOptions pins the datacenter-scale diurnal scenario: a large
+// homogeneous fleet of governor-managed quiet nodes riding a staircase
+// day/night load. Built for the event engine — the nodes are
+// deterministic and identical, so between workload inflections the
+// whole fleet settles into a fixed point the engine replicates in O(1)
+// per second, and the few active seconds after each inflection share
+// one representative node-step per memo class. Per-second stepping of
+// the default scenario would take over an hour (10k nodes × 86 400 s at
+// ~150 µs a step); the event engine completes it in seconds.
+type Fleet10kOptions struct {
+	// Nodes is the fleet size; DurationS the horizon in seconds.
+	Nodes     int
+	DurationS int
+	// StepDurS is the staircase tread width; Levels the per-tread load
+	// fractions (defaults model a 24-hour diurnal at hourly treads).
+	StepDurS int
+	Levels   []float64
+	// CapW is the static per-node power cap. The default is generous
+	// enough that governors settle at full best-effort frequency instead
+	// of hunting along the cap boundary.
+	CapW float64
+	Seed int64
+}
+
+// DefaultFleet10k is the pinned 10 000-node day: hourly load treads on
+// a cosine-shaped diurnal between 25 % and 55 % of fleet peak.
+func DefaultFleet10k() Fleet10kOptions {
+	levels := make([]float64, 24)
+	for h := range levels {
+		phase := 2 * math.Pi * float64(h) / 24
+		levels[h] = math.Round((0.40-0.15*math.Cos(phase))*1e3) / 1e3
+	}
+	return Fleet10kOptions{
+		Nodes:     10_000,
+		DurationS: 86_400,
+		StepDurS:  3_600,
+		Levels:    levels,
+		CapW:      115,
+		Seed:      20260808,
+	}
+}
+
+// Stair returns the scenario's staircase (levels + declared breaks).
+func (o Fleet10kOptions) Stair() workload.Stair {
+	return workload.Stair{Levels: o.Levels, StepDurS: o.StepDurS}
+}
+
+// Trace returns the scenario's load trace.
+func (o Fleet10kOptions) Trace() workload.Trace { return o.Stair().Trace() }
+
+// BuildFleet10k materializes the scenario on the event engine:
+// noiseless interference-free nodes (the dedicated-cluster environment,
+// and the precondition for replaying an interval without desyncing any
+// rng stream), one governor per node, round-robin dispatch, and the
+// staircase's breakpoints declared as TraceBreaks. Run it with
+// c.Run(o.Trace(), o.DurationS); set c.Engine = EngineStep to cross-check
+// against per-second stepping on small variants.
+func BuildFleet10k(o Fleet10kOptions) (*Cluster, error) {
+	if o.Nodes <= 0 || o.DurationS <= 0 || len(o.Levels) == 0 || o.CapW <= 0 {
+		return nil, fmt.Errorf("cluster: fleet10k needs positive nodes, duration, cap and at least one level")
+	}
+	ls, be := workload.Memcached(), workload.Raytrace()
+	c := &Cluster{
+		Budget: power.Watts(o.CapW),
+		Policy: RoundRobin{},
+		LS:     ls,
+		rng:    rand.New(rand.NewSource(o.Seed)),
+		Engine: EngineEvent,
+	}
+	c.TraceBreaks = o.Stair().BreakSteps(o.DurationS)
+	// Boot split: LS-heavy at the BE frequency floor, under the cap, so
+	// governors climb toward their fixed point instead of shedding.
+	split := hw.Config{
+		LS: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
+		BE: hw.Alloc{Cores: 8, Freq: 1.2, LLCWays: 8},
+	}
+	for i := 0; i < o.Nodes; i++ {
+		node := sim.QuietNode(ls, be, o.Seed+int64(i)*7919)
+		if err := node.Apply(split); err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+		c.Ctrls = append(c.Ctrls, control.NewGovernor(hw.DefaultSpec(), power.Watts(o.CapW)))
+		c.caps = append(c.caps, power.Watts(o.CapW))
+	}
+	return c, nil
+}

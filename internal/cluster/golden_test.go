@@ -40,6 +40,15 @@ func goldenScenarioAt(t *testing.T, parallelism int) Result {
 // changes neither the summary nor its parallelism independence.
 func goldenScenarioObs(t *testing.T, parallelism int, sink *obs.Sink) Result {
 	t.Helper()
+	c, tr, duration := goldenScenarioCluster(t, parallelism, sink)
+	return c.Run(tr, duration)
+}
+
+// goldenScenarioCluster builds the pinned chaos fleet without running
+// it, so the cross-engine equivalence battery can select the stepping
+// engine before Run.
+func goldenScenarioCluster(t *testing.T, parallelism int, sink *obs.Sink) (*Cluster, workload.Trace, int) {
+	t.Helper()
 	const duration = 80
 	ls, be := workload.Memcached(), workload.Raytrace()
 	node := sim.QuietNode(ls, be, 1)
@@ -71,7 +80,7 @@ func goldenScenarioObs(t *testing.T, parallelism int, sink *obs.Sink) Result {
 		),
 	)
 	c.SetObs(sink)
-	return c.Run(workload.Triangle(0.2, 0.7, duration), duration)
+	return c, workload.Triangle(0.2, 0.7, duration), duration
 }
 
 func TestGoldenFleetSummary(t *testing.T) {

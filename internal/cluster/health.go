@@ -81,3 +81,68 @@ func (h *nodeHealth) observe(dead bool, opt HealthOptions, stats *HealthStats) (
 	}
 	return !h.evicted
 }
+
+// observeN advances the detector by k consecutive intervals of a
+// constant liveness signal in closed form — exactly equivalent to k
+// sequential observe calls (pinned by TestObserveNMatchesRepeated). A
+// constant signal flips the in-rotation status at most once (eviction
+// under a dead run, re-admission under an alive run), which is what
+// makes the doubling-backoff timers engine-independent: the event
+// engine schedules a wake-up at the flip interval (stepsUntilFlip) and
+// catches the counters up over the skipped stretch with one observeN.
+func (h *nodeHealth) observeN(dead bool, k int, opt HealthOptions, stats *HealthStats) (healthy bool) {
+	if k <= 0 {
+		return !h.evicted
+	}
+	if dead {
+		h.alive = 0
+		if !h.evicted && h.missed+k >= opt.MissThreshold {
+			h.evicted = true
+			stats.Evictions++
+			if h.required == 0 {
+				h.required = opt.ReadmitAfter
+			} else if h.required < opt.ReadmitAfter*opt.BackoffMax {
+				h.required *= 2
+			}
+		}
+		h.missed += k
+		return !h.evicted
+	}
+	h.missed = 0
+	if h.evicted {
+		if h.alive+k >= h.required {
+			// Re-admitted partway through the run; the remaining alive
+			// intervals observe an in-rotation node and change nothing.
+			h.evicted = false
+			h.alive = 0
+			stats.Readmissions++
+		} else {
+			h.alive += k
+		}
+	}
+	return !h.evicted
+}
+
+// stepsUntilFlip returns how many further intervals of the same
+// liveness signal it takes to flip the node's in-rotation status
+// (eviction of a dying node, re-admission of a recovered one), or -1
+// when a constant signal can never flip it. The event engine schedules
+// a KindHealth wake-up that many steps ahead; if the signal changes
+// before then the stale wake-up merely forces one conservative
+// re-evaluation.
+func (h *nodeHealth) stepsUntilFlip(dead bool, opt HealthOptions) int {
+	if dead {
+		if h.evicted {
+			return -1
+		}
+		return opt.MissThreshold - h.missed
+	}
+	if !h.evicted {
+		return -1
+	}
+	req := h.required
+	if req == 0 {
+		req = opt.ReadmitAfter
+	}
+	return req - h.alive
+}

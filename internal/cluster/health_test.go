@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math/rand"
 	"testing"
 
 	"sturgeon/internal/control"
@@ -148,5 +149,78 @@ func TestTelemetryFaultsDoNotKillHealthyNodes(t *testing.T) {
 	}
 	if res.QoSRate < 0.95 {
 		t.Fatalf("fleet QoS %.4f collapsed under a meter dropout", res.QoSRate)
+	}
+}
+
+// TestObserveNMatchesRepeated is the property the event engine's
+// health catch-up rests on: advancing the detector k intervals in
+// closed form must leave state, stats and the returned status exactly
+// as k sequential observe calls would, over every reachable detector
+// state. Reachable states are enumerated by replaying random signal
+// prefixes through the sequential path.
+func TestObserveNMatchesRepeated(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	opt := HealthOptions{MissThreshold: 2, ReadmitAfter: 3, BackoffMax: 4}
+	for trial := 0; trial < 2000; trial++ {
+		var seq, bulk nodeHealth
+		var seqStats, bulkStats HealthStats
+		// Random prefix drives both detectors into an arbitrary state.
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			dead := rng.Intn(2) == 0
+			seq.observe(dead, opt, &seqStats)
+			bulk.observe(dead, opt, &bulkStats)
+		}
+		// One constant run, advanced both ways.
+		dead := rng.Intn(2) == 0
+		k := rng.Intn(12)
+		var seqHealthy bool
+		for i := 0; i < k; i++ {
+			seqHealthy = seq.observe(dead, opt, &seqStats)
+		}
+		bulkHealthy := bulk.observeN(dead, k, opt, &bulkStats)
+		if k > 0 && seqHealthy != bulkHealthy {
+			t.Fatalf("trial %d: status %v vs %v (dead=%v k=%d)", trial, seqHealthy, bulkHealthy, dead, k)
+		}
+		if seq != bulk {
+			t.Fatalf("trial %d: state %+v vs %+v (dead=%v k=%d)", trial, seq, bulk, dead, k)
+		}
+		if seqStats != bulkStats {
+			t.Fatalf("trial %d: stats %+v vs %+v (dead=%v k=%d)", trial, seqStats, bulkStats, dead, k)
+		}
+	}
+}
+
+// TestStepsUntilFlip pins the wake-up arithmetic against brute force:
+// when a flip is predicted in f intervals, f-1 observes must not flip
+// the status and the f-th must; -1 must mean no flip within a long run.
+func TestStepsUntilFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opt := HealthOptions{MissThreshold: 3, ReadmitAfter: 2, BackoffMax: 4}
+	for trial := 0; trial < 2000; trial++ {
+		var h nodeHealth
+		var stats HealthStats
+		for i, n := 0, rng.Intn(25); i < n; i++ {
+			h.observe(rng.Intn(2) == 0, opt, &stats)
+		}
+		dead := rng.Intn(2) == 0
+		f := h.stepsUntilFlip(dead, opt)
+		probe := h
+		before := !probe.evicted
+		if f < 0 {
+			for i := 0; i < 50; i++ {
+				if got := probe.observe(dead, opt, &stats); got != before {
+					t.Fatalf("trial %d: predicted no flip, flipped after %d (dead=%v, %+v)", trial, i+1, dead, h)
+				}
+			}
+			continue
+		}
+		for i := 0; i < f-1; i++ {
+			if got := probe.observe(dead, opt, &stats); got != before {
+				t.Fatalf("trial %d: flipped after %d, predicted %d (dead=%v, %+v)", trial, i+1, f, dead, h)
+			}
+		}
+		if got := probe.observe(dead, opt, &stats); got == before {
+			t.Fatalf("trial %d: no flip at predicted interval %d (dead=%v, %+v)", trial, f, dead, h)
+		}
 	}
 }

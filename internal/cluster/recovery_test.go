@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sturgeon/internal/obs"
+	"sturgeon/internal/workload"
 )
 
 // crashGoldenScenario is the pinned coordinator crash/restart fleet:
@@ -19,6 +20,14 @@ import (
 // testdata/coord_crash_summary.golden.
 func crashGoldenScenario(t *testing.T, parallelism int, sink *obs.Sink) (*Cluster, Result) {
 	t.Helper()
+	c, tr, duration := crashGoldenScenarioCluster(t, parallelism, sink)
+	return c, c.Run(tr, duration)
+}
+
+// crashGoldenScenarioCluster builds the crash/restart fleet without
+// running it (for the cross-engine equivalence battery).
+func crashGoldenScenarioCluster(t *testing.T, parallelism int, sink *obs.Sink) (*Cluster, workload.Trace, int) {
+	t.Helper()
 	o := DefaultCoordFleet(20260807)
 	o.Coordinated = true
 	o.CrashRestart = true
@@ -28,7 +37,7 @@ func crashGoldenScenario(t *testing.T, parallelism int, sink *obs.Sink) (*Cluste
 	}
 	c.Parallelism = parallelism
 	c.SetObs(sink)
-	return c, c.Run(o.Trace(), o.DurationS)
+	return c, o.Trace(), o.DurationS
 }
 
 func TestGoldenCoordCrashSummary(t *testing.T) {

@@ -62,6 +62,20 @@ type Controller interface {
 	Decide(obs Observation) hw.Config
 }
 
+// Steady is implemented by controllers whose Decide is a pure function
+// of the observation and of a comparable key: two controllers with
+// equal keys given bit-equal observations return bit-equal decisions
+// and leave no other trace (internal state, rng draws) behind. The
+// event-driven cluster engine relies on this in two ways — a held
+// decision (Decide returned the observation's config) may be replayed
+// across skipped intervals, and nodes whose controllers share a key may
+// share one representative Decide call. Controllers with internal
+// integrators or learned state must not implement Steady (ok=false is
+// also a valid opt-out for individual instances).
+type Steady interface {
+	SteadyKey() (key any, ok bool)
+}
+
 // Static is a trivial controller that always applies a fixed
 // configuration — useful as an experimental control and for solo runs.
 type Static struct {
@@ -79,3 +93,6 @@ func (s Static) Name() string {
 
 // Decide always returns the fixed configuration.
 func (s Static) Decide(Observation) hw.Config { return s.Cfg }
+
+// SteadyKey implements Steady: Decide depends only on the fixed config.
+func (s Static) SteadyKey() (any, bool) { return s.Cfg, true }

@@ -44,3 +44,33 @@ func TestStatic(t *testing.T) {
 		t.Errorf("Name = %q, want solo-ls", labeled.Name())
 	}
 }
+
+func TestSteadyKeys(t *testing.T) {
+	spec := hw.DefaultSpec()
+	ga := NewGovernor(spec, 100)
+	gb := NewGovernor(spec, 100)
+	ka, ok := ga.SteadyKey()
+	if !ok {
+		t.Fatal("governor must opt into Steady")
+	}
+	kb, _ := gb.SteadyKey()
+	if ka != kb {
+		t.Fatal("identically configured governors must share a steady key")
+	}
+	gb.SetBudget(110)
+	if kb, _ = gb.SteadyKey(); ka == kb {
+		t.Fatal("a re-granted cap must change the steady key")
+	}
+
+	cfg := hw.SoloLS(spec)
+	ks, ok := Static{Cfg: cfg}.SteadyKey()
+	if !ok || ks != any(cfg) {
+		t.Fatalf("Static steady key = %v, want its config", ks)
+	}
+
+	// The cluster engine type-asserts through the Controller interface.
+	var c Controller = ga
+	if _, isSteady := c.(Steady); !isSteady {
+		t.Fatal("Governor must satisfy Steady through Controller")
+	}
+}

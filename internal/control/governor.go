@@ -141,6 +141,25 @@ func (g *Governor) Decide(ob Observation) hw.Config {
 	return cfg
 }
 
+// governorKey is the comparable identity of a governor's decision
+// function: Decide reads nothing else. Observability handles are
+// deliberately absent — the gauge Sets in Decide are idempotent for
+// bit-equal observations and the adjust counter/event only fire on the
+// non-hold branches, so replaying or sharing a *held* decision is
+// invisible to the journal and metrics.
+type governorKey struct {
+	Spec                  hw.Spec
+	Cap                   power.Watts
+	Alpha, Beta, Headroom float64
+}
+
+// SteadyKey implements Steady. The key embeds the current Cap, so a
+// coordinator re-grant (SetBudget) changes the key and breaks any
+// sharing that assumed the old cap.
+func (g *Governor) SteadyKey() (any, bool) {
+	return governorKey{Spec: g.Spec, Cap: g.Cap, Alpha: g.Alpha, Beta: g.Beta, Headroom: g.Headroom}, true
+}
+
 // step moves a frequency n grid levels, clamped to the spec's range.
 func (g *Governor) step(f hw.GHz, n int) hw.GHz {
 	lvl := g.Spec.LevelOfFreq(f) + n

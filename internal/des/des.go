@@ -1,0 +1,154 @@
+// Package des provides the deterministic discrete-event core behind the
+// cluster simulator's event-driven stepping engine (cluster.EngineEvent).
+// It is deliberately small: a stable-ordered wake-up queue over integer
+// simulation steps. The engine's correctness argument (DESIGN.md §13)
+// rests on two properties this package pins with property and fuzz
+// tests:
+//
+//   - Stable total order. Events pop in (Step, Node, Kind) order no
+//     matter the insertion order, so two runs that schedule the same
+//     event set — in whatever order their control flow happens to
+//     discover it — process wake-ups identically.
+//   - No lost or duplicated wake-ups. Scheduling an event that is
+//     already pending coalesces into one wake-up; every scheduled event
+//     is popped exactly once.
+//
+// Wake-ups are conservative: an extra event costs one unnecessary
+// per-second evaluation, while a missing event silently skips work a
+// per-second engine would have done. The queue therefore never drops
+// events on its own — deduplication is exact-match only.
+package des
+
+import "container/heap"
+
+// Kind discriminates why a wake-up was scheduled. Within one (Step,
+// Node) the kinds process in declaration order; the engine treats them
+// uniformly (any event forces the node — or with Node == Global, the
+// whole fleet — to be evaluated at Step), so the kind mainly serves
+// observability and the equivalence battery's broken-scheduler stubs.
+type Kind uint8
+
+const (
+	// KindSettle re-steps a node that is not yet at a fixed point.
+	KindSettle Kind = iota
+	// KindFault wakes a node at a fault-plan activity edge.
+	KindFault
+	// KindHealth wakes a node at a scheduled failure-detector
+	// transition (eviction or backoff re-admission).
+	KindHealth
+	// KindTrace is a global workload inflection: the offered-load trace
+	// may change value at this step.
+	KindTrace
+	// KindEpoch is a global coordinator epoch boundary.
+	KindEpoch
+
+	numKinds = 5
+)
+
+var kindNames = [numKinds]string{"settle", "fault", "health", "trace", "epoch"}
+
+// String names the kind for logs and test failures.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Global is the Node value of fleet-wide events (trace inflections,
+// coordinator epochs). It sorts before every real node index, so global
+// events of a step pop first.
+const Global = -1
+
+// Event is one scheduled wake-up: at simulation step Step, node Node
+// (or the whole fleet, when Node == Global) must be evaluated for
+// reason Kind.
+type Event struct {
+	Step int
+	Node int
+	Kind Kind
+}
+
+// Less is the queue's stable total order: by step, then node index
+// (Global first), then kind.
+func (e Event) Less(o Event) bool {
+	if e.Step != o.Step {
+		return e.Step < o.Step
+	}
+	if e.Node != o.Node {
+		return e.Node < o.Node
+	}
+	return e.Kind < o.Kind
+}
+
+// Queue is a deterministic wake-up queue. The zero value is not ready;
+// use NewQueue. Not safe for concurrent use — the engine schedules and
+// pops only from its serial section.
+type Queue struct {
+	h       eventHeap
+	pending map[Event]struct{}
+	popped  int
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	return &Queue{pending: make(map[Event]struct{})}
+}
+
+// Schedule adds a wake-up. Scheduling an event that is already pending
+// coalesces (the wake-up fires once); Schedule reports whether the
+// event was newly added.
+func (q *Queue) Schedule(e Event) bool {
+	if _, dup := q.pending[e]; dup {
+		return false
+	}
+	q.pending[e] = struct{}{}
+	heap.Push(&q.h, e)
+	return true
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Popped returns the number of events popped so far (the engine's
+// wake-up counter).
+func (q *Queue) Popped() int { return q.popped }
+
+// NextStep returns the step of the earliest pending event, and whether
+// any event is pending.
+func (q *Queue) NextStep() (int, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Step, true
+}
+
+// PopThrough removes and returns, in stable order, every pending event
+// with Step <= step. The returned slice is appended to buf (pass nil or
+// a reused scratch slice).
+func (q *Queue) PopThrough(step int, buf []Event) []Event {
+	for len(q.h) > 0 && q.h[0].Step <= step {
+		e := heap.Pop(&q.h).(Event)
+		delete(q.pending, e)
+		q.popped++
+		buf = append(buf, e)
+	}
+	return buf
+}
+
+// eventHeap is a min-heap on Event.Less.
+type eventHeap []Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].Less(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

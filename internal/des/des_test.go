@@ -1,0 +1,170 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refModel is the trivially correct reference: a deduplicating set
+// popped by sorting. The queue must agree with it on every operation
+// sequence.
+type refModel struct {
+	set map[Event]struct{}
+}
+
+func newRef() *refModel { return &refModel{set: make(map[Event]struct{})} }
+
+func (r *refModel) schedule(e Event) bool {
+	if _, dup := r.set[e]; dup {
+		return false
+	}
+	r.set[e] = struct{}{}
+	return true
+}
+
+func (r *refModel) popThrough(step int) []Event {
+	var out []Event
+	for e := range r.set {
+		if e.Step <= step {
+			out = append(out, e)
+		}
+	}
+	for _, e := range out {
+		delete(r.set, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func randomEvent(rng *rand.Rand) Event {
+	node := rng.Intn(6) - 1 // includes Global
+	return Event{Step: rng.Intn(20), Node: node, Kind: Kind(rng.Intn(numKinds))}
+}
+
+// TestQueueStableOrderProperty drives seeded-random schedule/pop
+// sequences against the reference model: the pop order must be the
+// stable (Step, Node, Kind) total order, with no event lost,
+// duplicated, or popped early.
+func TestQueueStableOrderProperty(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQueue()
+		ref := newRef()
+		scheduled, popped := 0, 0
+		for op := 0; op < 400; op++ {
+			if rng.Float64() < 0.7 {
+				e := randomEvent(rng)
+				gotNew, wantNew := q.Schedule(e), ref.schedule(e)
+				if gotNew != wantNew {
+					t.Fatalf("seed %d: Schedule(%+v) new=%v, reference says %v", seed, e, gotNew, wantNew)
+				}
+				if gotNew {
+					scheduled++
+				}
+			} else {
+				step := rng.Intn(20)
+				got := q.PopThrough(step, nil)
+				want := ref.popThrough(step)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: PopThrough(%d) returned %d events, want %d\n got=%v\nwant=%v",
+						seed, step, len(got), len(want), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d: PopThrough(%d)[%d] = %+v, want %+v", seed, step, i, got[i], want[i])
+					}
+					if got[i].Step > step {
+						t.Fatalf("seed %d: popped future event %+v at step %d", seed, got[i], step)
+					}
+				}
+				popped += len(got)
+			}
+		}
+		// Drain: everything scheduled pops exactly once.
+		rest := q.PopThrough(1<<30, nil)
+		popped += len(rest)
+		if popped != scheduled {
+			t.Fatalf("seed %d: scheduled %d unique events but popped %d (lost or duplicated wake-ups)",
+				seed, scheduled, popped)
+		}
+		if q.Popped() != popped {
+			t.Fatalf("seed %d: Popped() = %d, want %d", seed, q.Popped(), popped)
+		}
+		if q.Len() != 0 {
+			t.Fatalf("seed %d: queue not empty after drain: %d left", seed, q.Len())
+		}
+	}
+}
+
+// TestQueueCoalescesDuplicates pins the no-duplicated-wake-ups half of
+// the contract directly: scheduling the same event many times fires it
+// once.
+func TestQueueCoalescesDuplicates(t *testing.T) {
+	q := NewQueue()
+	e := Event{Step: 3, Node: 1, Kind: KindFault}
+	if !q.Schedule(e) {
+		t.Fatal("first Schedule reported duplicate")
+	}
+	for i := 0; i < 5; i++ {
+		if q.Schedule(e) {
+			t.Fatal("duplicate Schedule reported new")
+		}
+	}
+	if got := q.PopThrough(10, nil); len(got) != 1 || got[0] != e {
+		t.Fatalf("PopThrough = %v, want exactly [%+v]", got, e)
+	}
+	// Re-scheduling after the pop is a fresh wake-up again.
+	if !q.Schedule(e) {
+		t.Fatal("re-Schedule after pop reported duplicate")
+	}
+}
+
+// TestQueueOrderWithinStep pins the intra-step order: global events
+// first, then nodes ascending, kinds ascending within a node.
+func TestQueueOrderWithinStep(t *testing.T) {
+	q := NewQueue()
+	evs := []Event{
+		{Step: 5, Node: 2, Kind: KindSettle},
+		{Step: 5, Node: Global, Kind: KindEpoch},
+		{Step: 5, Node: 0, Kind: KindHealth},
+		{Step: 5, Node: 0, Kind: KindFault},
+		{Step: 5, Node: Global, Kind: KindTrace},
+		{Step: 4, Node: 9, Kind: KindSettle},
+	}
+	for _, e := range evs {
+		q.Schedule(e)
+	}
+	got := q.PopThrough(5, nil)
+	want := []Event{
+		{Step: 4, Node: 9, Kind: KindSettle},
+		{Step: 5, Node: Global, Kind: KindTrace},
+		{Step: 5, Node: Global, Kind: KindEpoch},
+		{Step: 5, Node: 0, Kind: KindFault},
+		{Step: 5, Node: 0, Kind: KindHealth},
+		{Step: 5, Node: 2, Kind: KindSettle},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pop[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueuePopThroughLeavesFuture verifies PopThrough never pops past
+// its bound and NextStep tracks the earliest survivor.
+func TestQueuePopThroughLeavesFuture(t *testing.T) {
+	q := NewQueue()
+	q.Schedule(Event{Step: 1, Node: 0, Kind: KindSettle})
+	q.Schedule(Event{Step: 7, Node: 0, Kind: KindFault})
+	if got := q.PopThrough(3, nil); len(got) != 1 || got[0].Step != 1 {
+		t.Fatalf("PopThrough(3) = %v, want the step-1 event only", got)
+	}
+	step, ok := q.NextStep()
+	if !ok || step != 7 {
+		t.Fatalf("NextStep = %d,%v, want 7,true", step, ok)
+	}
+}

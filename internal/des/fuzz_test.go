@@ -1,0 +1,67 @@
+package des
+
+import "testing"
+
+// FuzzEventOrdering decodes arbitrary bytes into a schedule/pop
+// operation sequence and checks the queue against the sort-based
+// reference model from des_test.go: stable (Step, Node, Kind) pop
+// order, exact-match coalescing, and no lost or duplicated wake-ups.
+// Each byte encodes one operation: the low bit selects schedule vs
+// pop, the remaining bits parameterize it, so the fuzzer mutates whole
+// operation sequences byte-by-byte.
+func FuzzEventOrdering(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x02, 0x04, 0x01})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0x00, 0x00, 0x01, 0x81})
+	f.Add([]byte{0x10, 0x10, 0x10, 0x11}) // duplicate schedules, then a pop
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096] // keep fuzz iterations fast
+		}
+		q := NewQueue()
+		ref := newRef()
+		scheduled, popped := 0, 0
+		for _, b := range ops {
+			if b&1 == 0 {
+				e := Event{
+					Step: int(b>>1) & 0x0f,
+					Node: int(b>>5)&0x07 - 1, // -1 == Global
+					Kind: Kind(int(b>>2) % numKinds),
+				}
+				gotNew, wantNew := q.Schedule(e), ref.schedule(e)
+				if gotNew != wantNew {
+					t.Fatalf("Schedule(%+v) new=%v, reference says %v", e, gotNew, wantNew)
+				}
+				if gotNew {
+					scheduled++
+				}
+			} else {
+				step := int(b >> 1)
+				got := q.PopThrough(step, nil)
+				want := ref.popThrough(step)
+				if len(got) != len(want) {
+					t.Fatalf("PopThrough(%d) returned %d events, want %d", step, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("PopThrough(%d)[%d] = %+v, want %+v", step, i, got[i], want[i])
+					}
+					if got[i].Step > step {
+						t.Fatalf("popped future event %+v at step %d", got[i], step)
+					}
+					if i > 0 && !got[i-1].Less(got[i]) {
+						t.Fatalf("pop order violated: %+v before %+v", got[i-1], got[i])
+					}
+				}
+				popped += len(got)
+			}
+		}
+		popped += len(q.PopThrough(1<<30, nil))
+		if popped != scheduled {
+			t.Fatalf("scheduled %d unique events but popped %d (lost or duplicated wake-ups)", scheduled, popped)
+		}
+		if q.Len() != 0 {
+			t.Fatalf("queue not empty after drain: %d left", q.Len())
+		}
+	})
+}

@@ -248,3 +248,24 @@ func TestExtensionExperimentsRun(t *testing.T) {
 		t.Errorf("harvest policy rows = %d", len(tbl.Rows))
 	}
 }
+
+func TestFleet10kScaleQuickShape(t *testing.T) {
+	rows, tbl := Fleet10kScale(quickEnv())
+	if len(rows) != 2 {
+		t.Fatalf("quick mode ran %d sizes, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.QoSRate < 0.99 {
+			t.Errorf("%d nodes: qos %.4f below the quiet-fleet floor", r.Nodes, r.QoSRate)
+		}
+		if r.ActiveSeconds <= 0 || r.ActiveSeconds >= r.DurationS/100 {
+			t.Errorf("%d nodes: %d active seconds of %d — skipping not engaging", r.Nodes, r.ActiveSeconds, r.DurationS)
+		}
+		if r.MeanPowerW <= 0 || r.BEThroughput <= 0 {
+			t.Errorf("%d nodes: non-physical power %.1f / throughput %.1f", r.Nodes, r.MeanPowerW, r.BEThroughput)
+		}
+	}
+	if !strings.Contains(tbl.String(), "86400") {
+		t.Error("table missing the day horizon")
+	}
+}

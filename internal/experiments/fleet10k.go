@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"time"
+
+	"sturgeon/internal/cluster"
+	"sturgeon/internal/trace"
+)
+
+// Fleet10kRow is one fleet-scale measurement of the discrete-event
+// engine on the pinned diurnal day (cluster.DefaultFleet10k, scaled in
+// node count only — horizon, staircase and cap stay the day's).
+type Fleet10kRow struct {
+	Nodes         int
+	WallSeconds   float64
+	ActiveSeconds int
+	DurationS     int
+	QoSRate       float64
+	BEThroughput  float64
+	MeanPowerW    float64
+}
+
+// Fleet10kScale sweeps the pinned datacenter-day scenario across fleet
+// sizes on the event engine, reporting wall-clock cost next to the
+// engine's work metric (active vs simulated seconds). The headline row
+// is the full 10 000-node day — over an hour of per-second stepping —
+// finishing in seconds; Quick mode stops at 1 000 nodes so smoke tests
+// stay fast. Seeded and serial: the tables are byte-identical across
+// runs modulo the wall-clock column.
+func Fleet10kScale(env *Env) ([]Fleet10kRow, *trace.Table) {
+	tbl := trace.NewTable("Fleet10k — event-engine datacenter day vs fleet size",
+		"nodes", "sim_s", "active_s", "wall_s", "qos", "be_ups", "power_w")
+	sizes := []int{100, 1_000, 10_000}
+	if env.Cfg.Quick {
+		sizes = []int{100, 1_000}
+	}
+	var rows []Fleet10kRow
+	for _, n := range sizes {
+		o := cluster.DefaultFleet10k()
+		o.Nodes = n
+		c, err := cluster.BuildFleet10k(o)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		res := c.Run(o.Trace(), o.DurationS)
+		r := Fleet10kRow{
+			Nodes:         n,
+			WallSeconds:   time.Since(start).Seconds(),
+			ActiveSeconds: c.EventActiveSeconds(),
+			DurationS:     o.DurationS,
+			QoSRate:       res.QoSRate,
+			BEThroughput:  res.MeanBEThroughputUPS,
+			MeanPowerW:    res.MeanPowerW,
+		}
+		rows = append(rows, r)
+		tbl.Addf(r.Nodes, r.DurationS, r.ActiveSeconds, r.WallSeconds, r.QoSRate,
+			r.BEThroughput, r.MeanPowerW)
+	}
+	return rows, tbl
+}

@@ -87,6 +87,42 @@ func TestManualClampsAndSorts(t *testing.T) {
 	}
 }
 
+func TestPlanNextActive(t *testing.T) {
+	p := Manual(60,
+		Episode{Kind: PowerStuck, Start: 10, End: 13},
+		Episode{Kind: NodeCrash, Start: 40, End: 45},
+	)
+	cases := []struct{ t, want int }{
+		{-5, 10}, {0, 10}, {10, 10}, {12, 12}, {13, 40},
+		{39, 40}, {44, 44}, {45, -1}, {60, -1}, {999, -1},
+	}
+	for _, c := range cases {
+		if got := p.NextActive(c.t); got != c.want {
+			t.Fatalf("NextActive(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	// Cross-check against the ground truth Active exposes.
+	for from := 0; from < 60; from++ {
+		want := -1
+		for u := from; u < 60; u++ {
+			if p.Active(u) != 0 {
+				want = u
+				break
+			}
+		}
+		if got := p.NextActive(from); got != want {
+			t.Fatalf("NextActive(%d) = %d, Active scan says %d", from, got, want)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.NextActive(0) != -1 {
+		t.Fatal("nil plan must report no activity")
+	}
+	if Manual(10).NextActive(0) != -1 {
+		t.Fatal("empty plan must report no activity")
+	}
+}
+
 func TestInjectorPowerFaults(t *testing.T) {
 	p := Manual(10,
 		Episode{Kind: PowerStuck, Start: 2, End: 4},

@@ -110,6 +110,24 @@ func (p *Plan) Active(t int) Flags {
 	return p.flags[t]
 }
 
+// NextActive returns the first interval >= t with a non-zero fault
+// mask, or -1 when no fault is active at or after t. The event engine
+// uses it to schedule a node's next fault wake-up when skipping ahead.
+func (p *Plan) NextActive(t int) int {
+	if p == nil {
+		return -1
+	}
+	if t < 0 {
+		t = 0
+	}
+	for ; t < len(p.flags); t++ {
+		if p.flags[t] != 0 {
+			return t
+		}
+	}
+	return -1
+}
+
 // CrashedAt reports whether the node is offline in interval t.
 func (p *Plan) CrashedAt(t int) bool { return p.Active(t).Has(NodeCrash) }
 

@@ -245,6 +245,14 @@ func (m *Meter) Read(truth Watts, dtSeconds float64) Watts {
 	return v
 }
 
+// Noiseless reports whether reads are a pure function of the true draw
+// (no Gaussian perturbation), i.e. Read consumes no randomness. The
+// event-driven cluster engine uses this to prove a node's interval is
+// replayable without advancing any rng stream.
+func (m *Meter) Noiseless() bool {
+	return m == nil || m.rng == nil || m.NoiseSD <= 0
+}
+
 // EnergyJoules returns accumulated energy.
 func (m *Meter) EnergyJoules() float64 { return m.energyJ }
 

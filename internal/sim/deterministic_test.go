@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/power"
+	"sturgeon/internal/workload"
+)
+
+func TestDeterministicClassification(t *testing.T) {
+	if !QuietNode(workload.Memcached(), workload.Raytrace(), 1).Deterministic() {
+		t.Error("QuietNode must be deterministic")
+	}
+	if NewNode(workload.Memcached(), workload.Raytrace(), 1).Deterministic() {
+		t.Error("NewNode carries meter/latency noise and interference; must not be deterministic")
+	}
+	if ProfilingNode(workload.Memcached(), workload.Raytrace(), 1).Deterministic() {
+		t.Error("ProfilingNode keeps measurement noise; must not be deterministic")
+	}
+	des := QuietNode(workload.Memcached(), workload.Raytrace(), 1)
+	des.UseDES = true
+	if des.Deterministic() {
+		t.Error("the per-interval DES latency engine samples from the node rng; must not be deterministic")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	if !None().Quiet() || (&Interference{rng: rng}).Quiet() == false {
+		t.Error("disabled interference sources must be quiet")
+	}
+	if DefaultInterference(rng).Quiet() {
+		t.Error("an armed interference source must not be quiet")
+	}
+	var nilInterf *Interference
+	if !nilInterf.Quiet() {
+		t.Error("nil interference must be quiet")
+	}
+
+	if !power.NewMeter(0, nil).Noiseless() {
+		t.Error("meter without a normal source must be noiseless")
+	}
+	if power.NewMeter(0.8, rng.NormFloat64).Noiseless() {
+		t.Error("meter with noise must not be noiseless")
+	}
+	var nilMeter *power.Meter
+	if !nilMeter.Noiseless() {
+		t.Error("nil meter must be noiseless")
+	}
+}
+
+// TestDeterministicStepIsFixedPoint pins the property the event engine's
+// skip logic rests on: for a deterministic node with zero backlog, Step
+// at a constant load is a pure function — every interval reproduces the
+// previous one bit-for-bit (modulo the Time stamp).
+func TestDeterministicStepIsFixedPoint(t *testing.T) {
+	n := QuietNode(workload.Memcached(), workload.Raytrace(), 1)
+	cfg := hw.Config{
+		LS: hw.Alloc{Cores: 6, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 14, Freq: 1.8, LLCWays: 12},
+	}
+	if err := n.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Deterministic() {
+		t.Fatal("setup must be deterministic")
+	}
+	qps := 0.3 * n.LSProfile.PeakQPS
+	first := n.Step(0, qps)
+	if n.Backlog() != 0 {
+		t.Fatal("healthy config must not accumulate backlog")
+	}
+	for s := 1; s <= 5; s++ {
+		got := n.Step(float64(s), qps)
+		want := first
+		want.Time = float64(s)
+		if got != want {
+			t.Fatalf("step %d diverged from fixed point:\n got %+v\nwant %+v", s, got, want)
+		}
+	}
+}

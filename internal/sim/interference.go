@@ -62,6 +62,18 @@ func None() *Interference {
 	return &Interference{}
 }
 
+// Quiet reports whether Step is guaranteed to return (1, 0, false)
+// forever without consuming randomness: either the source is disabled
+// (nil rng, as built by None) or no episode is active and none can
+// start. The event-driven cluster engine relies on this to skip
+// stepping a node without desynchronizing its rng stream.
+func (in *Interference) Quiet() bool {
+	if in == nil || in.rng == nil {
+		return true
+	}
+	return !in.active && in.StartProb <= 0
+}
+
 // Step advances one interval and returns the LS service-time factor
 // (≥ 1), the extra bus demand in GB/s, and whether an episode is active.
 func (in *Interference) Step() (svcFactor, extraBWGBs float64, active bool) {

@@ -120,6 +120,17 @@ func ProfilingNode(ls, be workload.Profile, seed int64) *Node {
 	return n
 }
 
+// Deterministic reports whether Step is a pure function of (t, qps,
+// config, backlog) — no interference episodes possible, no meter or
+// latency measurement noise, and the analytic latency engine (the DES
+// engine samples queries from the node rng). Only then may the
+// event-driven cluster engine replay a previous interval's stats
+// instead of stepping: a skipped Step must consume no randomness and
+// mutate no state the next real Step could observe.
+func (n *Node) Deterministic() bool {
+	return n.Meter.Noiseless() && n.Interf.Quiet() && n.P95NoiseSD <= 0 && !n.UseDES
+}
+
 // Apply sets the resource configuration (validating against the spec),
 // like writing cpuset cgroups, resctrl masks and ACPI frequency files.
 func (n *Node) Apply(cfg hw.Config) error {

@@ -71,6 +71,49 @@ func Steps(levels []float64, stepDur float64) Trace {
 	}
 }
 
+// Stair is a piecewise-constant diurnal load: each level holds for
+// StepDurS whole seconds, cycling. Unlike the Trace closures above it
+// also *declares* where its value can change (BreakSteps), which is
+// what lets the event-driven cluster engine skip the flat stretches —
+// a closure trace is opaque, so the engine must assume it moves every
+// second.
+type Stair struct {
+	// Levels are the load fractions, one per tread.
+	Levels []float64
+	// StepDurS is the tread width in whole seconds (min 1).
+	StepDurS int
+}
+
+// Trace returns the staircase as an ordinary Trace.
+func (s Stair) Trace() Trace {
+	dur := s.StepDurS
+	if dur < 1 {
+		dur = 1
+	}
+	return Steps(s.Levels, float64(dur))
+}
+
+// BreakSteps returns every step index in [0, durationS) where the trace
+// value may change, in the cluster engine's sampling convention: step
+// index s covers the interval ending at t = s+1, so a tread beginning
+// at second k·StepDurS first shows up at step k·StepDurS − 1. The list
+// is step 0 plus each such edge — what a run's Cluster.TraceBreaks
+// wants.
+func (s Stair) BreakSteps(durationS int) []int {
+	dur := s.StepDurS
+	if dur < 1 {
+		dur = 1
+	}
+	breaks := []int{0}
+	for t := dur - 1; t < durationS; t += dur {
+		if t == 0 {
+			continue // 1-second treads: the first edge is step 0 itself
+		}
+		breaks = append(breaks, t)
+	}
+	return breaks
+}
+
 // Clamped wraps a trace so its output always lies in [0, 1].
 func Clamped(tr Trace) Trace {
 	return func(t float64) float64 {

@@ -92,3 +92,42 @@ func TestClamped(t *testing.T) {
 		t.Error("Clamped does not clamp to [0,1]")
 	}
 }
+
+func TestStairMatchesStepsAndDeclaresBreaks(t *testing.T) {
+	s := Stair{Levels: []float64{0.2, 0.5, 0.3}, StepDurS: 10}
+	tr := s.Trace()
+	// In the cluster engine's sampling convention step s reads tr(s+1);
+	// the value at step s may differ from step s-1 only at declared
+	// breaks. This is the exact contract TraceBreaks relies on.
+	breaks := map[int]bool{}
+	for _, b := range s.BreakSteps(60) {
+		breaks[b] = true
+	}
+	prev := tr(1)
+	for step := 1; step < 60; step++ {
+		v := tr(float64(step + 1))
+		if v != prev && !breaks[step] {
+			t.Fatalf("trace moved at undeclared step %d (%v -> %v)", step, prev, v)
+		}
+		prev = v
+	}
+	// Step 59 reads tr(60) — the first second of the next tread — so the
+	// last in-horizon edge is declared too.
+	want := []int{0, 9, 19, 29, 39, 49, 59}
+	got := s.BreakSteps(60)
+	if len(got) != len(want) {
+		t.Fatalf("BreakSteps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BreakSteps = %v, want %v", got, want)
+		}
+	}
+	if tr(5) != 0.2 || tr(15) != 0.5 || tr(25) != 0.3 || tr(35) != 0.2 {
+		t.Fatal("stair levels wrong")
+	}
+	// Degenerate tread width clamps to 1 s.
+	if b := (Stair{Levels: []float64{1}, StepDurS: 0}).BreakSteps(3); len(b) != 3 {
+		t.Fatalf("zero-width stair breaks = %v, want one per second", b)
+	}
+}
