@@ -139,10 +139,10 @@ func main() {
 func printReport(rep *bench.Report) {
 	fmt.Printf("host: %s, GOMAXPROCS %d, %d CPUs\n", rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU)
 	tbl := trace.NewTable("fleet benchmark",
-		"scenario", "par", "wall_s", "steps/s", "speedup", "alloc_mib", "qos", "deterministic")
+		"scenario", "par", "wall_s", "steps/s", "speedup", "allocs/step", "qos", "deterministic")
 	for _, r := range rep.Runs {
 		tbl.Addf(r.Scenario, r.Parallelism, r.WallSeconds, r.NodeStepsPerSec,
-			fmt.Sprintf("%.2fx", r.SpeedupVsSerial), r.AllocMiB, r.QoSRate, rep.Deterministic)
+			fmt.Sprintf("%.2fx", r.SpeedupVsSerial), r.AllocsPerStep, r.QoSRate, rep.Deterministic)
 	}
 	fmt.Print(tbl.String())
 }

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the aggregated measurement for one benchmark: minimum ns/op
+// and minimum allocs/op across however many repetitions the file holds.
+// AllocsKnown distinguishes "measured 0 allocs/op" from "the run was
+// not -benchmem"; a gate on allocations is meaningless without it.
+type Result struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+	AllocsKnown bool
+	Samples     int
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkNodeStep-8   1680298   723.3 ns/op   5 B/op   0 allocs/op
+//
+// The -8 suffix is GOMAXPROCS, not part of the benchmark's identity —
+// two runs on differently-sized machines still name the same benchmark.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`(\d+) allocs/op`)
+
+// parseFile reads a `go test -bench -benchmem` transcript and
+// aggregates repeated samples per benchmark name.
+func parseFile(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]Result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := out[name]
+		if !seen {
+			out[name] = r
+			continue
+		}
+		prev.Samples++
+		prev.NsPerOp = math.Min(prev.NsPerOp, r.NsPerOp)
+		if r.AllocsKnown {
+			if !prev.AllocsKnown || r.AllocsPerOp < prev.AllocsPerOp {
+				prev.AllocsPerOp = r.AllocsPerOp
+			}
+			prev.AllocsKnown = true
+		}
+		out[name] = prev
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return out, nil
+}
+
+// parseLine extracts one benchmark sample; ok is false for non-result
+// lines (headers, PASS/ok, subtest logs).
+func parseLine(line string) (name string, r Result, ok bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", Result{}, false
+	}
+	ns, err := strconv.ParseFloat(m[2], 64)
+	if err != nil || math.IsNaN(ns) || ns < 0 {
+		return "", Result{}, false
+	}
+	r = Result{NsPerOp: ns, Samples: 1}
+	if a := allocsField.FindStringSubmatch(m[3]); a != nil {
+		n, err := strconv.ParseInt(a[1], 10, 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		r.AllocsPerOp = n
+		r.AllocsKnown = true
+	}
+	return m[1], r, true
+}
+
+// Report is the verdict of one old-vs-new comparison.
+type Report struct {
+	Rows     []Row
+	Failures []string
+	Warnings []string
+}
+
+// Row is one benchmark's comparison, pre-formatted verdict included.
+type Row struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	Verdict string
+}
+
+// compare gates newSet against oldSet: ns/op may grow by at most
+// maxTimeRegress (fractional), allocs/op may not grow at all.
+func compare(oldSet, newSet map[string]Result, maxTimeRegress float64) Report {
+	var rep Report
+	names := make([]string, 0, len(newSet))
+	for name := range newSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		nw := newSet[name]
+		od, inOld := oldSet[name]
+		if !inOld {
+			rep.Rows = append(rep.Rows, Row{Name: name, NewNs: nw.NsPerOp, Verdict: "new (no baseline)"})
+			continue
+		}
+		row := Row{Name: name, OldNs: od.NsPerOp, NewNs: nw.NsPerOp, Verdict: "ok"}
+		ratio := nw.NsPerOp / od.NsPerOp
+		if nw.NsPerOp > od.NsPerOp*(1+maxTimeRegress) {
+			msg := fmt.Sprintf("%s: time/op %.1f -> %.1f ns (%+.1f%%, limit +%.0f%%)",
+				name, od.NsPerOp, nw.NsPerOp, (ratio-1)*100, maxTimeRegress*100)
+			rep.Failures = append(rep.Failures, msg)
+			row.Verdict = "FAIL time"
+		}
+		if od.AllocsKnown && nw.AllocsKnown && nw.AllocsPerOp > od.AllocsPerOp {
+			msg := fmt.Sprintf("%s: allocs/op %d -> %d (any increase fails)",
+				name, od.AllocsPerOp, nw.AllocsPerOp)
+			rep.Failures = append(rep.Failures, msg)
+			if row.Verdict == "ok" {
+				row.Verdict = "FAIL allocs"
+			} else {
+				row.Verdict = "FAIL time+allocs"
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("%s: present in baseline, missing from new run", name))
+		}
+	}
+	sort.Strings(rep.Warnings)
+	return rep
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		if row.OldNs > 0 {
+			fmt.Fprintf(&b, "%-48s %12.1f %12.1f ns/op %+7.1f%%  %s\n",
+				row.Name, row.OldNs, row.NewNs, (row.NewNs/row.OldNs-1)*100, row.Verdict)
+		} else {
+			fmt.Fprintf(&b, "%-48s %12s %12.1f ns/op %8s  %s\n",
+				row.Name, "-", row.NewNs, "", row.Verdict)
+		}
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "FAIL: %s\n", f)
+	}
+	if len(r.Failures) == 0 {
+		fmt.Fprintf(&b, "perfgate: %d benchmarks within budget\n", len(r.Rows))
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line      string
+		wantName  string
+		wantNs    float64
+		wantAlloc int64
+		wantKnown bool
+		wantOK    bool
+	}{
+		{"BenchmarkNodeStep-8   1680298   723.3 ns/op   5 B/op   0 allocs/op",
+			"BenchmarkNodeStep", 723.3, 0, true, true},
+		// No GOMAXPROCS suffix (GOMAXPROCS=1 runs omit it).
+		{"BenchmarkNodeStep 	 1680298	       723.3 ns/op	       5 B/op	       0 allocs/op",
+			"BenchmarkNodeStep", 723.3, 0, true, true},
+		{"BenchmarkMLPFit-4   50   22077360 ns/op   2481284 B/op   36807 allocs/op",
+			"BenchmarkMLPFit", 22077360, 36807, true, true},
+		// Without -benchmem there is no allocs field; time still parses.
+		{"BenchmarkLSPeakPower-2   4221649   271.7 ns/op",
+			"BenchmarkLSPeakPower", 271.7, 0, false, true},
+		{"pkg: sturgeon/internal/sim", "", 0, 0, false, false},
+		{"PASS", "", 0, 0, false, false},
+		{"ok  	sturgeon/internal/sim	5.063s", "", 0, 0, false, false},
+	}
+	for _, tc := range cases {
+		name, r, ok := parseLine(tc.line)
+		if ok != tc.wantOK {
+			t.Errorf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.wantOK)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != tc.wantName || r.NsPerOp != tc.wantNs ||
+			r.AllocsPerOp != tc.wantAlloc || r.AllocsKnown != tc.wantKnown {
+			t.Errorf("parseLine(%q) = %q %+v", tc.line, name, r)
+		}
+	}
+}
+
+func writeBench(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestParseFileAggregatesMin pins the -count=N discipline: repeated
+// samples collapse to the minimum ns/op and minimum allocs/op, the
+// least-noisy estimate of each.
+func TestParseFileAggregatesMin(t *testing.T) {
+	path := writeBench(t, strings.Join([]string{
+		"BenchmarkX-8  100  900.0 ns/op  0 B/op  3 allocs/op",
+		"BenchmarkX-8  100  850.0 ns/op  0 B/op  2 allocs/op",
+		"BenchmarkX-8  100  910.0 ns/op  0 B/op  3 allocs/op",
+	}, "\n"))
+	set, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := set["BenchmarkX"]
+	if r.NsPerOp != 850.0 || r.AllocsPerOp != 2 || r.Samples != 3 {
+		t.Fatalf("aggregate = %+v, want min(850 ns, 2 allocs) over 3 samples", r)
+	}
+}
+
+func TestParseFileRejectsEmpty(t *testing.T) {
+	if _, err := parseFile(writeBench(t, "PASS\nok pkg 1.2s\n")); err == nil {
+		t.Fatal("transcript with no benchmark lines parsed without error")
+	}
+}
+
+func result(ns float64, allocs int64) Result {
+	return Result{NsPerOp: ns, AllocsPerOp: allocs, AllocsKnown: true, Samples: 1}
+}
+
+// TestGateRedOnTimeRegression is the acceptance demonstration: an
+// injected 15% slowdown must turn the gate red at the 10% limit.
+func TestGateRedOnTimeRegression(t *testing.T) {
+	oldSet := map[string]Result{"BenchmarkNodeStep": result(1000, 0)}
+	newSet := map[string]Result{"BenchmarkNodeStep": result(1150, 0)}
+	rep := compare(oldSet, newSet, 0.10)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "+15.0%") {
+		t.Fatalf("15%% slowdown not caught: %+v", rep.Failures)
+	}
+}
+
+func TestGateGreenWithinBudget(t *testing.T) {
+	oldSet := map[string]Result{"BenchmarkNodeStep": result(1000, 2)}
+	newSet := map[string]Result{"BenchmarkNodeStep": result(1090, 2)}
+	if rep := compare(oldSet, newSet, 0.10); len(rep.Failures) != 0 {
+		t.Fatalf("9%% drift failed the 10%% gate: %+v", rep.Failures)
+	}
+}
+
+// TestGateRedOnAnyAllocIncrease: allocations have no noise band — a
+// single new alloc/op on a zero-alloc hot path is a correctness bug in
+// this PR's contract, so the tolerance is exactly zero.
+func TestGateRedOnAnyAllocIncrease(t *testing.T) {
+	oldSet := map[string]Result{"BenchmarkNodeStep": result(1000, 0)}
+	newSet := map[string]Result{"BenchmarkNodeStep": result(1000, 1)}
+	rep := compare(oldSet, newSet, 0.10)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "allocs/op 0 -> 1") {
+		t.Fatalf("0 -> 1 allocs/op not caught: %+v", rep.Failures)
+	}
+}
+
+func TestGateAllocDecreaseAndFasterPass(t *testing.T) {
+	oldSet := map[string]Result{"BenchmarkNodeStep": result(1000, 5)}
+	newSet := map[string]Result{"BenchmarkNodeStep": result(700, 0)}
+	if rep := compare(oldSet, newSet, 0.10); len(rep.Failures) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", rep.Failures)
+	}
+}
+
+// TestGateSkipsAllocGateWithoutBenchmem: a baseline captured without
+// -benchmem cannot anchor an allocation verdict.
+func TestGateSkipsAllocGateWithoutBenchmem(t *testing.T) {
+	oldSet := map[string]Result{"BenchmarkX": {NsPerOp: 1000, Samples: 1}}
+	newSet := map[string]Result{"BenchmarkX": result(1000, 7)}
+	if rep := compare(oldSet, newSet, 0.10); len(rep.Failures) != 0 {
+		t.Fatalf("alloc gate fired without a -benchmem baseline: %+v", rep.Failures)
+	}
+}
+
+func TestGateNewOnlyPassesOldOnlyWarns(t *testing.T) {
+	oldSet := map[string]Result{"BenchmarkGone": result(1000, 0)}
+	newSet := map[string]Result{"BenchmarkFresh": result(1000, 0)}
+	rep := compare(oldSet, newSet, 0.10)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("benchmark without baseline failed the gate: %+v", rep.Failures)
+	}
+	if len(rep.Warnings) != 1 || !strings.Contains(rep.Warnings[0], "BenchmarkGone") {
+		t.Fatalf("deleted benchmark did not warn: %+v", rep.Warnings)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Verdict != "new (no baseline)" {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+}
+
+// TestEndToEndTranscripts drives the real parser with full transcripts
+// (headers, PASS lines, GOMAXPROCS suffixes) through the comparison.
+func TestEndToEndTranscripts(t *testing.T) {
+	oldPath := writeBench(t, `goos: linux
+goarch: amd64
+pkg: sturgeon/internal/sim
+BenchmarkNodeStep-8  1500000  760.0 ns/op  6 B/op  0 allocs/op
+BenchmarkNodeStep-8  1500000  755.0 ns/op  6 B/op  0 allocs/op
+PASS
+ok  	sturgeon/internal/sim	5.063s
+`)
+	newPath := writeBench(t, `goos: linux
+pkg: sturgeon/internal/sim
+BenchmarkNodeStep  1200000  890.0 ns/op  6 B/op  1 allocs/op
+PASS
+`)
+	oldSet, err := parseFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSet, err := parseFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := compare(oldSet, newSet, 0.10)
+	// 890 vs min(760,755)=755 is +17.9% and 0 -> 1 allocs: both gates.
+	if len(rep.Failures) != 2 {
+		t.Fatalf("want time + alloc failures, got %+v", rep.Failures)
+	}
+	if rep.Rows[0].Verdict != "FAIL time+allocs" {
+		t.Fatalf("verdict = %q", rep.Rows[0].Verdict)
+	}
+	if !strings.Contains(rep.String(), "FAIL:") {
+		t.Fatalf("report does not surface failures:\n%s", rep.String())
+	}
+}

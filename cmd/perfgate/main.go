@@ -1,0 +1,60 @@
+// Command perfgate compares two `go test -bench -benchmem` outputs and
+// fails when the new run regresses: more than -max-time-regress on any
+// benchmark's ns/op, or ANY increase in allocs/op. It is the decision
+// half of the CI perf-regression job — benchstat renders the
+// human-readable table, perfgate renders the verdict, with no
+// dependency outside the standard library so the gate runs on a bare
+// toolchain.
+//
+// Multiple samples of the same benchmark (from -count=N) are aggregated
+// by taking the minimum ns/op and minimum allocs/op: the fastest
+// repetition is the least-noisy estimate of what the code can do, and a
+// regression that survives the min across six repetitions is real, not
+// scheduler jitter.
+//
+// Usage:
+//
+//	perfgate -old old.txt -new new.txt [-max-time-regress 0.10]
+//
+// Benchmarks present only in the new run pass (new code may add
+// benchmarks); benchmarks present only in the old run warn (a deleted
+// benchmark cannot hide a regression silently, but deleting the hot
+// path's benchmark is a review question, not a CI failure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench -benchmem` output")
+	newPath := flag.String("new", "", "candidate `go test -bench -benchmem` output")
+	maxTime := flag.Float64("max-time-regress", 0.10,
+		"maximum tolerated fractional ns/op increase (0.10 = +10%)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -old and -new are both required")
+		os.Exit(2)
+	}
+
+	oldSet, err := parseFile(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSet, err := parseFile(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	report := compare(oldSet, newSet, *maxTime)
+	fmt.Print(report.String())
+	if len(report.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfgate:", err)
+	os.Exit(2)
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -133,6 +134,68 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestReadBothSchemaVersions pins the v1→v2 migration contract: a v2
+// reader must accept checked-in v1 reports (no allocs_per_step field)
+// and v2 reports alike, and reject anything else.
+func TestReadBothSchemaVersions(t *testing.T) {
+	v2 := validReport()
+	v2.Runs[0].AllocsPerStep = 2.5
+	path := filepath.Join(t.TempDir(), "v2.json")
+	if err := WriteFile(path, v2); err != nil {
+		t.Fatalf("WriteFile v2: %v", err)
+	}
+	if got, err := ReadFile(path); err != nil || got.Runs[0].AllocsPerStep != 2.5 {
+		t.Fatalf("v2 round-trip: err %v, allocs_per_step %v", err, got.Runs[0].AllocsPerStep)
+	}
+
+	v1 := validReport()
+	v1.Schema = SchemaV1
+	if err := Validate(v1); err != nil {
+		t.Fatalf("legacy v1 schema rejected: %v", err)
+	}
+	// A checked-in v1 document has no allocs_per_step key at all; the
+	// decoded zero value must validate.
+	raw := []byte(`{
+	  "schema": "sturgeon/bench-fleet/v1",
+	  "go_version": "go1.22", "gomaxprocs": 2, "num_cpu": 2, "repeats": 1,
+	  "runs": [{
+	    "scenario": "fleet3-round-robin-clean", "nodes": 3, "parallelism": 1,
+	    "wall_seconds": 0.5, "node_steps_per_sec": 72,
+	    "alloc_mib": 1.5, "alloc_objects": 1000,
+	    "qos_rate": 0.99, "be_throughput_ups": 40,
+	    "summary_sha256": "` + strings.Repeat("ab", 32) + `",
+	    "speedup_vs_serial": 1
+	  }],
+	  "deterministic": true
+	}`)
+	v1path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(v1path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(v1path)
+	if err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	if got.Schema != SchemaV1 || got.Runs[0].AllocsPerStep != 0 {
+		t.Fatalf("v1 decode: schema %q allocs_per_step %v", got.Schema, got.Runs[0].AllocsPerStep)
+	}
+}
+
+// TestFasterRunKeepsWholeRepetition pins the best-of-N contract: the
+// selected repetition's wall time and allocation figures travel
+// together.
+func TestFasterRunKeepsWholeRepetition(t *testing.T) {
+	slow := Run{WallSeconds: 2, AllocObjects: 10, AllocsPerStep: 0.1}
+	fast := Run{WallSeconds: 1, AllocObjects: 999, AllocsPerStep: 9.9}
+	got := fasterRun(slow, fast)
+	if got.WallSeconds != 1 || got.AllocObjects != 999 || got.AllocsPerStep != 9.9 {
+		t.Fatalf("fasterRun mixed repetitions: %+v", got)
+	}
+	if got := fasterRun(fast, slow); got.WallSeconds != 1 {
+		t.Fatalf("fasterRun not symmetric: %+v", got)
 	}
 }
 

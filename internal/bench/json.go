@@ -37,8 +37,8 @@ func (rep *Report) Validate() error {
 	if rep == nil {
 		return fmt.Errorf("nil report")
 	}
-	if rep.Schema != Schema {
-		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	if rep.Schema != Schema && rep.Schema != SchemaV1 {
+		return fmt.Errorf("schema %q, want %q (or legacy %q)", rep.Schema, Schema, SchemaV1)
 	}
 	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 {
 		return fmt.Errorf("implausible host: GOMAXPROCS %d, NumCPU %d", rep.GOMAXPROCS, rep.NumCPU)
@@ -68,6 +68,9 @@ func (rep *Report) Validate() error {
 		}
 		if r.AllocMiB < 0 {
 			return fmt.Errorf("run %d (%s): negative allocation %v MiB", i, r.Scenario, r.AllocMiB)
+		}
+		if math.IsNaN(r.AllocsPerStep) || r.AllocsPerStep < 0 {
+			return fmt.Errorf("run %d (%s): invalid allocs_per_step %v", i, r.Scenario, r.AllocsPerStep)
 		}
 	}
 	return nil

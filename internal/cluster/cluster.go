@@ -22,6 +22,7 @@ import (
 	"sturgeon/internal/obs"
 	"sturgeon/internal/pool"
 	"sturgeon/internal/power"
+	"sturgeon/internal/queueing"
 	"sturgeon/internal/sim"
 	"sturgeon/internal/workload"
 )
@@ -45,6 +46,16 @@ type NodeState struct {
 	Healthy bool
 }
 
+// sharesInto is the optional allocation-free fast path of a
+// DispatchPolicy: SharesInto writes the same weights Shares would return
+// into dst (length len(nodes)), assigning every index. The cluster's
+// step loop uses it with a reused buffer; Shares remains the
+// public contract and is implemented in terms of SharesInto by every
+// built-in policy.
+type sharesInto interface {
+	SharesInto(nodes []NodeState, dst []float64)
+}
+
 // RoundRobin spreads load evenly — the baseline dispatcher.
 type RoundRobin struct{}
 
@@ -54,12 +65,19 @@ func (RoundRobin) Name() string { return "round-robin" }
 // Shares implements DispatchPolicy.
 func (RoundRobin) Shares(nodes []NodeState) []float64 {
 	out := make([]float64, len(nodes))
+	RoundRobin{}.SharesInto(nodes, out)
+	return out
+}
+
+// SharesInto implements the allocation-free fast path.
+func (RoundRobin) SharesInto(nodes []NodeState, dst []float64) {
 	for i, n := range nodes {
 		if n.Healthy {
-			out[i] = 1
+			dst[i] = 1
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
 }
 
 // LeastLoaded weights nodes by smoothed latency headroom against the
@@ -80,6 +98,13 @@ func (*LeastLoaded) Name() string { return "least-loaded" }
 
 // Shares implements DispatchPolicy.
 func (p *LeastLoaded) Shares(nodes []NodeState) []float64 {
+	out := make([]float64, len(nodes))
+	p.SharesInto(nodes, out)
+	return out
+}
+
+// SharesInto implements the allocation-free fast path.
+func (p *LeastLoaded) SharesInto(nodes []NodeState, dst []float64) {
 	gain := p.Gain
 	if gain <= 0 {
 		gain = 0.15
@@ -91,7 +116,6 @@ func (p *LeastLoaded) Shares(nodes []NodeState) []float64 {
 	if len(p.smoothed) != len(nodes) {
 		p.smoothed = make([]float64, len(nodes))
 	}
-	out := make([]float64, len(nodes))
 	var sum float64
 	var cnt int
 	for i, n := range nodes {
@@ -108,15 +132,17 @@ func (p *LeastLoaded) Shares(nodes []NodeState) []float64 {
 		}
 	}
 	if cnt == 0 {
-		return RoundRobin{}.Shares(nodes)
+		RoundRobin{}.SharesInto(nodes, dst)
+		return
 	}
 	ref := sum / float64(cnt)
 	for i, n := range nodes {
 		if !n.Healthy {
+			dst[i] = 0
 			continue
 		}
 		if p.smoothed[i] <= 0 {
-			out[i] = 1
+			dst[i] = 1
 			continue
 		}
 		w := 1 + gain*(ref-p.smoothed[i])/ref
@@ -126,9 +152,8 @@ func (p *LeastLoaded) Shares(nodes []NodeState) []float64 {
 		if w > 1+gain {
 			w = 1 + gain
 		}
-		out[i] = w
+		dst[i] = w
 	}
-	return out
 }
 
 // Skewed spreads load unevenly and deterministically: node i's weight
@@ -153,6 +178,14 @@ func (*Skewed) Name() string { return "skewed" }
 // interval counter — Shares is called exactly once per simulated second,
 // serially — so the schedule is a pure function of the call sequence.
 func (p *Skewed) Shares(nodes []NodeState) []float64 {
+	out := make([]float64, len(nodes))
+	p.SharesInto(nodes, out)
+	return out
+}
+
+// SharesInto implements the allocation-free fast path. It advances the
+// same internal interval counter Shares does.
+func (p *Skewed) SharesInto(nodes []NodeState, dst []float64) {
 	amp := p.Amp
 	if amp <= 0 {
 		amp = 0.5
@@ -166,15 +199,14 @@ func (p *Skewed) Shares(nodes []NodeState) []float64 {
 	}
 	t := float64(p.step)
 	p.step++
-	out := make([]float64, len(nodes))
 	for i, n := range nodes {
 		if !n.Healthy {
+			dst[i] = 0
 			continue
 		}
 		phase := 2 * math.Pi * (t/period + float64(i)/float64(len(nodes)))
-		out[i] = 1 + amp*math.Sin(phase)
+		dst[i] = 1 + amp*math.Sin(phase)
 	}
-	return out
 }
 
 // Coordination wires the fleet to a power-budget coordinator
@@ -388,8 +420,14 @@ func New(n int, ls, be workload.Profile, budget power.Watts,
 		return nil, fmt.Errorf("cluster: need at least one node")
 	}
 	c := &Cluster{Budget: budget, Policy: policy, LS: ls, rng: rand.New(rand.NewSource(seed))}
+	// One latency-solve cache for the whole fleet: nodes offered the same
+	// arrival rate at the same configuration share a single analytic
+	// solve per interval. Solves are pure functions of the queue
+	// parameters, so sharing cannot change any node's results.
+	lat := queueing.NewCache()
 	for i := 0; i < n; i++ {
 		node := sim.NewNode(ls, be, seed+int64(i)*7919)
+		node.Latency = lat
 		if err := node.Apply(hw.SoloLS(node.Spec)); err != nil {
 			return nil, err
 		}
@@ -609,14 +647,22 @@ func (c *Cluster) runStep(tr workload.Trace, durationS int) Result {
 		states[i].Healthy = true
 	}
 	outs := make([]stepOutcome, n)
+	shareBuf := make([]float64, n)
+	fastShares, hasFast := c.Policy.(sharesInto)
 
 	var res Result
+	res.Intervals = make([]IntervalReport, 0, durationS)
 	var wOK, wQ, sumBE, sumPW float64
 	for step := 0; step < durationS; step++ {
 		t := float64(step + 1)
 		total := tr(t) * c.LS.PeakQPS * float64(n)
 
-		shares := c.Policy.Shares(states)
+		shares := shareBuf
+		if hasFast {
+			fastShares.SharesInto(states, shareBuf)
+		} else {
+			shares = c.Policy.Shares(states)
+		}
 		var norm float64
 		for _, s := range shares {
 			norm += s

@@ -94,6 +94,8 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 	}
 	outs := make([]stepOutcome, n)
 	rt := make([]nodeRuntime, n)
+	shareBuf := make([]float64, n)
+	fastShares, hasFast := c.Policy.(sharesInto)
 
 	classes := make(map[nodeClass]int)
 	for i, node := range c.Nodes {
@@ -153,6 +155,7 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 	}
 
 	var res Result
+	res.Intervals = make([]IntervalReport, 0, durationS)
 	var wOK, wQ, sumBE, sumPW float64
 	var lastRep IntervalReport
 	var lastOkQ, lastTotal float64
@@ -205,7 +208,12 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 		}
 		lastActive = step
 
-		shares := c.Policy.Shares(states)
+		shares := shareBuf
+		if hasFast {
+			fastShares.SharesInto(states, shareBuf)
+		} else {
+			shares = c.Policy.Shares(states)
+		}
 		var norm float64
 		for _, s := range shares {
 			norm += s

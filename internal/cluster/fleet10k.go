@@ -8,6 +8,7 @@ import (
 	"sturgeon/internal/control"
 	"sturgeon/internal/hw"
 	"sturgeon/internal/power"
+	"sturgeon/internal/queueing"
 	"sturgeon/internal/sim"
 	"sturgeon/internal/workload"
 )
@@ -88,8 +89,13 @@ func BuildFleet10k(o Fleet10kOptions) (*Cluster, error) {
 		LS: hw.Alloc{Cores: 12, Freq: 2.0, LLCWays: 12},
 		BE: hw.Alloc{Cores: 8, Freq: 1.2, LLCWays: 8},
 	}
+	// All 10k nodes run the same workload on the same stair trace: a
+	// shared latency cache collapses each interval's analytic solves to
+	// one per distinct (load, config) pair fleet-wide.
+	lat := queueing.NewCache()
 	for i := 0; i < o.Nodes; i++ {
 		node := sim.QuietNode(ls, be, o.Seed+int64(i)*7919)
+		node.Latency = lat
 		if err := node.Apply(split); err != nil {
 			return nil, err
 		}

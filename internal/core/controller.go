@@ -101,6 +101,34 @@ func New(spec hw.Spec, pred *models.Predictor, budget power.Watts, opt Options) 
 	return s
 }
 
+// SetBudget implements control.CapSetter: re-grant the node's power
+// budget at runtime. The searcher's memoized answers key on the guarded
+// budget, so stale entries can never be served; the explicit drop just
+// keeps the memo from carrying dead weight, and the search memo bit is
+// cleared so the next interval re-searches under the new cap.
+func (s *Sturgeon) SetBudget(w power.Watts) {
+	if w == s.Budget {
+		return
+	}
+	s.Budget = w
+	s.searcher.Budget = w
+	s.balancer.Budget = s.searcher.guardedBudget()
+	s.searcher.InvalidateMemo()
+	s.searched = false
+}
+
+// SetPredictor swaps in a (re)trained predictor and invalidates every
+// cached search answer — required even when pred is the same pointer
+// refit in place, because the memo cannot observe in-place model
+// mutations.
+func (s *Sturgeon) SetPredictor(pred *models.Predictor) {
+	s.Pred = pred
+	s.searcher.Pred = pred
+	s.balancer.Pred = pred
+	s.searcher.InvalidateMemo()
+	s.searched = false
+}
+
 // Name identifies the controller variant.
 func (s *Sturgeon) Name() string {
 	if s.Opt.DisableBalancer {

@@ -8,6 +8,9 @@
 package core
 
 import (
+	"math"
+	"reflect"
+
 	"sturgeon/internal/hw"
 	"sturgeon/internal/pool"
 	"sturgeon/internal/power"
@@ -22,6 +25,16 @@ type Predictor interface {
 	QoSOK(a hw.Alloc, qps float64) bool
 	Throughput(a hw.Alloc) float64
 	PowerW(cfg hw.Config, qps float64) power.Watts
+}
+
+// BatchPredictor is the optional batched fast path of a Predictor:
+// ThroughputBatch scores a whole candidate frontier in one call,
+// appending one value per allocation to dst. Results must equal
+// point-wise Throughput bit for bit; models.Predictor implements it on
+// top of mlkit's batched regressors.
+type BatchPredictor interface {
+	Predictor
+	ThroughputBatch(allocs []hw.Alloc, dst []float64) []float64
 }
 
 // Searcher finds the feasible configuration with maximum predicted BE
@@ -57,6 +70,47 @@ type Searcher struct {
 	// The default stays serial because controllers usually run inside
 	// the cluster pool's fan-out, where nesting would oversubscribe.
 	Parallelism int
+
+	// Search memoization (BestConfig): the answer is a pure function of
+	// (load, guarded budget, predictor), so repeated loads — diurnal
+	// staircases revisit the same treads all day — are served from a
+	// bounded map without touching the models. The predictor is part of
+	// the key, so swapping in a retrained model invalidates naturally;
+	// refitting a model in place must call InvalidateMemo.
+	memo map[searchKey]searchVal
+
+	// Caller-owned scratch reused across BestConfig calls (the searcher
+	// is per-controller and stepped serially, like the node it serves).
+	candScratch []Candidate
+	beAllocs    []hw.Alloc
+	beScores    []float64
+}
+
+// searchKey fingerprints one BestConfig question exactly: the load and
+// guarded budget by their float bits, the predictor by identity. A
+// distinct load level is a distinct bucket — exactness is what keeps the
+// memoized answer bit-identical to a fresh search.
+type searchKey struct {
+	pred   Predictor
+	qps    uint64
+	budget uint64
+}
+
+type searchVal struct {
+	cfg hw.Config
+	ok  bool
+}
+
+// searchMemoMax bounds the memo; the map resets when full (a fleet
+// scenario revisits far fewer distinct load levels).
+const searchMemoMax = 4096
+
+// InvalidateMemo drops every memoized search answer. Call it after
+// refitting a model the searcher's predictor serves in place; replacing
+// the Pred value itself needs no invalidation (it participates in the
+// memo key).
+func (s *Searcher) InvalidateMemo() {
+	clear(s.memo)
 }
 
 func (s *Searcher) headroomWays() int {
@@ -96,34 +150,68 @@ type Candidate struct {
 
 // BestConfig returns the highest-throughput feasible configuration for
 // the given load, and false when no co-location is feasible (the LS
-// service then receives every resource).
+// service then receives every resource). Answers are memoized per
+// (load, guarded budget, predictor); see InvalidateMemo.
 func (s *Searcher) BestConfig(qps float64) (hw.Config, bool) {
-	cands := s.Candidates(qps)
-	if len(cands) == 0 {
-		return hw.SoloLS(s.Spec), false
-	}
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if c.Throughput > best.Throughput {
-			best = c
+	key, memoOK := s.memoKey(qps)
+	if memoOK {
+		if v, hit := s.memo[key]; hit {
+			return v.cfg, v.ok
 		}
 	}
-	return best.Config, true
+	s.candScratch = s.CandidatesInto(qps, s.candScratch[:0])
+	cands := s.candScratch
+	v := searchVal{cfg: hw.SoloLS(s.Spec)}
+	if len(cands) > 0 {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.Throughput > best.Throughput {
+				best = c
+			}
+		}
+		v = searchVal{cfg: best.Config, ok: true}
+	}
+	if memoOK {
+		if s.memo == nil {
+			s.memo = make(map[searchKey]searchVal)
+		} else if len(s.memo) >= searchMemoMax {
+			clear(s.memo)
+		}
+		s.memo[key] = v
+	}
+	return v.cfg, v.ok
 }
 
-// candidateRow is the outcome of evaluating one LS core count: its
-// candidates plus whether the sweep may stop once any candidate exists
-// (every BE frequency already at maximum).
+// memoKey builds the memo key; memoization is skipped for predictors
+// whose dynamic type is not comparable (they cannot be map keys).
+func (s *Searcher) memoKey(qps float64) (searchKey, bool) {
+	if s.Pred == nil || !reflect.TypeOf(s.Pred).Comparable() {
+		return searchKey{}, false
+	}
+	return searchKey{
+		pred:   s.Pred,
+		qps:    math.Float64bits(qps),
+		budget: math.Float64bits(float64(s.guardedBudget())),
+	}, true
+}
+
+// candidateRow is the outcome of enumerating one LS core count: its
+// frontier entries plus whether the sweep may stop once any candidate
+// exists (every BE frequency already at maximum).
 type candidateRow struct {
 	cands []Candidate
 	stop  bool
 }
 
-// candidatesAt evaluates the §V-B sweep at a fixed LS core count. It
-// only reads s and the predictor, so rows for different core counts can
-// be evaluated concurrently.
-func (s *Searcher) candidatesAt(qps float64, c1, maxLvl int) candidateRow {
-	row := candidateRow{stop: true}
+// candidatesAt enumerates the §V-B frontier at a fixed LS core count,
+// appending candidates — throughput still unscored — to dst. The
+// early-stop verdict depends only on the BE frequency levels, so
+// deferring the throughput scores to one batched evaluation changes
+// neither the candidate set nor the cutoff. It only reads s and the
+// predictor, so rows for different core counts can be evaluated
+// concurrently.
+func (s *Searcher) candidatesAt(qps float64, c1, maxLvl int, dst []Candidate) ([]Candidate, bool) {
+	stop := true
 	for _, ls := range s.justEnough(qps, c1) {
 		f2lvl, ok := s.maxBEFreqLevel(ls, qps)
 		if !ok {
@@ -132,12 +220,12 @@ func (s *Searcher) candidatesAt(qps float64, c1, maxLvl int) candidateRow {
 			continue
 		}
 		cfg := hw.Complement(s.Spec, ls, s.Spec.FreqAtLevel(f2lvl))
-		row.cands = append(row.cands, Candidate{Config: cfg, Throughput: s.Pred.Throughput(cfg.BE)})
+		dst = append(dst, Candidate{Config: cfg})
 		if f2lvl < maxLvl {
-			row.stop = false
+			stop = false
 		}
 	}
-	return row
+	return dst, stop
 }
 
 // Candidates enumerates the just-enough candidates of the §V-B sweep in
@@ -148,17 +236,26 @@ func (s *Searcher) candidatesAt(qps float64, c1, maxLvl int) candidateRow {
 // pool and merged in c1 order, so the cutoff — and the returned slice —
 // are identical to the serial sweep's.
 func (s *Searcher) Candidates(qps float64) []Candidate {
+	return s.CandidatesInto(qps, nil)
+}
+
+// CandidatesInto is Candidates appending into a caller-owned slice
+// (pass dst[:0] to reuse its storage): the frontier is enumerated
+// first, then every candidate's BE throughput is scored in one batched
+// predictor call.
+func (s *Searcher) CandidatesInto(qps float64, dst []Candidate) []Candidate {
 	spec := s.Spec
 	maxLvl := spec.NumFreqLevels() - 1
 
 	c1min := s.minCores(qps)
 	if c1min < 0 {
-		return nil
+		return dst
 	}
-	var out []Candidate
+	out := dst
 	if s.Parallelism > 1 {
 		rows := pool.Map(s.Parallelism, spec.Cores-c1min, func(j int) candidateRow {
-			return s.candidatesAt(qps, c1min+j, maxLvl)
+			cands, stop := s.candidatesAt(qps, c1min+j, maxLvl, nil)
+			return candidateRow{cands: cands, stop: stop}
 		})
 		for _, row := range rows {
 			out = append(out, row.cands...)
@@ -166,16 +263,40 @@ func (s *Searcher) Candidates(qps float64) []Candidate {
 				break
 			}
 		}
-		return out
+		return s.scoreFrontier(out)
 	}
 	for c1 := c1min; c1 < spec.Cores; c1++ {
-		row := s.candidatesAt(qps, c1, maxLvl)
-		out = append(out, row.cands...)
-		if len(out) > 0 && row.stop {
+		var stop bool
+		out, stop = s.candidatesAt(qps, c1, maxLvl, out)
+		if len(out) > 0 && stop {
 			break
 		}
 	}
-	return out
+	return s.scoreFrontier(out)
+}
+
+// scoreFrontier fills in the Throughput of every enumerated candidate
+// with one batched evaluation, reusing the searcher's scratch buffers.
+func (s *Searcher) scoreFrontier(cands []Candidate) []Candidate {
+	if len(cands) == 0 {
+		return cands
+	}
+	s.beAllocs = s.beAllocs[:0]
+	for i := range cands {
+		s.beAllocs = append(s.beAllocs, cands[i].Config.BE)
+	}
+	if b, ok := s.Pred.(BatchPredictor); ok {
+		s.beScores = b.ThroughputBatch(s.beAllocs, s.beScores[:0])
+	} else {
+		s.beScores = s.beScores[:0]
+		for _, a := range s.beAllocs {
+			s.beScores = append(s.beScores, s.Pred.Throughput(a))
+		}
+	}
+	for i := range cands {
+		cands[i].Throughput = s.beScores[i]
+	}
+	return cands
 }
 
 // justEnough returns up to two just-enough LS allocations at a fixed core

@@ -225,6 +225,48 @@ func (p *Predictor) Throughput(a hw.Alloc) float64 {
 	return v
 }
 
+// ThroughputBatch predicts BE progress for a whole candidate frontier
+// in one call, appending one value per allocation to dst — the batched
+// counterpart of Throughput (core.BatchPredictor). Values are bit
+// identical to point-wise calls, and the query counter advances by the
+// same total: one per allocation with running cores.
+func (p *Predictor) ThroughputBatch(allocs []hw.Alloc, dst []float64) []float64 {
+	n := 0
+	for _, a := range allocs {
+		if a.Cores > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		for range allocs {
+			dst = append(dst, 0)
+		}
+		return dst
+	}
+	p.queries.Add(int64(n))
+	X := make([][]float64, 0, n)
+	for _, a := range allocs {
+		if a.Cores > 0 {
+			X = append(X, p.beFeatures(a))
+		}
+	}
+	scores := mlkit.PredictBatch(p.BEThpt, X, make([]float64, 0, n))
+	j := 0
+	for _, a := range allocs {
+		if a.Cores <= 0 {
+			dst = append(dst, 0)
+			continue
+		}
+		v := scores[j]
+		j++
+		if v < 0 {
+			v = 0
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
 // PowerW predicts total node power for a configuration at qps: the LS
 // model's absolute node power plus the BE model's incremental power.
 func (p *Predictor) PowerW(cfg hw.Config, qps float64) power.Watts {

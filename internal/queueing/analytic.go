@@ -101,58 +101,18 @@ func (a Analytic) waitCDF(t, pw, theta float64) float64 {
 	return 1 - pw*math.Exp(-theta*t)
 }
 
-// SojournCDF returns P(T ≤ t) for the sojourn time T = W + S.
+// SojournCDF returns P(T ≤ t) for the sojourn time T = W + S:
+// F_T(t) = F_S(t) − Pw·∫₀ᵗ f_S(s)·e^{−θ(t−s)} ds. Substituting
+// u = F_S(s) turns the integral into ∫₀^{F_S(t)} e^{−θ(t−Q_S(u))} du.
+// The probability axis is split into quadPoints equal bins with
+// precomputed service quantiles at their midpoints; the bin straddled
+// by F_S(t) contributes its fractional mass, keeping the CDF
+// continuous and invertible in t. The evaluation lives on Evaluator
+// (eval.go) so repeated queries share the t-independent setup.
 func (a Analytic) SojournCDF(t float64) float64 {
-	if t <= 0 {
-		return 0
-	}
-	if a.Servers <= 0 {
-		return 0
-	}
-	if !a.Stable() {
-		return a.saturatedFractionWithin(t)
-	}
-	pw := a.ErlangC()
-	theta := a.waitTailRate()
-	svc := NewLogNormal(a.SvcMean, a.SvcCV)
-	// F_T(t) = F_S(t) − Pw·∫₀ᵗ f_S(s)·e^{−θ(t−s)} ds. Substituting
-	// u = F_S(s) turns the integral into ∫₀^{F_S(t)} e^{−θ(t−Q_S(u))} du.
-	// The probability axis is split into quadPoints equal bins with
-	// precomputed service quantiles at their midpoints; the bin straddled
-	// by F_S(t) contributes its fractional mass, keeping the CDF
-	// continuous and invertible in t.
-	ft := svc.CDF(t)
-	if ft <= 0 {
-		return 0
-	}
-	const n = quadPoints
-	sum := 0.0
-	full := int(ft * n) // bins fully below F_S(t)
-	if full > n {
-		full = n
-	}
-	for i := 0; i < full; i++ {
-		s := math.Exp(svc.Mu + svc.Sigma*quadZ[i])
-		if s > t {
-			s = t
-		}
-		sum += math.Exp(-theta * (t - s))
-	}
-	integral := sum / n
-	if frac := ft - float64(full)/n; frac > 0 && full < n {
-		// Midpoint of the partial bin in probability space.
-		u := (float64(full)/n + ft) / 2
-		s := svc.Quantile(u)
-		if s > t {
-			s = t
-		}
-		integral += frac * math.Exp(-theta*(t-s))
-	}
-	v := ft - pw*integral
-	if v < 0 {
-		return 0
-	}
-	return v
+	var ev Evaluator
+	ev.Init(a)
+	return ev.SojournCDF(t)
 }
 
 // saturatedFractionWithin models an overloaded interval transient: with
@@ -192,37 +152,7 @@ func (a Analytic) FractionWithin(t float64) float64 {
 // on the CDF. It returns +Inf for an unstable queue whose transient model
 // cannot reach p within the interval.
 func (a Analytic) SojournQuantile(p float64) float64 {
-	if a.Servers <= 0 {
-		return math.Inf(1)
-	}
-	if !a.Stable() {
-		// Invert the transient model directly.
-		interval := a.IntervalS
-		if interval <= 0 {
-			interval = 1
-		}
-		cmu := float64(a.Servers) / a.SvcMean
-		excess := a.Lambda - cmu
-		if excess <= 0 {
-			excess = 1e-9
-		}
-		return a.SvcMean + p*interval*excess/cmu
-	}
-	// Bracket the quantile.
-	lo, hi := 0.0, a.SvcMean*4+a.MeanWait()*4+1e-6
-	for a.SojournCDF(hi) < p {
-		hi *= 2
-		if hi > 1e6 {
-			return math.Inf(1)
-		}
-	}
-	for i := 0; i < 48; i++ {
-		mid := (lo + hi) / 2
-		if a.SojournCDF(mid) < p {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return (lo + hi) / 2
+	var ev Evaluator
+	ev.Init(a)
+	return ev.SojournQuantile(p)
 }

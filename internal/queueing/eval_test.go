@@ -1,0 +1,248 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// referenceSojournCDF is the pre-Evaluator implementation, kept verbatim
+// as the bit-exactness oracle: the optimized path must reproduce every
+// bit it produces, because fleet summaries hash values derived from it.
+func referenceSojournCDF(a Analytic, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if a.Servers <= 0 {
+		return 0
+	}
+	if !a.Stable() {
+		return a.saturatedFractionWithin(t)
+	}
+	pw := a.ErlangC()
+	theta := a.waitTailRate()
+	svc := NewLogNormal(a.SvcMean, a.SvcCV)
+	ft := svc.CDF(t)
+	if ft <= 0 {
+		return 0
+	}
+	const n = quadPoints
+	sum := 0.0
+	full := int(ft * n)
+	if full > n {
+		full = n
+	}
+	for i := 0; i < full; i++ {
+		s := math.Exp(svc.Mu + svc.Sigma*quadZ[i])
+		if s > t {
+			s = t
+		}
+		sum += math.Exp(-theta * (t - s))
+	}
+	integral := sum / n
+	if frac := ft - float64(full)/n; frac > 0 && full < n {
+		u := (float64(full)/n + ft) / 2
+		s := svc.Quantile(u)
+		if s > t {
+			s = t
+		}
+		integral += frac * math.Exp(-theta*(t-s))
+	}
+	v := ft - pw*integral
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func referenceSojournQuantile(a Analytic, p float64) float64 {
+	if a.Servers <= 0 {
+		return math.Inf(1)
+	}
+	if !a.Stable() {
+		interval := a.IntervalS
+		if interval <= 0 {
+			interval = 1
+		}
+		cmu := float64(a.Servers) / a.SvcMean
+		excess := a.Lambda - cmu
+		if excess <= 0 {
+			excess = 1e-9
+		}
+		return a.SvcMean + p*interval*excess/cmu
+	}
+	lo, hi := 0.0, a.SvcMean*4+a.MeanWait()*4+1e-6
+	for referenceSojournCDF(a, hi) < p {
+		hi *= 2
+		if hi > 1e6 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if referenceSojournCDF(a, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// evalGrid spans light load through deep saturation, Poisson through
+// heavily bursty arrivals, and near-deterministic through heavy-tailed
+// service — the regimes node physics actually visits.
+func evalGrid() []Analytic {
+	var out []Analytic
+	for _, servers := range []int{1, 4, 8, 12} {
+		for _, svcMean := range []float64{0.0001, 0.0003, 0.002} {
+			for _, util := range []float64{0.05, 0.5, 0.85, 0.97, 0.999, 1.05, 1.4} {
+				lambda := util * float64(servers) / svcMean
+				for _, cv := range []float64{0.3, 0.7, 1.5} {
+					for _, acv := range []float64{0, 1, 2.8} {
+						out = append(out, Analytic{
+							Lambda: lambda, Servers: servers,
+							SvcMean: svcMean, SvcCV: cv,
+							ArrivalCV: acv, IntervalS: 1,
+						})
+					}
+				}
+			}
+		}
+	}
+	out = append(out, Analytic{Lambda: 10, Servers: 0, SvcMean: 0.001, SvcCV: 0.5})
+	return out
+}
+
+func TestEvaluatorCDFBitIdentical(t *testing.T) {
+	for _, a := range evalGrid() {
+		var ev Evaluator
+		ev.Init(a)
+		for _, x := range []float64{
+			-1, 0, 1e-6, 5e-5, 1e-4, 3e-4, 1e-3, 4e-3, 0.01, 0.05, 0.3, 2, 50, 1e4,
+		} {
+			got := ev.SojournCDF(x)
+			want := referenceSojournCDF(a, x)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("SojournCDF(%v) on %+v: got %x want %x",
+					x, a, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestEvaluatorQuantileBitIdentical(t *testing.T) {
+	for _, a := range evalGrid() {
+		var ev Evaluator
+		ev.Init(a)
+		for _, p := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+			got := ev.SojournQuantile(p)
+			want := referenceSojournQuantile(a, p)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("SojournQuantile(%v) on %+v: got %v (%x) want %v (%x)",
+					p, a, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestEvaluatorReuse pins that Init fully resets the evaluator: answers
+// after re-initialization match a fresh evaluator bit for bit.
+func TestEvaluatorReuse(t *testing.T) {
+	grid := evalGrid()
+	var reused Evaluator
+	for _, a := range grid {
+		reused.Init(a)
+		var fresh Evaluator
+		fresh.Init(a)
+		for _, p := range []float64{0.9, 0.95} {
+			if g, w := reused.SojournQuantile(p), fresh.SojournQuantile(p); math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("reused evaluator diverged on %+v p=%v: %v vs %v", a, p, g, w)
+			}
+		}
+		if g, w := reused.FractionWithin(0.01), fresh.FractionWithin(0.01); math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("reused evaluator FractionWithin diverged on %+v: %v vs %v", a, g, w)
+		}
+	}
+}
+
+func TestCacheSolveMatchesDirect(t *testing.T) {
+	c := NewCache()
+	var ev Evaluator
+	for _, a := range evalGrid() {
+		for _, budget := range []float64{-0.001, 0, 0.01} {
+			wantP95 := referenceSojournQuantile(a, 0.95)
+			wantFrac := 0.0
+			if budget > 0 {
+				wantFrac = referenceSojournCDF(a, budget)
+			}
+			for pass := 0; pass < 2; pass++ { // miss then hit
+				p95, frac := c.Solve(a, 0.95, budget, &ev)
+				if math.Float64bits(p95) != math.Float64bits(wantP95) ||
+					math.Float64bits(frac) != math.Float64bits(wantFrac) {
+					t.Fatalf("Solve pass %d on %+v budget %v: got (%v,%v) want (%v,%v)",
+						pass, a, budget, p95, frac, wantP95, wantFrac)
+				}
+			}
+			// Nil cache computes directly.
+			p95, frac := (*Cache)(nil).Solve(a, 0.95, budget, &ev)
+			if math.Float64bits(p95) != math.Float64bits(wantP95) ||
+				math.Float64bits(frac) != math.Float64bits(wantFrac) {
+				t.Fatalf("nil-cache Solve on %+v budget %v: got (%v,%v) want (%v,%v)",
+					a, budget, p95, frac, wantP95, wantFrac)
+			}
+		}
+	}
+}
+
+// TestCacheBounded pins the overflow behavior: the solve map resets at
+// the cap instead of growing without limit, and served values stay
+// correct either way.
+func TestCacheBounded(t *testing.T) {
+	c := NewCache()
+	a := Analytic{Lambda: 20000, Servers: 8, SvcMean: 0.0003, SvcCV: 0.7, ArrivalCV: 2.8, IntervalS: 1}
+	var ev Evaluator
+	c.sols = make(map[latKey]latVal)
+	for i := 0; i < cacheMaxEntries; i++ {
+		c.sols[latKey{a: a, pct: float64(i)}] = latVal{}
+	}
+	p95, _ := c.Solve(a, 0.95, 0.01, &ev)
+	if len(c.sols) > 1 {
+		t.Fatalf("cache not reset at cap: %d entries", len(c.sols))
+	}
+	if want := referenceSojournQuantile(a, 0.95); math.Float64bits(p95) != math.Float64bits(want) {
+		t.Fatalf("post-reset solve wrong: got %v want %v", p95, want)
+	}
+}
+
+func BenchmarkEvaluatorSolve(b *testing.B) {
+	a := Analytic{Lambda: 20000, Servers: 8, SvcMean: 0.0003, SvcCV: 0.7, ArrivalCV: 2.8, IntervalS: 1}
+	var ev Evaluator
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Init(a)
+		ev.SojournQuantile(0.95)
+		ev.SojournCDF(0.010)
+	}
+}
+
+func BenchmarkCacheSolveHit(b *testing.B) {
+	a := Analytic{Lambda: 20000, Servers: 8, SvcMean: 0.0003, SvcCV: 0.7, ArrivalCV: 2.8, IntervalS: 1}
+	c := NewCache()
+	var ev Evaluator
+	c.Solve(a, 0.95, 0.010, &ev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Solve(a, 0.95, 0.010, &ev)
+	}
+}
+
+// BenchmarkReferenceSolve measures the pre-Evaluator cost of the same
+// two questions a node step asks, for speedup bookkeeping.
+func BenchmarkReferenceSolve(b *testing.B) {
+	a := Analytic{Lambda: 20000, Servers: 8, SvcMean: 0.0003, SvcCV: 0.7, ArrivalCV: 2.8, IntervalS: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		referenceSojournQuantile(a, 0.95)
+		referenceSojournCDF(a, 0.010)
+	}
+}

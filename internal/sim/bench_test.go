@@ -21,6 +21,23 @@ func BenchmarkNodeStep(b *testing.B) {
 	}
 }
 
+// BenchmarkNodeStepUncached disables the latency cache, so every step
+// pays the full analytic solve — the worst case a fleet node can hit.
+func BenchmarkNodeStepUncached(b *testing.B) {
+	n := NewNode(workload.Memcached(), workload.Raytrace(), 1)
+	n.Latency = nil
+	if err := n.Apply(hw.Config{
+		LS: hw.Alloc{Cores: 8, Freq: 1.8, LLCWays: 8},
+		BE: hw.Alloc{Cores: 12, Freq: 1.6, LLCWays: 12},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Step(float64(i), 20000)
+	}
+}
+
 func BenchmarkLSPeakPower(b *testing.B) {
 	n := QuietNode(workload.Memcached(), workload.Raytrace(), 1)
 	b.ReportAllocs()

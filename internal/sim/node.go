@@ -70,8 +70,18 @@ type Node struct {
 	// ablation as the higher-fidelity reference.
 	UseDES bool
 
+	// Latency memoizes analytic sojourn solves. NewNode gives every node
+	// its own cache; a cluster overwrites it with one shared instance so
+	// nodes seeing the same arrival rate (round-robin dispatch, repeated
+	// trace levels) solve each queue once fleet-wide. Solves are pure, so
+	// sharing never changes results — nil disables memoization entirely.
+	Latency *queueing.Cache
+
 	rng *rand.Rand
 	cfg hw.Config
+	// lat is reusable scratch for the analytic latency engine, keeping
+	// the steady-state step allocation-free.
+	lat queueing.Evaluator
 	// backlog carries queued-but-unserved queries across intervals: a
 	// service pushed past saturation does not recover instantly when
 	// capacity returns — the queue drains over the following intervals
@@ -93,6 +103,7 @@ func NewNode(ls, be workload.Profile, seed int64) *Node {
 		Meter:       power.NewMeter(0.8, rng.NormFloat64),
 		Interf:      DefaultInterference(rng),
 		P95NoiseSD:  0.04,
+		Latency:     queueing.NewCache(),
 		rng:         rng,
 	}
 	n.cfg = hw.SoloLS(n.Spec)
@@ -206,9 +217,11 @@ func (n *Node) Step(t, qps float64) IntervalStats {
 			ArrivalCV: n.LSProfile.ArrivalCV,
 			IntervalS: 1,
 		}
-		trueP95 = q.SojournQuantile(pct) + backlogWait
-		if budget := target - backlogWait; budget > 0 {
-			qosFrac = q.FractionWithin(budget)
+		budget := target - backlogWait
+		p95, frac := n.Latency.Solve(q, pct, budget, &n.lat)
+		trueP95 = p95 + backlogWait
+		if budget > 0 {
+			qosFrac = frac
 		}
 	}
 	if qps <= 0 && n.backlog <= 0 {

@@ -63,7 +63,7 @@ func (r *Runner) Run() Result {
 	inj := r.Faults
 
 	var (
-		intervals []IntervalStats
+		intervals = make([]IntervalStats, 0, r.DurationS)
 		wQoS      float64 // Σ qps·qosFrac
 		wQPS      float64 // Σ qps
 		sumBE     float64

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceQuantile is the original copy-and-sort implementation, kept
+// as the oracle for the incremental shadow.
+func referenceQuantile(buf []float64, p float64) float64 {
+	s := append([]float64(nil), buf...)
+	sort.Float64s(s)
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	idx := p * float64(len(s)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+func TestWindowIncrementalBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := NewWindow(64)
+	ps := []float64{-0.5, 0, 0.25, 0.5, 0.95, 0.99, 1, 2}
+	for i := 0; i < 5000; i++ {
+		x := rng.NormFloat64() * 10
+		switch {
+		case i%271 == 0:
+			x = math.NaN()
+		case i%143 == 0:
+			x = math.Copysign(0, -1)
+		case i%97 == 0:
+			x = 0
+		case i%53 == 0:
+			x = 3.25 // force duplicates
+		}
+		w.Observe(x)
+		p := ps[i%len(ps)]
+		got := w.Quantile(p)
+		want := referenceQuantile(w.buf, p)
+		if math.Float64bits(got) != math.Float64bits(want) && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("step %d p=%v: got %x want %x", i, p, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	w.Reset()
+	if !math.IsNaN(w.Quantile(0.5)) {
+		t.Fatal("quantile after reset should be NaN")
+	}
+}
+
+func TestWindowSteadyStateAllocFree(t *testing.T) {
+	w := NewWindow(128)
+	for i := 0; i < 256; i++ {
+		w.Observe(float64(i*7%101) + 0.5)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		w.Observe(3.75)
+		w.Quantile(0.95)
+		w.Mean()
+		w.Max()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Observe+Quantile allocates %v per run", allocs)
+	}
+}
