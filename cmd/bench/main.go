@@ -69,6 +69,8 @@ func main() {
 	repeat := flag.Int("repeat", def.Repeats, "best-of count per matrix cell")
 	coordination := flag.Bool("coordination", def.Coordination,
 		"run the pinned even-split vs coordinated-caps pair and enforce the win gate")
+	placementPair := flag.Bool("placement", def.Placement,
+		"run the pinned random-pairing vs placement-engine pair and enforce the win gate")
 	fleet10k := flag.Bool("fleet10k", def.Fleet10k,
 		"run the pinned 10k-node diurnal scenario on the event engine")
 	fleet10kBudget := flag.Float64("fleet10k-budget", def.Fleet10kWallBudgetS,
@@ -96,6 +98,7 @@ func main() {
 		Seed:         common.Seed,
 		Repeats:      *repeat,
 		Coordination: *coordination,
+		Placement:    *placementPair,
 		Fleet10k:     *fleet10k,
 
 		Fleet10kWallBudgetS: *fleet10kBudget,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-exp all|fig2|fig3|fig6|fig7|fig9|fig10|fig11|table1|overhead|ablations|coord|fleet10k]
+//	repro [-exp all|fig2|fig3|fig6|fig7|fig9|fig10|fig11|table1|overhead|ablations|coord|placement|fleet10k]
 //	      [-quick] [-seed N] [-samples N] [-duration N] [-heracles] [-out DIR]
 //	      [-json] [-version]
 //
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig6, fig7, fig9, fig10, fig11, table1, overhead, ablations, multi, energy, rapl, coord, fleet10k)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig2, fig3, fig6, fig7, fig9, fig10, fig11, table1, overhead, ablations, multi, energy, rapl, coord, placement, fleet10k)")
 		quick    = flag.Bool("quick", false, "shrink sweeps and run lengths for a fast smoke run")
 		samples  = flag.Int("samples", 0, "profiling sweep size (0 = default)")
 		duration = flag.Int("duration", 0, "evaluation run length in seconds (0 = default 800)")
@@ -167,6 +167,9 @@ func main() {
 	}
 	if want("coord") {
 		emit("extension_coordinator", experiments.CoordinatedFleet(env))
+	}
+	if want("placement") {
+		emit("extension_placement", experiments.PlacementShowdown(env))
 	}
 	if want("fleet10k") {
 		_, tbl := experiments.Fleet10kScale(env)

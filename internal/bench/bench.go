@@ -56,6 +56,12 @@ type Scenario struct {
 	// Empty for ordinary matrix cells. Policy and Faults are implied
 	// ("skewed" dispatch; coordinator-path chaos on "granted").
 	Coord string `json:"coord,omitempty"`
+	// Placement selects the pinned placement-pair scenario
+	// (cluster.DefaultPlacementFleet) instead of a matrix cell: "random"
+	// runs the seeded random-pairing baseline, "placed" the solver-seeded
+	// fleet with the migration planner active. Empty for ordinary cells.
+	// Policy and Faults are implied ("skewed" dispatch; clean).
+	Placement string `json:"placement,omitempty"`
 	// Fleet10k selects the pinned datacenter-scale diurnal scenario
 	// (cluster.DefaultFleet10k) on the discrete-event engine — the one
 	// cell whose per-second simulation would take over an hour and which
@@ -137,6 +143,11 @@ type Options struct {
 	// the coordinated fleet must deliver strictly more best-effort
 	// throughput at an equal-or-better QoS rate than the even split.
 	Coordination bool
+	// Placement appends the pinned random-pairing vs placement-engine
+	// scenario pair and makes Execute enforce the placement win gate: the
+	// placed fleet must deliver strictly more best-effort throughput at
+	// an equal-or-better QoS rate than random pairing of the same jobs.
+	Placement bool
 	// Fleet10k appends the pinned 10 000-node diurnal scenario on the
 	// event engine; Fleet10kWallBudgetS (0 = no gate) makes Execute fail
 	// when its serial run exceeds the wall-clock budget — the CI fence
@@ -158,6 +169,7 @@ func DefaultOptions() Options {
 		Seed:         20260806,
 		Repeats:      3,
 		Coordination: true,
+		Placement:    true,
 		Fleet10k:     true,
 		// Generous against runner noise; the scenario completes in ~1 s on
 		// a development machine and ~75 s would mean skipping broke.
@@ -203,6 +215,28 @@ func CoordPair(seed int64) (even, granted Scenario) {
 	return even, granted
 }
 
+// PlacementPair returns the pinned placement comparison scenarios: the
+// same heterogeneously capped fleet, seed and flash-crowd day, once
+// with the BE jobs paired by a seeded shuffle and once by the placement
+// solver with the migration planner active (so the win must survive
+// warm-up penalties on every move). Both run at the duration the
+// scenario pins — the rotating hot spot needs the full day to force
+// migrations.
+func PlacementPair(seed int64) (random, placed Scenario) {
+	o := cluster.DefaultPlacementFleet(seed)
+	base := Scenario{
+		Nodes:     o.Nodes,
+		DurationS: o.DurationS,
+		Policy:    "skewed",
+		Faults:    "clean",
+		Seed:      seed,
+	}
+	random, placed = base, base
+	random.Name, random.Placement = "placement-flashcrowd12-random", "random"
+	placed.Name, placed.Placement = "placement-flashcrowd12-placed", "placed"
+	return random, placed
+}
+
 // Matrix expands opt into the scenario list (fleet sizes × fault specs ×
 // policies), deriving a distinct deterministic seed per scenario.
 func Matrix(opt Options) []Scenario {
@@ -224,6 +258,10 @@ func Matrix(opt Options) []Scenario {
 	if opt.Coordination {
 		even, granted := CoordPair(opt.Seed)
 		out = append(out, even, granted)
+	}
+	if opt.Placement {
+		random, placed := PlacementPair(opt.Seed)
+		out = append(out, random, placed)
 	}
 	if opt.Fleet10k {
 		out = append(out, Fleet10kScenario())
@@ -249,6 +287,16 @@ func buildCluster(sc Scenario, parallelism int) (*cluster.Cluster, error) {
 		o.Coordinated = sc.Coord == "granted"
 		o.Chaos = o.Coordinated
 		c, err := cluster.BuildCoordFleet(o)
+		if err != nil {
+			return nil, err
+		}
+		c.Parallelism = parallelism
+		return c, nil
+	}
+	if sc.Placement != "" {
+		o := cluster.DefaultPlacementFleet(sc.Seed)
+		o.Placed = sc.Placement == "placed"
+		c, err := cluster.BuildPlacementFleet(o)
 		if err != nil {
 			return nil, err
 		}
@@ -305,6 +353,8 @@ func measureOnce(sc Scenario, parallelism int) (Run, error) {
 		tr = cluster.DefaultFleet10k().Trace()
 	case sc.Coord != "":
 		tr = cluster.DefaultCoordFleet(sc.Seed).Trace()
+	case sc.Placement != "":
+		tr = cluster.DefaultPlacementFleet(sc.Seed).Trace()
 	}
 
 	runtime.GC()
@@ -451,6 +501,11 @@ func Execute(opt Options) (*Report, error) {
 			return rep, err
 		}
 	}
+	if opt.Placement {
+		if err := checkPlacementWin(rep); err != nil {
+			return rep, err
+		}
+	}
 	return rep, nil
 }
 
@@ -504,6 +559,42 @@ func checkCoordinationWin(rep *Report) error {
 	if g.QoSRate < e.QoSRate {
 		return fmt.Errorf("bench: coordination win gate failed: granted QoS rate %.6f < even %.6f",
 			g.QoSRate, e.QoSRate)
+	}
+	return nil
+}
+
+// checkPlacementWin enforces the placement acceptance gate on the
+// pinned scenario pair: preference-aware pairing plus the migration
+// planner must buy strictly more best-effort throughput at an
+// equal-or-better QoS rate than the seeded random pairing of the same
+// jobs on the same fleet — warm-up penalties on every move included.
+// The serial (parallelism 1) runs anchor the comparison; determinism
+// ties every other level to them.
+func checkPlacementWin(rep *Report) error {
+	random, placed := PlacementPair(0) // names only; seed irrelevant
+	var r, p *Run
+	for i := range rep.Runs {
+		run := &rep.Runs[i]
+		if run.Parallelism != 1 {
+			continue
+		}
+		switch run.Scenario {
+		case random.Name:
+			r = run
+		case placed.Name:
+			p = run
+		}
+	}
+	if r == nil || p == nil {
+		return fmt.Errorf("bench: placement pair missing from report (have random=%v placed=%v)", r != nil, p != nil)
+	}
+	if p.BEThroughputUPS <= r.BEThroughputUPS {
+		return fmt.Errorf("bench: placement win gate failed: placed BE %.2f ups <= random %.2f ups",
+			p.BEThroughputUPS, r.BEThroughputUPS)
+	}
+	if p.QoSRate < r.QoSRate {
+		return fmt.Errorf("bench: placement win gate failed: placed QoS rate %.6f < random %.6f",
+			p.QoSRate, r.QoSRate)
 	}
 	return nil
 }

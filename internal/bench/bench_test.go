@@ -212,9 +212,10 @@ func TestWriteFileRefusesInvalid(t *testing.T) {
 func TestMatrixSeedsAreDistinct(t *testing.T) {
 	seen := map[int64]string{}
 	for _, sc := range Matrix(DefaultOptions()) {
-		if sc.Coord != "" {
-			// The coordination pair deliberately shares one seed: identical
-			// fleet physics, differing only in who sets the caps.
+		if sc.Coord != "" || sc.Placement != "" {
+			// The coordination and placement pairs deliberately share one
+			// seed each: identical fleet physics, differing only in who sets
+			// the caps (respectively who pairs the jobs).
 			continue
 		}
 		if prev, dup := seen[sc.Seed]; dup {
@@ -266,5 +267,47 @@ func TestCoordinationWinGate(t *testing.T) {
 		e.QoSRate, e.BEThroughputUPS, g.QoSRate, g.BEThroughputUPS)
 	if g.BEThroughputUPS <= e.BEThroughputUPS || g.QoSRate < e.QoSRate {
 		t.Fatal("coordination win gate should have failed Execute, but Execute returned nil error")
+	}
+}
+
+// TestPlacementWinGate runs the pinned random-pairing vs placement pair
+// end to end (serial plus one pooled level) and requires Execute to
+// enforce the acceptance gate: preference-aware placement — migration
+// warm-up penalties and all — must beat random pairing on best-effort
+// throughput without giving up QoS.
+func TestPlacementWinGate(t *testing.T) {
+	rep, err := Execute(Options{
+		Parallelisms: []int{1, 4},
+		Seed:         DefaultOptions().Seed,
+		Repeats:      1,
+		Placement:    true,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("placement replay diverged across parallelism levels")
+	}
+	random, placed := PlacementPair(0)
+	var r, p *Run
+	for i := range rep.Runs {
+		run := &rep.Runs[i]
+		if run.Parallelism != 1 {
+			continue
+		}
+		switch run.Scenario {
+		case random.Name:
+			r = run
+		case placed.Name:
+			p = run
+		}
+	}
+	if r == nil || p == nil {
+		t.Fatalf("pair missing from report: %+v", rep.Runs)
+	}
+	t.Logf("random: qos %.6f be %.2f | placed: qos %.6f be %.2f",
+		r.QoSRate, r.BEThroughputUPS, p.QoSRate, p.BEThroughputUPS)
+	if p.BEThroughputUPS <= r.BEThroughputUPS || p.QoSRate < r.QoSRate {
+		t.Fatal("placement win gate should have failed Execute, but Execute returned nil error")
 	}
 }

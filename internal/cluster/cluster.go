@@ -298,6 +298,10 @@ type Cluster struct {
 	// power caps (see Coordination). Nil fleets run every node at the
 	// static Budget, exactly as before.
 	Coord *Coordination
+	// Place, when non-nil, puts the fleet's BE jobs under the placement
+	// and migration engine (see Placement). Nil fleets keep whatever
+	// pairing they were built with.
+	Place *Placement
 	// Parallelism is the per-interval node-stepping fan-out: 0 (the
 	// default) uses GOMAXPROCS workers, 1 steps the fleet serially, n > 1
 	// caps the pool at n. Each node owns its simulator, controller and
@@ -342,6 +346,8 @@ type Cluster struct {
 	grantCtr    *obs.Counter
 	faultCtr    *obs.Counter
 	recoveryCtr *obs.Counter
+	migrCtr     *obs.Counter
+	planCtr     *obs.Counter
 
 	// Broken-scheduler stubs for the quiescence regression battery: each
 	// suppresses one wake-up category in runEvent, simulating the
@@ -352,6 +358,7 @@ type Cluster struct {
 	testDropEpochWakes  bool
 	testDropTraceWakes  bool
 	testDropHealthWakes bool
+	testDropPlaceWakes  bool
 
 	// evActive counts the seconds the last runEvent actually evaluated
 	// (as opposed to replicating); see EventActiveSeconds.
@@ -384,6 +391,7 @@ func (c *Cluster) SetObs(sink *obs.Sink) {
 	c.obs = sink
 	c.nodeSinks, c.drained, c.capGauges = nil, nil, nil
 	c.evictCtr, c.readmitCtr, c.grantCtr, c.faultCtr, c.recoveryCtr = nil, nil, nil, nil, nil
+	c.migrCtr, c.planCtr = nil, nil
 	if sink == nil {
 		for _, ctrl := range c.Ctrls {
 			if in, ok := ctrl.(obs.Instrumentable); ok {
@@ -410,6 +418,8 @@ func (c *Cluster) SetObs(sink *obs.Sink) {
 	c.grantCtr = sink.Counter("fleet_cap_grants_total")
 	c.faultCtr = sink.Counter("fleet_faults_injected_total")
 	c.recoveryCtr = sink.Counter("fleet_coord_recoveries_total")
+	c.migrCtr = sink.Counter("fleet_migrations_total")
+	c.planCtr = sink.Counter("fleet_placement_plans_total")
 }
 
 // New builds a fleet of n nodes. mkCtrl builds one controller per node
@@ -516,6 +526,10 @@ type Result struct {
 	// Coord tallies the grant loop (zero otherwise).
 	Coordinated bool
 	Coord       CoordStats
+	// Placed marks runs stepped under the placement engine; Place
+	// tallies its planning and migration activity (zero otherwise).
+	Placed bool
+	Place  PlacementStats
 }
 
 // Summary renders a stable fixed-precision digest of the run for
@@ -543,6 +557,11 @@ func (r Result) Summary() string {
 			fmt.Fprintf(&b, "coord_crash epochs %d recoveries %d\n",
 				r.Coord.CrashEpochs, r.Coord.Recoveries)
 		}
+	}
+	if r.Placed {
+		fmt.Fprintf(&b, "placement jobs %d plans %d moves %d starved %d consolidate %d warmup_lost_ups %.2f\n",
+			r.Place.Jobs, r.Place.Plans, r.Place.Moves, r.Place.StarvedMoves,
+			r.Place.ConsolidateMoves, r.Place.WarmupLostUPS)
 	}
 	for i, iv := range r.Intervals {
 		if i%10 != 0 {
@@ -708,6 +727,8 @@ func (c *Cluster) mergeSecond(step int, t, total float64, outs []stepOutcome,
 				res.Health.UnhealthyNodeIntervals++
 			}
 			c.drainNode(i, t, wasHealthy, states[i].Healthy)
+			// A warming node's clock keeps draining while it is down.
+			_ = c.chargeWarmup(i, 0, res)
 			continue
 		}
 		st := o.st
@@ -719,7 +740,7 @@ func (c *Cluster) mergeSecond(step int, t, total float64, outs []stepOutcome,
 		}
 		c.drainNode(i, t, wasHealthy, states[i].Healthy)
 		okQ += st.QPS * st.QoSFrac
-		rep.BEThroughputUPS += st.BEThroughputUPS
+		rep.BEThroughputUPS += c.chargeWarmup(i, st.BEThroughputUPS, res)
 		rep.PowerW += float64(st.TruePower)
 		if st.TruePower > c.caps[i] {
 			rep.OverloadedNodes++
@@ -747,6 +768,15 @@ func (c *Cluster) mergeSecond(step int, t, total float64, outs []stepOutcome,
 		}
 		rep.CapSpreadW = float64(hi - lo)
 	}
+
+	// Placement epochs run after coordination so the planner sees the
+	// caps in force for the next interval. Same serial-section argument:
+	// the move schedule is identical at every stepping parallelism.
+	if c.Place != nil && c.Place.Planner != nil {
+		if epochS := c.Place.epochS(); (step+1)%epochS == 0 {
+			c.exchangeMoves((step+1)/epochS, step, states, res)
+		}
+	}
 	return rep, okQ
 }
 
@@ -760,6 +790,10 @@ func (c *Cluster) finish(res *Result, wOK, wQ, sumBE, sumPW float64, durationS i
 	}
 	if total := res.Faults.Total(); total > 0 {
 		c.faultCtr.Add(int64(total))
+	}
+	if c.Place != nil {
+		res.Placed = true
+		res.Place.Jobs = len(c.Place.Jobs)
 	}
 
 	if wQ > 0 {

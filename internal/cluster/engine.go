@@ -106,8 +106,11 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 			}
 		}
 		inj := c.injector(i)
-		rt[i].memoable = c.obs == nil && rt[i].det && rt[i].steadyCtrl != nil &&
-			(inj == nil || inj.Plan.Empty())
+		// Placement runs disable cross-node memoization outright: a
+		// migration rewrites a node's BEProfile mid-run, which is part of
+		// the class fingerprint computed here once.
+		rt[i].memoable = c.obs == nil && c.Place == nil && rt[i].det &&
+			rt[i].steadyCtrl != nil && (inj == nil || inj.Plan.Empty())
 		if rt[i].memoable {
 			k := nodeClass{Spec: node.Spec, Power: node.PowerParams, Bus: node.Bus,
 				LS: node.LSProfile, BE: node.BEProfile, QoSPercentile: node.QoSPercentile}
@@ -144,6 +147,19 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 		}
 	}
 	scheduleEpoch(-1)
+	// Placement epochs are global wake-ups of their own kind: a planned
+	// migration must be able to break quiescence even when every node
+	// sits at a fixed point and the trace is flat.
+	schedulePlace := func(after int) {
+		if c.Place == nil || c.Place.Planner == nil || c.testDropPlaceWakes {
+			return
+		}
+		epochS := c.Place.epochS()
+		if b := ((after+1)/epochS+1)*epochS - 1; b < durationS {
+			q.Schedule(des.Event{Step: b, Node: des.Global, Kind: des.KindPlacement})
+		}
+	}
+	schedulePlace(-1)
 	if !c.testDropFaultWakes {
 		for i := 0; i < n; i++ {
 			if inj := c.injector(i); inj != nil {
@@ -313,7 +329,7 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 			dead := o.crashed || o.st.Power <= 0
 			steady := !o.crashed && o.held && rt[i].det && rt[i].steadyCtrl != nil &&
 				o.st.Faults == 0 && rt[i].preBacklog == 0 && c.Nodes[i].Backlog() == 0 &&
-				c.caps[i] == rt[i].lastCap
+				c.caps[i] == rt[i].lastCap && !c.placeTouched(i, step)
 			rt[i].steady = steady
 			rt[i].lastOut = *o
 			rt[i].lastDead = dead
@@ -344,6 +360,7 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 			q.Schedule(des.Event{Step: step + 1, Node: des.Global, Kind: des.KindSettle})
 		}
 		scheduleEpoch(step)
+		schedulePlace(step)
 		step++
 	}
 	c.finish(&res, wOK, wQ, sumBE, sumPW, durationS)

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sturgeon/internal/hw"
+	"sturgeon/internal/obs"
+	"sturgeon/internal/placement"
+	"sturgeon/internal/workload"
+)
+
+// PlacedJob is one BE application the placement engine schedules across
+// the fleet.
+type PlacedJob struct {
+	ID string
+	BE workload.Profile
+}
+
+// Placement wires the fleet to the placement and migration engine
+// (internal/placement): the migration planner runs every EpochS
+// intervals inside Run's serial merge — exactly like coordination
+// epochs — so the whole move schedule is byte-identical at any
+// stepping Parallelism and across both engines. A freshly migrated BE
+// earns nothing for WarmupS seconds on its new node (cold caches,
+// state transfer), which is the per-move cost the planner's hysteresis
+// must overcome.
+type Placement struct {
+	// Planner plans migrations at epoch boundaries; nil runs the fleet
+	// with a fixed assignment (the random-pairing baseline keeps
+	// Cluster.Place nil entirely).
+	Planner *placement.Planner
+	// EpochS is the planning period in intervals (default 30).
+	EpochS int
+	// WarmupS is the per-move warm-up penalty in intervals.
+	WarmupS int
+	// BEAlloc is the core/way/frequency template a migrated job is
+	// granted on arrival (the governor climbs frequency from there).
+	BEAlloc hw.Alloc
+	// Jobs are the fleet's BE applications, indexed as in the planner.
+	Jobs []PlacedJob
+
+	host       []int  // node → hosted job, -1 idle
+	warm       []int  // node → remaining warm-up seconds
+	suppressed []bool // node earned nothing this second (warming)
+	movedAt    []int  // node → step last touched by a move, -1 never
+	snaps      []placement.NodeSnap
+}
+
+func (p *Placement) epochS() int {
+	if p.EpochS <= 0 {
+		return 30
+	}
+	return p.EpochS
+}
+
+// SetAssignment installs the initial job→node mapping over an n-node
+// fleet (the solver's Assignment.NodeOf). It only records bookkeeping —
+// the caller is responsible for having applied the matching node
+// configurations and BE profiles.
+func (p *Placement) SetAssignment(nodeOf []int, n int) error {
+	p.host = make([]int, n)
+	p.warm = make([]int, n)
+	p.suppressed = make([]bool, n)
+	p.movedAt = make([]int, n)
+	p.snaps = make([]placement.NodeSnap, n)
+	for i := range p.host {
+		p.host[i] = -1
+		p.movedAt[i] = -1
+	}
+	for j, node := range nodeOf {
+		if node < 0 {
+			continue
+		}
+		if node >= n {
+			return fmt.Errorf("cluster: job %d assigned to node %d of %d", j, node, n)
+		}
+		if other := p.host[node]; other >= 0 {
+			return fmt.Errorf("cluster: node %d assigned jobs %d and %d", node, other, j)
+		}
+		p.host[node] = j
+	}
+	return nil
+}
+
+// HostOf returns a copy of the node→job mapping currently in force.
+func (p *Placement) HostOf() []int { return append([]int(nil), p.host...) }
+
+// PlacementStats tallies the placement engine's activity over a run.
+type PlacementStats struct {
+	// Jobs is the managed BE job count; Plans the planner epochs run.
+	Jobs, Plans int
+	// Moves counts applied migrations, split by reason.
+	Moves, StarvedMoves, ConsolidateMoves int
+	// WarmupLostUPS is the BE throughput forfeited to warm-up penalties.
+	WarmupLostUPS float64
+}
+
+// chargeWarmup applies node i's warm-up penalty for the current second:
+// a warming node's BE progress is forfeited (accumulated into the
+// stats), and the suppression flag keeps the event engine from treating
+// the node as quiescent while its accounting differs from steady state.
+// It returns the node's creditable BE throughput.
+func (c *Cluster) chargeWarmup(i int, beUPS float64, res *Result) float64 {
+	p := c.Place
+	if p == nil {
+		return beUPS
+	}
+	if p.warm[i] > 0 {
+		p.warm[i]--
+		p.suppressed[i] = true
+		res.Place.WarmupLostUPS += beUPS
+		return 0
+	}
+	p.suppressed[i] = false
+	return beUPS
+}
+
+// exchangeMoves runs one placement epoch from the serial merge: snapshot
+// the fleet, plan, and apply each move (validating conservation against
+// the live host table).
+func (c *Cluster) exchangeMoves(epoch, step int, states []NodeState, res *Result) {
+	p := c.Place
+	for i := range c.Nodes {
+		p.snaps[i] = placement.NodeSnap{
+			QPS:     states[i].Last.QPS,
+			CapW:    c.caps[i],
+			PowerW:  states[i].Last.Power,
+			Healthy: states[i].Healthy,
+			Job:     p.host[i],
+			Warm:    p.warm[i],
+		}
+	}
+	moves := p.Planner.Plan(epoch, p.snaps)
+	res.Place.Plans++
+	applied := 0
+	var gain float64
+	for _, m := range moves {
+		if !c.applyMove(m, float64(step+1), epoch, step) {
+			continue
+		}
+		applied++
+		gain += m.GainUPS
+		res.Place.Moves++
+		switch m.Reason {
+		case placement.ReasonStarved:
+			res.Place.StarvedMoves++
+		case placement.ReasonConsolidate:
+			res.Place.ConsolidateMoves++
+		}
+	}
+	if c.obs != nil {
+		c.planCtr.Inc()
+		c.obs.Emit(obs.Event{T: float64(step + 1), Type: obs.EventPlacementSolve,
+			Epoch: epoch, Amount: applied, Value: gain})
+	}
+}
+
+// applyMove migrates one job: the source gives up its BE allocation,
+// the destination takes the job's profile and the arrival template, and
+// the destination starts its warm-up clock. Conservation is enforced
+// against the live host table — a move whose source no longer hosts the
+// job or whose destination is occupied is rejected whole.
+func (c *Cluster) applyMove(m placement.Move, t float64, epoch, step int) bool {
+	p := c.Place
+	n := len(c.Nodes)
+	if m.From < 0 || m.From >= n || m.To < 0 || m.To >= n || m.From == m.To {
+		return false
+	}
+	if m.Job < 0 || m.Job >= len(p.Jobs) || p.host[m.From] != m.Job || p.host[m.To] >= 0 {
+		return false
+	}
+	src, dst := c.Nodes[m.From], c.Nodes[m.To]
+	scfg := src.Config()
+	scfg.BE = hw.Alloc{}
+	if err := src.Apply(scfg); err != nil {
+		return false
+	}
+	dcfg := dst.Config()
+	dcfg.BE = p.BEAlloc
+	if err := dst.Apply(dcfg); err != nil {
+		return false
+	}
+	dst.BEProfile = p.Jobs[m.Job].BE
+	p.host[m.From], p.host[m.To] = -1, m.Job
+	p.warm[m.To] = p.WarmupS
+	p.movedAt[m.From], p.movedAt[m.To] = step, step
+	if c.obs != nil {
+		c.migrCtr.Inc()
+		c.obs.Emit(obs.Event{T: t, Node: NodeID(m.From), Type: obs.EventMigration,
+			Reason: m.Reason, Amount: m.To, Epoch: epoch, Value: m.GainUPS})
+	}
+	return true
+}
+
+// placeTouched reports whether node i must not be treated as quiescent
+// this step: it is warming (its accounting differs from steady state)
+// or a move just changed its configuration or profile.
+func (c *Cluster) placeTouched(i, step int) bool {
+	p := c.Place
+	if p == nil {
+		return false
+	}
+	return p.suppressed[i] || p.movedAt[i] == step
+}

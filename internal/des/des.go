@@ -41,11 +41,14 @@ const (
 	KindTrace
 	// KindEpoch is a global coordinator epoch boundary.
 	KindEpoch
+	// KindPlacement is a global placement-planner epoch boundary: the
+	// migration planner may move BE jobs between nodes at this step.
+	KindPlacement
 
-	numKinds = 5
+	numKinds = 6
 )
 
-var kindNames = [numKinds]string{"settle", "fault", "health", "trace", "epoch"}
+var kindNames = [numKinds]string{"settle", "fault", "health", "trace", "epoch", "placement"}
 
 // String names the kind for logs and test failures.
 func (k Kind) String() string {

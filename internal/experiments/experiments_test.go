@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -267,5 +268,45 @@ func TestFleet10kScaleQuickShape(t *testing.T) {
 	}
 	if !strings.Contains(tbl.String(), "86400") {
 		t.Error("table missing the day horizon")
+	}
+}
+
+// TestPlacementShowdownQuickShape runs the placement extension in quick
+// mode (random vs physics-steered placement; the trained row is skipped)
+// and checks the acceptance direction: placement must beat random
+// pairing on fleet BE throughput without giving up QoS.
+func TestPlacementShowdownQuickShape(t *testing.T) {
+	tbl := PlacementShowdown(quickEnv())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("quick mode ran %d pairings, want 2 (random, placed-physics)", len(tbl.Rows))
+	}
+	cell := func(row int, col string) float64 {
+		for i, h := range tbl.Headers {
+			if h == col {
+				v, err := strconv.ParseFloat(tbl.Rows[row][i], 64)
+				if err != nil {
+					t.Fatalf("row %d %s: %v", row, col, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no column %q", col)
+		return 0
+	}
+	if tbl.Rows[0][0] != "random" || tbl.Rows[1][0] != "placed-physics" {
+		t.Fatalf("unexpected pairing rows: %v vs %v", tbl.Rows[0][0], tbl.Rows[1][0])
+	}
+	if be0, be1 := cell(0, "be_ups"), cell(1, "be_ups"); be1 <= be0 {
+		t.Errorf("placement does not beat random pairing: %.2f vs %.2f UPS", be1, be0)
+	}
+	// QoS must be preserved to within contention noise: the quick env's
+	// seed is arbitrary (the strict gate runs on the pinned bench pair),
+	// and BE co-location shifts LS tail latency by fractions of a percent
+	// either way across seeds.
+	if q0, q1 := cell(0, "qos_rate"), cell(1, "qos_rate"); q1 < q0-0.005 {
+		t.Errorf("placement sacrifices QoS: %.6f vs %.6f", q1, q0)
+	}
+	if moves := cell(1, "moves"); moves <= 0 {
+		t.Error("the placed row migrated nothing — the planner never fired")
 	}
 }

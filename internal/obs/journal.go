@@ -48,6 +48,15 @@ const (
 	// predicted for the Resource ("power" in watts; "latency" carries the
 	// observed slack of a configuration the predictor deemed feasible).
 	EventResidual = "residual"
+	// EventMigration marks the placement engine moving a BE job off a
+	// node (Node: the source; Reason: "starved"/"consolidate"; Amount:
+	// the destination node index; Epoch: the placement epoch; Value:
+	// the predicted steady-state throughput gain in units/s).
+	EventMigration = "migration"
+	// EventPlacementSolve marks one migration-planner epoch (Epoch: the
+	// placement epoch; Amount: moves applied; Value: summed predicted
+	// gain).
+	EventPlacementSolve = "placement_solve"
 )
 
 // Event is one entry of the decision journal. T is simulated seconds

@@ -1,0 +1,68 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanDecode drives hostile bytes through the plan decoder: it must
+// never panic, and any document it accepts must validate, replay with
+// full conservation, and round-trip through encode/decode unchanged.
+func FuzzPlanDecode(f *testing.F) {
+	good, err := EncodePlan(&PlanDoc{
+		Schema:     PlanSchema,
+		Jobs:       2,
+		Nodes:      3,
+		Assignment: []int{0, 2},
+		Moves:      []PlanMove{{Job: 0, From: 0, To: 1, Reason: ReasonStarved}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"schema":"sturgeon/placement/v1","jobs":0,"nodes":0,"assignment":[]}`))
+	f.Add([]byte(`{"schema":"sturgeon/placement/v1","jobs":1,"nodes":1,"assignment":[0],"moves":[{"job":0,"from":0,"to":0}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"schema":"sturgeon/placement/v1","jobs":2,"nodes":1,"assignment":[0,0]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodePlan(data)
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("decoder accepted an invalid document: %v\n%s", verr, data)
+		}
+		final, aerr := d.Apply()
+		if aerr != nil {
+			t.Fatalf("validated document failed to replay: %v", aerr)
+		}
+		// Conservation: each node hosts at most one job, every
+		// placement in range.
+		used := make(map[int]bool)
+		for j, n := range final {
+			if n == -1 {
+				continue
+			}
+			if n < 0 || n >= d.Nodes {
+				t.Fatalf("job %d landed outside the fleet: %d", j, n)
+			}
+			if used[n] {
+				t.Fatalf("node %d hosts two jobs", n)
+			}
+			used[n] = true
+		}
+		enc, eerr := EncodePlan(d)
+		if eerr != nil {
+			t.Fatalf("re-encode: %v", eerr)
+		}
+		back, derr := DecodePlan(enc)
+		if derr != nil {
+			t.Fatalf("re-decode: %v", derr)
+		}
+		if !reflect.DeepEqual(back, d) {
+			t.Fatalf("round trip changed the document:\n%+v\n%+v", d, back)
+		}
+	})
+}

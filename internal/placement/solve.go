@@ -1,0 +1,168 @@
+package placement
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Assignment is a solver result: node index per job (-1 = unplaced,
+// only possible when jobs outnumber feasible nodes) plus the predicted
+// fleet BE throughput of the placement.
+type Assignment struct {
+	NodeOf []int
+	// TotalUPS is Σ scores[j][NodeOf[j]] over placed jobs.
+	TotalUPS float64
+}
+
+// Infeasible marks a (job, node) cell the solver must never choose.
+const Infeasible = -1.0
+
+// Solve assigns each job to at most one node maximizing the summed
+// score. scores[j][n] is the predicted BE throughput of job j on node
+// n, or Infeasible (negative) when the pairing is not allowed. Every
+// row must have the same width (the node count).
+//
+// The algorithm is a greedy seed — jobs in descending order of their
+// best achievable score each take their best free node — followed by
+// passes of bounded local search (pairwise swaps and relocations to
+// free nodes) until a pass finds no improvement or the pass budget is
+// exhausted. Exact score ties are broken by a seeded jitter far below
+// any real score difference, so the result is a deterministic function
+// of (scores, seed) — independent of map order, stepping parallelism,
+// or call history.
+func Solve(scores [][]float64, seed int64, passes int) Assignment {
+	jobs := len(scores)
+	nodes := 0
+	if jobs > 0 {
+		nodes = len(scores[0])
+	}
+	out := Assignment{NodeOf: make([]int, jobs)}
+	for j := range out.NodeOf {
+		out.NodeOf[j] = -1
+	}
+	if jobs == 0 || nodes == 0 {
+		return out
+	}
+
+	// Seeded tie-break jitter: relative perturbation ~1e-12, below any
+	// meaningful score difference but enough to order exact ties
+	// deterministically per seed.
+	rng := rand.New(rand.NewSource(seed))
+	jit := make([][]float64, jobs)
+	maxScore := 0.0
+	for _, row := range scores {
+		for _, v := range row {
+			if v > maxScore {
+				maxScore = v
+			}
+		}
+	}
+	eps := maxScore * 1e-12
+	for j := range jit {
+		jit[j] = make([]float64, nodes)
+		for n := range jit[j] {
+			jit[j][n] = rng.Float64() * eps
+		}
+	}
+	at := func(j, n int) float64 {
+		if scores[j][n] < 0 {
+			return Infeasible
+		}
+		return scores[j][n] + jit[j][n]
+	}
+
+	// Greedy seed: jobs in descending order of best achievable score.
+	order := make([]int, jobs)
+	for j := range order {
+		order[j] = j
+	}
+	best := make([]float64, jobs)
+	for j := range best {
+		b := Infeasible
+		for n := 0; n < nodes; n++ {
+			if v := at(j, n); v > b {
+				b = v
+			}
+		}
+		best[j] = b
+	}
+	sort.SliceStable(order, func(a, b int) bool { return best[order[a]] > best[order[b]] })
+
+	taken := make([]bool, nodes)
+	for _, j := range order {
+		pick, pickV := -1, Infeasible
+		for n := 0; n < nodes; n++ {
+			if taken[n] {
+				continue
+			}
+			if v := at(j, n); v >= 0 && v > pickV {
+				pick, pickV = n, v
+			}
+		}
+		if pick >= 0 {
+			out.NodeOf[j] = pick
+			taken[pick] = true
+		}
+	}
+
+	// Bounded local search: relocations to free nodes, then pairwise
+	// swaps, repeated until a full pass improves nothing.
+	if passes <= 0 {
+		passes = 4
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for j := 0; j < jobs; j++ {
+			cur := out.NodeOf[j]
+			curV := Infeasible
+			if cur >= 0 {
+				curV = at(j, cur)
+			}
+			for n := 0; n < nodes; n++ {
+				if taken[n] {
+					continue
+				}
+				if v := at(j, n); v >= 0 && v > curV {
+					if cur >= 0 {
+						taken[cur] = false
+					}
+					out.NodeOf[j], taken[n] = n, true
+					cur, curV = n, v
+					improved = true
+				}
+			}
+		}
+		for a := 0; a < jobs; a++ {
+			na := out.NodeOf[a]
+			if na < 0 {
+				continue
+			}
+			for b := a + 1; b < jobs; b++ {
+				nb := out.NodeOf[b]
+				if nb < 0 {
+					continue
+				}
+				va, vb := at(a, na), at(b, nb)
+				sa, sb := at(a, nb), at(b, na)
+				if sa < 0 || sb < 0 {
+					continue
+				}
+				if sa+sb > va+vb {
+					out.NodeOf[a], out.NodeOf[b] = nb, na
+					na = nb
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	for j, n := range out.NodeOf {
+		if n >= 0 {
+			out.TotalUPS += scores[j][n]
+		}
+	}
+	return out
+}

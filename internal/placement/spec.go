@@ -1,0 +1,115 @@
+package placement
+
+import (
+	"fmt"
+
+	"sturgeon/internal/jsonio"
+)
+
+// PlanSchema identifies the placement-plan interchange document.
+const PlanSchema = "sturgeon/placement/v1"
+
+// maxPlanDim bounds decoded fleet dimensions so a hostile document
+// cannot make Apply allocate unbounded scratch.
+const maxPlanDim = 1 << 20
+
+// PlanMove is one migration in a serialized plan.
+type PlanMove struct {
+	Job    int    `json:"job"`
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Reason string `json:"reason,omitempty"`
+	Epoch  int    `json:"epoch,omitempty"`
+}
+
+// PlanDoc is the serialized form of an initial assignment plus the
+// migration history applied on top of it — what `sturgeond` peers and
+// offline tooling exchange. Decode with DecodePlan; the document
+// validates end to end, including replaying the moves, before any
+// consumer sees it.
+type PlanDoc struct {
+	Schema     string     `json:"schema"`
+	Jobs       int        `json:"jobs"`
+	Nodes      int        `json:"nodes"`
+	Assignment []int      `json:"assignment"`
+	Moves      []PlanMove `json:"moves,omitempty"`
+}
+
+// Validate implements jsonio.Validator: schema, dimension bounds, an
+// initial assignment that is a partial injection of jobs into nodes,
+// and a move log that replays cleanly (sources host the moved job,
+// destinations are free, indices in range).
+func (d *PlanDoc) Validate() error {
+	if d.Schema != PlanSchema {
+		return fmt.Errorf("placement: plan schema %q, want %q", d.Schema, PlanSchema)
+	}
+	if d.Jobs < 0 || d.Jobs > maxPlanDim {
+		return fmt.Errorf("placement: plan jobs %d outside [0, %d]", d.Jobs, maxPlanDim)
+	}
+	if d.Nodes < 0 || d.Nodes > maxPlanDim {
+		return fmt.Errorf("placement: plan nodes %d outside [0, %d]", d.Nodes, maxPlanDim)
+	}
+	if len(d.Assignment) != d.Jobs {
+		return fmt.Errorf("placement: plan assignment has %d entries, want %d", len(d.Assignment), d.Jobs)
+	}
+	_, err := d.Apply()
+	return err
+}
+
+// Apply replays the move log over the initial assignment and returns
+// the final node-per-job mapping, verifying conservation at every
+// step: each job is placed on at most one node, no node ever hosts two
+// jobs, every move's source actually hosts the moved job and its
+// destination is free.
+func (d *PlanDoc) Apply() ([]int, error) {
+	nodeOf := make([]int, d.Jobs)
+	host := make([]int, d.Nodes)
+	for i := range host {
+		host[i] = -1
+	}
+	for j, n := range d.Assignment {
+		if n < -1 || n >= d.Nodes {
+			return nil, fmt.Errorf("placement: job %d assigned to node %d outside [-1, %d)", j, n, d.Nodes)
+		}
+		nodeOf[j] = n
+		if n >= 0 {
+			if other := host[n]; other >= 0 {
+				return nil, fmt.Errorf("placement: node %d assigned both job %d and job %d", n, other, j)
+			}
+			host[n] = j
+		}
+	}
+	for i, m := range d.Moves {
+		if m.Job < 0 || m.Job >= d.Jobs {
+			return nil, fmt.Errorf("placement: move %d: job %d outside [0, %d)", i, m.Job, d.Jobs)
+		}
+		if m.From < 0 || m.From >= d.Nodes || m.To < 0 || m.To >= d.Nodes {
+			return nil, fmt.Errorf("placement: move %d: nodes %d→%d outside [0, %d)", i, m.From, m.To, d.Nodes)
+		}
+		if m.From == m.To {
+			return nil, fmt.Errorf("placement: move %d: job %d moves to its own node %d", i, m.Job, m.To)
+		}
+		if nodeOf[m.Job] != m.From {
+			return nil, fmt.Errorf("placement: move %d: job %d is on node %d, not %d", i, m.Job, nodeOf[m.Job], m.From)
+		}
+		if other := host[m.To]; other >= 0 {
+			return nil, fmt.Errorf("placement: move %d: destination node %d already hosts job %d", i, m.To, other)
+		}
+		host[m.From] = -1
+		host[m.To] = m.Job
+		nodeOf[m.Job] = m.To
+	}
+	return nodeOf, nil
+}
+
+// DecodePlan parses and fully validates a placement plan document.
+func DecodePlan(data []byte) (*PlanDoc, error) {
+	var d PlanDoc
+	if err := jsonio.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// EncodePlan serializes a validated plan document.
+func EncodePlan(d *PlanDoc) ([]byte, error) { return jsonio.Marshal(d) }

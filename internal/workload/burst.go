@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// BurstSpec describes a seeded flash-crowd load generator — the first
+// slice of the workload-v2 scenario compiler. The base load is a
+// quantized diurnal staircase; on top of it a fixed number of flash
+// crowds fire at seeded times with heavy-tailed (Pareto) amplitudes,
+// each ramping up fast, holding, and decaying away. The compiled trace
+// is piecewise-constant per second and *declares* its change points,
+// so the event-driven cluster engine can skip the flat stretches while
+// surges still wake every node.
+type BurstSpec struct {
+	// BaseLo/BaseHi bound the diurnal base band (fractions of peak);
+	// PeriodS is the diurnal period and BaseTreadS the quantization
+	// tread width in seconds (default 60).
+	BaseLo, BaseHi float64
+	PeriodS        float64
+	BaseTreadS     int
+
+	// Bursts is the number of flash crowds over the horizon. Each
+	// amplitude is AmpMin·U^(−1/Alpha) (Pareto with tail exponent
+	// Alpha, heavier for smaller Alpha), clamped to AmpMax. RampS,
+	// HoldS and DecayS shape one crowd in seconds.
+	Bursts int
+	AmpMin float64
+	AmpMax float64
+	Alpha  float64
+	RampS  int
+	HoldS  int
+	DecayS int
+
+	// Seed drives burst times and amplitudes; equal specs compile to
+	// byte-identical traces.
+	Seed int64
+}
+
+// FlashCrowd is a compiled BurstSpec: one load fraction per simulated
+// second, quantized so identical plateaus compare exactly equal.
+type FlashCrowd struct {
+	// Levels[s] is the load fraction in force at step s (the interval
+	// ending at t = s+1).
+	Levels []float64
+}
+
+// Build compiles the spec over a horizon of durationS seconds.
+func (s BurstSpec) Build(durationS int) FlashCrowd {
+	if durationS <= 0 {
+		return FlashCrowd{}
+	}
+	tread := s.BaseTreadS
+	if tread < 1 {
+		tread = 60
+	}
+	alpha := s.Alpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	ampMax := s.AmpMax
+	if ampMax <= 0 {
+		ampMax = 1
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	levels := make([]float64, durationS)
+	base := Diurnal(s.BaseLo, s.BaseHi, s.PeriodS)
+	for t := 0; t < durationS; t += tread {
+		v := base(float64(t))
+		for u := t; u < t+tread && u < durationS; u++ {
+			levels[u] = v
+		}
+	}
+
+	type crowd struct {
+		start int
+		amp   float64
+	}
+	crowds := make([]crowd, 0, s.Bursts)
+	for i := 0; i < s.Bursts; i++ {
+		start := rng.Intn(durationS)
+		amp := s.AmpMin * math.Pow(rng.Float64(), -1/alpha)
+		if amp > ampMax {
+			amp = ampMax
+		}
+		crowds = append(crowds, crowd{start: start, amp: amp})
+	}
+	ramp, hold, decay := s.RampS, s.HoldS, s.DecayS
+	if ramp < 1 {
+		ramp = 1
+	}
+	if decay < 1 {
+		decay = 1
+	}
+	for _, c := range crowds {
+		for dt := 0; dt < ramp+hold+decay; dt++ {
+			t := c.start + dt
+			if t >= durationS {
+				break
+			}
+			var f float64
+			switch {
+			case dt < ramp:
+				f = float64(dt+1) / float64(ramp)
+			case dt < ramp+hold:
+				f = 1
+			default:
+				f = 1 - float64(dt-ramp-hold+1)/float64(decay)
+			}
+			levels[t] += c.amp * f
+		}
+	}
+
+	for t, v := range levels {
+		if v < 0 {
+			v = 0
+		}
+		if v > ampMax {
+			v = ampMax
+		}
+		// Quantize so equal plateaus are exactly equal and the break
+		// list below is exact.
+		levels[t] = math.Round(v*1e4) / 1e4
+	}
+	return FlashCrowd{Levels: levels}
+}
+
+// Trace returns the compiled levels as an ordinary Trace in the
+// cluster engine's sampling convention (Levels[s] is read at t = s+1).
+func (f FlashCrowd) Trace() Trace {
+	return func(t float64) float64 {
+		if len(f.Levels) == 0 {
+			return 0
+		}
+		i := int(math.Ceil(t)) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(f.Levels) {
+			i = len(f.Levels) - 1
+		}
+		return f.Levels[i]
+	}
+}
+
+// BreakSteps returns step 0 plus every step whose level differs from
+// the previous one — the Cluster.TraceBreaks contract (see
+// Stair.BreakSteps).
+func (f FlashCrowd) BreakSteps(durationS int) []int {
+	n := durationS
+	if n > len(f.Levels) {
+		n = len(f.Levels)
+	}
+	breaks := []int{0}
+	for s := 1; s < n; s++ {
+		if f.Levels[s] != f.Levels[s-1] {
+			breaks = append(breaks, s)
+		}
+	}
+	return breaks
+}

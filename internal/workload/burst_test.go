@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testBurstSpec(seed int64) BurstSpec {
+	return BurstSpec{
+		BaseLo:     0.25,
+		BaseHi:     0.5,
+		PeriodS:    600,
+		BaseTreadS: 60,
+		Bursts:     4,
+		AmpMin:     0.2,
+		AmpMax:     0.95,
+		Alpha:      1.3,
+		RampS:      5,
+		HoldS:      20,
+		DecayS:     30,
+		Seed:       seed,
+	}
+}
+
+func TestFlashCrowdDeterministic(t *testing.T) {
+	a := testBurstSpec(1).Build(900)
+	b := testBurstSpec(1).Build(900)
+	if !reflect.DeepEqual(a.Levels, b.Levels) {
+		t.Fatalf("same spec compiled to different traces")
+	}
+	c := testBurstSpec(2).Build(900)
+	if reflect.DeepEqual(a.Levels, c.Levels) {
+		t.Fatalf("different seeds compiled to identical traces")
+	}
+}
+
+func TestFlashCrowdBoundsAndSurges(t *testing.T) {
+	spec := testBurstSpec(7)
+	f := spec.Build(900)
+	if len(f.Levels) != 900 {
+		t.Fatalf("want 900 levels, got %d", len(f.Levels))
+	}
+	max, baseMax := 0.0, 0.0
+	for _, v := range f.Levels {
+		if v < 0 || v > spec.AmpMax {
+			t.Fatalf("level %v outside [0, %v]", v, spec.AmpMax)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// The undisturbed base never exceeds BaseHi; a flash crowd must
+	// push the trace clearly above it.
+	baseMax = spec.BaseHi
+	if max <= baseMax+spec.AmpMin/2 {
+		t.Fatalf("no surge visible: max %v vs base %v", max, baseMax)
+	}
+}
+
+func TestFlashCrowdBreaksContract(t *testing.T) {
+	f := testBurstSpec(3).Build(600)
+	breaks := f.BreakSteps(600)
+	if len(breaks) == 0 || breaks[0] != 0 {
+		t.Fatalf("breaks must start at step 0: %v", breaks)
+	}
+	set := make(map[int]bool, len(breaks))
+	for i, b := range breaks {
+		if b < 0 || b >= 600 {
+			t.Fatalf("break %d outside horizon: %d", i, b)
+		}
+		if i > 0 && b <= breaks[i-1] {
+			t.Fatalf("breaks not strictly increasing: %v", breaks)
+		}
+		set[b] = true
+	}
+	// Completeness + minimality: the level changes at a step iff the
+	// step is declared (step 0 aside).
+	for s := 1; s < 600; s++ {
+		changed := f.Levels[s] != f.Levels[s-1]
+		if changed && !set[s] {
+			t.Fatalf("undeclared change at step %d", s)
+		}
+		if !changed && set[s] {
+			t.Fatalf("declared break at flat step %d", s)
+		}
+	}
+	// The trace samples in the engine convention: step s reads t=s+1.
+	tr := f.Trace()
+	for _, s := range []int{0, 1, 59, 60, 599} {
+		if got := tr(float64(s + 1)); got != f.Levels[s] {
+			t.Fatalf("tr(%d) = %v, want Levels[%d] = %v", s+1, got, s, f.Levels[s])
+		}
+	}
+}
+
+func TestFlashCrowdHeavyTail(t *testing.T) {
+	// Across many seeds the Pareto amplitudes must actually exercise
+	// the tail: some crowds near AmpMin, some clamped at AmpMax.
+	spec := testBurstSpec(0)
+	spec.Bursts = 2
+	sawSmall, sawClamp := false, false
+	for seed := int64(0); seed < 40; seed++ {
+		spec.Seed = seed
+		f := spec.Build(900)
+		max := 0.0
+		for _, v := range f.Levels {
+			if v > max {
+				max = v
+			}
+		}
+		if max >= spec.AmpMax-1e-9 {
+			sawClamp = true
+		} else if max < spec.BaseHi+2*spec.AmpMin {
+			sawSmall = true
+		}
+	}
+	if !sawClamp || !sawSmall {
+		t.Fatalf("amplitude distribution not heavy-tailed: clamp=%v small=%v", sawClamp, sawSmall)
+	}
+}
