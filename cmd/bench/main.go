@@ -78,6 +78,8 @@ func main() {
 	out := flag.String("out", "BENCH_fleet.json", "report path ('' skips writing)")
 	events := flag.String("events", "",
 		"replay the granted coordination scenario with journaling and write the sturgeon/events/v1 dump to PATH")
+	traceOut := flag.String("trace", "",
+		"with the same replay, write the causal decision trace (sturgeon/trace/v1) to PATH")
 	common := cmdutil.Register(def.Seed)
 	common.Parse()
 
@@ -125,17 +127,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *events != "" {
-		doc, err := bench.EventsRun(common.Seed)
+	if *events != "" || *traceOut != "" {
+		eventsDoc, traceDoc, _, err := bench.ObsRun(common.Seed)
 		if err != nil {
 			fatal(err)
 		}
-		if err := jsonio.WriteFile(*events, doc); err != nil {
-			fatal(err)
+		write := func(path string, doc any) {
+			if path == "" {
+				return
+			}
+			if err := jsonio.WriteFile(path, doc); err != nil {
+				fatal(err)
+			}
+			if !common.JSON {
+				fmt.Printf("wrote %s\n", path)
+			}
 		}
-		if !common.JSON {
-			fmt.Printf("wrote %s\n", *events)
-		}
+		write(*events, eventsDoc)
+		write(*traceOut, traceDoc)
 	}
 }
 

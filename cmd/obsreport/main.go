@@ -1,0 +1,81 @@
+// Command obsreport joins the three observability dumps of one run —
+// the causal trace (sturgeon/trace/v1), the fleet timeline
+// (sturgeon/timeline/v1) and the decision journal (sturgeon/events/v1)
+// — into an offline attribution report: what each decision mechanism
+// (coordinator epochs, placement solves, governor harvests, ...) did to
+// fleet BE throughput and QoS around its decisions, plus the top-k
+// slowest causal chains. Text by default, -json emits the validated
+// sturgeon/obsreport/v1 document.
+//
+// Usage:
+//
+//	repro -exp placement -trace t.json -timeline tl.json -events ev.json
+//	obsreport -trace t.json -timeline tl.json -events ev.json [-window 120]
+//	          [-topk 5] [-json]
+//
+// Inputs are each optional but at least one is required: mechanisms
+// need -events and -timeline, chains need -trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+)
+
+func main() {
+	var (
+		tracePath    = flag.String("trace", "", "sturgeon/trace/v1 dump (decision chains)")
+		timelinePath = flag.String("timeline", "", "sturgeon/timeline/v1 dump (effect series)")
+		eventsPath   = flag.String("events", "", "sturgeon/events/v1 dump (decision points)")
+		window       = flag.Float64("window", 120, "attribution window in simulated seconds on each side of a decision")
+		topK         = flag.Int("topk", 5, "decision chains to keep")
+		asJSON       = flag.Bool("json", false, "emit the sturgeon/obsreport/v1 JSON document instead of text")
+	)
+	flag.Parse()
+	if *tracePath == "" && *timelinePath == "" && *eventsPath == "" {
+		fmt.Fprintln(os.Stderr, "obsreport: need at least one of -trace, -timeline, -events")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		traceDoc    *obs.TraceDoc
+		timelineDoc *obs.TimelineDoc
+		eventsDoc   *obs.EventsDoc
+	)
+	if *tracePath != "" {
+		traceDoc = new(obs.TraceDoc)
+		mustRead(*tracePath, traceDoc)
+	}
+	if *timelinePath != "" {
+		timelineDoc = new(obs.TimelineDoc)
+		mustRead(*timelinePath, timelineDoc)
+	}
+	if *eventsPath != "" {
+		eventsDoc = new(obs.EventsDoc)
+		mustRead(*eventsPath, eventsDoc)
+	}
+
+	rep := BuildReport(traceDoc, timelineDoc, eventsDoc, *window, *topK)
+	if *asJSON {
+		if err := jsonio.Encode(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "obsreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(rep.Text())
+}
+
+// mustRead decodes (and validates) one dump or exits with the path in
+// the error.
+func mustRead(path string, v interface{}) {
+	if err := jsonio.ReadFile(path, v); err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}

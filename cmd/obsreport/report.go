@@ -1,0 +1,331 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"sturgeon/internal/obs"
+)
+
+// ReportSchema tags the JSON report document; bump on breaking change.
+const ReportSchema = "sturgeon/obsreport/v1"
+
+// Mechanism is the attributed effect of one decision mechanism: the
+// before/after change of the fleet series around each of its decisions,
+// averaged over the decisions both windows could be measured for.
+type Mechanism struct {
+	// Name groups decisions by mechanism: coordinator_epoch (cap_granted
+	// events grouped by arbitration epoch), placement_solve,
+	// governor_harvest (ls_harvest adjusts), harvest, revert, search,
+	// eviction.
+	Name string `json:"name"`
+	// Decisions counts the mechanism's decision points in the journal;
+	// Attributed how many had recorded timeline samples on both sides of
+	// the window (deltas average over these).
+	Decisions  int `json:"decisions"`
+	Attributed int `json:"attributed"`
+	// DeltaBEUPS and DeltaQoS are mean(series over (t, t+W]) -
+	// mean(series over (t-W, t]) averaged across attributed decisions,
+	// for fleet_be_ups and fleet_qos respectively.
+	DeltaBEUPS float64 `json:"delta_be_ups"`
+	DeltaQoS   float64 `json:"delta_qos"`
+}
+
+// Chain is one causal decision chain (all spans sharing a trace id),
+// ranked by how long the chain stayed open in simulated time.
+type Chain struct {
+	Trace     string  `json:"trace"`
+	RootKind  string  `json:"root_kind"`
+	Node      string  `json:"node,omitempty"`
+	Start     float64 `json:"start"`
+	DurationS float64 `json:"duration_s"`
+	Spans     int     `json:"spans"`
+}
+
+// Report is the offline run report ("sturgeon/obsreport/v1"): the
+// per-mechanism attribution table (sorted by ΔBE descending) and the
+// top-k slowest decision chains, joined from a run's trace, timeline
+// and journal dumps.
+type Report struct {
+	Schema  string  `json:"schema"`
+	WindowS float64 `json:"window_s"`
+	// Events/Spans/Series record how much input the join saw — an
+	// all-zero report is distinguishable from an uninstrumented run.
+	Events     int         `json:"events"`
+	Spans      int         `json:"spans"`
+	Series     int         `json:"series"`
+	Mechanisms []Mechanism `json:"mechanisms"`
+	Chains     []Chain     `json:"chains"`
+}
+
+// Validate implements jsonio.Validator.
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("obsreport: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.WindowS <= 0 || math.IsNaN(r.WindowS) || math.IsInf(r.WindowS, 0) {
+		return fmt.Errorf("obsreport: invalid window %v", r.WindowS)
+	}
+	for _, m := range r.Mechanisms {
+		if m.Name == "" {
+			return fmt.Errorf("obsreport: mechanism with empty name")
+		}
+		if m.Attributed > m.Decisions || m.Decisions < 0 || m.Attributed < 0 {
+			return fmt.Errorf("obsreport: mechanism %q attributed %d of %d decisions",
+				m.Name, m.Attributed, m.Decisions)
+		}
+		if math.IsNaN(m.DeltaBEUPS) || math.IsInf(m.DeltaBEUPS, 0) ||
+			math.IsNaN(m.DeltaQoS) || math.IsInf(m.DeltaQoS, 0) {
+			return fmt.Errorf("obsreport: mechanism %q carries non-finite delta", m.Name)
+		}
+	}
+	for _, c := range r.Chains {
+		if c.Trace == "" || c.RootKind == "" {
+			return fmt.Errorf("obsreport: chain with empty trace/root kind")
+		}
+		if c.DurationS < 0 || c.Spans <= 0 {
+			return fmt.Errorf("obsreport: chain %s has duration %v over %d spans",
+				c.Trace, c.DurationS, c.Spans)
+		}
+	}
+	return nil
+}
+
+// decisionTimes extracts each mechanism's decision points from the
+// journal. Cap grants are grouped per arbitration epoch (the epoch's
+// decision point is its last grant landing); every other mechanism is
+// one decision per event.
+func decisionTimes(events []obs.Event) map[string][]float64 {
+	out := make(map[string][]float64)
+	add := func(mech string, t float64) { out[mech] = append(out[mech], t) }
+	epochLast := make(map[int]float64)
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EventCapGranted:
+			if ev.T > epochLast[ev.Epoch] {
+				epochLast[ev.Epoch] = ev.T
+			}
+		case obs.EventPlacementSolve:
+			add("placement_solve", ev.T)
+		case obs.EventGovernorAdjust:
+			if ev.Reason == "ls_harvest" {
+				add("governor_harvest", ev.T)
+			}
+		case obs.EventHarvest:
+			add("harvest", ev.T)
+		case obs.EventRevert:
+			add("revert", ev.T)
+		case obs.EventSearch:
+			add("search", ev.T)
+		case obs.EventNodeEvicted:
+			add("eviction", ev.T)
+		}
+	}
+	for _, t := range epochLast {
+		add("coordinator_epoch", t)
+	}
+	for _, ts := range out {
+		sort.Float64s(ts)
+	}
+	return out
+}
+
+// seriesOf resolves a named series from the timeline dump (nil when the
+// run did not record it).
+func seriesOf(tl *obs.TimelineDoc, name string) *obs.SeriesDoc {
+	if tl == nil {
+		return nil
+	}
+	for i := range tl.Series {
+		if tl.Series[i].Name == name {
+			return &tl.Series[i]
+		}
+	}
+	return nil
+}
+
+// meanOver averages a series over the half-open window (lo, hi]. Raw
+// samples win; when the raw ring has wrapped past the window the 10 s
+// rollup bins fully inside it stand in (count-weighted). The second
+// return is false when neither tier covers the window.
+func meanOver(s *obs.SeriesDoc, lo, hi float64) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	var sum float64
+	var n int64
+	for _, p := range s.Raw {
+		if p.T > lo && p.T <= hi {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		for _, r := range s.Rollups {
+			if r.ResS != 10 {
+				continue
+			}
+			for _, b := range r.Bins {
+				if b.T0 >= lo && b.T0+float64(r.ResS) <= hi {
+					sum += b.Sum
+					n += b.Count
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// BuildReport joins a run's trace, timeline and journal dumps into the
+// attribution report. Any input may be nil — mechanisms need the
+// journal and timeline, chains need the trace — and windowS (seconds of
+// series on each side of a decision) and topK (chains kept) fall back
+// to 120/5 when non-positive.
+func BuildReport(tr *obs.TraceDoc, tl *obs.TimelineDoc, ev *obs.EventsDoc, windowS float64, topK int) *Report {
+	if windowS <= 0 {
+		windowS = 120
+	}
+	if topK <= 0 {
+		topK = 5
+	}
+	rep := &Report{Schema: ReportSchema, WindowS: windowS}
+	if tl != nil {
+		rep.Series = len(tl.Series)
+	}
+
+	if ev != nil {
+		rep.Events = len(ev.Events)
+		be := seriesOf(tl, "fleet_be_ups")
+		qos := seriesOf(tl, "fleet_qos")
+		for name, times := range decisionTimes(ev.Events) {
+			m := Mechanism{Name: name, Decisions: len(times)}
+			var dBE, dQoS float64
+			for _, t := range times {
+				beforeBE, okB := meanOver(be, t-windowS, t)
+				afterBE, okA := meanOver(be, t, t+windowS)
+				beforeQ, okQB := meanOver(qos, t-windowS, t)
+				afterQ, okQA := meanOver(qos, t, t+windowS)
+				if !okB || !okA || !okQB || !okQA {
+					continue
+				}
+				m.Attributed++
+				dBE += afterBE - beforeBE
+				dQoS += afterQ - beforeQ
+			}
+			if m.Attributed > 0 {
+				m.DeltaBEUPS = dBE / float64(m.Attributed)
+				m.DeltaQoS = dQoS / float64(m.Attributed)
+			}
+			rep.Mechanisms = append(rep.Mechanisms, m)
+		}
+		sort.Slice(rep.Mechanisms, func(i, j int) bool {
+			a, b := rep.Mechanisms[i], rep.Mechanisms[j]
+			if a.DeltaBEUPS != b.DeltaBEUPS {
+				return a.DeltaBEUPS > b.DeltaBEUPS
+			}
+			return a.Name < b.Name
+		})
+	}
+
+	if tr != nil {
+		rep.Spans = len(tr.Spans)
+		rep.Chains = topChains(tr.Spans, topK)
+	}
+	return rep
+}
+
+// topChains groups spans by trace id and ranks the chains by open
+// duration (latest descendant end minus root start), span count, then
+// start and trace id, so the ranking is deterministic under ties. A
+// chain whose root span the ring already dropped falls back to its
+// oldest retained span.
+func topChains(spans []obs.Span, topK int) []Chain {
+	type agg struct {
+		root   *obs.Span
+		oldest *obs.Span
+		maxEnd float64
+		spans  int
+	}
+	byTrace := make(map[string]*agg)
+	var order []string
+	for i := range spans {
+		sp := &spans[i]
+		a := byTrace[sp.Trace]
+		if a == nil {
+			a = &agg{oldest: sp, maxEnd: sp.End}
+			byTrace[sp.Trace] = a
+			order = append(order, sp.Trace)
+		}
+		a.spans++
+		if sp.End > a.maxEnd {
+			a.maxEnd = sp.End
+		}
+		if sp.Parent == "" && (a.root == nil || sp.Seq < a.root.Seq) {
+			a.root = sp
+		}
+	}
+	chains := make([]Chain, 0, len(order))
+	for _, id := range order {
+		a := byTrace[id]
+		root := a.root
+		if root == nil {
+			root = a.oldest
+		}
+		dur := a.maxEnd - root.Start
+		if dur < 0 {
+			dur = 0
+		}
+		chains = append(chains, Chain{
+			Trace: id, RootKind: root.Kind, Node: root.Node,
+			Start: root.Start, DurationS: dur, Spans: a.spans,
+		})
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		a, b := chains[i], chains[j]
+		if a.DurationS != b.DurationS {
+			return a.DurationS > b.DurationS
+		}
+		if a.Spans != b.Spans {
+			return a.Spans > b.Spans
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Trace < b.Trace
+	})
+	if len(chains) > topK {
+		chains = chains[:topK]
+	}
+	return chains
+}
+
+// Text renders the report as aligned tables for the terminal.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "obsreport: %d events, %d spans, %d series; attribution window %.0f s each side\n\n",
+		r.Events, r.Spans, r.Series, r.WindowS)
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mechanism\tdecisions\tattributed\tdelta_be_ups\tdelta_qos")
+	for _, m := range r.Mechanisms {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%+.2f\t%+.4f\n",
+			m.Name, m.Decisions, m.Attributed, m.DeltaBEUPS, m.DeltaQoS)
+	}
+	w.Flush()
+	if len(r.Chains) > 0 {
+		sb.WriteString("\nslowest decision chains\n")
+		w = tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "trace\troot\tnode\tstart_s\tduration_s\tspans")
+		for _, c := range r.Chains {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.0f\t%d\n",
+				c.Trace, c.RootKind, c.Node, c.Start, c.DurationS, c.Spans)
+		}
+		w.Flush()
+	}
+	return sb.String()
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"testing"
+
+	"sturgeon/internal/cluster"
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+)
+
+func TestDecisionTimes(t *testing.T) {
+	events := []obs.Event{
+		{T: 30, Type: obs.EventCapGranted, Epoch: 1, Node: "n0"},
+		{T: 31, Type: obs.EventCapGranted, Epoch: 1, Node: "n1"},
+		{T: 60, Type: obs.EventCapGranted, Epoch: 2, Node: "n0"},
+		{T: 45, Type: obs.EventPlacementSolve, Epoch: 1},
+		{T: 50, Type: obs.EventGovernorAdjust, Reason: "ls_harvest"},
+		{T: 51, Type: obs.EventGovernorAdjust, Reason: "shed"},
+		{T: 52, Type: obs.EventHarvest, Resource: "cores"},
+		{T: 53, Type: obs.EventRevert, Resource: "cores"},
+		{T: 54, Type: obs.EventSearch, Reason: "initial"},
+		{T: 55, Type: obs.EventNodeEvicted, Node: "n3"},
+		{T: 56, Type: obs.EventGuardHold}, // not a mechanism
+	}
+	got := decisionTimes(events)
+	want := map[string][]float64{
+		"coordinator_epoch": {31, 60}, // grouped per epoch, last grant wins
+		"placement_solve":   {45},
+		"governor_harvest":  {50}, // shed adjust excluded
+		"harvest":           {52},
+		"revert":            {53},
+		"search":            {54},
+		"eviction":          {55},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mechanisms %v, want %v", got, want)
+	}
+	for name, ts := range want {
+		g := got[name]
+		if len(g) != len(ts) {
+			t.Fatalf("%s: decisions %v, want %v", name, g, ts)
+		}
+		for i := range ts {
+			if g[i] != ts[i] {
+				t.Errorf("%s: decision %d at %v, want %v", name, i, g[i], ts[i])
+			}
+		}
+	}
+}
+
+func TestMeanOverFallsBackToBins(t *testing.T) {
+	s := &obs.SeriesDoc{
+		Raw: []obs.Point{{T: 101, V: 4}, {T: 102, V: 6}},
+		Rollups: []obs.BinsDoc{{ResS: 10, Bins: []obs.Bin{
+			{T0: 0, Min: 1, Max: 3, Sum: 20, Count: 10},
+			{T0: 10, Min: 1, Max: 3, Sum: 40, Count: 10},
+		}}},
+	}
+	if m, ok := meanOver(s, 100, 110); !ok || m != 5 {
+		t.Errorf("raw window mean %v ok=%v, want 5 true", m, ok)
+	}
+	// No raw samples in (0, 20]: the 10 s bins fully inside stand in,
+	// count-weighted.
+	if m, ok := meanOver(s, 0, 20); !ok || m != 3 {
+		t.Errorf("bin fallback mean %v ok=%v, want 3 true", m, ok)
+	}
+	if _, ok := meanOver(s, 300, 400); ok {
+		t.Error("uncovered window reported a mean")
+	}
+	if _, ok := meanOver(nil, 0, 10); ok {
+		t.Error("nil series reported a mean")
+	}
+}
+
+func TestTopChainsRanking(t *testing.T) {
+	spans := []obs.Span{
+		// Chain A: root + child, open 5..20 (duration 15).
+		{Seq: 1, Trace: "000000000000000a", ID: "00000000000000a1", Kind: "coord_epoch", Start: 5, End: 5},
+		{Seq: 2, Trace: "000000000000000a", ID: "00000000000000a2", Parent: "00000000000000a1", Kind: "cap_grant", Start: 20, End: 20},
+		// Chain B: single span, duration 0.
+		{Seq: 3, Trace: "000000000000000b", ID: "00000000000000b1", Kind: "search", Start: 7, End: 7},
+		// Chain C: dropped root — oldest retained span stands in.
+		{Seq: 4, Trace: "000000000000000c", ID: "00000000000000c2", Parent: "00000000000000c1", Kind: "migration", Start: 9, End: 11},
+	}
+	chains := topChains(spans, 2)
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2", len(chains))
+	}
+	if chains[0].Trace != "000000000000000a" || chains[0].DurationS != 15 || chains[0].Spans != 2 {
+		t.Errorf("top chain %+v, want trace a duration 15 over 2 spans", chains[0])
+	}
+	if chains[1].Trace != "000000000000000c" || chains[1].RootKind != "migration" || chains[1].DurationS != 2 {
+		t.Errorf("second chain %+v, want rootless trace c via its oldest span", chains[1])
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	good := &Report{Schema: ReportSchema, WindowS: 120,
+		Mechanisms: []Mechanism{{Name: "harvest", Decisions: 3, Attributed: 2}},
+		Chains:     []Chain{{Trace: "000000000000000a", RootKind: "search", Spans: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+	bad := map[string]*Report{
+		"schema":      {Schema: "nope", WindowS: 120},
+		"window":      {Schema: ReportSchema, WindowS: 0},
+		"mech-name":   {Schema: ReportSchema, WindowS: 120, Mechanisms: []Mechanism{{}}},
+		"mech-counts": {Schema: ReportSchema, WindowS: 120, Mechanisms: []Mechanism{{Name: "x", Decisions: 1, Attributed: 2}}},
+		"chain-spans": {Schema: ReportSchema, WindowS: 120, Chains: []Chain{{Trace: "000000000000000a", RootKind: "search"}}},
+	}
+	for name, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: invalid report accepted", name)
+		}
+	}
+}
+
+// TestPlacementAttribution is the acceptance criterion asserted in CI:
+// on the pinned placement-flashcrowd12 scenario (the placed-physics arm
+// whose fleet BE win the bench gate pins), the report built from the
+// run's own trace + timeline + journal attributes the win to placement
+// epochs — placement_solve must appear with every solve attributed and
+// the largest positive ΔBE of any mechanism.
+func TestPlacementAttribution(t *testing.T) {
+	o := cluster.DefaultPlacementFleet(20260806)
+	o.Placed = true
+	c, err := cluster.BuildPlacementFleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Parallelism = 1
+	sink := obs.NewSeeded(o.Seed, 0)
+	c.SetObs(sink)
+	res := c.Run(o.Trace(), o.DurationS)
+	if res.Place.Moves == 0 {
+		t.Fatal("pinned placement run applied no moves")
+	}
+
+	rep := BuildReport(sink.Trace.Doc(), sink.Timeline.Doc(), sink.Journal.Doc(), 120, 5)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	// The assertion is over the JSON output the CLI emits.
+	data, err := jsonio.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := jsonio.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	var placement *Mechanism
+	for i := range decoded.Mechanisms {
+		if decoded.Mechanisms[i].Name == "placement_solve" {
+			placement = &decoded.Mechanisms[i]
+		}
+	}
+	if placement == nil {
+		t.Fatalf("report carries no placement_solve mechanism: %+v", decoded.Mechanisms)
+	}
+	if placement.Decisions == 0 || placement.Attributed == 0 {
+		t.Fatalf("placement_solve decisions %d attributed %d, want both > 0",
+			placement.Decisions, placement.Attributed)
+	}
+	if placement.DeltaBEUPS <= 0 {
+		t.Errorf("placement_solve ΔBE %+.2f units/s, want positive", placement.DeltaBEUPS)
+	}
+	for _, m := range decoded.Mechanisms {
+		if m.Name != "placement_solve" && m.Attributed > 0 && m.DeltaBEUPS >= placement.DeltaBEUPS {
+			t.Errorf("mechanism %s ΔBE %+.2f outranks placement_solve %+.2f",
+				m.Name, m.DeltaBEUPS, placement.DeltaBEUPS)
+		}
+	}
+	if len(decoded.Chains) == 0 {
+		t.Error("report carries no decision chains")
+	}
+	t.Logf("mechanisms: %+v", decoded.Mechanisms)
+}

@@ -5,7 +5,7 @@
 //
 //	repro [-exp all|fig2|fig3|fig6|fig7|fig9|fig10|fig11|table1|overhead|ablations|coord|placement|fleet10k]
 //	      [-quick] [-seed N] [-samples N] [-duration N] [-heracles] [-out DIR]
-//	      [-json] [-version]
+//	      [-events PATH] [-trace PATH] [-timeline PATH] [-json] [-version]
 //
 // Text tables go to stdout (-json switches them to JSON documents);
 // -out additionally writes CSV/TSV files for plotting.
@@ -33,13 +33,17 @@ func main() {
 		heracles = flag.Bool("heracles", false, "include the Heracles-style baseline in fig9/fig10")
 		outDir   = flag.String("out", "", "directory for CSV/TSV output (optional)")
 		events   = flag.String("events", "", "write the decision-event journal (sturgeon/events/v1 JSON) to PATH")
+		traceOut = flag.String("trace", "", "write the causal decision trace (sturgeon/trace/v1 JSON) to PATH")
+		timeline = flag.String("timeline", "", "write the fleet time series (sturgeon/timeline/v1 JSON) to PATH")
 	)
 	common := cmdutil.Register(42)
 	common.Parse()
 
 	var sink *obs.Sink
-	if *events != "" {
-		sink = obs.New(0)
+	if *events != "" || *traceOut != "" || *timeline != "" {
+		// Span ids fold in the run seed, so two repro invocations with the
+		// same seed dump byte-identical traces.
+		sink = obs.NewSeeded(common.Seed, 0)
 	}
 	env := experiments.NewEnv(experiments.Config{
 		Seed: common.Seed, Samples: *samples, DurationS: *duration, Quick: *quick,
@@ -178,6 +182,18 @@ func main() {
 	if *events != "" {
 		if err := jsonio.WriteFile(*events, sink.Journal.Doc()); err != nil {
 			fmt.Fprintln(os.Stderr, "repro: writing events:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := jsonio.WriteFile(*traceOut, sink.Trace.Doc()); err != nil {
+			fmt.Fprintln(os.Stderr, "repro: writing trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *timeline != "" {
+		if err := jsonio.WriteFile(*timeline, sink.Timeline.Doc()); err != nil {
+			fmt.Fprintln(os.Stderr, "repro: writing timeline:", err)
 			os.Exit(1)
 		}
 	}

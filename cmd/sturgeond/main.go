@@ -1,14 +1,15 @@
 // Command sturgeond runs the fleet power-budget coordinator as an HTTP
 // control-plane service. Nodes POST slack telemetry to /v1/report each
 // epoch and apply the cap granted back; operators read /fleet/status,
-// scrape /metrics (Prometheus text exposition) and tail the decision
-// journal at /v1/events?since=SEQ.
+// scrape /metrics (Prometheus text exposition), tail the decision
+// journal at /v1/events?since=SEQ and the causal trace at
+// /v1/trace?since=SEQ, and read the fleet timeline at /v1/timeline.
 //
 // Usage:
 //
 //	sturgeond [-addr HOST:PORT] [-budget W] [-nodes N]
 //	          [-min-cap W] [-max-cap W] [-alpha F] [-beta F]
-//	          [-state DIR] [-snapshot-every D]
+//	          [-state DIR] [-snapshot-every D] [-timeline PATH]
 //	          [-journal N] [-pprof] [-seed N] [-json] [-version]
 //
 // Without -state the daemon is stateless across restarts: nodes keep
@@ -84,6 +85,8 @@ func main() {
 	flag.DurationVar(&cfg.snapEvery, "snapshot-every", 30*time.Second,
 		"background snapshot period with -state (0 disables the ticker; SIGTERM still snapshots)")
 	flag.IntVar(&cfg.journalCap, "journal", 0, "decision-journal ring capacity (0 = default)")
+	timelinePath := flag.String("timeline", "",
+		"write the fleet timeline (sturgeon/timeline/v1 JSON) to PATH at shutdown")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	common := cmdutil.Register(42)
 	common.Parse()
@@ -193,6 +196,14 @@ func main() {
 	}
 	<-done
 	close(snapStop)
+	if *timelinePath != "" {
+		// The live endpoint (/v1/timeline) serves the same document while
+		// the daemon runs; the flag preserves the final state for offline
+		// analysis (cmd/obsreport) after the process exits.
+		if err := jsonio.WriteFile(*timelinePath, snk.Timeline.Doc()); err != nil {
+			fmt.Fprintln(os.Stderr, "sturgeond: writing timeline:", err)
+		}
+	}
 	if store != nil {
 		if err := srv.Snapshot(); err != nil {
 			fmt.Fprintln(os.Stderr, "sturgeond: final snapshot:", err)

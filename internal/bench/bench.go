@@ -509,23 +509,31 @@ func Execute(opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// EventsRun replays the pinned coordinated (granted) scenario once,
+// ObsRun replays the pinned coordinated (granted) scenario once,
 // serially, with a decision-trail sink attached, and returns the
-// resulting journal document. Measured benchmark runs stay
-// uninstrumented — the report's wall-clock numbers never include
-// journaling cost — so cmd/bench's -events flag pays for its dump with
-// one extra run. The replay is seeded and serial, so two calls with the
-// same seed return byte-identical documents.
-func EventsRun(seed int64) (*obs.EventsDoc, error) {
+// resulting journal, trace and timeline documents. Measured benchmark
+// runs stay uninstrumented — the report's wall-clock numbers never
+// include journaling cost — so cmd/bench's -events/-trace flags pay for
+// their dumps with one extra run. The replay is seeded and serial (and
+// span ids fold in the seed), so two calls with the same seed return
+// byte-identical documents.
+func ObsRun(seed int64) (*obs.EventsDoc, *obs.TraceDoc, *obs.TimelineDoc, error) {
 	_, granted := CoordPair(seed)
 	c, err := buildCluster(granted, 1)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	sink := obs.New(0)
+	sink := obs.NewSeeded(seed, 0)
 	c.SetObs(sink)
 	c.Run(cluster.DefaultCoordFleet(seed).Trace(), granted.DurationS)
-	return sink.Journal.Doc(), nil
+	return sink.Journal.Doc(), sink.Trace.Doc(), sink.Timeline.Doc(), nil
+}
+
+// EventsRun is ObsRun reduced to the journal document, kept for callers
+// that only want the events dump.
+func EventsRun(seed int64) (*obs.EventsDoc, error) {
+	doc, _, _, err := ObsRun(seed)
+	return doc, err
 }
 
 // checkCoordinationWin enforces the coordination acceptance gate on the

@@ -336,10 +336,12 @@ type Cluster struct {
 
 	// Observability (nil = uninstrumented; see SetObs). nodeSinks holds
 	// one staging child per node, drained serially by drainNode; drained
-	// remembers each staging journal's last merged sequence number.
+	// and spanDrained remember each staging journal's/tracer's last
+	// merged sequence number.
 	obs         *obs.Sink
 	nodeSinks   []*obs.Sink
 	drained     []int64
+	spanDrained []int64
 	capGauges   []*obs.Gauge
 	evictCtr    *obs.Counter
 	readmitCtr  *obs.Counter
@@ -348,6 +350,15 @@ type Cluster struct {
 	recoveryCtr *obs.Counter
 	migrCtr     *obs.Counter
 	planCtr     *obs.Counter
+	// Fleet timeline series (nil = no recorder attached), fed once per
+	// simulated second from the serial merge — and from runEvent's
+	// replication loop, so both engines record identical timelines.
+	tlBE    *obs.TSeries
+	tlQoS   *obs.TSeries
+	tlPower *obs.TSeries
+	tlCap   *obs.TSeries
+	tlSlack *obs.TSeries
+	tlMigr  *obs.TSeries
 
 	// Broken-scheduler stubs for the quiescence regression battery: each
 	// suppresses one wake-up category in runEvent, simulating the
@@ -359,6 +370,14 @@ type Cluster struct {
 	testDropTraceWakes  bool
 	testDropHealthWakes bool
 	testDropPlaceWakes  bool
+
+	// testDisableMemo forces cross-node memo sharing off in runEvent.
+	// The obs-overhead gate sets it on the nil-sink baseline so both
+	// arms run the same engine policy: attaching a sink already disables
+	// memo sharing by design (per-node metrics must track per-node
+	// decisions), and the gate bounds instrumentation cost, not that
+	// documented policy trade. Never set outside tests.
+	testDisableMemo bool
 
 	// evActive counts the seconds the last runEvent actually evaluated
 	// (as opposed to replicating); see EventActiveSeconds.
@@ -389,9 +408,10 @@ func NodeID(i int) string { return fmt.Sprintf("node-%03d", i) }
 // global event sequence byte-identical at any stepping Parallelism.
 func (c *Cluster) SetObs(sink *obs.Sink) {
 	c.obs = sink
-	c.nodeSinks, c.drained, c.capGauges = nil, nil, nil
+	c.nodeSinks, c.drained, c.spanDrained, c.capGauges = nil, nil, nil, nil
 	c.evictCtr, c.readmitCtr, c.grantCtr, c.faultCtr, c.recoveryCtr = nil, nil, nil, nil, nil
 	c.migrCtr, c.planCtr = nil, nil
+	c.tlBE, c.tlQoS, c.tlPower, c.tlCap, c.tlSlack, c.tlMigr = nil, nil, nil, nil, nil, nil
 	if sink == nil {
 		for _, ctrl := range c.Ctrls {
 			if in, ok := ctrl.(obs.Instrumentable); ok {
@@ -403,6 +423,7 @@ func (c *Cluster) SetObs(sink *obs.Sink) {
 	n := len(c.Nodes)
 	c.nodeSinks = make([]*obs.Sink, n)
 	c.drained = make([]int64, n)
+	c.spanDrained = make([]int64, n)
 	c.capGauges = make([]*obs.Gauge, n)
 	for i := 0; i < n; i++ {
 		ns := sink.ForNode(NodeID(i), stagingJournalCap)
@@ -420,6 +441,14 @@ func (c *Cluster) SetObs(sink *obs.Sink) {
 	c.recoveryCtr = sink.Counter("fleet_coord_recoveries_total")
 	c.migrCtr = sink.Counter("fleet_migrations_total")
 	c.planCtr = sink.Counter("fleet_placement_plans_total")
+	if sink.Timeline != nil {
+		c.tlBE = sink.Series("fleet_be_ups")
+		c.tlQoS = sink.Series("fleet_qos")
+		c.tlPower = sink.Series("fleet_power_w")
+		c.tlCap = sink.Series("fleet_cap_w")
+		c.tlSlack = sink.Series("fleet_slack_w")
+		c.tlMigr = sink.Series("fleet_migrations")
+	}
 }
 
 // New builds a fleet of n nodes. mkCtrl builds one controller per node
@@ -739,6 +768,13 @@ func (c *Cluster) mergeSecond(step int, t, total float64, outs []stepOutcome,
 			res.Health.UnhealthyNodeIntervals++
 		}
 		c.drainNode(i, t, wasHealthy, states[i].Healthy)
+		if c.obs != nil && o.held {
+			// The node settled: close the causal window so later decisions
+			// no longer chain under a long-gone cap grant or migration.
+			// Idempotent, so the event engine's replicated (all-held)
+			// seconds skipping this clear cannot diverge.
+			c.nodeSinks[i].SetSpanContext(obs.SpanRef{})
+		}
 		okQ += st.QPS * st.QoSFrac
 		rep.BEThroughputUPS += c.chargeWarmup(i, st.BEThroughputUPS, res)
 		rep.PowerW += float64(st.TruePower)
@@ -777,7 +813,30 @@ func (c *Cluster) mergeSecond(step int, t, total float64, outs []stepOutcome,
 			c.exchangeMoves((step+1)/epochS, step, states, res)
 		}
 	}
+	c.recordInterval(rep, res)
 	return rep, okQ
+}
+
+// recordInterval feeds the fleet timeline series for one simulated
+// second. Called from mergeSecond (both engines' active seconds) and
+// from runEvent's replication loop, so the recorded timeline is a pure
+// function of the interval sequence — byte-identical across engines
+// and stepping parallelism.
+func (c *Cluster) recordInterval(rep IntervalReport, res *Result) {
+	if c.tlBE == nil {
+		return
+	}
+	t := rep.Time
+	c.tlBE.Observe(t, rep.BEThroughputUPS)
+	c.tlQoS.Observe(t, rep.QoSFrac)
+	c.tlPower.Observe(t, rep.PowerW)
+	var capSum float64
+	for _, w := range c.caps {
+		capSum += float64(w)
+	}
+	c.tlCap.Observe(t, capSum)
+	c.tlSlack.Observe(t, capSum-rep.PowerW)
+	c.tlMigr.Observe(t, float64(res.Place.Moves))
 }
 
 // finish folds the run accumulators into the Result — shared by both
@@ -827,27 +886,29 @@ func restartCoordinator(cd *Coordination) (coordinator.Transport, coordinator.Re
 	return tr, info, nil
 }
 
-// drainNode moves node i's staged decision events onto the fleet
-// journal and journals failure-detector transitions. It runs only from
-// Run's serial merge, in node-index order, so the fleet journal's
-// sequence numbers are a pure function of the seeded decision sequence —
-// independent of the stepping Parallelism.
+// drainNode moves node i's staged decision events and spans onto the
+// fleet journal/tracer and journals failure-detector transitions. It
+// runs only from Run's serial merge, in node-index order, so the fleet
+// journal's and trace's sequence numbers are a pure function of the
+// seeded decision sequence — independent of the stepping Parallelism.
 func (c *Cluster) drainNode(i int, t float64, wasHealthy, healthy bool) {
 	if c.obs == nil {
 		return
 	}
 	ns := c.nodeSinks[i]
-	for _, ev := range ns.Journal.Since(c.drained[i]) {
-		c.obs.Journal.Append(ev)
+	c.drained[i] = ns.Journal.DrainTo(c.obs.Journal, c.drained[i])
+	if ns.Trace != nil && c.obs.Trace != nil {
+		c.spanDrained[i] = ns.Trace.DrainTo(c.obs.Trace, c.spanDrained[i])
 	}
-	c.drained[i] = ns.Journal.LastSeq()
 	switch {
 	case wasHealthy && !healthy:
 		c.evictCtr.Inc()
 		c.obs.Emit(obs.Event{T: t, Node: ns.Node, Type: obs.EventNodeEvicted})
+		c.obs.Span(obs.Span{Kind: obs.SpanEviction, Node: ns.Node, Start: t, End: t})
 	case !wasHealthy && healthy:
 		c.readmitCtr.Inc()
 		c.obs.Emit(obs.Event{T: t, Node: ns.Node, Type: obs.EventNodeReadmitted})
+		c.obs.Span(obs.Span{Kind: obs.SpanReadmission, Node: ns.Node, Start: t, End: t})
 	}
 }
 
@@ -895,6 +956,13 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 		res.Coord.Fallbacks += len(c.Nodes)
 		return
 	}
+	// The epoch-close span roots this epoch's causal chain; every cap
+	// change that lands below links back to it, and the receiving node's
+	// sink carries the grant ref forward so the governor/search spans the
+	// grant provokes chain under it end to end.
+	tEpoch := float64(epoch * cd.epochS())
+	epochRef := c.obs.ChildSpan(obs.Span{Kind: obs.SpanCoordEpoch,
+		Start: tEpoch, End: tEpoch, Epoch: epoch}, obs.SpanRef{})
 	target := c.LS.QoSTargetS
 	for i := range c.Nodes {
 		if cd.Chaos.Dropped(epoch, i) {
@@ -934,8 +1002,11 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 			if c.obs != nil {
 				c.grantCtr.Inc()
 				c.capGauges[i].Set(g.CapW)
-				c.obs.Emit(obs.Event{T: float64(epoch * cd.epochS()), Node: r.NodeID,
+				c.obs.Emit(obs.Event{T: tEpoch, Node: r.NodeID,
 					Type: obs.EventCapGranted, Epoch: epoch, Value: g.CapW})
+				ref := c.obs.ChildSpan(obs.Span{Kind: obs.SpanCapGrant, Node: r.NodeID,
+					Start: tEpoch, End: tEpoch, Epoch: epoch, Value: g.CapW}, epochRef)
+				c.nodeSinks[i].SetSpanContext(ref)
 			}
 		}
 	}

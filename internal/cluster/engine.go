@@ -109,7 +109,7 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 		// Placement runs disable cross-node memoization outright: a
 		// migration rewrites a node's BEProfile mid-run, which is part of
 		// the class fingerprint computed here once.
-		rt[i].memoable = c.obs == nil && c.Place == nil && rt[i].det &&
+		rt[i].memoable = c.obs == nil && !c.testDisableMemo && c.Place == nil && rt[i].det &&
 			rt[i].steadyCtrl != nil && (inj == nil || inj.Plan.Empty())
 		if rt[i].memoable {
 			k := nodeClass{Spec: node.Spec, Power: node.PowerParams, Bus: node.Bus,
@@ -204,6 +204,11 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 				sumPW += rep.PowerW
 				res.Health.UnhealthyNodeIntervals += unhealthyNow
 				res.Intervals = append(res.Intervals, rep)
+				// The timeline sees every simulated second even across a
+				// replicated stretch: caps and placement counters are frozen
+				// while the fleet is quiescent, so the fed values match the
+				// per-second engine's bit for bit.
+				c.recordInterval(rep, &res)
 			}
 			continue
 		}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sturgeon/internal/jsonio"
+	"sturgeon/internal/obs"
+)
+
+// traceTimelineDump runs the coordinated golden scenario on the given
+// engine and returns the run summary plus the canonical JSON encodings
+// of the trace and timeline — the byte strings the determinism
+// criteria are stated over.
+func traceTimelineDump(t *testing.T, engine Engine, parallelism int) (string, []byte, []byte) {
+	t.Helper()
+	sink := obs.NewSeeded(20260806, 0)
+	c, tr, duration := coordGoldenScenarioCluster(t, parallelism, sink)
+	c.Engine = engine
+	res := c.Run(tr, duration)
+	traceDoc := sink.Trace.Doc()
+	if err := traceDoc.Validate(); err != nil {
+		t.Fatalf("trace doc invalid: %v", err)
+	}
+	traceData, err := jsonio.Marshal(traceDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlDoc := sink.Timeline.Doc()
+	if err := tlDoc.Validate(); err != nil {
+		t.Fatalf("timeline doc invalid: %v", err)
+	}
+	tlData, err := jsonio.Marshal(tlDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Summary(), traceData, tlData
+}
+
+// TestObsTraceTimelineByteIdenticalAcrossEngines is the tracing
+// determinism criterion: span and timeline dumps must be byte-identical
+// across both engines and stepping parallelism 1/2/4/8. Spans ride the
+// same staging-ring/serial-drain discipline as the journal, the
+// timeline is fed once per simulated second from the serial merge (and
+// the event engine's replication loop), and span ids are derived — not
+// random — so every byte is a pure function of the seeded decision
+// sequence.
+func TestObsTraceTimelineByteIdenticalAcrossEngines(t *testing.T) {
+	refSum, refTrace, refTl := traceTimelineDump(t, EngineStep, 1)
+	if len(refTrace) == 0 || len(refTl) == 0 {
+		t.Fatal("empty trace/timeline dump")
+	}
+	for _, engine := range []Engine{EngineStep, EngineEvent} {
+		for _, par := range []int{1, 2, 4, 8} {
+			if engine == EngineStep && par == 1 {
+				continue
+			}
+			sum, trace, tl := traceTimelineDump(t, engine, par)
+			if sum != refSum {
+				t.Fatalf("summary diverges at engine %v parallelism %d with tracing enabled", engine, par)
+			}
+			if !bytes.Equal(trace, refTrace) {
+				t.Fatalf("trace dump diverges at engine %v parallelism %d (len %d vs %d)",
+					engine, par, len(trace), len(refTrace))
+			}
+			if !bytes.Equal(tl, refTl) {
+				t.Fatalf("timeline dump diverges at engine %v parallelism %d (len %d vs %d)",
+					engine, par, len(tl), len(refTl))
+			}
+		}
+	}
+}
+
+// TestObsTraceThreadsCapChain pins the causal-threading contract on the
+// coordinated scenario: every cap_grant span is a child of a
+// coord_epoch root in the same trace, and at least one governor_adjust
+// chains under a cap_grant — the coordinator grant → governor cap →
+// actuation chain the trace layer exists to expose.
+func TestObsTraceThreadsCapChain(t *testing.T) {
+	sink := obs.NewSeeded(20260806, 0)
+	c, tr, duration := coordGoldenScenarioCluster(t, 1, sink)
+	_ = c.Run(tr, duration)
+	spans := sink.Trace.Since(0)
+	if len(spans) == 0 {
+		t.Fatal("coordinated run traced no spans")
+	}
+	byID := make(map[string]obs.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	var grants, chainedAdjusts, searches int
+	for _, sp := range spans {
+		switch sp.Kind {
+		case obs.SpanCapGrant:
+			grants++
+			parent, ok := byID[sp.Parent]
+			if !ok {
+				t.Fatalf("cap_grant span %s has dangling parent %s", sp.ID, sp.Parent)
+			}
+			if parent.Kind != obs.SpanCoordEpoch {
+				t.Fatalf("cap_grant span %s parented by %q, want coord_epoch", sp.ID, parent.Kind)
+			}
+			if parent.Trace != sp.Trace {
+				t.Fatalf("cap_grant span %s in trace %s, parent in %s", sp.ID, sp.Trace, parent.Trace)
+			}
+		case obs.SpanGovernorAdjust:
+			if sp.Parent != "" {
+				if parent, ok := byID[sp.Parent]; ok && parent.Kind == obs.SpanCapGrant {
+					chainedAdjusts++
+					if sp.Start < parent.Start {
+						t.Fatalf("governor_adjust at t=%v precedes its grant at t=%v", sp.Start, parent.Start)
+					}
+				}
+			}
+		case obs.SpanSearch:
+			searches++
+		}
+	}
+	if grants == 0 {
+		t.Fatal("coordinated run traced no cap_grant spans")
+	}
+	if chainedAdjusts == 0 {
+		t.Fatal("no governor_adjust span chained under a cap_grant — causal threading broken")
+	}
+	if sink.Metrics.Counter("fleet_cap_grants_total").Value() != int64(grants) {
+		t.Errorf("cap_grant spans %d != fleet_cap_grants_total %d",
+			grants, sink.Metrics.Counter("fleet_cap_grants_total").Value())
+	}
+	_ = searches
+}
+
+// TestObsTraceMigrationChain pins placement threading on a shortened
+// flash-crowd fleet: every migration span is a child of its epoch's
+// placement_solve root, and the timeline's migration series ends on the
+// run's cumulative move count.
+func TestObsTraceMigrationChain(t *testing.T) {
+	o := DefaultPlacementFleet(20260808)
+	o.Placed = true
+	o.DurationS = 240
+	c, err := BuildPlacementFleet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Parallelism = 1
+	sink := obs.NewSeeded(o.Seed, 0)
+	c.SetObs(sink)
+	res := c.Run(o.Trace(), o.DurationS)
+	if res.Place.Moves == 0 {
+		t.Skip("shortened placement run applied no moves; chain untestable")
+	}
+	spans := sink.Trace.Since(0)
+	byID := make(map[string]obs.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	migrations := 0
+	for _, sp := range spans {
+		if sp.Kind != obs.SpanMigration {
+			continue
+		}
+		migrations++
+		parent, ok := byID[sp.Parent]
+		if !ok || parent.Kind != obs.SpanPlacementSolve {
+			t.Fatalf("migration span %s not parented by a placement_solve (parent %q)", sp.ID, sp.Parent)
+		}
+	}
+	if migrations != res.Place.Moves {
+		t.Errorf("migration spans %d, run applied %d moves", migrations, res.Place.Moves)
+	}
+	doc := sink.Timeline.Doc()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("timeline doc invalid: %v", err)
+	}
+	for _, s := range doc.Series {
+		if s.Name != "fleet_migrations" {
+			continue
+		}
+		if n := len(s.Raw); n == 0 || s.Raw[n-1].V != float64(res.Place.Moves) {
+			t.Errorf("fleet_migrations series ends on %v, want %d", s.Raw[len(s.Raw)-1].V, res.Place.Moves)
+		}
+		return
+	}
+	t.Error("timeline missing fleet_migrations series")
+}
+
+// TestObsSpanIDsDeterministic pins the id-derivation contract: same
+// seed, same decision sequence — identical ids; a different run seed
+// relabels every id without touching the span structure.
+func TestObsSpanIDsDeterministic(t *testing.T) {
+	dump := func(seed int64) []obs.Span {
+		tr := obs.NewTracer(seed, 0)
+		root := tr.Append(obs.Span{Kind: obs.SpanCoordEpoch, Start: 5, End: 5, Epoch: 1}, obs.SpanRef{})
+		tr.Append(obs.Span{Kind: obs.SpanCapGrant, Node: "node-001", Start: 5, End: 5, Value: 90}, root)
+		tr.Append(obs.Span{Kind: obs.SpanCapGrant, Node: "node-001", Start: 5, End: 5, Value: 96}, root)
+		return tr.Since(0)
+	}
+	a, b, c := dump(7), dump(7), dump(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].ID == c[i].ID {
+			t.Errorf("span %d id unchanged across seeds", i)
+		}
+	}
+	if a[1].ID == a[2].ID {
+		t.Error("repeated (kind,node,start) site not disambiguated by ordinal")
+	}
+	if a[1].Parent != a[0].ID || a[1].Trace != a[0].Trace {
+		t.Error("child span not linked into parent's trace")
+	}
+	if fmt.Sprintf("%d", len(a)) != "3" {
+		t.Fatalf("expected 3 spans, got %d", len(a))
+	}
+}

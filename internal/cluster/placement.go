@@ -132,10 +132,15 @@ func (c *Cluster) exchangeMoves(epoch, step int, states []NodeState, res *Result
 	}
 	moves := p.Planner.Plan(epoch, p.snaps)
 	res.Place.Plans++
+	// The solve span roots this epoch's migration chain; each applied
+	// move links back to it (the journal keeps its historical order:
+	// migrations first, then the solve summary event).
+	solveRef := c.obs.ChildSpan(obs.Span{Kind: obs.SpanPlacementSolve,
+		Start: float64(step + 1), End: float64(step + 1), Epoch: epoch}, obs.SpanRef{})
 	applied := 0
 	var gain float64
 	for _, m := range moves {
-		if !c.applyMove(m, float64(step+1), epoch, step) {
+		if !c.applyMove(m, float64(step+1), epoch, step, solveRef) {
 			continue
 		}
 		applied++
@@ -160,7 +165,7 @@ func (c *Cluster) exchangeMoves(epoch, step int, states []NodeState, res *Result
 // the destination starts its warm-up clock. Conservation is enforced
 // against the live host table — a move whose source no longer hosts the
 // job or whose destination is occupied is rejected whole.
-func (c *Cluster) applyMove(m placement.Move, t float64, epoch, step int) bool {
+func (c *Cluster) applyMove(m placement.Move, t float64, epoch, step int, solveRef obs.SpanRef) bool {
 	p := c.Place
 	n := len(c.Nodes)
 	if m.From < 0 || m.From >= n || m.To < 0 || m.To >= n || m.From == m.To {
@@ -188,6 +193,12 @@ func (c *Cluster) applyMove(m placement.Move, t float64, epoch, step int) bool {
 		c.migrCtr.Inc()
 		c.obs.Emit(obs.Event{T: t, Node: NodeID(m.From), Type: obs.EventMigration,
 			Reason: m.Reason, Amount: m.To, Epoch: epoch, Value: m.GainUPS})
+		ref := c.obs.ChildSpan(obs.Span{Kind: obs.SpanMigration, Node: NodeID(m.From),
+			Reason: m.Reason, Start: t, End: t, Epoch: epoch, Value: m.GainUPS}, solveRef)
+		// Both endpoints' follow-up decisions (governor re-ramps, warm-up
+		// settling) chain under the migration until they hold again.
+		c.nodeSinks[m.From].SetSpanContext(ref)
+		c.nodeSinks[m.To].SetSpanContext(ref)
 	}
 	return true
 }

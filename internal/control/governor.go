@@ -137,6 +137,12 @@ func (g *Governor) Decide(ob Observation) hw.Config {
 		if g.obs.Active() {
 			g.obs.Emit(obs.Event{T: ob.Time, Type: obs.EventGovernorAdjust, Reason: reason})
 		}
+		// The span chains under the sink's context (a cap grant or
+		// migration the cluster parked there); it fires only on the
+		// non-hold branch, so the event engine's steady replay — which
+		// skips held Decide calls entirely — never loses one.
+		g.obs.Span(obs.Span{Kind: obs.SpanGovernorAdjust, Reason: reason,
+			Start: ob.Time, End: ob.Time, Value: float64(ob.Budget)})
 	}
 	return cfg
 }

@@ -272,6 +272,13 @@ type Coordinator struct {
 	staleCtr   *obs.Counter
 	poolGauge  *obs.Gauge
 	epochGauge *obs.Gauge
+	// epochSpan is the root span of the arbitration currently closing;
+	// moveCap parents its grant spans under it. Valid only while
+	// arbitrate runs (daemon path — the simulation's in-process
+	// coordinator is uninstrumented and traces grants cluster-side).
+	epochSpan  obs.SpanRef
+	poolSeries *obs.TSeries
+	movedSer   *obs.TSeries
 }
 
 // SetObs implements obs.Instrumentable: attach a decision-trail sink
@@ -288,6 +295,9 @@ func (c *Coordinator) SetObs(sink *obs.Sink) {
 	c.epochGauge = sink.Gauge("coordinator_epoch")
 	c.poolGauge.Set(c.poolW)
 	c.epochGauge.Set(float64(c.epoch))
+	c.epochSpan = obs.SpanRef{}
+	c.poolSeries = sink.Series("coordinator_pool_w")
+	c.movedSer = sink.Series("coordinator_moved_w")
 }
 
 // New builds a coordinator. BudgetW must be positive.
@@ -402,6 +412,17 @@ func (c *Coordinator) arbitrate(epoch int) {
 	c.stats.Arbitrations++
 	c.arbCtr.Inc()
 	c.arbEpoch = epoch
+	// Root span of this epoch's causal chain; moveCap hangs one grant
+	// span per cap change under it. Cleared on exit so out-of-band
+	// moveCap calls (none today) would root their own traces.
+	c.epochSpan = c.obs.ChildSpan(obs.Span{Kind: obs.SpanCoordEpoch,
+		Start: float64(epoch), End: float64(epoch), Epoch: epoch}, obs.SpanRef{})
+	movedBefore := c.stats.MovedW
+	defer func() {
+		c.epochSpan = obs.SpanRef{}
+		c.poolSeries.Observe(float64(epoch), c.poolW)
+		c.movedSer.Observe(float64(epoch), c.stats.MovedW-movedBefore)
+	}()
 
 	type request struct {
 		ns     *nodeState
@@ -540,6 +561,9 @@ func (c *Coordinator) moveCap(ns *nodeState, deltaW float64) {
 		c.obs.Emit(obs.Event{T: float64(c.arbEpoch), Node: ns.id,
 			Type: obs.EventCapGranted, Epoch: c.arbEpoch, Value: ns.capW})
 	}
+	c.obs.ChildSpan(obs.Span{Kind: obs.SpanCapGrant, Node: ns.id,
+		Start: float64(c.arbEpoch), End: float64(c.arbEpoch),
+		Epoch: c.arbEpoch, Value: ns.capW}, c.epochSpan)
 }
 
 // quantize rounds a watt amount down to the quantum grid (0 below it).

@@ -96,6 +96,8 @@ func (s *Server) Snapshot() error {
 //	GET  /fleet/status            -> FleetStatus
 //	GET  /metrics                 -> Prometheus text exposition
 //	GET  /v1/events   ?since=SEQ -> EventsDoc tail (events with seq > SEQ)
+//	GET  /v1/trace    ?since=SEQ -> TraceDoc tail (spans with seq > SEQ)
+//	GET  /v1/timeline             -> TimelineDoc (recorded fleet series)
 //	GET  /healthz                 -> 200 "ok"
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -104,6 +106,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/fleet/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/events", s.handleEvents)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/timeline", s.handleTimeline)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -179,25 +183,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = reg.WritePrometheus(w)
 }
 
+// sinceParam parses the optional ?since=SEQ cursor shared by the
+// journal and trace endpoints, answering 400 (and returning false) on
+// anything but a non-negative integer.
+func sinceParam(w http.ResponseWriter, req *http.Request) (int64, bool) {
+	raw := req.URL.Query().Get("since")
+	if raw == "" {
+		return 0, true
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
 // handleEvents serves the journal tail as a sturgeon/events/v1 document.
 // ?since=SEQ returns only events with a newer sequence number, so a
-// poller can page the journal without re-reading what it has seen.
+// poller can page the journal without re-reading what it has seen. When
+// the ring has wrapped past the cursor the response's "missing" field
+// counts the overwritten events, so the poller can tell a quiet journal
+// from a lossy gap.
 func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
-	var since int64
-	if raw := req.URL.Query().Get("since"); raw != "" {
-		v, err := strconv.ParseInt(raw, 10, 64)
-		if err != nil || v < 0 {
-			http.Error(w, "since must be a non-negative integer", http.StatusBadRequest)
-			return
-		}
-		since = v
+	since, ok := sinceParam(w, req)
+	if !ok {
+		return
 	}
 	var j *obs.Journal
 	if s.snk != nil {
 		j = s.snk.Journal
 	}
-	doc := &obs.EventsDoc{Schema: obs.EventsSchema, Dropped: j.Dropped(), Events: j.Since(since)}
-	writeDoc(w, doc)
+	writeDoc(w, j.DocSince(since))
+}
+
+// handleTrace serves the causal span tail as a sturgeon/trace/v1
+// document; the ?since= cursor and the "missing" gap accounting work
+// exactly as for /v1/events.
+func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	since, ok := sinceParam(w, req)
+	if !ok {
+		return
+	}
+	var t *obs.Tracer
+	if s.snk != nil {
+		t = s.snk.Trace
+	}
+	writeDoc(w, t.DocSince(since))
+}
+
+// handleTimeline serves the recorded fleet series as a
+// sturgeon/timeline/v1 document (empty without a recorder attached).
+func (s *Server) handleTimeline(w http.ResponseWriter, req *http.Request) {
+	var r *obs.Recorder
+	if s.snk != nil {
+		r = s.snk.Timeline
+	}
+	writeDoc(w, r.Doc())
 }
 
 func writeDoc(w http.ResponseWriter, v interface{}) {

@@ -261,3 +261,166 @@ func TestHTTPEventsPagination(t *testing.T) {
 		t.Fatalf("garbage cursor got %s, want 400", resp.Status)
 	}
 }
+
+// TestHTTPEventsSinceEdgeCases pins /v1/events cursor semantics at the
+// edges: negative cursors are a 400 (never a panic or a silent clamp),
+// cursors beyond the head return an empty tail, and a wrapped ring
+// documents the overwritten events in the response's "missing" field.
+func TestHTTPEventsSinceEdgeCases(t *testing.T) {
+	c, err := New(Options{BudgetW: 200, FleetSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(c)
+	sink := obs.New(4) // tiny journal so the ring wraps under test control
+	s.SetObs(sink)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	for _, since := range []string{"-1", "-100"} {
+		resp, err := http.Get(srv.URL + "/v1/events?since=" + since)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("since=%s got %s, want 400", since, resp.Status)
+		}
+	}
+
+	for i := 0; i < 6; i++ {
+		sink.Emit(obs.Event{T: float64(i), Type: obs.EventGovernorAdjust})
+	}
+
+	// Cursor far beyond the head: empty, and no phantom gap.
+	d := eventsAt(t, srv.URL, "1000000")
+	if len(d.Events) != 0 || d.Missing != 0 {
+		t.Fatalf("since-beyond-head: events %d missing %d, want 0/0", len(d.Events), d.Missing)
+	}
+
+	// Stale cursor against the wrapped ring: the tail comes back with the
+	// drop documented — seqs 1-2 were overwritten, so missing = 2.
+	d = eventsAt(t, srv.URL, "0")
+	if err := d.Validate(); err != nil {
+		t.Fatalf("wrapped-ring doc invalid: %v", err)
+	}
+	if len(d.Events) != 4 || d.Missing != 2 || d.Dropped != 2 {
+		t.Fatalf("wrapped ring: events %d missing %d dropped %d, want 4/2/2",
+			len(d.Events), d.Missing, d.Dropped)
+	}
+	// A cursor inside the retained window sees no gap.
+	if d = eventsAt(t, srv.URL, "4"); len(d.Events) != 2 || d.Missing != 0 {
+		t.Fatalf("in-window cursor: events %d missing %d, want 2/0", len(d.Events), d.Missing)
+	}
+}
+
+// traceAt fetches /v1/trace?since=N and validates the document.
+func traceAt(t *testing.T, base string, since string) *obs.TraceDoc {
+	t.Helper()
+	url := base + "/v1/trace"
+	if since != "" {
+		url += "?since=" + since
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var doc obs.TraceDoc
+	if err := jsonio.Decode(resp.Body, &doc); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return &doc
+}
+
+// TestHTTPTraceAndTimeline drives arbitration through the full server
+// and reads the causal trace and fleet timeline back over the wire:
+// grant spans must thread under their epoch span, the ?since= cursor
+// must page like the journal's, and the timeline must carry the
+// coordinator pool series.
+func TestHTTPTraceAndTimeline(t *testing.T) {
+	srv, cl, sink := newObsFixture(t, Options{BudgetW: 400, MinCapW: 60, MaxCapW: 140, FleetSize: 4})
+	ctx := context.Background()
+	ids := []string{"n0", "n1", "n2", "n3"}
+	caps := map[string]float64{"n0": 100, "n1": 100, "n2": 100, "n3": 100}
+	for e := 0; e <= 6; e++ {
+		for _, id := range ids {
+			slack, pw := 0.15, 90.0
+			switch id {
+			case "n0":
+				slack, pw = 0.05, caps[id]-0.5
+			case "n1":
+				slack, pw = 0.6, 70
+			}
+			g, err := cl.Report(ctx, report(id, e, slack, pw, caps[id]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps[id] = g.CapW
+		}
+	}
+
+	all := traceAt(t, srv.URL, "")
+	if err := all.Validate(); err != nil {
+		t.Fatalf("trace doc invalid: %v", err)
+	}
+	byID := map[string]obs.Span{}
+	for _, sp := range all.Spans {
+		byID[sp.ID] = sp
+	}
+	grants := 0
+	for _, sp := range all.Spans {
+		if sp.Kind != obs.SpanCapGrant {
+			continue
+		}
+		grants++
+		parent, ok := byID[sp.Parent]
+		if !ok || parent.Kind != obs.SpanCoordEpoch {
+			t.Fatalf("grant span %s not threaded under a coord_epoch (parent %q)", sp.ID, sp.Parent)
+		}
+	}
+	if grants == 0 {
+		t.Fatal("converging fleet traced no cap_grant spans")
+	}
+
+	mid := all.Spans[len(all.Spans)/2].Seq
+	tail := traceAt(t, srv.URL, strconv.FormatInt(mid, 10))
+	for _, sp := range tail.Spans {
+		if sp.Seq <= mid {
+			t.Fatalf("since=%d leaked span seq %d", mid, sp.Seq)
+		}
+	}
+	if last := sink.Trace.LastSeq(); len(traceAt(t, srv.URL, strconv.FormatInt(last, 10)).Spans) != 0 {
+		t.Fatal("since=last must return an empty span tail")
+	}
+	resp, err := http.Get(srv.URL + "/v1/trace?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage trace cursor got %s, want 400", resp.Status)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tl obs.TimelineDoc
+	if err := jsonio.Decode(resp.Body, &tl); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range tl.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"coordinator_pool_w", "coordinator_moved_w"} {
+		if !names[want] {
+			t.Errorf("/v1/timeline missing series %q (have %v)", want, names)
+		}
+	}
+}

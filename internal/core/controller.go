@@ -219,6 +219,8 @@ func (s *Sturgeon) Decide(ob control.Observation) hw.Config {
 		if s.obs.Active() {
 			reason := searchReason(first, slack, overload)
 			s.obs.Emit(obs.Event{T: ob.Time, Type: obs.EventSearch, Reason: reason})
+			s.obs.Span(obs.Span{Kind: obs.SpanSearch, Reason: reason,
+				Start: ob.Time, End: ob.Time, Value: float64(s.Searches)})
 			// Remember what the predictor promised for the installed
 			// configuration so the next measured interval can score it.
 			s.residCfg = cfg
@@ -310,4 +312,6 @@ func (s *Sturgeon) emitMove(ob control.Observation, next hw.Config, typ, reason 
 		Resource: s.balancer.lastTarget.String(),
 		Amount:   s.balancer.lastAmount,
 	})
+	s.obs.Span(obs.Span{Kind: obs.SpanHarvest, Reason: reason,
+		Start: ob.Time, End: ob.Time, Value: float64(s.balancer.lastAmount)})
 }

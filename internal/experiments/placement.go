@@ -52,7 +52,15 @@ func PlacementShowdown(env *Env) *trace.Table {
 			panic(fmt.Sprintf("experiments: placement fleet: %v", err))
 		}
 		c.Parallelism = env.Cfg.Parallelism
-		c.SetObs(env.Cfg.Obs)
+		if row.name == "placed-physics" {
+			// Only the placed-physics arm is instrumented: a shared sink
+			// fed by all three arms would interleave their journals and let
+			// each run's timeline overwrite the last (TSeries restarts when
+			// simulated time rewinds), so the exported decision trail
+			// describes exactly one attributable run — the arm cmd/obsreport
+			// analyzes in EXPERIMENTS.md's placement recipe.
+			c.SetObs(env.Cfg.Obs)
+		}
 		res := c.Run(o.Trace(), o.DurationS)
 		tbl.Addf(row.name, res.QoSRate, res.MeanBEThroughputUPS,
 			res.MeanPowerW, res.WorkPerKJ,

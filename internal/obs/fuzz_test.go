@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+
+	"sturgeon/internal/jsonio"
+)
+
+// FuzzTraceDecode hammers the trace document decoder: arbitrary bytes
+// must either fail cleanly or yield a document that re-validates and
+// round-trips — never panic, never accept a doc its own Validate
+// rejects.
+func FuzzTraceDecode(f *testing.F) {
+	tr := NewTracer(3, 8)
+	root := tr.Append(Span{Kind: SpanCoordEpoch, Start: 5, End: 5, Epoch: 1}, SpanRef{})
+	tr.Append(Span{Kind: SpanCapGrant, Node: "node-001", Start: 5, End: 6, Epoch: 1, Value: 96}, root)
+	if seed, err := jsonio.Marshal(tr.Doc()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"schema":"sturgeon/trace/v1","dropped":0,"spans":[]}`))
+	f.Add([]byte(`{"schema":"sturgeon/trace/v1","spans":[{"seq":1,"trace":"00","id":"00","kind":"x","start":-1,"end":0}]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var doc TraceDoc
+		if err := jsonio.Unmarshal(data, &doc); err != nil {
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("decoder admitted a doc Validate rejects: %v", err)
+		}
+		out, err := jsonio.Marshal(&doc)
+		if err != nil {
+			t.Fatalf("accepted doc failed to re-encode: %v", err)
+		}
+		var back TraceDoc
+		if err := jsonio.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded doc failed to decode: %v", err)
+		}
+	})
+}
+
+// FuzzTimelineDecode is the same contract for timeline documents, whose
+// validator carries the most arithmetic (bin alignment, mean-in-range)
+// and so the most edges to probe.
+func FuzzTimelineDecode(f *testing.F) {
+	rec := NewRecorder(8)
+	s := rec.Series("fleet_be_ups")
+	for i := 1; i <= 15; i++ {
+		s.Observe(float64(i), float64(i%4))
+	}
+	if seed, err := jsonio.Marshal(rec.Doc()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"schema":"sturgeon/timeline/v1","series":[]}`))
+	f.Add([]byte(`{"schema":"sturgeon/timeline/v1","series":[{"name":"x","raw":[{"t":1,"v":1}],"rollups":[{"res_s":10,"bins":[{"t0":3,"min":0,"max":0,"sum":9,"count":1}]}]}]}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var doc TimelineDoc
+		if err := jsonio.Unmarshal(data, &doc); err != nil {
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("decoder admitted a doc Validate rejects: %v", err)
+		}
+		out, err := jsonio.Marshal(&doc)
+		if err != nil {
+			t.Fatalf("accepted doc failed to re-encode: %v", err)
+		}
+		var back TimelineDoc
+		if err := jsonio.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded doc failed to decode: %v", err)
+		}
+	})
+}

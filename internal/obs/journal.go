@@ -142,6 +142,29 @@ func (j *Journal) Since(seq int64) []Event {
 	return out
 }
 
+// DrainTo re-appends every retained event with Seq > seq onto dst
+// (which stamps its own sequence numbers) and returns this journal's
+// newest sequence — the caller's next drain cursor. It serves the
+// cluster's per-interval serial merge: sequence numbers are contiguous,
+// so the cursor indexes straight into the ring and a drain costs
+// exactly the events moved, with no slice allocation (Since would
+// allocate one per interval on the stepping hot path).
+func (j *Journal) DrainTo(dst *Journal, seq int64) int64 {
+	if j == nil {
+		return seq
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	first := j.seq - int64(j.n) // seq before the oldest retained event
+	if seq < first {
+		seq = first
+	}
+	for s := seq + 1; s <= j.seq; s++ {
+		dst.Append(j.buf[(j.start+int(s-first-1))%len(j.buf)])
+	}
+	return j.seq
+}
+
 // LastSeq returns the newest assigned sequence number (0 before the
 // first append or through nil).
 func (j *Journal) LastSeq() int64 {
@@ -164,10 +187,13 @@ func (j *Journal) Dropped() int64 {
 }
 
 // EventsDoc is the persisted journal ("sturgeon/events/v1"): the
-// retained tail plus the count of events the ring dropped before it.
+// retained tail, the count of events the ring dropped before it, and —
+// for since-cursor reads — how many requested events had already been
+// overwritten (see Journal.DocSince; absent for full snapshots).
 type EventsDoc struct {
 	Schema  string  `json:"schema"`
 	Dropped int64   `json:"dropped"`
+	Missing int64   `json:"missing,omitempty"`
 	Events  []Event `json:"events"`
 }
 
@@ -176,8 +202,8 @@ func (d *EventsDoc) Validate() error {
 	if d.Schema != EventsSchema {
 		return fmt.Errorf("obs: events schema %q, want %q", d.Schema, EventsSchema)
 	}
-	if d.Dropped < 0 {
-		return fmt.Errorf("obs: negative dropped count %d", d.Dropped)
+	if d.Dropped < 0 || d.Missing < 0 {
+		return fmt.Errorf("obs: negative dropped/missing count (%d/%d)", d.Dropped, d.Missing)
 	}
 	var last int64
 	for i, ev := range d.Events {
@@ -204,4 +230,18 @@ func (j *Journal) Doc() *EventsDoc {
 		Dropped: j.Dropped(),
 		Events:  j.Since(0),
 	}
+}
+
+// DocSince snapshots the events after seq. Missing counts events the
+// caller asked for that the ring had already overwritten — a wrapped
+// ring answers a stale cursor with a gap, and this field is how the
+// response documents the drop (a quiet journal reports 0).
+func (j *Journal) DocSince(seq int64) *EventsDoc {
+	d := &EventsDoc{Schema: EventsSchema, Dropped: j.Dropped()}
+	if j == nil {
+		return d
+	}
+	d.Events = j.Since(seq)
+	d.Missing = missingSince(seq, j.LastSeq(), int64(len(d.Events)))
+	return d
 }

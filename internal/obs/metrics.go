@@ -145,6 +145,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	nameErr  error // first malformed-name rejection, sticky
 }
 
 // NewRegistry builds an empty registry.
@@ -157,7 +158,8 @@ func NewRegistry() *Registry {
 }
 
 // Counter returns (registering on first use) the named counter, or nil
-// through a nil registry or a name already claimed by another kind.
+// through a nil registry, a malformed name (recorded in NameError) or a
+// name already claimed by another kind.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil || name == "" {
 		return nil
@@ -167,7 +169,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
-	if r.gauges[name] != nil || r.hists[name] != nil {
+	if !r.admit(name) || r.gauges[name] != nil || r.hists[name] != nil {
 		return nil
 	}
 	c := &Counter{}
@@ -176,7 +178,7 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns (registering on first use) the named gauge, or nil
-// through a nil registry or a cross-kind name collision.
+// through a nil registry, a malformed name or a cross-kind collision.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil || name == "" {
 		return nil
@@ -186,7 +188,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
-	if r.counters[name] != nil || r.hists[name] != nil {
+	if !r.admit(name) || r.counters[name] != nil || r.hists[name] != nil {
 		return nil
 	}
 	g := &Gauge{}
@@ -197,7 +199,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns (registering on first use) the named histogram with
 // the given bucket upper bounds (sorted, +Inf implicit). Re-registration
 // returns the existing histogram regardless of the bounds passed; a nil
-// registry, an empty bound list or a cross-kind collision yields nil.
+// registry, an empty bound list, a malformed name or a cross-kind
+// collision yields nil.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	if r == nil || name == "" {
 		return nil
@@ -207,7 +210,7 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
-	if r.counters[name] != nil || r.gauges[name] != nil || len(bounds) == 0 {
+	if !r.admit(name) || r.counters[name] != nil || r.gauges[name] != nil || len(bounds) == 0 {
 		return nil
 	}
 	bs := append([]float64(nil), bounds...)
@@ -215,6 +218,126 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
 	r.hists[name] = h
 	return h
+}
+
+// admit validates name under r.mu, recording the first rejection.
+func (r *Registry) admit(name string) bool {
+	if err := ValidateMetricName(name); err != nil {
+		if r.nameErr == nil {
+			r.nameErr = err
+		}
+		return false
+	}
+	return true
+}
+
+// NameError returns the first malformed-name registration the registry
+// rejected (nil when every name so far was well-formed). Rejected
+// registrations hand back nil handles, which no-op — this is how a
+// misbehaving caller is surfaced without panicking a hot path.
+func (r *Registry) NameError() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nameErr
+}
+
+// ValidateMetricName checks a registry name against the Prometheus
+// exposition syntax the renderer assumes: a metric family
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) optionally followed by one {k="v",...}
+// label block whose keys match [a-zA-Z_][a-zA-Z0-9_]* and whose values
+// escape `\`, `"` and newline as \\, \" and \n.
+func ValidateMetricName(name string) error {
+	family, labels := splitName(name)
+	if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+		return fmt.Errorf("obs: metric name %q: label block not terminated by '}'", name)
+	}
+	if !validFamily(family) {
+		return fmt.Errorf("obs: metric name %q: family %q not [a-zA-Z_:][a-zA-Z0-9_:]*", name, family)
+	}
+	if labels == "" {
+		if strings.ContainsAny(name, "{}") && name != family {
+			return fmt.Errorf("obs: metric name %q: empty label block", name)
+		}
+		return nil
+	}
+	rest := labels
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("obs: metric name %q: label %q missing '='", name, rest)
+		}
+		key := rest[:eq]
+		if !validLabelKey(key) {
+			return fmt.Errorf("obs: metric name %q: label key %q not [a-zA-Z_][a-zA-Z0-9_]*", name, key)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("obs: metric name %q: label %q value not quoted", name, key)
+		}
+		end, err := scanLabelValue(rest[1:])
+		if err != nil {
+			return fmt.Errorf("obs: metric name %q: label %q: %v", name, key, err)
+		}
+		rest = rest[1+end+1:]
+		if rest == "" {
+			return nil
+		}
+		if rest[0] != ',' || len(rest) == 1 {
+			return fmt.Errorf("obs: metric name %q: labels must be comma-separated pairs", name)
+		}
+		rest = rest[1:]
+	}
+}
+
+// scanLabelValue scans an opened label value up to its closing quote,
+// returning the index of that quote. Only \\, \" and \n escapes are
+// admitted; raw newlines and unterminated values are rejected.
+func scanLabelValue(s string) (int, error) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return i, nil
+		case '\n':
+			return 0, fmt.Errorf("raw newline in value (escape as \\n)")
+		case '\\':
+			if i+1 >= len(s) || (s[i+1] != '\\' && s[i+1] != '"' && s[i+1] != 'n') {
+				return 0, fmt.Errorf("invalid escape in value (only \\\\, \\\" and \\n)")
+			}
+			i++
+		}
+	}
+	return 0, fmt.Errorf("unterminated value")
+}
+
+func validFamily(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
 }
 
 // CounterPoint is one counter in the JSON metrics document.

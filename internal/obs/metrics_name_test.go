@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestLabeledEscapesValues(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `m{node="plain"}`},
+		{`back\slash`, `m{node="back\\slash"}`},
+		{`quo"te`, `m{node="quo\"te"}`},
+		{"new\nline", `m{node="new\nline"}`},
+		{"all\\three\"\n", `m{node="all\\three\"\n"}`},
+	}
+	for _, c := range cases {
+		if got := Labeled("m", "node", c.in); got != c.want {
+			t.Errorf("Labeled(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabeledNamesRegisterAndRender(t *testing.T) {
+	// The full loop: a hostile label value goes through Labeled, registers
+	// cleanly, and renders as a parseable Prometheus sample line.
+	r := NewRegistry()
+	name := Labeled("node_cap_watts", "node", "host\"0\\a\nb")
+	g := r.Gauge(name)
+	if g == nil {
+		t.Fatalf("escaped name %q rejected: %v", name, r.NameError())
+	}
+	g.Set(98)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `node_cap_watts{node="host\"0\\a\nb"} 98`) {
+		t.Errorf("escaped sample not rendered:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("raw newline leaked into exposition output:\n%q", out)
+	}
+	if err := r.NameError(); err != nil {
+		t.Errorf("well-formed names recorded an error: %v", err)
+	}
+}
+
+func TestRegistryRejectsMalformedNames(t *testing.T) {
+	bad := []string{
+		"1starts_with_digit",
+		"has-dash",
+		"has space",
+		`unterminated{node="x"`,
+		`empty_block{}`,
+		`missing_eq{node}`,
+		`unquoted{node=x}`,
+		`unterminated_value{node="x}`,
+		`bad_escape{node="\t"}`,
+		"raw_newline{node=\"a\nb\"}",
+		`bad_key{no-de="x"}`,
+		`colon_key{no:de="x"}`,
+		`trailing_comma{node="x",}`,
+		`digit_key{0de="x"}`,
+	}
+	for _, name := range bad {
+		r := NewRegistry()
+		if r.Counter(name) != nil {
+			t.Errorf("malformed counter name %q accepted", name)
+			continue
+		}
+		err := r.NameError()
+		if err == nil {
+			t.Errorf("rejection of %q not recorded in NameError", name)
+		} else if !strings.Contains(err.Error(), strconv.Quote(name)) {
+			t.Errorf("NameError %q does not identify the offending name %q", err, name)
+		}
+		// All three kinds share the validator.
+		if NewRegistry().Gauge(name) != nil || NewRegistry().Histogram(name, 1) != nil {
+			t.Errorf("malformed name %q accepted by gauge/histogram", name)
+		}
+	}
+}
+
+func TestRegistryAcceptsWellFormedNames(t *testing.T) {
+	good := []string{
+		"simple_total",
+		"ns:subsystem:metric",
+		"_leading_underscore",
+		`one_label{node="node-003"}`,
+		`two_labels{a="x",b="y"}`,
+		`escaped{node="a\\b\"c\nd"}`,
+		`empty_value{node=""}`,
+	}
+	r := NewRegistry()
+	for _, name := range good {
+		if r.Counter(name) == nil {
+			t.Errorf("well-formed name %q rejected: %v", name, r.NameError())
+		}
+	}
+	if err := r.NameError(); err != nil {
+		t.Errorf("well-formed names recorded an error: %v", err)
+	}
+}
+
+func TestNameErrorSticky(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad-first")
+	r.Counter(`also{bad`)
+	err := r.NameError()
+	if err == nil || !strings.Contains(err.Error(), "bad-first") {
+		t.Fatalf("NameError must keep the first rejection, got %v", err)
+	}
+	// Malformed registrations must not claim the name: the handles no-op.
+	r.Counter("bad-first").Inc()
+	if len(r.Doc().Counters) != 0 {
+		t.Fatal("rejected name leaked into the registry")
+	}
+	var nilReg *Registry
+	if nilReg.NameError() != nil {
+		t.Fatal("nil registry must report no name error")
+	}
+}
