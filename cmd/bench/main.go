@@ -71,6 +71,8 @@ func main() {
 		"run the pinned even-split vs coordinated-caps pair and enforce the win gate")
 	placementPair := flag.Bool("placement", def.Placement,
 		"run the pinned random-pairing vs placement-engine pair and enforce the win gate")
+	partitionPair := flag.Bool("partition", def.Partition,
+		"run the pinned coordpartition8 stale-cap vs leased pair and enforce the leased-beats-cliff win gate")
 	fleet10k := flag.Bool("fleet10k", def.Fleet10k,
 		"run the pinned 10k-node diurnal scenario on the event engine")
 	fleet10kBudget := flag.Float64("fleet10k-budget", def.Fleet10kWallBudgetS,
@@ -101,6 +103,7 @@ func main() {
 		Repeats:      *repeat,
 		Coordination: *coordination,
 		Placement:    *placementPair,
+		Partition:    *partitionPair,
 		Fleet10k:     *fleet10k,
 
 		Fleet10kWallBudgetS: *fleet10kBudget,

@@ -9,8 +9,16 @@
 //
 //	sturgeond [-addr HOST:PORT] [-budget W] [-nodes N]
 //	          [-min-cap W] [-max-cap W] [-alpha F] [-beta F]
-//	          [-state DIR] [-snapshot-every D] [-timeline PATH]
-//	          [-journal N] [-pprof] [-seed N] [-json] [-version]
+//	          [-lease-ttl EPOCHS] [-state DIR] [-snapshot-every D]
+//	          [-timeline PATH] [-journal N] [-pprof] [-seed N]
+//	          [-json] [-version]
+//
+// With -lease-ttl every grant is a fenced lease: a node that misses that
+// many epochs of renewals has its watts reclaimed into the pool for
+// re-arbitration (the node, seeing its renewals fail, independently
+// ratchets itself toward its even-split floor), and stale grants are
+// fenced off by monotone per-node tokens. Without it a silent node
+// keeps its last cap frozen indefinitely.
 //
 // Without -state the daemon is stateless across restarts: nodes keep
 // running on their last-granted caps while it is down and re-adopt on
@@ -63,6 +71,8 @@ type banner struct {
 	MaxCapW float64 `json:"max_cap_w"`
 	Alpha   float64 `json:"alpha"`
 	Beta    float64 `json:"beta"`
+	// LeaseTTL is the grant lease TTL in epochs (0 = stale-freeze).
+	LeaseTTL int `json:"lease_ttl_epochs,omitempty"`
 	// StateDir is the durable state directory ("" = stateless);
 	// Recovery the recovery path taken when state was loaded.
 	StateDir string `json:"state_dir,omitempty"`
@@ -81,6 +91,8 @@ func main() {
 	flag.Float64Var(&cfg.opt.MaxCapW, "max-cap", 0, "per-node cap ceiling in watts (0 = default)")
 	flag.Float64Var(&cfg.opt.Alpha, "alpha", 0, "lower slack band bound (0 = default 0.10)")
 	flag.Float64Var(&cfg.opt.Beta, "beta", 0, "upper slack band bound (0 = default 0.20)")
+	flag.IntVar(&cfg.opt.LeaseEpochs, "lease-ttl", 0,
+		"grant lease TTL in epochs: a node silent this long has its watts reclaimed into the pool (0 = legacy stale-freeze)")
 	flag.StringVar(&cfg.stateDir, "state", "", "durable state directory (empty = stateless across restarts)")
 	flag.DurationVar(&cfg.snapEvery, "snapshot-every", 30*time.Second,
 		"background snapshot period with -state (0 disables the ticker; SIGTERM still snapshots)")
@@ -143,6 +155,7 @@ func main() {
 	b := banner{
 		Addr: ln.Addr().String(), BudgetW: eff.BudgetW, Nodes: eff.FleetSize,
 		MinCapW: eff.MinCapW, MaxCapW: eff.MaxCapW, Alpha: eff.Alpha, Beta: eff.Beta,
+		LeaseTTL: eff.LeaseEpochs,
 		StateDir: cfg.stateDir,
 	}
 	if cfg.stateDir != "" {
@@ -151,8 +164,12 @@ func main() {
 	if common.JSON {
 		_ = jsonio.Encode(os.Stdout, b)
 	} else {
-		fmt.Printf("sturgeond listening on %s: budget %.0f W over %d nodes, caps [%.0f, %.0f] W, band [%.2f, %.2f]\n",
-			b.Addr, b.BudgetW, b.Nodes, b.MinCapW, b.MaxCapW, b.Alpha, b.Beta)
+		lease := "stale-freeze"
+		if b.LeaseTTL > 0 {
+			lease = fmt.Sprintf("lease %d epochs", b.LeaseTTL)
+		}
+		fmt.Printf("sturgeond listening on %s: budget %.0f W over %d nodes, caps [%.0f, %.0f] W, band [%.2f, %.2f], %s\n",
+			b.Addr, b.BudgetW, b.Nodes, b.MinCapW, b.MaxCapW, b.Alpha, b.Beta, lease)
 	}
 
 	// Background snapshot ticker: bounds the log replay a crash recovery

@@ -225,6 +225,53 @@ func TestMatrixSeedsAreDistinct(t *testing.T) {
 	}
 }
 
+// TestPartitionWinGate runs the pinned coordpartition8 stale-cap vs
+// leased pair end to end (serial plus one pooled level) and requires
+// Execute to enforce the acceptance gate: fenced leases with the
+// degraded-mode ratchet must end the partitioned run with at least the
+// best-effort throughput of freezing the last grant, with the attached
+// budget invariant checker clean on both arms (a violated run never
+// reaches the report — measureOnce fails it).
+func TestPartitionWinGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("480 s partition pair is not a -short test")
+	}
+	rep, err := Execute(Options{
+		Parallelisms: []int{1, 4},
+		Seed:         DefaultOptions().Seed,
+		Repeats:      1,
+		Partition:    true,
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("partitioned replay diverged across parallelism levels")
+	}
+	stale, leased := PartitionPair()
+	var s, l *Run
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		if r.Parallelism != 1 {
+			continue
+		}
+		switch r.Scenario {
+		case stale.Name:
+			s = r
+		case leased.Name:
+			l = r
+		}
+	}
+	if s == nil || l == nil {
+		t.Fatalf("pair missing from report: %+v", rep.Runs)
+	}
+	t.Logf("stale: qos %.6f be %.2f | leased: qos %.6f be %.2f",
+		s.QoSRate, s.BEThroughputUPS, l.QoSRate, l.BEThroughputUPS)
+	if l.BEThroughputUPS < s.BEThroughputUPS {
+		t.Fatal("partition win gate should have failed Execute, but Execute returned nil error")
+	}
+}
+
 // TestCoordinationWinGate runs the pinned even-split vs coordinated pair
 // end to end (serial plus one pooled level) and requires Execute to
 // enforce the acceptance gate: the coordinated fleet — chaos plan and

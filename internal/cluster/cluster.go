@@ -19,6 +19,7 @@ import (
 	"sturgeon/internal/coordinator"
 	"sturgeon/internal/faults"
 	"sturgeon/internal/hw"
+	"sturgeon/internal/invariant"
 	"sturgeon/internal/obs"
 	"sturgeon/internal/pool"
 	"sturgeon/internal/power"
@@ -237,6 +238,13 @@ type Coordination struct {
 	// the store the dead coordinator was persisting into). Nil, or an
 	// erroring Restart, keeps the coordinator down for the epoch.
 	Restart func() (coordinator.Transport, coordinator.RecoveryInfo, error)
+	// RatchetSteps is the degraded-mode descent length in governor
+	// intervals (simulated seconds): a node whose lease renewals stop
+	// ratchets from its leased cap to its lease floor over this many
+	// seconds, clamped so it lands no later than the lease expiry
+	// (default control.DefaultRatchetSteps). Only read once the
+	// coordinator's grants carry leases (coordinator.Options.LeaseEpochs).
+	RatchetSteps int
 }
 
 func (c *Coordination) epochS() int {
@@ -261,6 +269,18 @@ type CoordStats struct {
 	CrashEpochs, Recoveries int
 	// MovedW is the cumulative |Δcap| the fleet applied.
 	MovedW float64
+	// Leased marks runs whose grants carried fenced leases.
+	// DegradedEpisodes counts entries into autonomous degraded mode
+	// (first missed renewal of an episode), DegradedExits the renewals
+	// that ended one, and StaleGrantRejects the grants the fencing token
+	// refused; LeaseRatchetW is the cumulative watt volume the autonomous
+	// ratchet shed.
+	Leased                                             bool
+	DegradedEpisodes, DegradedExits, StaleGrantRejects int
+	LeaseRatchetW                                      float64
+	// Net tallies the message fates imposed by a coordinator.NetChaos
+	// transport wrapper (zero when the run had none).
+	Net coordinator.NetStats
 }
 
 // Engine selects the fleet stepping strategy.
@@ -325,6 +345,12 @@ type Cluster struct {
 	// cross-engine equivalence.
 	TraceBreaks []int
 
+	// Invariants, when non-nil, receives the fleet's effective-cap view
+	// every merged second and the coordinator's ground-truth status after
+	// every reachable epoch exchange (internal/invariant). Strictly
+	// read-only: attaching a checker never changes a run's results.
+	Invariants *invariant.Checker
+
 	// rng is the fleet's sole randomness source, injected via the New
 	// seed — no package-level math/rand is consulted anywhere, so two
 	// clusters built with the same seed behave identically (including
@@ -333,6 +359,17 @@ type Cluster struct {
 	// caps is each node's power cap currently in force: Budget
 	// everywhere until a coordinator grant moves it.
 	caps []power.Watts
+	// leases tracks each node's fenced cap lease; nil until the first
+	// leased grant arrives (coordinator.Options.LeaseEpochs > 0), so
+	// lease-free fleets take none of these paths. ratcheted flags nodes
+	// whose cap the autonomous ratchet moved during the current merge —
+	// the event engine routes those cap changes through KindLease
+	// wake-ups instead of settle events, which is what makes the lease
+	// wake category load-bearing (and testable by dropping it).
+	leases    []control.LeaseTracker
+	ratcheted []bool
+	// invViews is the reusable scratch buffer behind observeInvariants.
+	invViews []invariant.NodeView
 
 	// Observability (nil = uninstrumented; see SetObs). nodeSinks holds
 	// one staging child per node, drained serially by drainNode; drained
@@ -370,6 +407,7 @@ type Cluster struct {
 	testDropTraceWakes  bool
 	testDropHealthWakes bool
 	testDropPlaceWakes  bool
+	testDropLeaseWakes  bool
 
 	// testDisableMemo forces cross-node memo sharing off in runEvent.
 	// The obs-overhead gate sets it on the nil-sink baseline so both
@@ -586,6 +624,17 @@ func (r Result) Summary() string {
 			fmt.Fprintf(&b, "coord_crash epochs %d recoveries %d\n",
 				r.Coord.CrashEpochs, r.Coord.Recoveries)
 		}
+		if r.Coord.Leased {
+			fmt.Fprintf(&b, "coord_lease degraded %d exits %d stale_rejects %d ratchet_w %.2f\n",
+				r.Coord.DegradedEpisodes, r.Coord.DegradedExits,
+				r.Coord.StaleGrantRejects, r.Coord.LeaseRatchetW)
+		}
+		if r.Coord.Net != (coordinator.NetStats{}) {
+			fmt.Fprintf(&b, "coord_net part_out %d part_in %d dropped %d delayed %d late %d dup %d reorder %d\n",
+				r.Coord.Net.PartitionedOut, r.Coord.Net.PartitionedIn, r.Coord.Net.Dropped,
+				r.Coord.Net.Delayed, r.Coord.Net.DeliveredLate, r.Coord.Net.Duplicated,
+				r.Coord.Net.Reordered)
+		}
 	}
 	if r.Placed {
 		fmt.Fprintf(&b, "placement jobs %d plans %d moves %d starved %d consolidate %d warmup_lost_ups %.2f\n",
@@ -797,12 +846,18 @@ func (c *Cluster) mergeSecond(step int, t, total float64, outs []stepOutcome,
 		if (step+1)%epochS == 0 {
 			c.exchangeGrants((step+1)/epochS, states, res)
 		}
+		if c.leases != nil {
+			c.applyRatchet(t, res)
+		}
 		lo, hi := c.caps[0], c.caps[0]
 		for _, w := range c.caps {
 			lo = min(lo, w)
 			hi = max(hi, w)
 		}
 		rep.CapSpreadW = float64(hi - lo)
+	}
+	if c.Invariants != nil {
+		c.observeInvariants(t)
 	}
 
 	// Placement epochs run after coordination so the planner sees the
@@ -853,6 +908,11 @@ func (c *Cluster) finish(res *Result, wOK, wQ, sumBE, sumPW float64, durationS i
 	if c.Place != nil {
 		res.Placed = true
 		res.Place.Jobs = len(c.Place.Jobs)
+	}
+	if res.Coordinated {
+		if nc, ok := c.Coord.Transport.(*coordinator.NetChaos); ok {
+			res.Coord.Net = nc.Stats()
+		}
 	}
 
 	if wQ > 0 {
@@ -921,6 +981,7 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 	res.Coordinated = true
 	res.Coord.Epochs++
 	cd := c.Coord
+	tEpoch := float64(epoch * cd.epochS())
 	// Coordinator kill windows come before everything else: a crashed
 	// coordinator can neither serve grants nor suffer a mere network
 	// outage. Restart fires on the first epoch past a window, standing a
@@ -930,6 +991,7 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 		if cd.Kill.DownAt(epoch) {
 			res.Coord.CrashEpochs++
 			res.Coord.Fallbacks += len(c.Nodes)
+			c.leaseMissAll(tEpoch, epoch, res)
 			return
 		}
 		if cd.Kill.RestartAt(epoch) {
@@ -939,6 +1001,7 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 				// stays down this epoch; nodes keep their last-granted caps.
 				res.Coord.CrashEpochs++
 				res.Coord.Fallbacks += len(c.Nodes)
+				c.leaseMissAll(tEpoch, epoch, res)
 				return
 			}
 			cd.Transport = tr
@@ -954,13 +1017,13 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 	if cd.Chaos.Outage(epoch) {
 		res.Coord.OutageEpochs++
 		res.Coord.Fallbacks += len(c.Nodes)
+		c.leaseMissAll(tEpoch, epoch, res)
 		return
 	}
 	// The epoch-close span roots this epoch's causal chain; every cap
 	// change that lands below links back to it, and the receiving node's
 	// sink carries the grant ref forward so the governor/search spans the
 	// grant provokes chain under it end to end.
-	tEpoch := float64(epoch * cd.epochS())
 	epochRef := c.obs.ChildSpan(obs.Span{Kind: obs.SpanCoordEpoch,
 		Start: tEpoch, End: tEpoch, Epoch: epoch}, obs.SpanRef{})
 	target := c.LS.QoSTargetS
@@ -968,13 +1031,18 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 		if cd.Chaos.Dropped(epoch, i) {
 			res.Coord.DroppedReports++
 			res.Coord.Fallbacks++
+			c.leaseMiss(i, tEpoch, epoch, res)
 			continue
 		}
 		last := states[i].Last
 		p95 := last.P95
 		if math.IsNaN(p95) || math.IsInf(p95, 0) || target <= 0 {
 			// Blind latency telemetry: nothing arbitration-worthy to say.
+			// From the lease's point of view a withheld report is a missed
+			// renewal all the same — the coordinator will expire the grant
+			// either way, so the node must start degrading toward its floor.
 			res.Coord.Fallbacks++
+			c.leaseMiss(i, tEpoch, epoch, res)
 			continue
 		}
 		r := coordinator.NodeReport{
@@ -991,7 +1059,34 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 		g, err := cd.Transport.Report(context.Background(), r)
 		if err != nil {
 			res.Coord.Fallbacks++
+			c.leaseMiss(i, tEpoch, epoch, res)
 			continue
+		}
+		if g.LeaseEpochs > 0 {
+			c.ensureLeases()
+			lt := &c.leases[i]
+			wasDegraded, since := lt.Degraded(), lt.DegradedSince()
+			lease := control.Lease{CapW: power.Watts(g.CapW), FloorW: power.Watts(g.FloorW),
+				Token: g.Token, ExpiresAtS: float64((epoch + g.LeaseEpochs) * cd.epochS())}
+			if !lt.Renew(lease) {
+				// Fencing: a grant carrying an older token than one already
+				// accepted is a pre-partition straggler; applying it could
+				// resurrect a cap the coordinator has since reclaimed.
+				res.Coord.StaleGrantRejects++
+				res.Coord.Fallbacks++
+				c.leaseMiss(i, tEpoch, epoch, res)
+				continue
+			}
+			res.Coord.Leased = true
+			if wasDegraded {
+				res.Coord.DegradedExits++
+				if c.obs != nil {
+					c.obs.Emit(obs.Event{T: tEpoch, Node: r.NodeID,
+						Type: obs.EventDegradedExit, Epoch: epoch, Value: g.CapW})
+					c.obs.Span(obs.Span{Kind: obs.SpanDegraded, Node: r.NodeID,
+						Start: since, End: tEpoch, Epoch: epoch, Value: g.FloorW})
+				}
+			}
 		}
 		if next := power.Watts(g.CapW); g.CapW > 0 && next != c.caps[i] {
 			res.Coord.MovedW += math.Abs(g.CapW - float64(c.caps[i]))
@@ -1010,4 +1105,112 @@ func (c *Cluster) exchangeGrants(epoch int, states []NodeState, res *Result) {
 			}
 		}
 	}
+	// Ground truth for the invariant harness: the status fetch is
+	// out-of-band observation, not node traffic (NetChaos passes it
+	// through), and is skipped whole on killed/outage epochs above — a
+	// down coordinator answers nothing.
+	if c.Invariants != nil {
+		if st, err := cd.Transport.Status(context.Background()); err == nil {
+			c.Invariants.ObserveStatus(tEpoch, st)
+		}
+	}
+}
+
+// ensureLeases allocates the per-node lease trackers on the first
+// leased grant. Allocation happens inside the serial merge, so the
+// lease state is a pure function of the grant sequence.
+func (c *Cluster) ensureLeases() {
+	if c.leases != nil {
+		return
+	}
+	c.leases = make([]control.LeaseTracker, len(c.Nodes))
+	c.ratcheted = make([]bool, len(c.Nodes))
+	if c.Coord.RatchetSteps > 0 {
+		for i := range c.leases {
+			c.leases[i].RatchetSteps = c.Coord.RatchetSteps
+		}
+	}
+}
+
+// leaseMiss records a failed renewal for node i at time t. The first
+// miss of an episode enters autonomous degraded mode: from the next
+// interval on, applyRatchet walks the node's cap down toward its lease
+// floor. No-op while the node holds no lease (lease-free fleets, or a
+// node partitioned away before its first grant — its boot-time static
+// cap is already the even split the floor would impose).
+func (c *Cluster) leaseMiss(i int, t float64, epoch int, res *Result) {
+	if c.leases == nil {
+		return
+	}
+	if c.leases[i].Miss(t) {
+		res.Coord.DegradedEpisodes++
+		if c.obs != nil {
+			c.obs.Emit(obs.Event{T: t, Node: NodeID(i), Type: obs.EventDegradedEnter,
+				Epoch: epoch, Value: float64(c.caps[i])})
+		}
+	}
+}
+
+// leaseMissAll records a missed renewal for every node — the whole-fleet
+// failure modes (coordinator kill, outage window).
+func (c *Cluster) leaseMissAll(t float64, epoch int, res *Result) {
+	for i := range c.leases {
+		c.leaseMiss(i, t, epoch, res)
+	}
+}
+
+// applyRatchet advances every degraded node's autonomous cap descent by
+// one governor interval: the cap applied at the end of second t governs
+// second t+1, so it is evaluated at t+1 — by the lease expiry the node
+// is exactly at its floor, meeting the coordinator's reclaim from the
+// other side. Runs in the serial merge right after the coordination
+// exchange; the event engine routes the resulting cap changes through
+// KindLease wake-ups (engine.go).
+func (c *Cluster) applyRatchet(t float64, res *Result) {
+	for i := range c.leases {
+		c.ratcheted[i] = false
+		lt := &c.leases[i]
+		if !lt.Degraded() {
+			continue
+		}
+		w, ok := lt.CapAt(t + 1)
+		if !ok || w == c.caps[i] {
+			continue
+		}
+		res.Coord.LeaseRatchetW += math.Abs(float64(w - c.caps[i]))
+		c.caps[i] = w
+		c.ratcheted[i] = true
+		if cs, ok := c.Ctrls[i].(control.CapSetter); ok {
+			cs.SetBudget(w)
+		}
+		if c.obs != nil {
+			c.capGauges[i].Set(float64(w))
+		}
+	}
+}
+
+// observeInvariants feeds the checker one second's fleet view: the caps
+// in force entering second t+1 against the coordinator book recorded at
+// the newest reachable epoch. Between epochs the book is stale but caps
+// only move down (the ratchet), so staleness can never mask a
+// violation.
+func (c *Cluster) observeInvariants(t float64) {
+	if cap(c.invViews) < len(c.Nodes) {
+		c.invViews = make([]invariant.NodeView, len(c.Nodes))
+	}
+	views := c.invViews[:len(c.Nodes)]
+	for i := range c.Nodes {
+		v := invariant.NodeView{ID: NodeID(i), EffCapW: float64(c.caps[i])}
+		if c.leases != nil {
+			if lt := &c.leases[i]; lt.Active() {
+				l := lt.Lease()
+				v.LeaseCapW = float64(l.CapW)
+				v.FloorW = float64(l.FloorW)
+				v.Degraded = lt.Degraded()
+				v.ExpiresAtS = l.ExpiresAtS
+			}
+		}
+		views[i] = v
+	}
+	c.Invariants.CheckSecond(t, views)
 }

@@ -55,6 +55,21 @@ type CoordFleetOptions struct {
 	// destroys the in-memory arbiter, and coordinator.Recover stands the
 	// replacement up from snapshot + record log. Requires Coordinated.
 	CrashRestart bool
+	// Leased turns every grant into a fenced lease with a two-epoch TTL
+	// (coordinator.Options.LeaseEpochs): missed renewals ratchet the
+	// node toward its even-split floor while the coordinator reclaims
+	// the expired watts for re-arbitration. Requires Coordinated.
+	Leased bool
+	// Partition wraps the transport in the pinned coordpartition8
+	// schedule (PartitionWindows): one node fully partitioned across
+	// its load decline, one node losing only the grant direction. With
+	// Leased=false this is the stale-cap-cliff baseline the
+	// leased-beats-cliff win gate compares against.
+	Partition bool
+	// Net, when non-nil, wraps the transport in this network-fault plan
+	// instead of the pinned Partition windows — the chaos battery's
+	// randomized schedules. Mutually exclusive with Partition.
+	Net *faults.NetPlan
 }
 
 // DefaultCoordFleet is the pinned comparison point: 8 nodes at a 98 W
@@ -79,6 +94,34 @@ func DefaultCoordFleet(seed int64) CoordFleetOptions {
 // Trace returns the scenario's diurnal load trace.
 func (o CoordFleetOptions) Trace() workload.Trace {
 	return workload.Diurnal(o.LoadLo, o.LoadHi, float64(o.DurationS))
+}
+
+// PartitionWindows is the pinned coordpartition8 schedule, scaled to
+// the run's epoch count. Node 7 loses both directions right after its
+// skew peak (t≈180 of 480) and stays dark across its load decline: its
+// high-water cap — granted while it was the fleet's hungriest node —
+// would otherwise stay stranded on a node that no longer needs the
+// watts, exactly when the nodes peaking next (5, then 4) are pinned
+// with their best-effort at the frequency floor, where a reclaimed
+// watt buys the most work. Node 5 loses only the grant direction late
+// in the run: its reports keep renewing the server-side lease while
+// the node itself, hearing nothing, degrades to its floor — the
+// asymmetric case the budget invariant's in-flight slack term exists
+// for.
+func PartitionWindows(epochs, nodes int) []faults.NetWindow {
+	e := func(f float64) int { return int(f * float64(epochs)) }
+	ws := []faults.NetWindow{
+		{Node: 7, Dir: faults.DirReport, Start: e(0.42), End: e(0.75)},
+		{Node: 7, Dir: faults.DirGrant, Start: e(0.42), End: e(0.75)},
+		{Node: 5, Dir: faults.DirGrant, Start: e(0.73), End: e(0.81)},
+	}
+	out := ws[:0]
+	for _, w := range ws {
+		if w.Node < nodes {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // BuildCoordFleet materializes the scenario: a memcached+raytrace fleet
@@ -119,6 +162,9 @@ func BuildCoordFleet(o CoordFleetOptions) (*Cluster, error) {
 		MaxCapW:   o.MaxCapW,
 		FleetSize: o.Nodes,
 	}
+	if o.Leased {
+		copt.LeaseEpochs = 2
+	}
 	co, err := coordinator.New(copt)
 	if err != nil {
 		return nil, err
@@ -147,6 +193,29 @@ func BuildCoordFleet(o CoordFleetOptions) (*Cluster, error) {
 			}
 			return &coordinator.DurableLocal{C: rc,
 				P: &coordinator.Persist{Store: store, SnapshotEvery: snapEvery}}, info, nil
+		}
+	}
+	plan := o.Net
+	if plan == nil && o.Partition {
+		epochs := o.DurationS / o.EpochS
+		plan = faults.ManualNet(epochs, o.Nodes, PartitionWindows(epochs, o.Nodes)...)
+	}
+	if plan != nil {
+		// The chaos wrapper survives coordinator restarts: a kill replaces
+		// the inner transport, not the network between the fleet and it,
+		// so the recovered coordinator sits behind the same schedule and
+		// the same running tallies.
+		nc := &coordinator.NetChaos{Inner: cd.Transport, Plan: plan}
+		cd.Transport = nc
+		if prev := cd.Restart; prev != nil {
+			cd.Restart = func() (coordinator.Transport, coordinator.RecoveryInfo, error) {
+				tr, info, err := prev()
+				if err != nil {
+					return nil, info, err
+				}
+				nc.Inner = tr
+				return nc, info, nil
+			}
 		}
 	}
 	c.Coord = cd

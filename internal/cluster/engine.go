@@ -332,9 +332,16 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 		for i := 0; i < n; i++ {
 			o := &outs[i]
 			dead := o.crashed || o.st.Power <= 0
+			// A cap moved by the lease ratchet is not a settle trigger: the
+			// descent is driven by its own wake-up kind below, so a
+			// degraded node still counts as settled and the lease category
+			// stays load-bearing (droppable by testDropLeaseWakes alone).
+			// The steady-replay gate above still compares caps, so a
+			// forgiven node re-steps — never replays — under its new cap.
+			ratcheted := c.ratcheted != nil && c.ratcheted[i]
 			steady := !o.crashed && o.held && rt[i].det && rt[i].steadyCtrl != nil &&
 				o.st.Faults == 0 && rt[i].preBacklog == 0 && c.Nodes[i].Backlog() == 0 &&
-				c.caps[i] == rt[i].lastCap && !c.placeTouched(i, step)
+				(c.caps[i] == rt[i].lastCap || ratcheted) && !c.placeTouched(i, step)
 			rt[i].steady = steady
 			rt[i].lastOut = *o
 			rt[i].lastDead = dead
@@ -343,6 +350,14 @@ func (c *Cluster) runEvent(tr workload.Trace, durationS int) Result {
 			}
 			if !steady && step+1 < durationS {
 				q.Schedule(des.Event{Step: step + 1, Node: i, Kind: des.KindSettle})
+			}
+			// Lease wake-ups keep a degraded node's descent on schedule
+			// through quiescent stretches: one wake per second while the
+			// cap just moved (the second after it must observe the new cap)
+			// or while the tracker still has watts to shed.
+			if !c.testDropLeaseWakes && step+1 < durationS &&
+				(ratcheted || (c.leases != nil && c.leases[i].Ratcheting(t+1))) {
+				q.Schedule(des.Event{Step: step + 1, Node: i, Kind: des.KindLease})
 			}
 			if inj := c.injector(i); inj != nil && !c.testDropFaultWakes {
 				if na := inj.Plan.NextActive(step + 1); na >= 0 && na < durationS {

@@ -1,0 +1,162 @@
+package control
+
+import "sturgeon/internal/power"
+
+// Node-side half of the coordinator's fenced cap leases. A grant is no
+// longer a cap the node may ride forever: it is a lease with a fencing
+// token and an expiry in simulated seconds. While renewals keep
+// arriving the tracker is pass-through; when a renewal is missed the
+// node enters autonomous degraded mode and ratchets its effective cap
+// down toward the lease floor over a configurable number of governor
+// intervals — reaching the floor no later than the lease expiry, which
+// is exactly when the coordinator reclaims the same watts into its
+// pool. Rejoin is a normal renewal: a grant carrying a token at least
+// as new as the last accepted one re-syncs the node; anything older is
+// a delayed duplicate from before the partition and is rejected.
+
+// Lease is one fenced cap grant as seen by a node.
+type Lease struct {
+	// CapW is the granted cap; FloorW the safe floor degraded mode
+	// descends toward (never above CapW in effect: a sub-floor grant
+	// simply holds).
+	CapW   power.Watts
+	FloorW power.Watts
+	// Token is the per-node fencing token — strictly increasing across
+	// the coordinator's applied reports, so a stale grant is detectable.
+	Token int64
+	// ExpiresAtS is the lease deadline in simulated seconds: the moment
+	// the coordinator may reclaim the lease, and the latest moment the
+	// ratchet lands on the floor.
+	ExpiresAtS float64
+}
+
+// DefaultRatchetSteps is the degraded-mode descent length (in governor
+// intervals) used when LeaseTracker.RatchetSteps is unset.
+const DefaultRatchetSteps = 5
+
+// LeaseTracker tracks one node's current lease and degraded-mode
+// state. The zero value is ready: no lease yet, not degraded.
+type LeaseTracker struct {
+	// RatchetSteps is how many governor intervals (simulated seconds)
+	// the degraded ratchet spreads the descent over. The effective
+	// window is never longer than the time left to expiry, so the floor
+	// is always reached by the deadline. Default DefaultRatchetSteps.
+	RatchetSteps int
+
+	lease        Lease
+	haveLease    bool
+	degraded     bool
+	missT        float64
+	staleRejects int
+}
+
+// Active reports whether the node holds a lease at all (i.e., has ever
+// accepted a grant).
+func (lt *LeaseTracker) Active() bool { return lt.haveLease }
+
+// Degraded reports whether the node is in autonomous degraded mode.
+func (lt *LeaseTracker) Degraded() bool { return lt.degraded }
+
+// Lease returns the last accepted lease (zero before the first Renew).
+func (lt *LeaseTracker) Lease() Lease { return lt.lease }
+
+// StaleRejects returns how many grants were rejected for carrying an
+// out-of-date fencing token.
+func (lt *LeaseTracker) StaleRejects() int { return lt.staleRejects }
+
+// DegradedSince returns the simulated second the current degraded
+// episode began (0 while healthy) — the start edge of the degraded
+// span a rejoin closes.
+func (lt *LeaseTracker) DegradedSince() float64 {
+	if !lt.degraded {
+		return 0
+	}
+	return lt.missT
+}
+
+// Renew offers a fresh lease. A token older than the last accepted one
+// is a delayed duplicate from before a partition: it is rejected and
+// counted, and the tracker's state does not change. An accepted lease
+// ends any degraded episode.
+func (lt *LeaseTracker) Renew(l Lease) bool {
+	if lt.haveLease && l.Token < lt.lease.Token {
+		lt.staleRejects++
+		return false
+	}
+	lt.lease = l
+	lt.haveLease = true
+	lt.degraded = false
+	return true
+}
+
+// Miss records a failed renewal at simulated second t and reports
+// whether this miss begins a degraded episode (false while already
+// degraded, or before any lease exists to degrade from).
+func (lt *LeaseTracker) Miss(t float64) bool {
+	if !lt.haveLease || lt.degraded {
+		return false
+	}
+	lt.degraded = true
+	lt.missT = t
+	return true
+}
+
+// floorW is the descent target: the floor, except a lease already at
+// or under it simply holds.
+func (lt *LeaseTracker) floorW() power.Watts {
+	if lt.lease.CapW < lt.lease.FloorW {
+		return lt.lease.CapW
+	}
+	return lt.lease.FloorW
+}
+
+// CapAt returns the effective cap at simulated second t and whether a
+// lease governs the node at all (false before the first grant, when
+// the caller's static cap stands). While healthy the effective cap is
+// the leased cap; while degraded it descends linearly from the leased
+// cap to the floor over min(RatchetSteps, time-to-expiry) seconds and
+// is exactly the floor at and after the lease expiry.
+func (lt *LeaseTracker) CapAt(t float64) (power.Watts, bool) {
+	if !lt.haveLease {
+		return 0, false
+	}
+	if !lt.degraded {
+		return lt.lease.CapW, true
+	}
+	target := lt.floorW()
+	if t >= lt.lease.ExpiresAtS {
+		return target, true
+	}
+	steps := lt.RatchetSteps
+	if steps <= 0 {
+		steps = DefaultRatchetSteps
+	}
+	window := lt.lease.ExpiresAtS - lt.missT
+	if w := float64(steps); w < window {
+		window = w
+	}
+	if window < 1 {
+		window = 1
+	}
+	frac := (t - lt.missT) / window
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return lt.lease.CapW - power.Watts(frac)*(lt.lease.CapW-target), true
+}
+
+// Ratcheting reports whether the effective cap is still moving at
+// second t — true while a degraded node's descent has not yet landed
+// on its target. The event engine schedules per-second lease wake-ups
+// exactly while this holds, so a quiescent node still degrades on
+// time.
+func (lt *LeaseTracker) Ratcheting(t float64) bool {
+	if !lt.haveLease || !lt.degraded {
+		return false
+	}
+	cap, _ := lt.CapAt(t)
+	return cap > lt.floorW()
+}

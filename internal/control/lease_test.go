@@ -1,0 +1,150 @@
+package control
+
+import (
+	"testing"
+
+	"sturgeon/internal/power"
+)
+
+func lease(capW, floorW power.Watts, token int64, expiresAtS float64) Lease {
+	return Lease{CapW: capW, FloorW: floorW, Token: token, ExpiresAtS: expiresAtS}
+}
+
+func TestLeaseTrackerZeroValue(t *testing.T) {
+	var lt LeaseTracker
+	if lt.Active() || lt.Degraded() || lt.Ratcheting(0) {
+		t.Fatal("zero tracker claims state it cannot have")
+	}
+	if _, ok := lt.CapAt(10); ok {
+		t.Fatal("zero tracker governs a cap before any lease")
+	}
+	if lt.Miss(5) {
+		t.Fatal("a miss with no lease to degrade from began an episode")
+	}
+	if lt.DegradedSince() != 0 {
+		t.Fatal("zero tracker reports a degraded start")
+	}
+}
+
+func TestLeaseTrackerRenewAndStaleTokenRejection(t *testing.T) {
+	var lt LeaseTracker
+	if !lt.Renew(lease(110, 98, 5, 200)) {
+		t.Fatal("first renewal rejected")
+	}
+	if w, ok := lt.CapAt(50); !ok || w != 110 {
+		t.Fatalf("healthy cap = %v, %v; want 110, true", w, ok)
+	}
+	// An older token is a delayed duplicate from before a partition:
+	// rejected, counted, and the held lease does not move.
+	if lt.Renew(lease(200, 98, 4, 300)) {
+		t.Fatal("stale token accepted")
+	}
+	if lt.StaleRejects() != 1 {
+		t.Fatalf("stale rejects = %d, want 1", lt.StaleRejects())
+	}
+	if w, _ := lt.CapAt(50); w != 110 {
+		t.Fatalf("rejected grant moved the cap to %v", w)
+	}
+	// An equal token is a benign re-delivery of the current grant.
+	if !lt.Renew(lease(104, 98, 5, 250)) {
+		t.Fatal("equal token rejected")
+	}
+	if w, _ := lt.CapAt(50); w != 104 {
+		t.Fatalf("re-renewal did not apply: cap %v", w)
+	}
+}
+
+func TestLeaseTrackerRatchetDescent(t *testing.T) {
+	var lt LeaseTracker
+	lt.Renew(lease(110, 98, 1, 200))
+	if !lt.Miss(190) {
+		t.Fatal("first miss did not begin the episode")
+	}
+	if lt.Miss(191) {
+		t.Fatal("second miss began a second episode")
+	}
+	if got := lt.DegradedSince(); got != 190 {
+		t.Fatalf("degraded since %v, want 190", got)
+	}
+	// Window = min(RatchetSteps=5, expiry−miss=10) = 5 s: a linear
+	// 12 W descent lands exactly on the floor five seconds in.
+	steps := []struct {
+		t    float64
+		want power.Watts
+	}{
+		{190, 110}, {191, 107.6}, {192, 105.2}, {193, 102.8}, {194, 100.4},
+		{195, 98}, {197, 98}, {200, 98}, {1000, 98},
+	}
+	for _, s := range steps {
+		if w, ok := lt.CapAt(s.t); !ok || !approxW(w, s.want) {
+			t.Fatalf("CapAt(%v) = %v, want %v", s.t, w, s.want)
+		}
+	}
+	if !lt.Ratcheting(194) || lt.Ratcheting(195) {
+		t.Fatal("Ratcheting does not track the descent landing")
+	}
+	// Rejoin: a fresh renewal ends the episode and restores the cap.
+	if !lt.Renew(lease(108, 98, 2, 260)) {
+		t.Fatal("rejoin renewal rejected")
+	}
+	if lt.Degraded() || lt.DegradedSince() != 0 {
+		t.Fatal("renewal did not clear degraded mode")
+	}
+	if w, _ := lt.CapAt(196); w != 108 {
+		t.Fatalf("post-rejoin cap %v, want 108", w)
+	}
+}
+
+func TestLeaseTrackerDescentClampedByExpiry(t *testing.T) {
+	var lt LeaseTracker
+	lt.Renew(lease(110, 98, 1, 200))
+	lt.Miss(198) // only 2 s to the deadline: window shrinks below RatchetSteps
+	if w, _ := lt.CapAt(199); !approxW(w, 104) {
+		t.Fatalf("mid-descent cap %v, want 104 (half the 12 W drop in half the 2 s window)", w)
+	}
+	if w, _ := lt.CapAt(200); w != 98 {
+		t.Fatalf("cap %v at expiry, want the floor", w)
+	}
+
+	// A miss after the deadline still lands instantly (window floor 1 s,
+	// and t ≥ expiry returns the floor outright).
+	var late LeaseTracker
+	late.Renew(lease(110, 98, 1, 200))
+	late.Miss(205)
+	if w, _ := late.CapAt(205); w != 98 {
+		t.Fatalf("past-expiry miss held %v, want the floor", w)
+	}
+}
+
+func TestLeaseTrackerSubFloorLeaseHolds(t *testing.T) {
+	// A lease already under the floor does not ascend: degraded mode
+	// only ever ratchets down.
+	var lt LeaseTracker
+	lt.Renew(lease(90, 98, 1, 200))
+	lt.Miss(150)
+	for _, tt := range []float64{150, 151, 199, 200, 300} {
+		if w, _ := lt.CapAt(tt); w != 90 {
+			t.Fatalf("CapAt(%v) = %v, want the held 90 W", tt, w)
+		}
+	}
+	if lt.Ratcheting(151) {
+		t.Fatal("a sub-floor lease claims to be ratcheting")
+	}
+}
+
+func TestLeaseTrackerCustomRatchetSteps(t *testing.T) {
+	lt := LeaseTracker{RatchetSteps: 2}
+	lt.Renew(lease(110, 98, 1, 300))
+	lt.Miss(100)
+	if w, _ := lt.CapAt(101); !approxW(w, 104) {
+		t.Fatalf("custom 2-step descent at +1 s = %v, want 104", w)
+	}
+	if w, _ := lt.CapAt(102); w != 98 {
+		t.Fatalf("custom 2-step descent at +2 s = %v, want the floor", w)
+	}
+}
+
+func approxW(a, b power.Watts) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -77,6 +77,9 @@ func (r *NodeReport) Validate() error {
 }
 
 // Grant is the coordinator's answer: the watt cap a node must apply.
+// With leases enabled (Options.LeaseEpochs > 0) the grant is a fenced
+// lease: Token fences stale re-deliveries, LeaseEpochs is the TTL, and
+// FloorW is the safe cap the node ratchets toward if renewals stop.
 type Grant struct {
 	Schema string `json:"schema"`
 	NodeID string `json:"node_id"`
@@ -85,6 +88,15 @@ type Grant struct {
 	Epoch int `json:"epoch"`
 	// CapW is the granted node power cap in watts.
 	CapW float64 `json:"cap_w"`
+	// Token is the per-node fencing token: it increments on every report
+	// the coordinator applies, so a grant computed before a partition is
+	// distinguishable from the rejoin grant. Zero when leases are off.
+	Token int64 `json:"token,omitempty"`
+	// LeaseEpochs is the lease TTL in coordination epochs; FloorW the
+	// even-split-derived safe floor the lease degrades toward. Both zero
+	// when leases are off.
+	LeaseEpochs int     `json:"lease_epochs,omitempty"`
+	FloorW      float64 `json:"floor_w,omitempty"`
 }
 
 // Validate implements jsonio.Validator.
@@ -96,6 +108,10 @@ func (g *Grant) Validate() error {
 		return fmt.Errorf("coordinator: grant with empty node id")
 	case !finite(g.CapW) || g.CapW < 0:
 		return fmt.Errorf("coordinator: grant for %s carries invalid cap %v", g.NodeID, g.CapW)
+	case g.Token < 0 || g.LeaseEpochs < 0:
+		return fmt.Errorf("coordinator: grant for %s carries invalid lease token/ttl (%d/%d)", g.NodeID, g.Token, g.LeaseEpochs)
+	case !finite(g.FloorW) || g.FloorW < 0:
+		return fmt.Errorf("coordinator: grant for %s carries invalid floor %v", g.NodeID, g.FloorW)
 	}
 	return nil
 }
@@ -111,6 +127,10 @@ type NodeStatus struct {
 	LastEpoch int  `json:"last_epoch"`
 	Stale     bool `json:"stale"`
 	Healthy   bool `json:"healthy"`
+	// LeaseToken and LeaseExpired render the node's lease state; both
+	// omitted (zero) while leases are off.
+	LeaseToken   int64 `json:"lease_token,omitempty"`
+	LeaseExpired bool  `json:"lease_expired,omitempty"`
 }
 
 // Stats counts coordinator activity since start.
@@ -122,6 +142,11 @@ type Stats struct {
 	Donations    int `json:"donations"`
 	GrantsUp     int `json:"grants_up"`
 	StaleFreezes int `json:"stale_freezes"`
+	// LeaseExpirations counts leases reclaimed into the pool at their
+	// TTL (omitted while leases are off). Like every other stat it is a
+	// pure function of the submitted reports, so WAL replay reconstructs
+	// it exactly.
+	LeaseExpirations int `json:"lease_expirations,omitempty"`
 	// MovedW is the cumulative watt volume re-arbitrated.
 	MovedW float64 `json:"moved_w"`
 }
@@ -196,6 +221,17 @@ type Options struct {
 	// as every expected node has reported instead of waiting for the
 	// first report of the next epoch.
 	FleetSize int
+	// LeaseEpochs, when positive, turns every grant into a fenced lease
+	// with this TTL in epochs: instead of the staleness freeze, a node
+	// that misses LeaseEpochs renewals has its lease reclaimed — the cap
+	// above LeaseFloorW returns to the pool for re-arbitration, matching
+	// the node-side degraded ratchet that lands on the same floor by the
+	// same deadline. Zero keeps the legacy stale-freeze behaviour.
+	LeaseEpochs int
+	// LeaseFloorW is the lease floor. Defaults to the even split
+	// BudgetW/FleetSize and is clamped into [MinCapW, MaxCapW], so Σ
+	// floors never exceeds the budget.
+	LeaseFloorW float64
 }
 
 func (o Options) withDefaults() Options {
@@ -224,6 +260,16 @@ func (o Options) withDefaults() Options {
 			o.MinCapW = 1
 		}
 	}
+	if o.LeaseEpochs > 0 {
+		if o.LeaseFloorW == 0 {
+			if o.FleetSize > 0 {
+				o.LeaseFloorW = o.BudgetW / float64(o.FleetSize)
+			} else {
+				o.LeaseFloorW = o.MinCapW
+			}
+		}
+		o.LeaseFloorW = clamp(o.LeaseFloorW, o.MinCapW, o.MaxCapW)
+	}
 	return o
 }
 
@@ -243,6 +289,12 @@ type nodeState struct {
 	// donor→requester flip can revert half of it (Alg. 2 lines 11–14).
 	lastDonatedW float64
 	granted      bool // node has received its initial grant
+	// leaseTok is the node's fencing token: it increments once per
+	// applied report (never on duplicates), so it is reconstructed
+	// exactly by WAL replay. expired marks a lease reclaimed at its TTL;
+	// the next applied report clears it.
+	leaseTok int64
+	expired  bool
 }
 
 // Coordinator arbitrates per-node power caps from slack telemetry. It is
@@ -264,14 +316,15 @@ type Coordinator struct {
 	// Observability (nil = uninstrumented; see SetObs). The coordinator
 	// has no clock, so journal events carry the arbitration epoch as
 	// their time axis.
-	obs        *obs.Sink
-	reportCtr  *obs.Counter
-	arbCtr     *obs.Counter
-	donateCtr  *obs.Counter
-	grantUpCtr *obs.Counter
-	staleCtr   *obs.Counter
-	poolGauge  *obs.Gauge
-	epochGauge *obs.Gauge
+	obs         *obs.Sink
+	reportCtr   *obs.Counter
+	arbCtr      *obs.Counter
+	donateCtr   *obs.Counter
+	grantUpCtr  *obs.Counter
+	staleCtr    *obs.Counter
+	leaseExpCtr *obs.Counter
+	poolGauge   *obs.Gauge
+	epochGauge  *obs.Gauge
 	// epochSpan is the root span of the arbitration currently closing;
 	// moveCap parents its grant spans under it. Valid only while
 	// arbitrate runs (daemon path — the simulation's in-process
@@ -291,6 +344,7 @@ func (c *Coordinator) SetObs(sink *obs.Sink) {
 	c.donateCtr = sink.Counter("coordinator_donations_total")
 	c.grantUpCtr = sink.Counter("coordinator_grants_up_total")
 	c.staleCtr = sink.Counter("coordinator_stale_freezes_total")
+	c.leaseExpCtr = sink.Counter("coordinator_lease_expirations_total")
 	c.poolGauge = sink.Gauge("coordinator_pool_watts")
 	c.epochGauge = sink.Gauge("coordinator_epoch")
 	c.poolGauge.Set(c.poolW)
@@ -344,6 +398,8 @@ func (c *Coordinator) Submit(r NodeReport) (Grant, error) {
 	if r.Epoch >= ns.lastEpoch {
 		ns.lastEpoch = r.Epoch
 		ns.report = r
+		ns.leaseTok++
+		ns.expired = false
 	}
 
 	if c.opt.FleetSize > 0 && !c.arbitrated && c.freshCount(c.epoch) >= c.opt.FleetSize {
@@ -351,6 +407,22 @@ func (c *Coordinator) Submit(r NodeReport) (Grant, error) {
 		c.arbitrated = true
 	}
 	return c.grant(ns), nil
+}
+
+// SubmitDedup is Submit with server-side idempotency: a report for an
+// epoch the node has already reported (a delayed-then-duplicated retry)
+// mutates nothing — no state, no stats, and critically nothing the
+// caller should WAL-log — and just re-answers the current grant.
+// applied reports whether the report was actually consumed.
+func (c *Coordinator) SubmitDedup(r NodeReport) (g Grant, applied bool, err error) {
+	if err := r.Validate(); err != nil {
+		return Grant{}, false, err
+	}
+	if ns, ok := c.nodes[r.NodeID]; ok && r.Epoch <= ns.lastEpoch {
+		return c.grant(ns), false, nil
+	}
+	g, err = c.Submit(r)
+	return g, err == nil, err
 }
 
 // GrantFor returns the current grant for a node without submitting a
@@ -365,7 +437,13 @@ func (c *Coordinator) GrantFor(nodeID string) (Grant, error) {
 }
 
 func (c *Coordinator) grant(ns *nodeState) Grant {
-	return Grant{Schema: Schema, NodeID: ns.id, Epoch: c.arbEpoch, CapW: ns.capW}
+	g := Grant{Schema: Schema, NodeID: ns.id, Epoch: c.arbEpoch, CapW: ns.capW}
+	if c.opt.LeaseEpochs > 0 {
+		g.Token = ns.leaseTok
+		g.LeaseEpochs = c.opt.LeaseEpochs
+		g.FloorW = c.opt.LeaseFloorW
+	}
+	return g
 }
 
 // adopt registers a node on first contact. The node's self-reported cap
@@ -388,6 +466,15 @@ func (c *Coordinator) adopt(r NodeReport) *nodeState {
 	c.order = append(c.order, r.NodeID)
 	sort.Strings(c.order)
 	return ns
+}
+
+// staleAfter is the epoch age at which a node stops being arbitrated:
+// the lease TTL when leases are on, the staleness threshold otherwise.
+func (c *Coordinator) staleAfter() int {
+	if c.opt.LeaseEpochs > 0 {
+		return c.opt.LeaseEpochs
+	}
+	return c.opt.StaleEpochs
 }
 
 // freshCount counts nodes that have reported the given epoch.
@@ -435,8 +522,28 @@ func (c *Coordinator) arbitrate(epoch int) {
 	for _, id := range c.order {
 		ns := c.nodes[id]
 		r := ns.report
-		stale := epoch-ns.lastEpoch >= c.opt.StaleEpochs
-		if stale {
+		if stale := epoch-ns.lastEpoch >= c.staleAfter(); stale {
+			if c.opt.LeaseEpochs > 0 {
+				// Lease expiry: the grant's TTL has lapsed, so the watts
+				// above the floor are verifiably unused by a correct node
+				// (the degraded ratchet landed on the same floor by this
+				// deadline) — reclaim them into the pool.
+				if !ns.expired {
+					ns.expired = true
+					c.stats.LeaseExpirations++
+					c.leaseExpCtr.Inc()
+					if c.obs.Active() {
+						c.obs.Emit(obs.Event{T: float64(epoch), Node: ns.id,
+							Type: obs.EventLeaseExpired, Epoch: epoch,
+							Value: math.Max(0, ns.capW-c.opt.LeaseFloorW)})
+					}
+				}
+				if ns.capW > c.opt.LeaseFloorW {
+					c.moveCap(ns, c.opt.LeaseFloorW-ns.capW)
+				}
+				ns.stepW, ns.lastDonatedW = 0, 0
+				continue
+			}
 			// Staleness fallback: freeze the grant. Its watts stay
 			// reserved — the coordinator cannot verify they are free.
 			c.stats.StaleFreezes++
@@ -585,15 +692,20 @@ func (c *Coordinator) Status() *FleetStatus {
 	}
 	for _, id := range c.order {
 		ns := c.nodes[id]
-		st.Nodes = append(st.Nodes, NodeStatus{
+		row := NodeStatus{
 			NodeID:    ns.id,
 			CapW:      ns.capW,
 			Slack:     ns.report.Slack,
 			PowerW:    ns.report.PowerW,
 			LastEpoch: ns.lastEpoch,
-			Stale:     c.epoch-ns.lastEpoch >= c.opt.StaleEpochs,
+			Stale:     c.epoch-ns.lastEpoch >= c.staleAfter(),
 			Healthy:   ns.report.Healthy,
-		})
+		}
+		if c.opt.LeaseEpochs > 0 {
+			row.LeaseToken = ns.leaseTok
+			row.LeaseExpired = ns.expired
+		}
+		st.Nodes = append(st.Nodes, row)
 	}
 	return st
 }

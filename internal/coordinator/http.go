@@ -134,8 +134,11 @@ func (s *Server) handleReport(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	g, err := s.c.Submit(r)
-	if err == nil {
+	// Dedupe by (node, epoch): a delayed-then-duplicated retry of an
+	// already-applied report mutates nothing and is not WAL-logged — it
+	// just gets the current grant back, so client retries are idempotent.
+	g, applied, err := s.c.SubmitDedup(r)
+	if err == nil && applied {
 		// Write-ahead log the applied report; a persistence failure
 		// degrades recovery fidelity, never the grant (persist.go).
 		_ = s.p.LogReport(s.c, r)

@@ -3,6 +3,7 @@ package coordinator
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"sturgeon/internal/durable"
+	"sturgeon/internal/faults"
 )
 
 func newHTTPFixture(t *testing.T, opt Options) (*httptest.Server, *Client) {
@@ -345,5 +347,127 @@ func TestHTTPMultiNodeConvergence(t *testing.T) {
 	}
 	if math.Abs(sum-400) > 1e-6 {
 		t.Fatalf("budget not conserved over HTTP: caps+pool %.3f W", sum)
+	}
+}
+
+// TestHTTPReportDedupeByNodeEpoch is the regression fence for the
+// server-side (node, epoch) dedupe on /v1/report: a client that
+// retransmits after a lost ack must get the identical grant back with
+// nothing applied twice — no double-counted report, no advanced lease
+// token.
+func TestHTTPReportDedupeByNodeEpoch(t *testing.T) {
+	_, cl := newHTTPFixture(t, Options{
+		BudgetW: 300, MinCapW: 50, MaxCapW: 150, FleetSize: 3, LeaseEpochs: 2,
+	})
+	ctx := context.Background()
+	first, err := cl.Report(ctx, report("a", 0, 0.15, 95, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for retry := 0; retry < 3; retry++ {
+		again, err := cl.Report(ctx, report("a", 0, 0.15, 95, 100))
+		if err != nil {
+			t.Fatalf("retry %d: %v", retry, err)
+		}
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("retry %d changed the grant: %+v vs %+v", retry, again, first)
+		}
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Reports != 1 {
+		t.Fatalf("replays were applied: %d reports counted, want 1", st.Stats.Reports)
+	}
+	// A genuinely fresh epoch still applies and advances the fence.
+	g, err := cl.Report(ctx, report("a", 1, 0.15, 95, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Token != first.Token+1 {
+		t.Fatalf("fresh epoch token %d, want %d", g.Token, first.Token+1)
+	}
+}
+
+// TestHTTPPartitionSoak drives the identical seeded net-chaos schedule
+// through the networked HTTP transport and the in-process Local
+// transport and requires identical message fates, identical grants and
+// identical final fleet state. This is the purity contract NetChaos
+// advertises — the plan is a function of (spec, seed, epochs, nodes),
+// never of transport timing — and it is what lets the CI partition-soak
+// job exercise the real daemon path with the simulator's exact chaos.
+func TestHTTPPartitionSoak(t *testing.T) {
+	const (
+		nodes  = 3
+		epochs = 40
+		seed   = 20260808
+	)
+	opt := Options{BudgetW: 300, MinCapW: 50, MaxCapW: 150, FleetSize: nodes, LeaseEpochs: 2}
+	spec := faults.NetSpec{
+		PartitionRate:       0.05,
+		MeanPartitionEpochs: 2,
+		DropRate:            0.08,
+		DelayRate:           0.08,
+		DupRate:             0.08,
+		ReorderRate:         0.5,
+	}
+
+	// One soak pass: the scripted fleet rotates through donor, starved
+	// and in-band roles so arbitration genuinely moves watts while the
+	// chaos schedule severs, delays and duplicates the traffic.
+	run := func(t *testing.T, inner Transport) ([]string, *FleetStatus, NetStats) {
+		t.Helper()
+		nc := &NetChaos{Inner: inner, Plan: faults.NewNet(spec, seed, epochs, nodes)}
+		ctx := context.Background()
+		var fates []string
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < nodes; i++ {
+				slack := 0.04 + 0.13*float64((e+2*i)%4)
+				pw := 70 + 8*float64(i)
+				g, err := nc.Report(ctx, report(fmt.Sprintf("node-%d", i), e, slack, pw, 100))
+				if err != nil {
+					fates = append(fates, fmt.Sprintf("e%d n%d err", e, i))
+					continue
+				}
+				fates = append(fates, fmt.Sprintf("e%d n%d cap %.6f tok %d ttl %d floor %.6f",
+					e, i, g.CapW, g.Token, g.LeaseEpochs, g.FloorW))
+			}
+		}
+		st, err := nc.Status(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fates, st, nc.Stats()
+	}
+
+	local := newTest(t, opt)
+	localFates, localStatus, localNet := run(t, &Local{C: local})
+
+	_, cl := newHTTPFixture(t, opt)
+	httpFates, httpStatus, httpNet := run(t, cl)
+
+	if len(localFates) != len(httpFates) {
+		t.Fatalf("fate counts differ: local %d, http %d", len(localFates), len(httpFates))
+	}
+	for i := range localFates {
+		if localFates[i] != httpFates[i] {
+			t.Fatalf("fate %d diverged:\n  local: %s\n  http:  %s", i, localFates[i], httpFates[i])
+		}
+	}
+	if localNet != httpNet {
+		t.Fatalf("chaos tallies diverged:\n  local: %+v\n  http:  %+v", localNet, httpNet)
+	}
+	if localNet.PartitionedOut+localNet.Dropped == 0 || localNet.Delayed == 0 || localNet.Duplicated == 0 {
+		t.Fatalf("soak was vacuous: %+v", localNet)
+	}
+	if !reflect.DeepEqual(localStatus, httpStatus) {
+		t.Fatalf("final fleet state diverged:\n  local: %+v\n  http:  %+v", localStatus, httpStatus)
+	}
+	if localStatus.Stats.LeaseExpirations == 0 {
+		t.Fatal("soak never expired a lease — the schedule is too gentle to prove anything")
+	}
+	if err := httpStatus.Validate(); err != nil {
+		t.Fatalf("final status over HTTP: %v", err)
 	}
 }

@@ -26,8 +26,12 @@ import (
 // Recover, the boot path with its corruption-degradation ladder.
 
 // StateSchema tags the durable coordinator snapshot; bump on breaking
-// change.
-const StateSchema = "sturgeon/coordstate/v1"
+// change. v2 added the per-node lease fields; v1 documents (no lease
+// state: zero tokens, nothing expired) are still accepted on load.
+const StateSchema = "sturgeon/coordstate/v2"
+
+// stateSchemaV1 is the pre-lease snapshot schema, accepted read-only.
+const stateSchemaV1 = "sturgeon/coordstate/v1"
 
 // SavedNode is one node's row in the snapshot: the full per-node
 // book-keeping arbitration needs, including the binary-halving episode
@@ -41,6 +45,11 @@ type SavedNode struct {
 	LastDonatedW float64    `json:"last_donated_w"`
 	Granted      bool       `json:"granted"`
 	Report       NodeReport `json:"report"`
+	// LeaseToken and LeaseExpired persist the fenced-lease state (v2):
+	// a SIGKILL between a lease expiry and the next snapshot must not
+	// resurrect the reclaimed grant on restart.
+	LeaseToken   int64 `json:"lease_token,omitempty"`
+	LeaseExpired bool  `json:"lease_expired,omitempty"`
 }
 
 // State is the coordstate/v1 snapshot document: everything Restore
@@ -65,7 +74,7 @@ type State struct {
 // tolerance, rejecting under- as well as over-subscribed documents.
 func (s *State) Validate() error {
 	switch {
-	case s.Schema != StateSchema:
+	case s.Schema != StateSchema && s.Schema != stateSchemaV1:
 		return fmt.Errorf("coordinator: state schema %q, want %q", s.Schema, StateSchema)
 	case !finite(s.BudgetW) || s.BudgetW <= 0:
 		return fmt.Errorf("coordinator: state budget %v not positive", s.BudgetW)
@@ -74,7 +83,7 @@ func (s *State) Validate() error {
 	case s.Epoch < 0 || s.ArbEpoch < 0 || s.ArbEpoch > s.Epoch:
 		return fmt.Errorf("coordinator: state epochs inverted (epoch %d, arb %d)", s.Epoch, s.ArbEpoch)
 	case s.Stats.Reports < 0 || s.Stats.Arbitrations < 0 || s.Stats.Donations < 0 ||
-		s.Stats.GrantsUp < 0 || s.Stats.StaleFreezes < 0 ||
+		s.Stats.GrantsUp < 0 || s.Stats.StaleFreezes < 0 || s.Stats.LeaseExpirations < 0 ||
 		!finite(s.Stats.MovedW) || s.Stats.MovedW < 0:
 		return fmt.Errorf("coordinator: state stats carry negative tallies")
 	}
@@ -92,6 +101,8 @@ func (s *State) Validate() error {
 			return fmt.Errorf("coordinator: state node %s carries invalid episode state", n.NodeID)
 		case n.LastEpoch < 0 || n.LastEpoch > s.Epoch:
 			return fmt.Errorf("coordinator: state node %s last epoch %d outside [0, %d]", n.NodeID, n.LastEpoch, s.Epoch)
+		case n.LeaseToken < 0:
+			return fmt.Errorf("coordinator: state node %s carries negative lease token %d", n.NodeID, n.LeaseToken)
 		case n.Report.NodeID != n.NodeID:
 			return fmt.Errorf("coordinator: state node %s carries report for %q", n.NodeID, n.Report.NodeID)
 		}
@@ -131,6 +142,8 @@ func (c *Coordinator) Snapshot() *State {
 			LastDonatedW: ns.lastDonatedW,
 			Granted:      ns.granted,
 			Report:       ns.report,
+			LeaseToken:   ns.leaseTok,
+			LeaseExpired: ns.expired,
 		})
 	}
 	return st
@@ -150,6 +163,18 @@ func (c *Coordinator) Restore(st *State) error {
 		return fmt.Errorf("coordinator: state budget %.3f W does not match configured %.3f W",
 			st.BudgetW, c.opt.BudgetW)
 	}
+	if c.opt.LeaseEpochs > 0 {
+		// Fail closed on over-subscribed restored leases: a snapshot in
+		// which an already-expired lease still holds watts above its
+		// floor would resurrect a reclaimed grant — double-allocating
+		// against whatever the pool re-granted before the crash.
+		for _, n := range st.Nodes {
+			if n.LeaseExpired && n.CapW > c.opt.LeaseFloorW+1e-6 {
+				return fmt.Errorf("coordinator: state resurrects expired lease for %s: cap %.3f W above floor %.3f W",
+					n.NodeID, n.CapW, c.opt.LeaseFloorW)
+			}
+		}
+	}
 	c.nodes = make(map[string]*nodeState, len(st.Nodes))
 	c.order = c.order[:0]
 	for _, n := range st.Nodes {
@@ -161,6 +186,8 @@ func (c *Coordinator) Restore(st *State) error {
 			stepW:        n.StepW,
 			lastDonatedW: n.LastDonatedW,
 			granted:      n.Granted,
+			leaseTok:     n.LeaseToken,
+			expired:      n.LeaseExpired,
 		}
 		c.order = append(c.order, n.NodeID)
 	}
@@ -366,10 +393,12 @@ type DurableLocal struct {
 
 // Report implements Transport. The grant stands even when persistence
 // fails — a write error degrades recovery fidelity, not arbitration
-// safety (see Persist.LogReport).
+// safety (see Persist.LogReport). Duplicated reports mutate nothing and
+// are not logged, so WAL replay — which applies each record through
+// Submit exactly once — reconstructs the pre-crash state verbatim.
 func (d *DurableLocal) Report(_ context.Context, r NodeReport) (Grant, error) {
-	g, err := d.C.Submit(r)
-	if err == nil {
+	g, applied, err := d.C.SubmitDedup(r)
+	if err == nil && applied {
 		_ = d.P.LogReport(d.C, r)
 	}
 	return g, err

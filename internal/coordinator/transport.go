@@ -26,9 +26,12 @@ type Local struct {
 	C *Coordinator
 }
 
-// Report implements Transport.
+// Report implements Transport. Submissions are deduplicated by (node,
+// epoch) exactly like the HTTP server's /v1/report, so a chaos layer
+// that duplicates messages sees identical outcomes on both paths.
 func (l *Local) Report(_ context.Context, r NodeReport) (Grant, error) {
-	return l.C.Submit(r)
+	g, _, err := l.C.SubmitDedup(r)
+	return g, err
 }
 
 // Status implements Transport.

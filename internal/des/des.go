@@ -44,11 +44,16 @@ const (
 	// KindPlacement is a global placement-planner epoch boundary: the
 	// migration planner may move BE jobs between nodes at this step.
 	KindPlacement
+	// KindLease wakes a node whose cap lease is in degraded-mode ratchet:
+	// the node's effective cap moves every simulated second while it
+	// descends toward its lease floor, so a quiescent node must still be
+	// re-evaluated each second until the ratchet lands.
+	KindLease
 
-	numKinds = 6
+	numKinds = 7
 )
 
-var kindNames = [numKinds]string{"settle", "fault", "health", "trace", "epoch", "placement"}
+var kindNames = [numKinds]string{"settle", "fault", "health", "trace", "epoch", "placement", "lease"}
 
 // String names the kind for logs and test failures.
 func (k Kind) String() string {

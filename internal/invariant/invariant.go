@@ -1,0 +1,188 @@
+// Package invariant is the partition-safety checker for the fleet
+// control plane. Sturgeon's one unforgivable failure is budget
+// over-subscription while the control plane misbehaves, so the cluster
+// engines wire a Checker into their serial merge and feed it every
+// simulated second — mid-partition, mid-ratchet, mid-recovery — plus
+// the coordinator's ground-truth status at every reachable epoch
+// boundary. The checker is strictly read-only: it never perturbs the
+// run (violations are reported out of band, not through Result), so an
+// instrumented run stays byte-identical to an unchecked one.
+//
+// Invariants asserted:
+//
+//   - No node above its lease: a node's effective cap never exceeds
+//     the cap of the last grant it accepted.
+//   - Degraded deadline: a degraded node is at (or under) its lease
+//     floor by the lease expiry.
+//   - Budget with bounded slack: Σ(node effective caps) ≤ budget +
+//     Σ(per-node in-flight slack), where a node's slack is the watts it
+//     verifiably holds above the coordinator's current book — grants
+//     the coordinator has already reclaimed or re-arbitrated but the
+//     node has not heard about yet. The slack term is itself bounded by
+//     the lease checks above, and drains to zero by each lease expiry.
+//   - Conservation at the coordinator: Σ(server-side caps) + pool ≤
+//     budget at every observed status.
+//   - Monotone epochs: the coordinator's epoch and every node's
+//     last-reported epoch never move backwards.
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"sturgeon/internal/coordinator"
+)
+
+// NodeView is one node's state as the cluster runtime sees it at a
+// simulated second.
+type NodeView struct {
+	// ID is the node id as the coordinator knows it ("node-003").
+	ID string
+	// EffCapW is the cap actually in force on the node this second.
+	EffCapW float64
+	// LeaseCapW is the cap of the last grant the node accepted (0
+	// before any grant: the boot-time static cap governs and only the
+	// budget-sum check applies).
+	LeaseCapW float64
+	// FloorW is the lease floor; Degraded whether the node is in
+	// autonomous degraded mode; ExpiresAtS the lease deadline in
+	// simulated seconds.
+	FloorW     float64
+	Degraded   bool
+	ExpiresAtS float64
+}
+
+// Checker accumulates invariant checks over one run. The zero value is
+// not ready; use New. Not safe for concurrent use — both engines call
+// it from their serial merge only.
+type Checker struct {
+	budgetW float64
+	tolW    float64
+	maxKeep int
+
+	coordCapW  map[string]float64
+	haveStatus bool
+	lastEpoch  int
+	nodeEpochs map[string]int
+
+	checks      int
+	violations  []string
+	dropped     int
+	maxSumCapsW float64
+	maxExcessW  float64
+}
+
+// New builds a checker for the given fleet budget. keep bounds the
+// retained violation strings (<=0 defaults to 16; further violations
+// are counted, not stored).
+func New(budgetW float64, keep int) *Checker {
+	if keep <= 0 {
+		keep = 16
+	}
+	return &Checker{
+		budgetW:    budgetW,
+		tolW:       1e-6 * math.Max(1, budgetW),
+		maxKeep:    keep,
+		coordCapW:  map[string]float64{},
+		nodeEpochs: map[string]int{},
+	}
+}
+
+func (k *Checker) violate(format string, args ...any) {
+	if len(k.violations) < k.maxKeep {
+		k.violations = append(k.violations, fmt.Sprintf(format, args...))
+		return
+	}
+	k.dropped++
+}
+
+// CheckSecond asserts the per-second invariants over the fleet view at
+// simulated second t.
+func (k *Checker) CheckSecond(t float64, nodes []NodeView) {
+	k.checks++
+	sum, slack := 0.0, 0.0
+	for _, n := range nodes {
+		sum += n.EffCapW
+		if n.LeaseCapW > 0 {
+			if n.EffCapW > n.LeaseCapW+k.tolW {
+				k.violate("t=%.0f %s: effective cap %.3f W above lease %.3f W",
+					t, n.ID, n.EffCapW, n.LeaseCapW)
+			}
+			if n.Degraded && t >= n.ExpiresAtS {
+				floor := math.Min(n.LeaseCapW, n.FloorW)
+				if n.EffCapW > floor+k.tolW {
+					k.violate("t=%.0f %s: degraded cap %.3f W above floor %.3f W past expiry %.0f",
+						t, n.ID, n.EffCapW, floor, n.ExpiresAtS)
+				}
+			}
+		}
+		if k.haveStatus {
+			if coordW, ok := k.coordCapW[n.ID]; ok {
+				// Watts the node holds above the coordinator's current
+				// book are in flight: already reclaimed or re-arbitrated
+				// server-side, not yet heard node-side. The lease checks
+				// bound them; they drain by the lease expiry.
+				if d := n.EffCapW - coordW; d > 0 {
+					slack += d
+				}
+			}
+		}
+	}
+	if sum > k.maxSumCapsW {
+		k.maxSumCapsW = sum
+	}
+	if ex := sum - k.budgetW; ex > k.maxExcessW {
+		k.maxExcessW = ex
+	}
+	if sum > k.budgetW+slack+k.tolW {
+		k.violate("t=%.0f: Σ effective caps %.3f W exceeds budget %.3f W + in-flight slack %.3f W",
+			t, sum, k.budgetW, slack)
+	}
+}
+
+// ObserveStatus asserts the coordinator-side invariants against a
+// ground-truth status fetch at simulated second t and records the
+// server-side caps the budget check's slack term is measured against.
+func (k *Checker) ObserveStatus(t float64, st *coordinator.FleetStatus) {
+	if st == nil {
+		return
+	}
+	k.checks++
+	if err := st.Validate(); err != nil {
+		k.violate("t=%.0f: coordinator status invalid: %v", t, err)
+		return
+	}
+	if st.Epoch < k.lastEpoch {
+		k.violate("t=%.0f: coordinator epoch moved backwards: %d after %d", t, st.Epoch, k.lastEpoch)
+	}
+	k.lastEpoch = st.Epoch
+	sum := st.PoolW
+	for _, n := range st.Nodes {
+		sum += n.CapW
+		if last, ok := k.nodeEpochs[n.NodeID]; ok && n.LastEpoch < last {
+			k.violate("t=%.0f %s: node epoch moved backwards: %d after %d", t, n.NodeID, n.LastEpoch, last)
+		}
+		k.nodeEpochs[n.NodeID] = n.LastEpoch
+		k.coordCapW[n.NodeID] = n.CapW
+	}
+	if len(st.Nodes) > 0 && sum > k.budgetW+k.tolW {
+		k.violate("t=%.0f: coordinator caps+pool %.3f W exceed budget %.3f W", t, sum, k.budgetW)
+	}
+	k.haveStatus = true
+}
+
+// Checks returns how many check calls ran (seconds + status fetches).
+func (k *Checker) Checks() int { return k.checks }
+
+// Violations returns the retained violation strings (nil when every
+// invariant held).
+func (k *Checker) Violations() []string { return k.violations }
+
+// DroppedViolations counts violations past the retention bound.
+func (k *Checker) DroppedViolations() int { return k.dropped }
+
+// MaxSumCapsW returns the largest Σ(node effective caps) observed, and
+// MaxExcessW the largest strict overshoot above the budget (≤ 0 means
+// the fleet never exceeded the budget even transiently).
+func (k *Checker) MaxSumCapsW() float64 { return k.maxSumCapsW }
+func (k *Checker) MaxExcessW() float64  { return k.maxExcessW }

@@ -35,6 +35,17 @@ const (
 	// EventStaleFreeze marks a node frozen by the coordinator's
 	// staleness fallback (Epoch: the arbitration epoch).
 	EventStaleFreeze = "stale_freeze"
+	// EventLeaseExpired marks the coordinator reclaiming an expired cap
+	// lease back into the pool (Epoch: the arbitration epoch; Value: the
+	// watts reclaimed above the lease floor).
+	EventLeaseExpired = "lease_expired"
+	// EventDegradedEnter and EventDegradedExit bracket a node's
+	// autonomous degraded mode: a missed lease renewal starts the local
+	// cap ratchet toward the lease floor (Value: the cap the ratchet
+	// starts from / the cap restored by the rejoin grant; Epoch: the
+	// coordination epoch of the miss or rejoin).
+	EventDegradedEnter = "degraded_enter"
+	EventDegradedExit  = "degraded_exit"
 	// EventNodeEvicted and EventNodeReadmitted mark failure-detector
 	// rotation changes.
 	EventNodeEvicted    = "node_evicted"

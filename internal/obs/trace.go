@@ -39,6 +39,11 @@ const (
 	// changes.
 	SpanEviction    = "eviction"
 	SpanReadmission = "readmission"
+	// SpanDegraded covers a node's autonomous degraded-mode episode:
+	// Start is the missed renewal that began the cap ratchet, End the
+	// rejoin grant that restored coordinated operation (Value: the floor
+	// the ratchet descended toward).
+	SpanDegraded = "degraded"
 )
 
 // Span is one entry of the causal trace. Trace groups a causal chain,
